@@ -1,0 +1,110 @@
+// Ablation: serving outstanding query volume (§5 defers scalability to
+// incremental processors; these are the two levers this library adds).
+//  (a) Cloak-keyed candidate-list cache: because the anonymizer's
+//      cloaks are cell-aligned, co-located users share cloaks exactly —
+//      the cache hit rate and the per-query speedup quantify that.
+//  (b) Continuous-query manager: fraction of cloak-change events served
+//      by the containment shortcut instead of a full re-evaluation.
+
+#include "bench/bench_common.h"
+#include "src/processor/continuous.h"
+#include "src/processor/query_cache.h"
+
+int main() {
+  using namespace casper::bench;
+  const size_t users = Scaled(10000);
+  const size_t target_count = Scaled(10000);
+  SimulatedCity city(users, 211);
+  casper::anonymizer::PyramidConfig config;
+  config.space = city.bounds();
+  config.height = 9;
+  casper::workload::ProfileDistribution dist;
+  auto anon = BuildAnonymizer(true, config, city, users, dist, 223);
+
+  casper::Rng rng(227);
+  casper::processor::PublicTargetStore store(
+      casper::workload::UniformPublicTargets(target_count, config.space,
+                                             &rng));
+
+  std::printf("Query-volume ablation: %zu users, %zu targets (scale %.2f)\n",
+              users, target_count, Scale());
+
+  // (a) Cache: a query stream from random users (co-location comes from
+  // the population itself).
+  PrintTitle("(a) cloak-keyed cache: hit rate and per-query time");
+  std::printf("%-10s %10s %12s %12s %14s\n", "queries", "hit%",
+              "us:cached", "us:direct", "distinct cloaks");
+  for (size_t volume : {Scaled(1000), Scaled(5000), Scaled(20000)}) {
+    casper::processor::CachingQueryProcessor cache(&store, 4096);
+    casper::Rng pick(229);
+    casper::Stopwatch watch;
+    for (size_t q = 0; q < volume; ++q) {
+      const auto uid = pick.UniformInt(0, users - 1);
+      auto cloak = anon->Cloak(uid);
+      CASPER_DCHECK(cloak.ok());
+      CASPER_DCHECK(cache.Query(cloak->region).ok());
+    }
+    const double cached_us = watch.ElapsedMicros() / volume;
+
+    casper::Rng pick2(229);
+    watch.Reset();
+    for (size_t q = 0; q < volume; ++q) {
+      const auto uid = pick2.UniformInt(0, users - 1);
+      auto cloak = anon->Cloak(uid);
+      CASPER_DCHECK(cloak.ok());
+      CASPER_DCHECK(
+          casper::processor::PrivateNearestNeighbor(store, cloak->region)
+              .ok());
+    }
+    const double direct_us = watch.ElapsedMicros() / volume;
+    std::printf("%-10zu %9.1f%% %12.2f %12.2f %14llu\n", volume,
+                100.0 * cache.stats().HitRate(), cached_us, direct_us,
+                static_cast<unsigned long long>(cache.stats().misses));
+  }
+
+  // (b) Continuous manager under movement.
+  PrintTitle("(b) continuous queries: containment reuse under movement");
+  std::printf("%-8s %14s %14s %10s\n", "ticks", "evaluations", "reuses",
+              "reuse%");
+  {
+    casper::processor::ContinuousQueryManager manager(&store);
+    std::vector<std::pair<casper::anonymizer::UserId,
+                          casper::processor::QueryId>>
+        queries;
+    casper::Rng pick(233);
+    for (int i = 0; i < 200; ++i) {
+      const auto uid = pick.UniformInt(0, users - 1);
+      auto cloak = anon->Cloak(uid);
+      CASPER_DCHECK(cloak.ok());
+      auto qid = manager.Register(cloak->region);
+      CASPER_DCHECK(qid.ok());
+      queries.emplace_back(uid, *qid);
+    }
+    int report_ticks = 0;
+    for (int tick = 0; tick < 20; ++tick) {
+      for (const auto& u : city.Ticks(static_cast<size_t>(tick) + 1).back()) {
+        if (u.uid < users) {
+          CASPER_DCHECK(anon->UpdateLocation(
+                                u.uid, ClampToRect(u.position, config.space))
+                            .ok());
+        }
+      }
+      for (const auto& [uid, qid] : queries) {
+        auto cloak = anon->Cloak(uid);
+        CASPER_DCHECK(cloak.ok());
+        CASPER_DCHECK(manager.OnCloakChanged(qid, cloak->region).ok());
+      }
+      ++report_ticks;
+    }
+    const auto& stats = manager.stats();
+    const uint64_t events = stats.evaluations + stats.reuses;
+    std::printf("%-8d %14llu %14llu %9.1f%%\n", report_ticks,
+                static_cast<unsigned long long>(stats.evaluations),
+                static_cast<unsigned long long>(stats.reuses),
+                100.0 * stats.reuses / events);
+  }
+  std::printf("\ncell-aligned cloaks repeat across co-located users, so a "
+              "small cache absorbs most of the query volume; standing "
+              "queries reuse answers whenever the cloak did not grow.\n");
+  return 0;
+}

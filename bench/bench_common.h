@@ -1,0 +1,159 @@
+#ifndef CASPER_BENCH_BENCH_COMMON_H_
+#define CASPER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/casper/workload.h"
+#include "src/common/stats.h"
+#include "src/common/stopwatch.h"
+#include "src/network/network_generator.h"
+
+/// \file
+/// Shared scaffolding for the figure-reproduction benches: the
+/// simulated user population (road-network driven, as in the paper's
+/// §6 setup), timing helpers, and table printing.
+///
+/// Scale: every bench honors CASPER_BENCH_SCALE (a float, default 1.0 =
+/// the paper's sizes). Set e.g. CASPER_BENCH_SCALE=0.1 for a quick run.
+
+namespace casper::bench {
+
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("CASPER_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t n) {
+  const auto v = static_cast<size_t>(static_cast<double>(n) * Scale());
+  return v > 0 ? v : 1;
+}
+
+/// The moving-object workload every §6.1 experiment runs on: a synthetic
+/// road network (Hennepin County substitute) plus a simulator, built
+/// once per binary.
+class SimulatedCity {
+ public:
+  SimulatedCity(size_t objects, uint64_t seed) {
+    network::NetworkGeneratorOptions opt;
+    opt.rows = 24;
+    opt.cols = 24;
+    auto net = network::NetworkGenerator(opt).Generate(seed);
+    CASPER_DCHECK(net.ok());
+    network_ = std::make_unique<network::RoadNetwork>(std::move(net).value());
+    network::SimulatorOptions sopt;
+    sopt.object_count = objects;
+    sopt.tick_seconds = 1.0;
+    simulator_ = std::make_unique<network::MovingObjectSimulator>(
+        network_.get(), sopt, seed ^ 0x9e3779b9);
+    // Warm up: objects start exactly on network nodes; ~a map-crossing
+    // of travel spreads them along edges so the population matches the
+    // paper's in-flight distribution rather than a node-clustered one.
+    for (int i = 0; i < 60; ++i) simulator_->Tick();
+  }
+
+  const network::MovingObjectSimulator& simulator() const {
+    return *simulator_;
+  }
+
+  /// Pre-computed per-tick update batches (so several anonymizers can
+  /// replay the identical movement history).
+  const std::vector<std::vector<network::LocationUpdate>>& Ticks(
+      size_t count) {
+    while (ticks_.size() < count) ticks_.push_back(simulator_->Tick());
+    return ticks_;
+  }
+
+  Rect bounds() const { return network_->bounds(); }
+
+ private:
+  std::unique_ptr<network::RoadNetwork> network_;
+  std::unique_ptr<network::MovingObjectSimulator> simulator_;
+  std::vector<std::vector<network::LocationUpdate>> ticks_;
+};
+
+/// Registers `users` simulated users (uids 0..users-1) with profiles
+/// from `dist` into a fresh anonymizer of the given kind.
+inline std::unique_ptr<anonymizer::LocationAnonymizer> BuildAnonymizer(
+    bool adaptive, const anonymizer::PyramidConfig& config,
+    const SimulatedCity& city, size_t users,
+    const workload::ProfileDistribution& dist, uint64_t seed) {
+  std::unique_ptr<anonymizer::LocationAnonymizer> anon;
+  if (adaptive) {
+    anon = std::make_unique<anonymizer::AdaptiveAnonymizer>(config);
+  } else {
+    anon = std::make_unique<anonymizer::BasicAnonymizer>(config);
+  }
+  Rng rng(seed);
+  const Status st = workload::RegisterSimulatedUsers(city.simulator(), users,
+                                                     dist, anon.get(), &rng);
+  CASPER_DCHECK(st.ok());
+  return anon;
+}
+
+/// Mean cloaking wall time (microseconds) over a sample of users, with
+/// optional per-cloak region capture.
+inline double MeanCloakMicros(anonymizer::LocationAnonymizer* anon,
+                              size_t samples, uint64_t seed,
+                              std::vector<anonymizer::CloakingResult>* out =
+                                  nullptr) {
+  Rng rng(seed);
+  const size_t n = anon->user_count();
+  Stopwatch total;
+  double elapsed = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    const anonymizer::UserId uid = rng.UniformInt(0, n - 1);
+    Stopwatch watch;
+    auto result = anon->Cloak(uid);
+    elapsed += watch.ElapsedMicros();
+    CASPER_DCHECK(result.ok());
+    if (out != nullptr) out->push_back(result.value());
+  }
+  (void)total;
+  return elapsed / static_cast<double>(samples);
+}
+
+/// Replays `ticks` against the anonymizer and returns the structural
+/// update cost per location update (the paper's Fig 10b/11b/12b metric).
+inline double UpdateCostPerLocationUpdate(
+    anonymizer::LocationAnonymizer* anon,
+    const std::vector<std::vector<network::LocationUpdate>>& ticks) {
+  anon->ResetStats();
+  for (const auto& batch : ticks) {
+    const Status st = workload::ApplyTick(batch, anon);
+    CASPER_DCHECK(st.ok());
+  }
+  return anon->stats().UpdatesPerLocationUpdate();
+}
+
+/// Wall time (microseconds) of replaying the ticks, per update.
+inline double UpdateMicrosPerLocationUpdate(
+    anonymizer::LocationAnonymizer* anon,
+    const std::vector<std::vector<network::LocationUpdate>>& ticks) {
+  size_t updates = 0;
+  Stopwatch watch;
+  for (const auto& batch : ticks) {
+    const Status st = workload::ApplyTick(batch, anon);
+    CASPER_DCHECK(st.ok());
+    updates += batch.size();
+  }
+  return watch.ElapsedMicros() / static_cast<double>(updates);
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace casper::bench
+
+#endif  // CASPER_BENCH_BENCH_COMMON_H_

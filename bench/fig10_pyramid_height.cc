@@ -1,0 +1,133 @@
+// Figure 10 (§6.1.1): effect of the pyramid height (4..9 levels) on the
+// basic vs adaptive location anonymizers with 50K registered users.
+//   10a — average cloaking time per request
+//   10b — average counter updates per location update
+//   10c — k-accuracy k'/k per k-group (A_min = 0); both anonymizers
+//         produce identical regions, so one column serves both
+//   10d — area accuracy A'/A_min per A_min group (k = 1)
+
+#include "bench/bench_common.h"
+
+namespace casper::bench {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+void Fig10ab(SimulatedCity* city, size_t users) {
+  workload::ProfileDistribution dist;  // Paper defaults: k 1-50, A 0.005-0.01%.
+  const auto& ticks = city->Ticks(3);
+
+  PrintTitle("Fig 10a: cloaking time (us) vs pyramid height");
+  std::printf("%-8s %12s %12s\n", "height", "basic", "adaptive");
+  std::vector<std::pair<int, std::array<double, 2>>> update_rows;
+  for (int height = 4; height <= 9; ++height) {
+    anonymizer::PyramidConfig config;
+    config.space = city->bounds();
+    config.height = height;
+    double cloak_us[2];
+    double updates[2];
+    for (int adaptive = 0; adaptive <= 1; ++adaptive) {
+      auto anon = BuildAnonymizer(adaptive == 1, config, *city, users, dist,
+                                  kSeed);
+      cloak_us[adaptive] = MeanCloakMicros(anon.get(), Scaled(2000), kSeed);
+      updates[adaptive] = UpdateCostPerLocationUpdate(anon.get(), ticks);
+    }
+    std::printf("%-8d %12.2f %12.2f\n", height, cloak_us[0], cloak_us[1]);
+    update_rows.push_back({height, {updates[0], updates[1]}});
+  }
+
+  PrintTitle("Fig 10b: counter updates per location update vs height");
+  std::printf("%-8s %12s %12s\n", "height", "basic", "adaptive");
+  for (const auto& [height, u] : update_rows) {
+    std::printf("%-8d %12.2f %12.2f\n", height, u[0], u[1]);
+  }
+}
+
+void Fig10c(SimulatedCity* city, size_t users) {
+  PrintTitle("Fig 10c: k-accuracy k'/k vs height (A_min = 0)");
+  const std::vector<std::pair<uint32_t, uint32_t>> groups = {
+      {1, 10}, {40, 50}, {90, 100}, {150, 200}};
+  std::printf("%-8s", "height");
+  for (const auto& g : groups) {
+    std::printf("   k[%3u-%3u]", g.first, g.second);
+  }
+  std::printf("\n");
+  for (int height = 4; height <= 9; ++height) {
+    anonymizer::PyramidConfig config;
+    config.space = city->bounds();
+    config.height = height;
+    std::printf("%-8d", height);
+    for (const auto& g : groups) {
+      workload::ProfileDistribution dist;
+      dist.k_min = g.first;
+      dist.k_max = g.second;
+      dist.area_fraction_min = dist.area_fraction_max = 0.0;
+      auto anon =
+          BuildAnonymizer(true, config, *city, users, dist, kSeed + height);
+      SummaryStats ratio;
+      Rng pick(7);
+      for (size_t i = 0; i < Scaled(1000); ++i) {
+        const anonymizer::UserId uid = pick.UniformInt(0, users - 1);
+        auto result = anon->Cloak(uid);
+        CASPER_DCHECK(result.ok());
+        auto profile = anon->GetProfile(uid);
+        CASPER_DCHECK(profile.ok());
+        ratio.Add(static_cast<double>(result->users_in_region) / profile->k);
+      }
+      std::printf(" %12.2f", ratio.mean());
+    }
+    std::printf("\n");
+  }
+}
+
+void Fig10d(SimulatedCity* city, size_t users) {
+  PrintTitle("Fig 10d: area accuracy A'/A_min vs height (k = 1)");
+  const std::vector<std::pair<double, double>> groups = {
+      {0.00005, 0.0001}, {0.0005, 0.001}, {0.002, 0.005}, {0.01, 0.02}};
+  std::printf("%-8s", "height");
+  for (const auto& g : groups) {
+    std::printf(" A[%.3f-%.3f%%]", g.first * 100, g.second * 100);
+  }
+  std::printf("\n");
+  for (int height = 4; height <= 9; ++height) {
+    anonymizer::PyramidConfig config;
+    config.space = city->bounds();
+    config.height = height;
+    std::printf("%-8d", height);
+    for (const auto& g : groups) {
+      workload::ProfileDistribution dist;
+      dist.k_min = dist.k_max = 1;
+      dist.area_fraction_min = g.first;
+      dist.area_fraction_max = g.second;
+      auto anon = BuildAnonymizer(true, config, *city, users, dist,
+                                  kSeed + 31 * height);
+      SummaryStats ratio;
+      Rng pick(9);
+      for (size_t i = 0; i < Scaled(1000); ++i) {
+        const anonymizer::UserId uid = pick.UniformInt(0, users - 1);
+        auto result = anon->Cloak(uid);
+        CASPER_DCHECK(result.ok());
+        auto profile = anon->GetProfile(uid);
+        CASPER_DCHECK(profile.ok());
+        ratio.Add(result->region.Area() / profile->a_min);
+      }
+      std::printf(" %15.2f", ratio.mean());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() {
+  using namespace casper::bench;
+  const size_t users = Scaled(50000);
+  std::printf("Figure 10 reproduction: %zu users (scale %.2f)\n", users,
+              Scale());
+  SimulatedCity city(users, 42);
+  Fig10ab(&city, users);
+  Fig10c(&city, users);
+  Fig10d(&city, users);
+  return 0;
+}

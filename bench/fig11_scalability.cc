@@ -1,0 +1,55 @@
+// Figure 11 (§6.1.2): scalability of the basic vs adaptive location
+// anonymizers when the number of registered users grows 1K -> 50K
+// (pyramid height 9, paper-default profiles).
+//   11a — average cloaking time per request
+//   11b — counter updates per location update
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace casper::bench;
+  const std::vector<size_t> user_counts = {
+      Scaled(1000),  Scaled(10000), Scaled(20000),
+      Scaled(30000), Scaled(40000), Scaled(50000)};
+  std::printf("Figure 11 reproduction: users %zu..%zu (scale %.2f)\n",
+              user_counts.front(), user_counts.back(), Scale());
+
+  SimulatedCity city(user_counts.back(), 7);
+  casper::workload::ProfileDistribution dist;  // Paper defaults.
+
+  struct Row {
+    size_t users;
+    double cloak_us[2];
+    double updates[2];
+  };
+  std::vector<Row> rows;
+  for (size_t users : user_counts) {
+    casper::anonymizer::PyramidConfig config;
+    config.space = city.bounds();
+    config.height = 9;
+    Row row{users, {0, 0}, {0, 0}};
+    for (int adaptive = 0; adaptive <= 1; ++adaptive) {
+      auto anon =
+          BuildAnonymizer(adaptive == 1, config, city, users, dist, 7);
+      row.cloak_us[adaptive] = MeanCloakMicros(anon.get(), Scaled(2000), 3);
+      row.updates[adaptive] =
+          UpdateCostPerLocationUpdate(anon.get(), city.Ticks(3));
+    }
+    rows.push_back(row);
+  }
+
+  PrintTitle("Fig 11a: cloaking time (us) vs number of users");
+  std::printf("%-10s %12s %12s\n", "users", "basic", "adaptive");
+  for (const auto& r : rows) {
+    std::printf("%-10zu %12.2f %12.2f\n", r.users, r.cloak_us[0],
+                r.cloak_us[1]);
+  }
+
+  PrintTitle("Fig 11b: counter updates per location update vs users");
+  std::printf("%-10s %12s %12s\n", "users", "basic", "adaptive");
+  for (const auto& r : rows) {
+    std::printf("%-10zu %12.2f %12.2f\n", r.users, r.updates[0],
+                r.updates[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 13 (§6.2.1): scalability of the privacy-aware query processor
+// with the number of *public* target objects (1K -> 10K), comparing the
+// one/two/four-filter variants of Algorithm 2.
+//   13a — candidate list size
+//   13b — query processing time
+// Query cloaks come from an adaptive anonymizer over 10K users with the
+// paper-default profiles (k in [1,50], A_min in [.005,.01]%).
+
+#include "bench/bench_common.h"
+#include "src/processor/private_nn.h"
+
+int main() {
+  using namespace casper::bench;
+  using casper::processor::FilterPolicy;
+
+  const size_t users = Scaled(10000);
+  SimulatedCity city(users, 19);
+  casper::anonymizer::PyramidConfig config;
+  config.space = city.bounds();
+  config.height = 9;
+  casper::workload::ProfileDistribution dist;
+  auto anon = BuildAnonymizer(true, config, city, users, dist, 19);
+
+  std::vector<casper::anonymizer::CloakingResult> cloaks;
+  MeanCloakMicros(anon.get(), Scaled(500), 21, &cloaks);
+
+  const std::vector<size_t> target_counts = {
+      Scaled(1000), Scaled(2000), Scaled(4000), Scaled(6000),
+      Scaled(8000), Scaled(10000)};
+  const FilterPolicy policies[] = {FilterPolicy::kOneFilter,
+                                   FilterPolicy::kTwoFilters,
+                                   FilterPolicy::kFourFilters};
+
+  std::printf("Figure 13 reproduction: %zu query cloaks, targets %zu..%zu "
+              "(scale %.2f)\n",
+              cloaks.size(), target_counts.front(), target_counts.back(),
+              Scale());
+
+  struct Row {
+    size_t targets;
+    double candidates[3];
+    double micros[3];
+  };
+  std::vector<Row> rows;
+  casper::Rng rng(23);
+  for (size_t count : target_counts) {
+    casper::processor::PublicTargetStore store(
+        casper::workload::UniformPublicTargets(count, config.space, &rng));
+    Row row{count, {0, 0, 0}, {0, 0, 0}};
+    for (int p = 0; p < 3; ++p) {
+      casper::SummaryStats size_stats;
+      casper::Stopwatch watch;
+      for (const auto& cloak : cloaks) {
+        auto result = casper::processor::PrivateNearestNeighbor(
+            store, cloak.region, policies[p]);
+        CASPER_DCHECK(result.ok());
+        size_stats.Add(static_cast<double>(result->size()));
+      }
+      row.micros[p] = watch.ElapsedMicros() / cloaks.size();
+      row.candidates[p] = size_stats.mean();
+    }
+    rows.push_back(row);
+  }
+
+  PrintTitle("Fig 13a: candidate list size vs public targets");
+  std::printf("%-10s %12s %12s %12s\n", "targets", "1 filter", "2 filters",
+              "4 filters");
+  for (const auto& r : rows) {
+    std::printf("%-10zu %12.1f %12.1f %12.1f\n", r.targets, r.candidates[0],
+                r.candidates[1], r.candidates[2]);
+  }
+  PrintTitle("Fig 13b: query processing time (us) vs public targets");
+  std::printf("%-10s %12s %12s %12s\n", "targets", "1 filter", "2 filters",
+              "4 filters");
+  for (const auto& r : rows) {
+    std::printf("%-10zu %12.2f %12.2f %12.2f\n", r.targets, r.micros[0],
+                r.micros[1], r.micros[2]);
+  }
+  return 0;
+}

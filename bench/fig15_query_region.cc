@@ -1,0 +1,78 @@
+// Figure 15 (§6.2.2): effect of the querying user's privacy profile —
+// the cloaked *query* region grows from 4 to 1024 lowest-level cells —
+// on candidate list size and query processing time over 10K public
+// targets, for the 1/2/4-filter variants.
+
+#include "bench/bench_common.h"
+#include "src/processor/private_nn.h"
+
+int main() {
+  using namespace casper::bench;
+  using casper::processor::FilterPolicy;
+
+  casper::anonymizer::PyramidConfig config;
+  config.height = 9;
+
+  casper::Rng rng(41);
+  const size_t target_count = Scaled(10000);
+  casper::processor::PublicTargetStore store(
+      casper::workload::UniformPublicTargets(target_count, config.space,
+                                             &rng));
+
+  // Square query regions of 4, 16, 64, 256, 1024 cells.
+  const std::vector<int> sides = {2, 4, 8, 16, 32};
+  const FilterPolicy policies[] = {FilterPolicy::kOneFilter,
+                                   FilterPolicy::kTwoFilters,
+                                   FilterPolicy::kFourFilters};
+  const size_t queries = Scaled(500);
+
+  std::printf("Figure 15 reproduction: %zu public targets, %zu queries per "
+              "point (scale %.2f)\n",
+              target_count, queries, Scale());
+
+  struct Row {
+    int cells;
+    double candidates[3];
+    double micros[3];
+  };
+  std::vector<Row> rows;
+  for (int side : sides) {
+    Row row{side * side, {0, 0, 0}, {0, 0, 0}};
+    // Pre-draw the query regions so each policy sees identical cloaks.
+    std::vector<casper::Rect> regions;
+    for (size_t q = 0; q < queries; ++q) {
+      regions.push_back(
+          casper::workload::RandomCellAlignedRegion(config, side, side,
+                                                    &rng));
+    }
+    for (int p = 0; p < 3; ++p) {
+      casper::SummaryStats size_stats;
+      casper::Stopwatch watch;
+      for (const auto& region : regions) {
+        auto result = casper::processor::PrivateNearestNeighbor(
+            store, region, policies[p]);
+        CASPER_DCHECK(result.ok());
+        size_stats.Add(static_cast<double>(result->size()));
+      }
+      row.micros[p] = watch.ElapsedMicros() / queries;
+      row.candidates[p] = size_stats.mean();
+    }
+    rows.push_back(row);
+  }
+
+  PrintTitle("Fig 15a: candidate list size vs cloaked query region (cells)");
+  std::printf("%-10s %12s %12s %12s\n", "cells", "1 filter", "2 filters",
+              "4 filters");
+  for (const auto& r : rows) {
+    std::printf("%-10d %12.1f %12.1f %12.1f\n", r.cells, r.candidates[0],
+                r.candidates[1], r.candidates[2]);
+  }
+  PrintTitle("Fig 15b: query processing time (us) vs query region (cells)");
+  std::printf("%-10s %12s %12s %12s\n", "cells", "1 filter", "2 filters",
+              "4 filters");
+  for (const auto& r : rows) {
+    std::printf("%-10d %12.2f %12.2f %12.2f\n", r.cells, r.micros[0],
+                r.micros[1], r.micros[2]);
+  }
+  return 0;
+}

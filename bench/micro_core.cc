@@ -1,0 +1,245 @@
+// google-benchmark microbenchmarks for the hot paths underneath every
+// experiment: R-tree operations, pyramid maintenance, cloaking, the
+// Algorithm 2 geometry, and the moving-object simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+#include "src/network/network_generator.h"
+#include "src/processor/density.h"
+#include "src/processor/private_knn.h"
+#include "src/processor/private_nn.h"
+#include "src/processor/public_nn_private.h"
+#include "src/processor/query_cache.h"
+#include "src/spatial/grid_index.h"
+#include "src/spatial/rtree.h"
+
+namespace casper {
+namespace {
+
+spatial::RTree BuildTree(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<spatial::RTree::Entry> entries;
+  for (uint64_t i = 0; i < n; ++i) {
+    entries.push_back({Rect::FromPoint(rng.PointIn(Rect(0, 0, 1, 1))), i});
+  }
+  return spatial::RTree::BulkLoad(std::move(entries));
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<spatial::RTree::Entry> entries;
+  for (uint64_t i = 0; i < n; ++i) {
+    entries.push_back({Rect::FromPoint(rng.PointIn(Rect(0, 0, 1, 1))), i});
+  }
+  for (auto _ : state) {
+    auto copy = entries;
+    benchmark::DoNotOptimize(spatial::RTree::BulkLoad(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(2);
+  spatial::RTree tree;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    tree.Insert(Rect::FromPoint(rng.PointIn(Rect(0, 0, 1, 1))), id++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  const auto tree = BuildTree(static_cast<size_t>(state.range(0)), 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Nearest(rng.PointIn(Rect(0, 0, 1, 1))));
+  }
+}
+BENCHMARK(BM_RTreeNearest)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRange1Pct(benchmark::State& state) {
+  const auto tree = BuildTree(static_cast<size_t>(state.range(0)), 5);
+  Rng rng(6);
+  std::vector<spatial::RTree::Entry> out;
+  for (auto _ : state) {
+    out.clear();
+    const Point c = rng.PointIn(Rect(0, 0, 0.9, 0.9));
+    tree.RangeQuery(Rect(c.x, c.y, c.x + 0.1, c.y + 0.1), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RTreeRange1Pct)->Arg(10000)->Arg(100000);
+
+void BM_GridNearest(benchmark::State& state) {
+  Rng rng(7);
+  spatial::GridIndex grid(Rect(0, 0, 1, 1), 64);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)grid.Insert(rng.PointIn(Rect(0, 0, 1, 1)), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Nearest(rng.PointIn(Rect(0, 0, 1, 1))));
+  }
+}
+BENCHMARK(BM_GridNearest);
+
+template <typename Anonymizer>
+std::unique_ptr<Anonymizer> BuildAnon(size_t users, int height,
+                                      uint64_t seed) {
+  anonymizer::PyramidConfig config;
+  config.height = height;
+  auto anon = std::make_unique<Anonymizer>(config);
+  Rng rng(seed);
+  for (anonymizer::UserId uid = 0; uid < users; ++uid) {
+    anonymizer::PrivacyProfile profile;
+    profile.k = static_cast<uint32_t>(rng.UniformInt(1, 50));
+    profile.a_min = rng.Uniform(0.00005, 0.0001);
+    CASPER_DCHECK(
+        anon->RegisterUser(uid, profile, rng.PointIn(config.space)).ok());
+  }
+  return anon;
+}
+
+void BM_BasicUpdate(benchmark::State& state) {
+  auto anon = BuildAnon<anonymizer::BasicAnonymizer>(10000, 9, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    const anonymizer::UserId uid = rng.UniformInt(0, 9999);
+    CASPER_DCHECK(
+        anon->UpdateLocation(uid, rng.PointIn(Rect(0, 0, 1, 1))).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BasicUpdate);
+
+void BM_AdaptiveUpdate(benchmark::State& state) {
+  auto anon = BuildAnon<anonymizer::AdaptiveAnonymizer>(10000, 9, 10);
+  Rng rng(11);
+  for (auto _ : state) {
+    const anonymizer::UserId uid = rng.UniformInt(0, 9999);
+    CASPER_DCHECK(
+        anon->UpdateLocation(uid, rng.PointIn(Rect(0, 0, 1, 1))).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveUpdate);
+
+void BM_BasicCloak(benchmark::State& state) {
+  auto anon = BuildAnon<anonymizer::BasicAnonymizer>(10000, 9, 12);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anon->Cloak(rng.UniformInt(0, 9999)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BasicCloak);
+
+void BM_AdaptiveCloak(benchmark::State& state) {
+  auto anon = BuildAnon<anonymizer::AdaptiveAnonymizer>(10000, 9, 14);
+  Rng rng(15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anon->Cloak(rng.UniformInt(0, 9999)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveCloak);
+
+void BM_PrivateNNQuery(benchmark::State& state) {
+  Rng rng(16);
+  anonymizer::PyramidConfig config;
+  config.height = 9;
+  processor::PublicTargetStore store(workload::UniformPublicTargets(
+      static_cast<size_t>(state.range(0)), config.space, &rng));
+  for (auto _ : state) {
+    const Rect cloak =
+        workload::RandomCellAlignedRegion(config, 8, 8, &rng);
+    benchmark::DoNotOptimize(processor::PrivateNearestNeighbor(store, cloak));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrivateNNQuery)->Arg(1000)->Arg(10000);
+
+void BM_PrivateKnnQuery(benchmark::State& state) {
+  Rng rng(19);
+  anonymizer::PyramidConfig config;
+  config.height = 9;
+  processor::PublicTargetStore store(
+      workload::UniformPublicTargets(10000, config.space, &rng));
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const Rect cloak = workload::RandomCellAlignedRegion(config, 8, 8, &rng);
+    benchmark::DoNotOptimize(
+        processor::PrivateKNearestNeighbors(store, cloak, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrivateKnnQuery)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PublicNNOverPrivate(benchmark::State& state) {
+  Rng rng(20);
+  anonymizer::PyramidConfig config;
+  config.height = 9;
+  processor::PrivateTargetStore store(
+      workload::RandomPrivateTargets(10000, config, 8, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(processor::PublicNearestNeighborOverPrivate(
+        store, rng.PointIn(config.space)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PublicNNOverPrivate);
+
+void BM_ExpectedDensity(benchmark::State& state) {
+  Rng rng(21);
+  anonymizer::PyramidConfig config;
+  config.height = 9;
+  processor::PrivateTargetStore store(
+      workload::RandomPrivateTargets(10000, config, 8, &rng));
+  const int grid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        processor::ExpectedDensity(store, config.space, grid, grid));
+  }
+}
+BENCHMARK(BM_ExpectedDensity)->Arg(8)->Arg(32);
+
+void BM_CachedQueryHit(benchmark::State& state) {
+  Rng rng(22);
+  anonymizer::PyramidConfig config;
+  config.height = 9;
+  processor::PublicTargetStore store(
+      workload::UniformPublicTargets(10000, config.space, &rng));
+  processor::CachingQueryProcessor cache(&store, 64);
+  const Rect cloak = workload::RandomCellAlignedRegion(config, 8, 8, &rng);
+  CASPER_DCHECK(cache.Query(cloak).ok());  // Warm the entry.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Query(cloak));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedQueryHit);
+
+void BM_SimulatorTick(benchmark::State& state) {
+  network::NetworkGeneratorOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  auto net = network::NetworkGenerator(opt).Generate(17);
+  CASPER_DCHECK(net.ok());
+  network::SimulatorOptions sopt;
+  sopt.object_count = static_cast<size_t>(state.range(0));
+  network::MovingObjectSimulator sim(&*net, sopt, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Tick());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTick)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace casper

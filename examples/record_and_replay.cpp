@@ -1,0 +1,85 @@
+// Trace tooling: record a moving-object workload to a CSV trace file,
+// then replay it through a fresh anonymizer and verify the replay is
+// bit-identical — the workflow for sharing reproducible experiments.
+//
+// Run: ./build/examples/example_record_and_replay [trace-path]
+
+#include <cstdio>
+#include <string>
+
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/casper/trace.h"
+#include "src/network/network_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace casper;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/casper_example.trace";
+
+  // 1. Record: 500 drivers, 20 ticks.
+  network::NetworkGeneratorOptions net_opt;
+  net_opt.rows = 12;
+  net_opt.cols = 12;
+  auto net = network::NetworkGenerator(net_opt).Generate(31);
+  if (!net.ok()) return 1;
+  network::SimulatorOptions sim_opt;
+  sim_opt.object_count = 500;
+  network::MovingObjectSimulator sim(&*net, sim_opt, 37);
+
+  Rng rng(41);
+  workload::ProfileDistribution dist;
+  const workload::Trace trace =
+      workload::RecordTrace(&sim, 500, dist, 20, &rng);
+  if (auto st = workload::WriteTrace(trace, path); !st.ok()) {
+    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu registrations + %zu updates -> %s\n",
+              trace.registrations.size(), trace.updates.size(), path.c_str());
+
+  // 2. Replay from disk into an anonymizer.
+  auto loaded = workload::ReadTrace(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "read: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  anonymizer::PyramidConfig config;
+  config.space = net->bounds();
+  config.height = 8;
+  auto replay_once = [&]() -> Result<std::vector<Rect>> {
+    anonymizer::BasicAnonymizer anon(config);
+    for (const auto& r : loaded->registrations) {
+      CASPER_RETURN_IF_ERROR(anon.RegisterUser(
+          r.uid, r.profile, ClampToRect(r.position, config.space)));
+    }
+    for (const auto& batch : loaded->UpdatesByTick()) {
+      CASPER_RETURN_IF_ERROR(workload::ApplyTick(batch, &anon));
+    }
+    std::vector<Rect> cloaks;
+    for (anonymizer::UserId uid = 0; uid < 500; uid += 25) {
+      CASPER_ASSIGN_OR_RETURN(cloak, anon.Cloak(uid));
+      cloaks.push_back(cloak.region);
+    }
+    return cloaks;
+  };
+
+  auto first = replay_once();
+  auto second = replay_once();
+  if (!first.ok() || !second.ok()) {
+    std::fprintf(stderr, "replay failed\n");
+    return 1;
+  }
+  for (size_t i = 0; i < first->size(); ++i) {
+    if (!((*first)[i] == (*second)[i])) {
+      std::fprintf(stderr, "BUG: replay diverged at cloak %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("replayed the trace twice: %zu sampled cloaks identical — "
+              "experiments on this trace are fully reproducible.\n",
+              first->size());
+  std::printf("sample cloak for user 0: %s\n",
+              (*first)[0].ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,404 @@
+#include "src/anonymizer/adaptive_anonymizer.h"
+
+#include <algorithm>
+
+namespace casper::anonymizer {
+
+AdaptiveAnonymizer::AdaptiveAnonymizer(const PyramidConfig& config)
+    : config_(config) {
+  CASPER_DCHECK(config_.height >= 0 && config_.height <= 15);
+  CASPER_DCHECK(!config_.space.is_empty());
+  cells_[CellId::Root()] = CellNode{};
+}
+
+AdaptiveAnonymizer::CellNode& AdaptiveAnonymizer::NodeAt(const CellId& cell) {
+  auto it = cells_.find(cell);
+  CASPER_DCHECK(it != cells_.end());
+  return it->second;
+}
+
+const AdaptiveAnonymizer::CellNode& AdaptiveAnonymizer::NodeAt(
+    const CellId& cell) const {
+  auto it = cells_.find(cell);
+  CASPER_DCHECK(it != cells_.end());
+  return it->second;
+}
+
+uint64_t AdaptiveAnonymizer::CellCount(const CellId& cell) const {
+  return NodeAt(cell).count;
+}
+
+CellId AdaptiveAnonymizer::FindLeaf(const Point& p) const {
+  CellId cell = CellId::Root();
+  while (!NodeAt(cell).is_leaf) {
+    cell = config_.CellAt(static_cast<int>(cell.level) + 1, p);
+  }
+  return cell;
+}
+
+void AdaptiveAnonymizer::RecomputeMostRelaxed(CellNode* node) {
+  node->has_most_relaxed = false;
+  for (UserId uid : node->users) {
+    const PrivacyProfile& p = users_.at(uid).profile;
+    if (!node->has_most_relaxed ||
+        MoreRelaxed(p, users_.at(node->most_relaxed).profile)) {
+      node->most_relaxed = uid;
+      node->has_most_relaxed = true;
+    }
+  }
+}
+
+void AdaptiveAnonymizer::InsertIntoLeaf(UserId uid, const CellId& leaf) {
+  CellNode& node = NodeAt(leaf);
+  CASPER_DCHECK(node.is_leaf);
+  node.users.push_back(uid);
+  if (!node.has_most_relaxed ||
+      MoreRelaxed(users_.at(uid).profile,
+                  users_.at(node.most_relaxed).profile)) {
+    node.most_relaxed = uid;
+    node.has_most_relaxed = true;
+  }
+  // Bump counters up to the root.
+  CellId cell = leaf;
+  while (true) {
+    ++NodeAt(cell).count;
+    ++stats_.counter_updates;
+    if (cell.is_root()) break;
+    cell = cell.Parent();
+  }
+}
+
+void AdaptiveAnonymizer::RemoveFromLeaf(UserId uid, const CellId& leaf) {
+  CellNode& node = NodeAt(leaf);
+  CASPER_DCHECK(node.is_leaf);
+  auto it = std::find(node.users.begin(), node.users.end(), uid);
+  CASPER_DCHECK(it != node.users.end());
+  node.users.erase(it);
+  if (node.has_most_relaxed && node.most_relaxed == uid) {
+    RecomputeMostRelaxed(&node);
+  }
+  CellId cell = leaf;
+  while (true) {
+    CellNode& n = NodeAt(cell);
+    CASPER_DCHECK(n.count > 0);
+    --n.count;
+    ++stats_.counter_updates;
+    if (cell.is_root()) break;
+    cell = cell.Parent();
+  }
+}
+
+void AdaptiveAnonymizer::MoveBetweenLeaves(UserId uid, const CellId& from,
+                                           const CellId& to) {
+  // User-list and u_r cache maintenance at both leaves.
+  CellNode& src = NodeAt(from);
+  auto it = std::find(src.users.begin(), src.users.end(), uid);
+  CASPER_DCHECK(it != src.users.end());
+  src.users.erase(it);
+  if (src.has_most_relaxed && src.most_relaxed == uid) {
+    RecomputeMostRelaxed(&src);
+  }
+  CellNode& dst = NodeAt(to);
+  dst.users.push_back(uid);
+  if (!dst.has_most_relaxed ||
+      MoreRelaxed(users_.at(uid).profile,
+                  users_.at(dst.most_relaxed).profile)) {
+    dst.most_relaxed = uid;
+    dst.has_most_relaxed = true;
+  }
+
+  // Counter mutations from both leaves up to (excluding) their lowest
+  // common ancestor — above it the +1/-1 cancel, exactly as in the
+  // basic anonymizer's update path.
+  CellId a = from;
+  CellId b = to;
+  while (a.level > b.level) {
+    --NodeAt(a).count;
+    ++stats_.counter_updates;
+    a = a.Parent();
+  }
+  while (b.level > a.level) {
+    ++NodeAt(b).count;
+    ++stats_.counter_updates;
+    b = b.Parent();
+  }
+  while (!(a == b)) {
+    --NodeAt(a).count;
+    ++NodeAt(b).count;
+    stats_.counter_updates += 2;
+    a = a.Parent();
+    b = b.Parent();
+  }
+}
+
+namespace {
+
+/// Could Algorithm 1 terminate for profile `p` at a quadrant cell with
+/// child-slot `slot`, given the quadrant's four cell populations and the
+/// per-cell area? Mirrors lines 2-13 of Algorithm 1: the cell alone, or
+/// its horizontal (slot^1) / vertical (slot^2) sibling union. Keeping
+/// the split/merge criteria aligned with the cloaking algorithm is what
+/// makes the basic and adaptive anonymizers return identical regions
+/// (the paper's §6.1.1 observation).
+bool SatisfiableInQuadrant(const std::array<uint64_t, 4>& counts, int slot,
+                           double cell_area, const PrivacyProfile& p) {
+  const auto s = static_cast<size_t>(slot);
+  if (counts[s] >= p.k && cell_area >= p.a_min) return true;
+  const uint64_t n_h = counts[s] + counts[s ^ 1u];
+  const uint64_t n_v = counts[s] + counts[s ^ 2u];
+  return (n_h >= p.k || n_v >= p.k) && 2.0 * cell_area >= p.a_min;
+}
+
+}  // namespace
+
+void AdaptiveAnonymizer::MaybeSplit(const CellId& leaf) {
+  CellNode& node = NodeAt(leaf);
+  CASPER_DCHECK(node.is_leaf);
+  const int child_level = static_cast<int>(leaf.level) + 1;
+  if (child_level > config_.height) return;
+  if (node.users.empty()) return;
+
+  // u_r pre-filter: if even the most relaxed user's a_min rejects a
+  // two-cell union at the child level, nobody can be satisfied there.
+  const double child_area = config_.CellArea(child_level);
+  if (users_.at(node.most_relaxed).profile.a_min > 2.0 * child_area) return;
+
+  // Hypothetical child populations.
+  std::array<uint64_t, 4> child_count{0, 0, 0, 0};
+  for (UserId uid : node.users) {
+    const CellId child = config_.CellAt(child_level, users_.at(uid).position);
+    ++child_count[static_cast<size_t>(child.ChildSlot())];
+  }
+  bool worthwhile = false;
+  for (UserId uid : node.users) {
+    const UserRecord& rec = users_.at(uid);
+    const CellId child = config_.CellAt(child_level, rec.position);
+    if (SatisfiableInQuadrant(child_count, child.ChildSlot(), child_area,
+                              rec.profile)) {
+      worthwhile = true;
+      break;
+    }
+  }
+  if (!worthwhile) return;
+
+  // Split: materialize the four children and distribute the users.
+  ++stats_.splits;
+  std::vector<UserId> users = std::move(node.users);
+  node.users.clear();
+  node.is_leaf = false;
+  node.has_most_relaxed = false;
+  const std::array<CellId, 4> children = leaf.Children();
+  for (const CellId& child : children) {
+    cells_[child] = CellNode{};
+    ++stats_.counter_updates;  // Cell creation + counter initialization.
+  }
+  for (UserId uid : users) {
+    UserRecord& rec = users_.at(uid);
+    const CellId child = config_.CellAt(child_level, rec.position);
+    CellNode& cnode = NodeAt(child);
+    cnode.users.push_back(uid);
+    ++cnode.count;
+    rec.leaf = child;
+  }
+  for (const CellId& child : children) {
+    CellNode& cnode = NodeAt(child);
+    RecomputeMostRelaxed(&cnode);
+    // Deepen further where warranted so the structure converges.
+    MaybeSplit(child);
+  }
+}
+
+void AdaptiveAnonymizer::MaybeMergeChildrenOf(const CellId& parent) {
+  auto pit = cells_.find(parent);
+  if (pit == cells_.end() || pit->second.is_leaf) return;
+
+  const std::array<CellId, 4> children = parent.Children();
+  // All four children must be leaves.
+  for (const CellId& child : children) {
+    if (!NodeAt(child).is_leaf) return;
+  }
+  // Merge only if no user in the quadrant can be satisfied at the
+  // children's level (§4.2 merge criterion) — neither by her own cell
+  // nor by a sibling union, mirroring Algorithm 1's options.
+  std::array<uint64_t, 4> counts{};
+  for (size_t s = 0; s < 4; ++s) {
+    counts[static_cast<size_t>(children[s].ChildSlot())] =
+        NodeAt(children[s]).count;
+  }
+  const double child_area =
+      config_.CellArea(static_cast<int>(children[0].level));
+  for (const CellId& child : children) {
+    const CellNode& cnode = NodeAt(child);
+    for (UserId uid : cnode.users) {
+      if (SatisfiableInQuadrant(counts, child.ChildSlot(), child_area,
+                                users_.at(uid).profile)) {
+        return;
+      }
+    }
+  }
+
+  ++stats_.merges;
+  CellNode& pnode = pit->second;
+  pnode.is_leaf = true;
+  for (const CellId& child : children) {
+    CellNode& cnode = NodeAt(child);
+    for (UserId uid : cnode.users) {
+      users_.at(uid).leaf = parent;
+      pnode.users.push_back(uid);
+    }
+    cells_.erase(child);
+    ++stats_.counter_updates;  // Cell removal.
+  }
+  RecomputeMostRelaxed(&pnode);
+
+  if (!parent.is_root()) MaybeMergeChildrenOf(parent.Parent());
+}
+
+Status AdaptiveAnonymizer::RegisterUser(UserId uid,
+                                        const PrivacyProfile& profile,
+                                        const Point& position) {
+  if (users_.count(uid) > 0) {
+    return Status::AlreadyExists("user already registered");
+  }
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  if (profile.k == 0) {
+    return Status::InvalidArgument("profile.k must be at least 1");
+  }
+  const CellId leaf = FindLeaf(position);
+  users_[uid] = UserRecord{profile, position, leaf};
+  InsertIntoLeaf(uid, leaf);
+  MaybeSplit(leaf);
+  return Status::OK();
+}
+
+Status AdaptiveAnonymizer::UpdateLocation(UserId uid, const Point& position) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  ++stats_.location_updates;
+  UserRecord& rec = it->second;
+  const CellId old_leaf = rec.leaf;
+  if (config_.CellRect(old_leaf).Contains(position)) {
+    // Same maintained cell: only the exact position changes. The move
+    // may shift the user into a different hypothetical child, so the
+    // split condition can newly hold.
+    rec.position = position;
+    MaybeSplit(old_leaf);
+    return Status::OK();
+  }
+
+  ++stats_.cell_crossings;
+  rec.position = position;
+  const CellId new_leaf = FindLeaf(position);
+  MoveBetweenLeaves(uid, old_leaf, new_leaf);
+  rec.leaf = new_leaf;
+  MaybeSplit(new_leaf);
+  // The departure may allow the old quadrant to collapse. (If the new
+  // leaf sits in that quadrant the merge check accounts for its user
+  // too, and user records are re-pointed during the merge.)
+  if (!old_leaf.is_root()) MaybeMergeChildrenOf(old_leaf.Parent());
+  return Status::OK();
+}
+
+Status AdaptiveAnonymizer::UpdateProfile(UserId uid,
+                                         const PrivacyProfile& profile) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  if (profile.k == 0) {
+    return Status::InvalidArgument("profile.k must be at least 1");
+  }
+  it->second.profile = profile;
+  const CellId leaf = it->second.leaf;
+  CellNode& node = NodeAt(leaf);
+  RecomputeMostRelaxed(&node);
+  // A relaxation can warrant a deeper structure; a tightening can
+  // collapse the quadrant.
+  MaybeSplit(leaf);
+  if (!leaf.is_root() && NodeAt(it->second.leaf).is_leaf &&
+      it->second.leaf == leaf) {
+    MaybeMergeChildrenOf(leaf.Parent());
+  }
+  return Status::OK();
+}
+
+Status AdaptiveAnonymizer::DeregisterUser(UserId uid) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  const CellId leaf = it->second.leaf;
+  RemoveFromLeaf(uid, leaf);
+  users_.erase(it);
+  if (!leaf.is_root()) MaybeMergeChildrenOf(leaf.Parent());
+  return Status::OK();
+}
+
+Result<PrivacyProfile> AdaptiveAnonymizer::GetProfile(UserId uid) const {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  return it->second.profile;
+}
+
+Result<CloakingResult> AdaptiveAnonymizer::Cloak(UserId uid) {
+  return Cloak(uid, CloakingOptions{});
+}
+
+Result<CloakingResult> AdaptiveAnonymizer::Cloak(
+    UserId uid, const CloakingOptions& options) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  auto result = BottomUpCloak(
+      config_, [this](const CellId& cell) { return CellCount(cell); },
+      users_.size(), it->second.profile, it->second.leaf, options);
+  if (result.ok()) {
+    ++stats_.cloak_calls;
+    stats_.cloak_levels_visited +=
+        static_cast<uint64_t>(result.value().levels_visited);
+  }
+  return result;
+}
+
+bool AdaptiveAnonymizer::CheckInvariants() const {
+  auto root_it = cells_.find(CellId::Root());
+  if (root_it == cells_.end()) return false;
+  if (root_it->second.count != users_.size()) return false;
+
+  size_t visited = 0;
+  size_t users_seen = 0;
+  std::vector<CellId> stack{CellId::Root()};
+  while (!stack.empty()) {
+    const CellId cell = stack.back();
+    stack.pop_back();
+    ++visited;
+    const CellNode& node = NodeAt(cell);
+    if (node.is_leaf) {
+      if (node.count != node.users.size()) return false;
+      users_seen += node.users.size();
+      if (!node.users.empty() && !node.has_most_relaxed) return false;
+      const Rect r = config_.CellRect(cell);
+      for (UserId uid : node.users) {
+        const auto uit = users_.find(uid);
+        if (uit == users_.end()) return false;
+        if (!(uit->second.leaf == cell)) return false;
+        if (!r.Contains(uit->second.position)) return false;
+      }
+    } else {
+      if (!node.users.empty()) return false;
+      uint64_t sum = 0;
+      for (const CellId& child : cell.Children()) {
+        if (!IsMaterialized(child)) return false;
+        sum += NodeAt(child).count;
+        stack.push_back(child);
+      }
+      if (sum != node.count) return false;
+      if (static_cast<int>(cell.level) >= config_.height) return false;
+    }
+  }
+  if (visited != cells_.size()) return false;  // No orphan cells.
+  if (users_seen != users_.size()) return false;
+  return true;
+}
+
+}  // namespace casper::anonymizer

@@ -1,0 +1,114 @@
+#ifndef CASPER_ANONYMIZER_ADAPTIVE_ANONYMIZER_H_
+#define CASPER_ANONYMIZER_ADAPTIVE_ANONYMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/anonymizer/anonymizer.h"
+
+/// \file
+/// The adaptive location anonymizer (§4.2): an *incomplete* pyramid that
+/// materializes only cells that can potentially serve as cloaking
+/// regions. Maintained cells form a quadtree — a materialized cell is
+/// either a *leaf* (a lowest maintained cell, holding its users' ids) or
+/// fully split into four materialized children. Because the paper
+/// defines neighbors as same-parent siblings, every cell Algorithm 1
+/// inspects (ancestors of the start leaf and their siblings) is always
+/// materialized.
+///
+/// Structure maintenance (§4.2):
+///  * split a leaf at level i when some user in it could be satisfied by
+///    a level-(i+1) cell (area admits a_min and the hypothetical child
+///    containing the user holds >= k users);
+///  * merge four sibling leaves when no user in them can be satisfied by
+///    any level-i cell.
+/// A per-leaf most-relaxed-user cache (`u_r` in the paper) short-circuits
+/// the split check.
+
+namespace casper::anonymizer {
+
+class AdaptiveAnonymizer final : public LocationAnonymizer {
+ public:
+  explicit AdaptiveAnonymizer(const PyramidConfig& config);
+
+  Status RegisterUser(UserId uid, const PrivacyProfile& profile,
+                      const Point& position) override;
+  Status UpdateLocation(UserId uid, const Point& position) override;
+  Status UpdateProfile(UserId uid, const PrivacyProfile& profile) override;
+  Status DeregisterUser(UserId uid) override;
+  Result<PrivacyProfile> GetProfile(UserId uid) const override;
+
+  Result<CloakingResult> Cloak(UserId uid) override;
+  Result<CloakingResult> Cloak(UserId uid,
+                               const CloakingOptions& options) override;
+
+  size_t user_count() const override { return users_.size(); }
+  const PyramidConfig& config() const override { return config_; }
+  const MaintenanceStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = MaintenanceStats{}; }
+
+  /// Users counted in a *materialized* cell (DCHECKs materialization).
+  uint64_t CellCount(const CellId& cell) const;
+
+  bool IsMaterialized(const CellId& cell) const {
+    return cells_.count(cell) > 0;
+  }
+
+  /// Number of materialized cells (the maintenance-saving metric).
+  size_t materialized_cell_count() const { return cells_.size(); }
+
+  /// Structural invariants for tests: quadtree shape (every internal
+  /// cell has exactly 4 materialized children), counts consistent with
+  /// user lists, user records pointing at real leaves.
+  bool CheckInvariants() const;
+
+ private:
+  struct CellNode {
+    uint64_t count = 0;
+    bool is_leaf = true;
+    std::vector<UserId> users;   ///< Leaf only.
+    UserId most_relaxed = 0;     ///< Valid only when `users` non-empty.
+    bool has_most_relaxed = false;
+  };
+
+  struct UserRecord {
+    PrivacyProfile profile;
+    Point position;
+    CellId leaf;
+  };
+
+  CellNode& NodeAt(const CellId& cell);
+  const CellNode& NodeAt(const CellId& cell) const;
+
+  /// Descend from the root to the leaf whose region contains `p`.
+  CellId FindLeaf(const Point& p) const;
+
+  /// Add/remove a user id to a leaf, updating ancestor counts, the
+  /// user-list, and the most-relaxed cache.
+  void InsertIntoLeaf(UserId uid, const CellId& leaf);
+  void RemoveFromLeaf(UserId uid, const CellId& leaf);
+
+  /// Move a user between leaves on a cell crossing, mutating counters
+  /// only up to the lowest common ancestor (the same cost model as the
+  /// basic anonymizer's update path).
+  void MoveBetweenLeaves(UserId uid, const CellId& from, const CellId& to);
+
+  void RecomputeMostRelaxed(CellNode* node);
+
+  /// Split `leaf` if some user warrants a deeper cell; recurses into the
+  /// new children so the structure converges in one pass.
+  void MaybeSplit(const CellId& leaf);
+
+  /// Merge the four children of `parent` back into it if no user in
+  /// them can be satisfied at their level; recurses upward.
+  void MaybeMergeChildrenOf(const CellId& parent);
+
+  PyramidConfig config_;
+  std::unordered_map<CellId, CellNode, CellIdHash> cells_;
+  std::unordered_map<UserId, UserRecord> users_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_ADAPTIVE_ANONYMIZER_H_

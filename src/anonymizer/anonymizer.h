@@ -1,0 +1,90 @@
+#ifndef CASPER_ANONYMIZER_ANONYMIZER_H_
+#define CASPER_ANONYMIZER_ANONYMIZER_H_
+
+#include <cstdint>
+
+#include "src/anonymizer/cloaking.h"
+#include "src/anonymizer/privacy_profile.h"
+#include "src/anonymizer/pyramid_config.h"
+#include "src/common/result.h"
+
+/// \file
+/// The location-anonymizer abstraction of §4: a trusted third party that
+/// receives exact locations plus privacy profiles and produces cloaked
+/// spatial regions. Two implementations exist — BasicAnonymizer
+/// (complete pyramid, §4.1) and AdaptiveAnonymizer (incomplete pyramid
+/// with cell splitting/merging, §4.2).
+
+namespace casper::anonymizer {
+
+/// Structural maintenance accounting. The paper's update-cost experiments
+/// (Figs. 10b, 11b, 12b) report `counter_updates / location_updates`.
+struct MaintenanceStats {
+  /// Pyramid cell-counter mutations (increments/decrements), plus — for
+  /// the adaptive structure — cell creations/removals and user moves
+  /// performed during splits and merges (each counted as one update).
+  uint64_t counter_updates = 0;
+
+  /// Location updates that actually changed a cell (others are free).
+  uint64_t cell_crossings = 0;
+
+  uint64_t location_updates = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t cloak_calls = 0;
+  uint64_t cloak_levels_visited = 0;
+
+  double UpdatesPerLocationUpdate() const {
+    if (location_updates == 0) return 0.0;
+    return static_cast<double>(counter_updates) /
+           static_cast<double>(location_updates);
+  }
+  double LevelsPerCloak() const {
+    if (cloak_calls == 0) return 0.0;
+    return static_cast<double>(cloak_levels_visited) /
+           static_cast<double>(cloak_calls);
+  }
+};
+
+/// Common interface of both anonymizers. All mutating calls are
+/// single-threaded by design (the anonymizer is one middleware process
+/// in the paper's architecture).
+class LocationAnonymizer {
+ public:
+  virtual ~LocationAnonymizer() = default;
+
+  /// Register a new user at `position` with `profile`.
+  /// Fails with AlreadyExists for duplicate ids and OutOfRange for
+  /// positions outside the managed space.
+  virtual Status RegisterUser(UserId uid, const PrivacyProfile& profile,
+                              const Point& position) = 0;
+
+  /// Process one (uid, x, y) location update.
+  virtual Status UpdateLocation(UserId uid, const Point& position) = 0;
+
+  /// Change a user's privacy profile (the paper's flexibility
+  /// requirement: "ability to change her requirements at any time").
+  virtual Status UpdateProfile(UserId uid, const PrivacyProfile& profile) = 0;
+
+  virtual Status DeregisterUser(UserId uid) = 0;
+
+  /// The user's current privacy profile (NotFound for unknown users).
+  virtual Result<PrivacyProfile> GetProfile(UserId uid) const = 0;
+
+  /// Blur the user's current location into a cloaked region matching
+  /// her profile (Algorithm 1).
+  virtual Result<CloakingResult> Cloak(UserId uid) = 0;
+
+  /// Cloak with explicit options (ablation hooks).
+  virtual Result<CloakingResult> Cloak(UserId uid,
+                                       const CloakingOptions& options) = 0;
+
+  virtual size_t user_count() const = 0;
+  virtual const PyramidConfig& config() const = 0;
+  virtual const MaintenanceStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_ANONYMIZER_H_

@@ -1,0 +1,157 @@
+#include "src/anonymizer/basic_anonymizer.h"
+
+namespace casper::anonymizer {
+
+BasicAnonymizer::BasicAnonymizer(const PyramidConfig& config)
+    : config_(config) {
+  CASPER_DCHECK(config_.height >= 0 && config_.height <= 15);
+  CASPER_DCHECK(!config_.space.is_empty());
+  counts_.resize(static_cast<size_t>(config_.height) + 1);
+  for (int level = 0; level <= config_.height; ++level) {
+    const size_t dim = size_t{1} << level;
+    counts_[static_cast<size_t>(level)].assign(dim * dim, 0);
+  }
+}
+
+uint64_t& BasicAnonymizer::CounterAt(const CellId& cell) {
+  auto& level = counts_[cell.level];
+  return level[static_cast<size_t>(cell.y) * cell.GridDim() + cell.x];
+}
+
+const uint64_t& BasicAnonymizer::CounterAt(const CellId& cell) const {
+  const auto& level = counts_[cell.level];
+  return level[static_cast<size_t>(cell.y) * cell.GridDim() + cell.x];
+}
+
+uint64_t BasicAnonymizer::CellCount(const CellId& cell) const {
+  CASPER_DCHECK(static_cast<int>(cell.level) <= config_.height);
+  return CounterAt(cell);
+}
+
+void BasicAnonymizer::ApplyDelta(CellId cell, int64_t delta) {
+  while (true) {
+    uint64_t& counter = CounterAt(cell);
+    CASPER_DCHECK(delta > 0 || counter > 0);
+    counter = static_cast<uint64_t>(static_cast<int64_t>(counter) + delta);
+    ++stats_.counter_updates;
+    if (cell.is_root()) break;
+    cell = cell.Parent();
+  }
+}
+
+Status BasicAnonymizer::RegisterUser(UserId uid, const PrivacyProfile& profile,
+                                     const Point& position) {
+  if (users_.count(uid) > 0) {
+    return Status::AlreadyExists("user already registered");
+  }
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  if (profile.k == 0) {
+    return Status::InvalidArgument("profile.k must be at least 1");
+  }
+  const CellId leaf = config_.LeafCellAt(position);
+  users_[uid] = UserRecord{profile, position, leaf};
+  ApplyDelta(leaf, +1);
+  return Status::OK();
+}
+
+Status BasicAnonymizer::UpdateLocation(UserId uid, const Point& position) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  ++stats_.location_updates;
+  UserRecord& rec = it->second;
+  const CellId new_leaf = config_.LeafCellAt(position);
+  rec.position = position;
+  if (new_leaf == rec.leaf) return Status::OK();
+
+  ++stats_.cell_crossings;
+  // Mutate counters from both leaves up to (but excluding) the lowest
+  // common ancestor; above it the +1/-1 cancel.
+  CellId down = rec.leaf;
+  CellId up = new_leaf;
+  while (!(down == up)) {
+    uint64_t& old_counter = CounterAt(down);
+    CASPER_DCHECK(old_counter > 0);
+    --old_counter;
+    ++CounterAt(up);
+    stats_.counter_updates += 2;
+    if (down.is_root()) break;
+    down = down.Parent();
+    up = up.Parent();
+  }
+  rec.leaf = new_leaf;
+  return Status::OK();
+}
+
+Status BasicAnonymizer::UpdateProfile(UserId uid,
+                                      const PrivacyProfile& profile) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  if (profile.k == 0) {
+    return Status::InvalidArgument("profile.k must be at least 1");
+  }
+  it->second.profile = profile;
+  return Status::OK();
+}
+
+Status BasicAnonymizer::DeregisterUser(UserId uid) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  ApplyDelta(it->second.leaf, -1);
+  users_.erase(it);
+  return Status::OK();
+}
+
+Result<PrivacyProfile> BasicAnonymizer::GetProfile(UserId uid) const {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  return it->second.profile;
+}
+
+Result<CloakingResult> BasicAnonymizer::Cloak(UserId uid) {
+  return Cloak(uid, CloakingOptions{});
+}
+
+Result<CloakingResult> BasicAnonymizer::Cloak(UserId uid,
+                                              const CloakingOptions& options) {
+  auto it = users_.find(uid);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  auto result = BottomUpCloak(
+      config_, [this](const CellId& cell) { return CellCount(cell); },
+      users_.size(), it->second.profile, it->second.leaf, options);
+  if (result.ok()) {
+    ++stats_.cloak_calls;
+    stats_.cloak_levels_visited +=
+        static_cast<uint64_t>(result.value().levels_visited);
+  }
+  return result;
+}
+
+bool BasicAnonymizer::CheckInvariants() const {
+  // Root holds everyone.
+  if (CounterAt(CellId::Root()) != users_.size()) return false;
+  // Each internal cell equals the sum of its children.
+  for (int level = 0; level < config_.height; ++level) {
+    const uint32_t dim = 1u << level;
+    for (uint32_t y = 0; y < dim; ++y) {
+      for (uint32_t x = 0; x < dim; ++x) {
+        const CellId cell{static_cast<uint32_t>(level), x, y};
+        uint64_t sum = 0;
+        for (const CellId& child : cell.Children()) sum += CounterAt(child);
+        if (sum != CounterAt(cell)) return false;
+      }
+    }
+  }
+  // Every user's leaf matches her position.
+  for (const auto& [uid, rec] : users_) {
+    (void)uid;
+    if (!(config_.LeafCellAt(rec.position) == rec.leaf)) return false;
+  }
+  return true;
+}
+
+}  // namespace casper::anonymizer

@@ -1,0 +1,69 @@
+#ifndef CASPER_ANONYMIZER_BASIC_ANONYMIZER_H_
+#define CASPER_ANONYMIZER_BASIC_ANONYMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/anonymizer/anonymizer.h"
+
+/// \file
+/// The basic location anonymizer (§4.1): a *complete* pyramid — every
+/// cell of every level keeps a live user counter — plus a hash table
+/// (uid -> profile, position, lowest-level cell). Location updates that
+/// cross a cell boundary propagate counter changes from both leaves up
+/// to the lowest common ancestor; cloaking always starts at the lowest
+/// level.
+
+namespace casper::anonymizer {
+
+class BasicAnonymizer final : public LocationAnonymizer {
+ public:
+  explicit BasicAnonymizer(const PyramidConfig& config);
+
+  Status RegisterUser(UserId uid, const PrivacyProfile& profile,
+                      const Point& position) override;
+  Status UpdateLocation(UserId uid, const Point& position) override;
+  Status UpdateProfile(UserId uid, const PrivacyProfile& profile) override;
+  Status DeregisterUser(UserId uid) override;
+  Result<PrivacyProfile> GetProfile(UserId uid) const override;
+
+  Result<CloakingResult> Cloak(UserId uid) override;
+  Result<CloakingResult> Cloak(UserId uid,
+                               const CloakingOptions& options) override;
+
+  size_t user_count() const override { return users_.size(); }
+  const PyramidConfig& config() const override { return config_; }
+  const MaintenanceStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = MaintenanceStats{}; }
+
+  /// Users currently counted in `cell` (any level). Exposed for tests
+  /// and for the shared cloaking core.
+  uint64_t CellCount(const CellId& cell) const;
+
+  /// Structural invariant check for tests: every level's counters sum to
+  /// the user count and parents equal the sum of their children.
+  bool CheckInvariants() const;
+
+ private:
+  struct UserRecord {
+    PrivacyProfile profile;
+    Point position;
+    CellId leaf;
+  };
+
+  uint64_t& CounterAt(const CellId& cell);
+  const uint64_t& CounterAt(const CellId& cell) const;
+
+  /// Add `delta` to `leaf` and all its ancestors; counts mutations.
+  void ApplyDelta(CellId leaf, int64_t delta);
+
+  PyramidConfig config_;
+  /// counts_[level] is a flat 2^level x 2^level row-major counter grid.
+  std::vector<std::vector<uint64_t>> counts_;
+  std::unordered_map<UserId, UserRecord> users_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_BASIC_ANONYMIZER_H_

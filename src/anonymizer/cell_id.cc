@@ -1,0 +1,43 @@
+#include "src/anonymizer/cell_id.h"
+
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace casper::anonymizer {
+
+CellId CellId::Parent() const {
+  CASPER_DCHECK(!is_root());
+  return CellId{level - 1, x >> 1, y >> 1};
+}
+
+std::array<CellId, 4> CellId::Children() const {
+  const uint32_t cx = x << 1;
+  const uint32_t cy = y << 1;
+  return {CellId{level + 1, cx, cy}, CellId{level + 1, cx + 1, cy},
+          CellId{level + 1, cx, cy + 1}, CellId{level + 1, cx + 1, cy + 1}};
+}
+
+CellId CellId::HorizontalNeighbor() const {
+  CASPER_DCHECK(!is_root());
+  return CellId{level, x ^ 1u, y};
+}
+
+CellId CellId::VerticalNeighbor() const {
+  CASPER_DCHECK(!is_root());
+  return CellId{level, x, y ^ 1u};
+}
+
+bool CellId::IsAncestorOf(const CellId& descendant) const {
+  if (descendant.level < level) return false;
+  const uint32_t shift = descendant.level - level;
+  return (descendant.x >> shift) == x && (descendant.y >> shift) == y;
+}
+
+std::string CellId::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "L%u(%u,%u)", level, x, y);
+  return buf;
+}
+
+}  // namespace casper::anonymizer

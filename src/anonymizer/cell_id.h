@@ -1,0 +1,72 @@
+#ifndef CASPER_ANONYMIZER_CELL_ID_H_
+#define CASPER_ANONYMIZER_CELL_ID_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/geometry.h"
+
+/// \file
+/// Pyramid cell addressing (§4.1). The pyramid decomposes space into
+/// levels 0..H; level `h` is a 2^h x 2^h grid (4^h cells). A cell is
+/// addressed by (level, x, y) with x growing rightward and y upward.
+///
+/// Neighbor definition (paper §4.1): two cells are neighbors iff they
+/// share a parent and lie in a common row (horizontal neighbor) or
+/// column (vertical neighbor); every non-root cell therefore has exactly
+/// one of each — its siblings within the 2x2 quadrant.
+
+namespace casper::anonymizer {
+
+struct CellId {
+  uint32_t level = 0;
+  uint32_t x = 0;
+  uint32_t y = 0;
+
+  static CellId Root() { return CellId{0, 0, 0}; }
+
+  bool is_root() const { return level == 0; }
+
+  /// Cells per side at this level (2^level).
+  uint32_t GridDim() const { return 1u << level; }
+
+  CellId Parent() const;
+
+  /// The four children, in (SW, SE, NW, NE) order.
+  std::array<CellId, 4> Children() const;
+
+  /// Sibling in the same row of the parent quadrant.
+  CellId HorizontalNeighbor() const;
+
+  /// Sibling in the same column of the parent quadrant.
+  CellId VerticalNeighbor() const;
+
+  /// Which child slot (0..3) of the parent this cell occupies.
+  int ChildSlot() const { return (x & 1u) | ((y & 1u) << 1); }
+
+  /// True when `descendant` lies in this cell's subtree (or equals it).
+  bool IsAncestorOf(const CellId& descendant) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const CellId& a, const CellId& b) {
+    return a.level == b.level && a.x == b.x && a.y == b.y;
+  }
+};
+
+struct CellIdHash {
+  size_t operator()(const CellId& c) const {
+    // level < 2^6, x/y < 2^29 in practice; mix into one word.
+    uint64_t v = (static_cast<uint64_t>(c.level) << 58) ^
+                 (static_cast<uint64_t>(c.x) << 29) ^ c.y;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_CELL_ID_H_

@@ -1,0 +1,73 @@
+#include "src/anonymizer/cloaking.h"
+
+namespace casper::anonymizer {
+
+Result<CloakingResult> BottomUpCloak(const PyramidConfig& config,
+                                     const CellCountFn& cell_count,
+                                     uint64_t total_users,
+                                     const PrivacyProfile& profile,
+                                     CellId start,
+                                     const CloakingOptions& options) {
+  if (profile.k == 0) {
+    return Status::InvalidArgument("profile.k must be at least 1");
+  }
+  if (profile.k > total_users) {
+    return Status::FailedPrecondition(
+        "profile.k exceeds the registered user population");
+  }
+  if (profile.a_min > config.space.Area()) {
+    return Status::FailedPrecondition(
+        "profile.a_min exceeds the total space area");
+  }
+  if (static_cast<int>(start.level) > config.height) {
+    return Status::InvalidArgument("start cell below the pyramid height");
+  }
+
+  CloakingResult result;
+  CellId cid = start;
+  while (true) {
+    ++result.levels_visited;
+    const double cell_area = config.CellArea(static_cast<int>(cid.level));
+    const uint64_t n = cell_count(cid);
+
+    // Line 2: the cell alone satisfies the profile.
+    if (n >= profile.k && cell_area >= profile.a_min) {
+      result.region = config.CellRect(cid);
+      result.users_in_region = n;
+      return result;
+    }
+
+    // Lines 5-13: try merging with the horizontal or vertical sibling.
+    if (options.enable_neighbor_merge && !cid.is_root()) {
+      const CellId cid_v = cid.VerticalNeighbor();
+      const CellId cid_h = cid.HorizontalNeighbor();
+      const uint64_t n_v = n + cell_count(cid_v);
+      const uint64_t n_h = n + cell_count(cid_h);
+      if ((n_v >= profile.k || n_h >= profile.k) &&
+          2.0 * cell_area >= profile.a_min) {
+        // Prefer the merge whose population lands closer to k (line 9):
+        // take the horizontal union when both qualify and it is the
+        // smaller of the two, or when the vertical union fails.
+        const bool choose_horizontal =
+            (n_h >= profile.k && n_v >= profile.k && n_h <= n_v) ||
+            n_v < profile.k;
+        const CellId other = choose_horizontal ? cid_h : cid_v;
+        result.region = config.CellRect(cid).Union(config.CellRect(other));
+        result.users_in_region = choose_horizontal ? n_h : n_v;
+        result.merged_with_neighbor = true;
+        return result;
+      }
+    }
+
+    // Line 15: recurse on the parent. Root termination is guaranteed by
+    // the validated preconditions (root count = total_users >= k and
+    // root area = space area >= a_min).
+    if (cid.is_root()) {
+      return Status::Internal(
+          "root cell failed to satisfy a validated profile");
+    }
+    cid = cid.Parent();
+  }
+}
+
+}  // namespace casper::anonymizer

@@ -1,0 +1,64 @@
+#ifndef CASPER_ANONYMIZER_CLOAKING_H_
+#define CASPER_ANONYMIZER_CLOAKING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/anonymizer/cell_id.h"
+#include "src/anonymizer/privacy_profile.h"
+#include "src/anonymizer/pyramid_config.h"
+#include "src/common/result.h"
+
+/// \file
+/// The bottom-up cloaking procedure (Algorithm 1, §4.1), shared by the
+/// basic and adaptive anonymizers. It only needs per-cell user counts,
+/// supplied through a callback, so both pyramid representations reuse
+/// the identical decision logic — which also guarantees the paper's
+/// observation that both anonymizers "result in the same cloaked region"
+/// (§6.1.1).
+
+namespace casper::anonymizer {
+
+/// Per-cell user count lookup. Called only for the start cell, its
+/// ancestors, and their horizontal/vertical neighbors (which, by the
+/// paper's same-parent neighbor definition, always exist whenever the
+/// queried cell does).
+using CellCountFn = std::function<uint64_t(const CellId&)>;
+
+struct CloakingOptions {
+  /// Disable the neighbor-merge step (lines 5-13 of Algorithm 1) to
+  /// quantify its contribution; ablation only.
+  bool enable_neighbor_merge = true;
+};
+
+/// A cloaked region plus the accounting the experiments report.
+struct CloakingResult {
+  /// The cloaked spatial region R sent to the database server.
+  Rect region;
+
+  /// Number of users inside the region (k' of Fig. 10c).
+  uint64_t users_in_region = 0;
+
+  /// Pyramid levels inspected, i.e. 1 + number of recursive parent
+  /// steps taken (the cloaking-cost driver of Fig. 10a).
+  int levels_visited = 0;
+
+  /// Whether the region is a two-cell neighbor union rather than a
+  /// single cell.
+  bool merged_with_neighbor = false;
+};
+
+/// Runs Algorithm 1 from `start` upward. Preconditions (validated):
+/// profile.k must not exceed the total user population and
+/// profile.a_min must not exceed the total space area — the paper
+/// requires both so that the root always terminates the recursion.
+Result<CloakingResult> BottomUpCloak(const PyramidConfig& config,
+                                     const CellCountFn& cell_count,
+                                     uint64_t total_users,
+                                     const PrivacyProfile& profile,
+                                     CellId start,
+                                     const CloakingOptions& options = {});
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_CLOAKING_H_

@@ -1,0 +1,73 @@
+#include "src/anonymizer/privacy_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace casper::anonymizer {
+
+PrivacyReport AnalyzeCloaks(
+    const std::vector<CloakObservation>& observations) {
+  CASPER_DCHECK(!observations.empty());
+  PrivacyReport report;
+  size_t satisfied = 0;
+  double attack_error = 0.0;
+
+  for (const CloakObservation& obs : observations) {
+    report.achieved_k.Add(static_cast<double>(obs.users_in_region));
+    report.k_accuracy.Add(static_cast<double>(obs.users_in_region) /
+                          std::max<uint32_t>(obs.profile.k, 1));
+    report.area.Add(obs.region.Area());
+    if (obs.profile.a_min > 0.0) {
+      report.area_accuracy.Add(obs.region.Area() / obs.profile.a_min);
+    }
+    report.identity_entropy_bits.Add(
+        std::log2(std::max<double>(1.0, static_cast<double>(
+                                            obs.users_in_region))));
+    if (obs.users_in_region >= obs.profile.k &&
+        obs.region.Area() >= obs.profile.a_min - 1e-15) {
+      ++satisfied;
+    }
+    const double half_diagonal =
+        0.5 * Distance(obs.region.min, obs.region.max);
+    if (half_diagonal > 0.0) {
+      attack_error +=
+          Distance(obs.region.Center(), obs.true_position) / half_diagonal;
+    }
+  }
+  report.profile_satisfaction =
+      static_cast<double>(satisfied) / observations.size();
+  report.center_attack_normalized_error =
+      attack_error / static_cast<double>(observations.size());
+  return report;
+}
+
+double UniformityDeviation(const std::vector<CloakObservation>& observations,
+                           int grid) {
+  CASPER_DCHECK(!observations.empty());
+  CASPER_DCHECK(grid >= 1);
+  std::vector<double> buckets(static_cast<size_t>(grid) *
+                                  static_cast<size_t>(grid),
+                              0.0);
+  size_t counted = 0;
+  for (const CloakObservation& obs : observations) {
+    if (obs.region.Area() <= 0.0) continue;
+    const double fx =
+        (obs.true_position.x - obs.region.min.x) / obs.region.width();
+    const double fy =
+        (obs.true_position.y - obs.region.min.y) / obs.region.height();
+    const int bx = std::clamp(static_cast<int>(fx * grid), 0, grid - 1);
+    const int by = std::clamp(static_cast<int>(fy * grid), 0, grid - 1);
+    buckets[static_cast<size_t>(by) * grid + bx] += 1.0;
+    ++counted;
+  }
+  if (counted == 0) return 0.0;
+  const double expect =
+      static_cast<double>(counted) / static_cast<double>(buckets.size());
+  double worst = 0.0;
+  for (double b : buckets) {
+    worst = std::max(worst, std::abs(b - expect) / expect);
+  }
+  return worst;
+}
+
+}  // namespace casper::anonymizer

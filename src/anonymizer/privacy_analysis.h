@@ -1,0 +1,64 @@
+#ifndef CASPER_ANONYMIZER_PRIVACY_ANALYSIS_H_
+#define CASPER_ANONYMIZER_PRIVACY_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/anonymizer/anonymizer.h"
+#include "src/common/stats.h"
+
+/// \file
+/// Empirical privacy evaluation of a cloak stream — the measurable side
+/// of the paper's anonymizer requirements (§4): *accuracy* (achieved k
+/// and area vs the profile) and *quality* (an adversary learns nothing
+/// beyond "uniformly somewhere in R").
+
+namespace casper::anonymizer {
+
+/// One observation: a cloak plus the ground truth the adversary does
+/// not have.
+struct CloakObservation {
+  Rect region;
+  uint64_t users_in_region = 0;
+  PrivacyProfile profile;
+  Point true_position;
+};
+
+/// Aggregate privacy report over a set of observations.
+struct PrivacyReport {
+  /// Achieved anonymity k' (users in region) and accuracy ratio k'/k.
+  SummaryStats achieved_k;
+  SummaryStats k_accuracy;
+
+  /// Achieved region area and, where a_min > 0, the ratio A'/a_min.
+  SummaryStats area;
+  SummaryStats area_accuracy;
+
+  /// Anonymity-set entropy log2(k') — bits of identity uncertainty.
+  SummaryStats identity_entropy_bits;
+
+  /// Fraction of observations meeting their own profile (should be 1).
+  double profile_satisfaction = 0.0;
+
+  /// Center-guess attack: the adversary's best point estimate is the
+  /// region center (uniformity means nothing better exists). Reported
+  /// as the mean error normalized by the region's half-diagonal; a
+  /// value near the uniform-expectation (~0.54 for squares) means the
+  /// cloak leaks no positional skew.
+  double center_attack_normalized_error = 0.0;
+};
+
+/// Builds the report. Observations must be non-empty.
+PrivacyReport AnalyzeCloaks(const std::vector<CloakObservation>& observations);
+
+/// Chi-squared-style uniformity diagnostic for the quality requirement:
+/// partitions each cloak into `grid x grid` buckets, accumulates where
+/// the true positions fall (normalized per cloak), and returns the
+/// maximum relative deviation from the uniform expectation across
+/// buckets. Values near 0 indicate the adversary cannot bias a guess
+/// toward any sub-region. Requires at least one observation.
+double UniformityDeviation(const std::vector<CloakObservation>& observations,
+                           int grid);
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_PRIVACY_ANALYSIS_H_

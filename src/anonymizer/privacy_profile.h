@@ -1,0 +1,40 @@
+#ifndef CASPER_ANONYMIZER_PRIVACY_PROFILE_H_
+#define CASPER_ANONYMIZER_PRIVACY_PROFILE_H_
+
+#include <cstdint>
+
+/// \file
+/// The user privacy profile of §3: a tuple (k, A_min). `k` requests
+/// k-anonymity (the cloaked region must contain at least k users);
+/// `A_min` is the minimum acceptable area of the cloaked region,
+/// guarding against dense areas where even large k yields a tiny region.
+
+namespace casper::anonymizer {
+
+using UserId = uint64_t;
+
+struct PrivacyProfile {
+  /// k-anonymity requirement; k = 1 means "just me" (no anonymity).
+  uint32_t k = 1;
+
+  /// Minimum cloaked area, in absolute space-area units. 0 disables the
+  /// area constraint.
+  double a_min = 0.0;
+
+  friend bool operator==(const PrivacyProfile& a, const PrivacyProfile& b) {
+    return a.k == b.k && a.a_min == b.a_min;
+  }
+};
+
+/// Strictness partial order used by the adaptive anonymizer's
+/// most-relaxed-user tracking (§4.2): a profile is *more relaxed* when it
+/// can potentially be satisfied by smaller (deeper) cells. Smaller
+/// `a_min` admits deeper levels; ties break on smaller `k`.
+inline bool MoreRelaxed(const PrivacyProfile& a, const PrivacyProfile& b) {
+  if (a.a_min != b.a_min) return a.a_min < b.a_min;
+  return a.k < b.k;
+}
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_PRIVACY_PROFILE_H_

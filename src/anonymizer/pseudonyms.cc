@@ -1,0 +1,52 @@
+#include "src/anonymizer/pseudonyms.h"
+
+namespace casper::anonymizer {
+
+Pseudonym PseudonymRegistry::FreshPseudonym() {
+  // Draw until unused; collisions are vanishingly rare in 64 bits but
+  // correctness should not depend on luck.
+  Pseudonym p;
+  do {
+    p = rng_.Next();
+  } while (reverse_.count(p) > 0);
+  return p;
+}
+
+Pseudonym PseudonymRegistry::PseudonymFor(UserId uid) {
+  auto it = forward_.find(uid);
+  if (it != forward_.end()) return it->second;
+  const Pseudonym p = FreshPseudonym();
+  forward_[uid] = p;
+  reverse_[p] = uid;
+  return p;
+}
+
+Result<UserId> PseudonymRegistry::Resolve(Pseudonym pseudonym) const {
+  auto it = reverse_.find(pseudonym);
+  if (it == reverse_.end()) return Status::NotFound("unknown pseudonym");
+  return it->second;
+}
+
+Result<Pseudonym> PseudonymRegistry::Rotate(UserId uid) {
+  auto it = forward_.find(uid);
+  if (it == forward_.end()) {
+    return Status::NotFound("user has no active pseudonym");
+  }
+  reverse_.erase(it->second);
+  const Pseudonym p = FreshPseudonym();
+  it->second = p;
+  reverse_[p] = uid;
+  return p;
+}
+
+Status PseudonymRegistry::Forget(UserId uid) {
+  auto it = forward_.find(uid);
+  if (it == forward_.end()) {
+    return Status::NotFound("user has no active pseudonym");
+  }
+  reverse_.erase(it->second);
+  forward_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace casper::anonymizer

@@ -1,0 +1,54 @@
+#ifndef CASPER_ANONYMIZER_PSEUDONYMS_H_
+#define CASPER_ANONYMIZER_PSEUDONYMS_H_
+
+#include <unordered_map>
+
+#include "src/anonymizer/privacy_profile.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+/// \file
+/// Pseudonymity layer of the anonymizer (§3: "while cloaking the
+/// location information, the anonymizer also removes any user identity
+/// to ensure the pseudonymity of the location information"). The
+/// trusted anonymizer replaces user ids with opaque pseudonyms before
+/// anything reaches the database server, and translates responses back.
+/// Pseudonyms rotate on demand so long-lived server-side identifiers
+/// cannot be linked across sessions.
+
+namespace casper::anonymizer {
+
+using Pseudonym = uint64_t;
+
+class PseudonymRegistry {
+ public:
+  /// Seed controls the (non-cryptographic) pseudonym stream; a real
+  /// deployment would swap in a keyed PRF without touching callers.
+  explicit PseudonymRegistry(uint64_t seed) : rng_(seed) {}
+
+  /// Current pseudonym for `uid`, allocating one on first use.
+  Pseudonym PseudonymFor(UserId uid);
+
+  /// Resolve a pseudonym back to the user (trusted side only).
+  Result<UserId> Resolve(Pseudonym pseudonym) const;
+
+  /// Retire the user's current pseudonym and issue a fresh one; the
+  /// old pseudonym stops resolving (unlinkability across rotations).
+  Result<Pseudonym> Rotate(UserId uid);
+
+  /// Drop all state for a user (deregistration).
+  Status Forget(UserId uid);
+
+  size_t active_count() const { return forward_.size(); }
+
+ private:
+  Pseudonym FreshPseudonym();
+
+  Rng rng_;
+  std::unordered_map<UserId, Pseudonym> forward_;
+  std::unordered_map<Pseudonym, UserId> reverse_;
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_PSEUDONYMS_H_

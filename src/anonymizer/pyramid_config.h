@@ -1,0 +1,66 @@
+#ifndef CASPER_ANONYMIZER_PYRAMID_CONFIG_H_
+#define CASPER_ANONYMIZER_PYRAMID_CONFIG_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/anonymizer/cell_id.h"
+#include "src/common/geometry.h"
+#include "src/common/status.h"
+
+namespace casper::anonymizer {
+
+/// Geometry of the pyramid (§4.1): the managed space and the index of
+/// the lowest (finest) level. Level h has 4^h cells; `height` is the
+/// deepest level, so the pyramid holds height+1 levels (a "9 level"
+/// pyramid in the paper's experiments is height = 9 here).
+struct PyramidConfig {
+  Rect space = Rect(0.0, 0.0, 1.0, 1.0);
+  int height = 9;
+
+  /// Area of one cell at `level`.
+  double CellArea(int level) const {
+    return space.Area() / std::pow(4.0, level);
+  }
+
+  /// Rectangle covered by `cell`.
+  Rect CellRect(const CellId& cell) const {
+    const double w = space.width() / cell.GridDim();
+    const double h = space.height() / cell.GridDim();
+    const double x0 = space.min.x + cell.x * w;
+    const double y0 = space.min.y + cell.y * h;
+    return Rect(x0, y0, x0 + w, y0 + h);
+  }
+
+  /// Cell at `level` containing `p` (clamped into the space, so points
+  /// on the max boundary land in the last cell). This is the hash
+  /// function h(x, y) of §4.1.
+  CellId CellAt(int level, const Point& p) const {
+    CASPER_DCHECK(level >= 0 && level <= height);
+    const uint32_t dim = 1u << level;
+    const double fx = (p.x - space.min.x) / space.width();
+    const double fy = (p.y - space.min.y) / space.height();
+    const uint32_t cx = static_cast<uint32_t>(std::clamp(
+        static_cast<int64_t>(fx * dim), int64_t{0}, int64_t{dim} - 1));
+    const uint32_t cy = static_cast<uint32_t>(std::clamp(
+        static_cast<int64_t>(fy * dim), int64_t{0}, int64_t{dim} - 1));
+    return CellId{static_cast<uint32_t>(level), cx, cy};
+  }
+
+  /// Leaf (lowest-level) cell containing `p`.
+  CellId LeafCellAt(const Point& p) const { return CellAt(height, p); }
+
+  /// Deepest level whose cell area still satisfies `a_min`
+  /// (0 when even the root is too small — callers validate a_min
+  /// against the space beforehand).
+  int DeepestLevelWithArea(double a_min) const {
+    if (a_min <= 0.0) return height;
+    int level = height;
+    while (level > 0 && CellArea(level) < a_min) --level;
+    return level;
+  }
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_PYRAMID_CONFIG_H_

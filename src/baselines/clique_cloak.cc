@@ -1,0 +1,111 @@
+#include "src/baselines/clique_cloak.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace casper::baselines {
+
+bool CliqueCloak::Compatible(const CliqueRequest& a, const CliqueRequest& b) {
+  const Rect box_a = Rect(a.position.x - a.tolerance,
+                          a.position.y - a.tolerance,
+                          a.position.x + a.tolerance,
+                          a.position.y + a.tolerance);
+  const Rect box_b = Rect(b.position.x - b.tolerance,
+                          b.position.y - b.tolerance,
+                          b.position.x + b.tolerance,
+                          b.position.y + b.tolerance);
+  return box_a.Contains(b.position) && box_b.Contains(a.position);
+}
+
+Result<std::vector<CloakedRequest>> CliqueCloak::Submit(
+    const CliqueRequest& request) {
+  if (request.k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (!space_.Contains(request.position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  for (const CliqueRequest& p : pending_) {
+    if (p.uid == request.uid) {
+      return Status::AlreadyExists("request already pending for this user");
+    }
+  }
+
+  // Greedy local clique search seeded at the new request: consider
+  // compatible pending requests nearest-first and add each one that is
+  // compatible with every member so far. Accept once the group covers
+  // the largest k among its members.
+  std::vector<const CliqueRequest*> candidates;
+  for (const CliqueRequest& p : pending_) {
+    if (Compatible(request, p)) candidates.push_back(&p);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const CliqueRequest* a, const CliqueRequest* b) {
+              return SquaredDistance(a->position, request.position) <
+                     SquaredDistance(b->position, request.position);
+            });
+
+  std::vector<const CliqueRequest*> group{&request};
+  uint32_t needed = request.k;
+  for (const CliqueRequest* c : candidates) {
+    if (group.size() >= needed) {
+      // Group already satisfies every member; growing it would only
+      // enlarge the MBR (and a high-k addition could un-complete it).
+      break;
+    }
+    bool clique = true;
+    for (const CliqueRequest* m : group) {
+      if (m != &request && !Compatible(*m, *c)) {
+        clique = false;
+        break;
+      }
+    }
+    if (!clique) continue;
+    group.push_back(c);
+    needed = std::max(needed, c->k);
+  }
+
+  std::vector<CloakedRequest> fulfilled;
+  if (group.size() < needed) {
+    pending_.push_back(request);
+    return fulfilled;  // Parked; maybe a later arrival completes it.
+  }
+
+  // Success: the shared cloak is the members' MBR (the boundary leak
+  // the paper criticizes is inherent to this construction).
+  Rect mbr;
+  for (const CliqueRequest* m : group) {
+    mbr = mbr.Union(Rect::FromPoint(m->position));
+  }
+  for (const CliqueRequest* m : group) {
+    fulfilled.push_back(CloakedRequest{m->uid, mbr, group.size()});
+  }
+  // Remove fulfilled members from the pool (the submitter never
+  // joined). Collect the uids first: erasing invalidates the pointers
+  // in `group`.
+  std::vector<anonymizer::UserId> done;
+  for (const CliqueRequest* m : group) {
+    if (m != &request) done.push_back(m->uid);
+  }
+  for (anonymizer::UserId uid : done) {
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].uid == uid) {
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  return fulfilled;
+}
+
+Status CliqueCloak::Cancel(anonymizer::UserId uid) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].uid == uid) {
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no pending request for this user");
+}
+
+}  // namespace casper::baselines

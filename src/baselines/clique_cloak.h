@@ -1,0 +1,72 @@
+#ifndef CASPER_BASELINES_CLIQUE_CLOAK_H_
+#define CASPER_BASELINES_CLIQUE_CLOAK_H_
+
+#include <vector>
+
+#include "src/anonymizer/privacy_profile.h"
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+
+/// \file
+/// The CliqueCloak baseline of Gedik & Liu [ICDCS 2005], as
+/// characterized in the paper's §2: per-user k-anonymity; cloaking
+/// requests wait in a pool; a request is answered when it can be
+/// grouped with enough *mutually compatible* pending requests (each
+/// inside every other's spatial tolerance box — a clique in the
+/// constraint graph); all clique members share the minimum bounding
+/// rectangle of their positions as the cloak.
+///
+/// The paper's criticisms are observable here by construction: members
+/// lie on the MBR boundary (an information leak Casper's cell-aligned
+/// regions avoid), requests can starve, and the clique search limits
+/// the approach to small k.
+
+namespace casper::baselines {
+
+/// A pending cloaking request.
+struct CliqueRequest {
+  anonymizer::UserId uid = 0;
+  Point position;
+  uint32_t k = 1;
+  /// Half-width of the spatial tolerance box centered on `position`;
+  /// other members must fall inside it (and vice versa).
+  double tolerance = 0.1;
+};
+
+/// A fulfilled request: the shared MBR cloak.
+struct CloakedRequest {
+  anonymizer::UserId uid = 0;
+  Rect region;
+  size_t group_size = 0;
+};
+
+class CliqueCloak {
+ public:
+  explicit CliqueCloak(const Rect& space) : space_(space) {}
+
+  /// Submit a request. If the arrival completes a clique whose size
+  /// covers every member's k, all members are cloaked and returned
+  /// (the submitter included); otherwise the request parks in the pool
+  /// and the returned vector is empty.
+  /// Fails on duplicate pending uid, invalid k, or a position outside
+  /// the managed space.
+  Result<std::vector<CloakedRequest>> Submit(const CliqueRequest& request);
+
+  /// Abandon a pending request (a user giving up; also how callers
+  /// model the paper's starvation criticism).
+  Status Cancel(anonymizer::UserId uid);
+
+  size_t pending_count() const { return pending_.size(); }
+  const Rect& space() const { return space_; }
+
+ private:
+  /// Mutual-compatibility test: each inside the other's tolerance box.
+  static bool Compatible(const CliqueRequest& a, const CliqueRequest& b);
+
+  Rect space_;
+  std::vector<CliqueRequest> pending_;
+};
+
+}  // namespace casper::baselines
+
+#endif  // CASPER_BASELINES_CLIQUE_CLOAK_H_

@@ -1,0 +1,80 @@
+#include "src/baselines/gg_cloak.h"
+
+namespace casper::baselines {
+
+GGCloak::GGCloak(const anonymizer::PyramidConfig& config, uint32_t k)
+    : config_(config), k_(k) {
+  CASPER_DCHECK(k >= 1);
+}
+
+Status GGCloak::RegisterUser(anonymizer::UserId uid, const Point& position) {
+  if (positions_.count(uid) > 0) {
+    return Status::AlreadyExists("user already registered");
+  }
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  positions_[uid] = position;
+  return Status::OK();
+}
+
+Status GGCloak::UpdateLocation(anonymizer::UserId uid,
+                               const Point& position) {
+  auto it = positions_.find(uid);
+  if (it == positions_.end()) return Status::NotFound("unknown user");
+  if (!config_.space.Contains(position)) {
+    return Status::OutOfRange("position outside the managed space");
+  }
+  it->second = position;
+  return Status::OK();
+}
+
+Status GGCloak::DeregisterUser(anonymizer::UserId uid) {
+  if (positions_.erase(uid) == 0) return Status::NotFound("unknown user");
+  return Status::OK();
+}
+
+uint64_t GGCloak::CountIn(const Rect& rect) const {
+  uint64_t n = 0;
+  for (const auto& [uid, p] : positions_) {
+    (void)uid;
+    if (rect.Contains(p)) ++n;
+  }
+  return n;
+}
+
+Result<anonymizer::CloakingResult> GGCloak::Cloak(
+    anonymizer::UserId uid) const {
+  auto it = positions_.find(uid);
+  if (it == positions_.end()) return Status::NotFound("unknown user");
+  if (positions_.size() < k_) {
+    return Status::FailedPrecondition("population below the global k");
+  }
+  const Point& p = it->second;
+
+  anonymizer::CloakingResult result;
+  anonymizer::CellId cell = anonymizer::CellId::Root();
+  Rect region = config_.space;
+  uint64_t count = positions_.size();
+  result.levels_visited = 1;
+
+  // Descend while the child quadrant containing the user still holds at
+  // least k users.
+  while (static_cast<int>(cell.level) < config_.height) {
+    const anonymizer::CellId child =
+        config_.CellAt(static_cast<int>(cell.level) + 1, p);
+    const Rect child_rect = config_.CellRect(child);
+    const uint64_t child_count = CountIn(child_rect);
+    if (child_count < k_) break;
+    cell = child;
+    region = child_rect;
+    count = child_count;
+    ++result.levels_visited;
+  }
+
+  result.region = region;
+  result.users_in_region = count;
+  return result;
+}
+
+}  // namespace casper::baselines

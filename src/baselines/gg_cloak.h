@@ -1,0 +1,52 @@
+#ifndef CASPER_BASELINES_GG_CLOAK_H_
+#define CASPER_BASELINES_GG_CLOAK_H_
+
+#include <unordered_map>
+
+#include "src/anonymizer/anonymizer.h"
+
+/// \file
+/// The spatio-temporal cloaking baseline of Gruteser & Grunwald
+/// [MobiSys 2003], as characterized in the paper's §2/§4: a single
+/// system-wide k-anonymity level (no per-user profiles, no A_min), and
+/// for each cloaking request the space is recursively subdivided
+/// quadtree-style ("KD-tree-like") until the quadrant containing the
+/// requesting user would drop below k users; the last quadrant with
+/// >= k users is the cloak. Every request touches each level's live
+/// population, which is why the paper calls it unscalable — this
+/// implementation exists as the comparison baseline.
+
+namespace casper::baselines {
+
+/// Gruteser-Grunwald anonymizer: uniform k for every user.
+class GGCloak {
+ public:
+  /// `k` is the system-wide anonymity level; `height` bounds recursion.
+  GGCloak(const anonymizer::PyramidConfig& config, uint32_t k);
+
+  Status RegisterUser(anonymizer::UserId uid, const Point& position);
+  Status UpdateLocation(anonymizer::UserId uid, const Point& position);
+  Status DeregisterUser(anonymizer::UserId uid);
+
+  /// Cloak by recursive subdivision from the root. Unlike the pyramid
+  /// anonymizers there is no precomputed structure: each call counts
+  /// the population of candidate quadrants by scanning (the baseline's
+  /// scalability weakness, kept deliberately).
+  Result<anonymizer::CloakingResult> Cloak(anonymizer::UserId uid) const;
+
+  size_t user_count() const { return positions_.size(); }
+  uint32_t k() const { return k_; }
+  const anonymizer::PyramidConfig& config() const { return config_; }
+
+ private:
+  /// Number of users inside `cell`'s rectangle (linear scan).
+  uint64_t CountIn(const Rect& rect) const;
+
+  anonymizer::PyramidConfig config_;
+  uint32_t k_;
+  std::unordered_map<anonymizer::UserId, Point> positions_;
+};
+
+}  // namespace casper::baselines
+
+#endif  // CASPER_BASELINES_GG_CLOAK_H_

@@ -1,0 +1,299 @@
+#include "src/casper/casper.h"
+
+#include "src/common/stopwatch.h"
+
+namespace casper {
+
+CasperService::CasperService(const CasperOptions& options)
+    : options_(options), pseudonyms_(options.pseudonym_seed) {
+  // With auto-sync every mutation maintains the store, so the snapshot
+  // is never stale; batch mode starts stale until the first sync.
+  private_data_dirty_ = !options_.auto_sync_private_data;
+  if (options_.use_adaptive_anonymizer) {
+    anonymizer_ =
+        std::make_unique<anonymizer::AdaptiveAnonymizer>(options_.pyramid);
+  } else {
+    anonymizer_ =
+        std::make_unique<anonymizer::BasicAnonymizer>(options_.pyramid);
+  }
+}
+
+Status CasperService::RegisterUser(anonymizer::UserId uid,
+                                   const anonymizer::PrivacyProfile& profile,
+                                   const Point& position) {
+  CASPER_RETURN_IF_ERROR(anonymizer_->RegisterUser(uid, profile, position));
+  client_positions_[uid] = position;
+  if (options_.auto_sync_private_data) {
+    CASPER_RETURN_IF_ERROR(UpsertPrivateRegion(uid));
+    // A larger population can make previously unsatisfiable profiles
+    // publishable.
+    return RetryPendingPublications();
+  }
+  private_data_dirty_ = true;
+  return Status::OK();
+}
+
+Status CasperService::RetryPendingPublications() {
+  if (pending_publication_.empty()) return Status::OK();
+  const std::vector<anonymizer::UserId> pending(pending_publication_.begin(),
+                                                pending_publication_.end());
+  for (anonymizer::UserId uid : pending) {
+    CASPER_RETURN_IF_ERROR(UpsertPrivateRegion(uid));
+  }
+  return Status::OK();
+}
+
+Status CasperService::UpdateUserLocation(anonymizer::UserId uid,
+                                         const Point& position) {
+  CASPER_RETURN_IF_ERROR(anonymizer_->UpdateLocation(uid, position));
+  client_positions_[uid] = position;
+  if (options_.auto_sync_private_data) {
+    return UpsertPrivateRegion(uid);
+  }
+  private_data_dirty_ = true;
+  return Status::OK();
+}
+
+Status CasperService::UpdateUserProfile(
+    anonymizer::UserId uid, const anonymizer::PrivacyProfile& profile) {
+  CASPER_RETURN_IF_ERROR(anonymizer_->UpdateProfile(uid, profile));
+  if (options_.auto_sync_private_data) {
+    return UpsertPrivateRegion(uid);
+  }
+  private_data_dirty_ = true;
+  return Status::OK();
+}
+
+Status CasperService::DeregisterUser(anonymizer::UserId uid) {
+  CASPER_RETURN_IF_ERROR(anonymizer_->DeregisterUser(uid));
+  client_positions_.erase(uid);
+  pending_publication_.erase(uid);
+  CASPER_RETURN_IF_ERROR(RemovePrivateRegion(uid));
+  if (current_pseudonym_.erase(uid) > 0) {
+    CASPER_RETURN_IF_ERROR(pseudonyms_.Forget(uid));
+  }
+  if (!options_.auto_sync_private_data) private_data_dirty_ = true;
+  return Status::OK();
+}
+
+void CasperService::AddPublicTarget(const processor::PublicTarget& target) {
+  public_store_.Insert(target);
+}
+
+void CasperService::SetPublicTargets(
+    const std::vector<processor::PublicTarget>& targets) {
+  public_store_ = processor::PublicTargetStore(targets);
+}
+
+Status CasperService::UpsertPrivateRegion(anonymizer::UserId uid) {
+  CASPER_RETURN_IF_ERROR(RemovePrivateRegion(uid));
+  auto cloak = anonymizer_->Cloak(uid);
+  if (cloak.status().code() == StatusCode::kFailedPrecondition) {
+    // The profile cannot be satisfied yet (k exceeds the current
+    // population). Publishing nothing is the only safe choice; the
+    // user is retried once the population grows.
+    pending_publication_.insert(uid);
+    return Status::OK();
+  }
+  if (!cloak.ok()) return cloak.status();
+  pending_publication_.erase(uid);
+  anonymizer::Pseudonym pseudonym;
+  if (current_pseudonym_.count(uid) > 0) {
+    CASPER_ASSIGN_OR_RETURN(rotated, pseudonyms_.Rotate(uid));
+    pseudonym = rotated;
+  } else {
+    pseudonym = pseudonyms_.PseudonymFor(uid);
+  }
+  current_pseudonym_[uid] = pseudonym;
+  stored_regions_[uid] = cloak.value().region;
+  private_store_.Insert(
+      processor::PrivateTarget{pseudonym, cloak.value().region});
+  return Status::OK();
+}
+
+Status CasperService::RemovePrivateRegion(anonymizer::UserId uid) {
+  auto region = stored_regions_.find(uid);
+  auto pseudonym = current_pseudonym_.find(uid);
+  if (region == stored_regions_.end() ||
+      pseudonym == current_pseudonym_.end()) {
+    return Status::OK();  // Nothing stored yet.
+  }
+  if (!private_store_.Remove(processor::PrivateTarget{pseudonym->second,
+                                                      region->second})) {
+    return Status::Internal("stored region missing from private store");
+  }
+  stored_regions_.erase(region);
+  return Status::OK();
+}
+
+Status CasperService::SyncPrivateData() {
+  std::vector<processor::PrivateTarget> regions;
+  regions.reserve(client_positions_.size());
+  stored_regions_.clear();
+  for (const auto& [uid, pos] : client_positions_) {
+    (void)pos;
+    auto cloak = anonymizer_->Cloak(uid);
+    if (cloak.status().code() == StatusCode::kFailedPrecondition) {
+      // Unsatisfiable profile (k above the population): never publish a
+      // weaker region; the user simply stays out of this snapshot.
+      pending_publication_.insert(uid);
+      continue;
+    }
+    if (!cloak.ok()) return cloak.status();
+    pending_publication_.erase(uid);
+    stored_regions_[uid] = cloak.value().region;
+    // Strip the identity: the server sees a fresh pseudonym per
+    // snapshot, so regions cannot be linked across syncs.
+    anonymizer::Pseudonym pseudonym;
+    if (current_pseudonym_.count(uid) > 0) {
+      CASPER_ASSIGN_OR_RETURN(rotated, pseudonyms_.Rotate(uid));
+      pseudonym = rotated;
+    } else {
+      pseudonym = pseudonyms_.PseudonymFor(uid);
+    }
+    current_pseudonym_[uid] = pseudonym;
+    regions.push_back(
+        processor::PrivateTarget{pseudonym, cloak.value().region});
+  }
+  private_store_ = processor::PrivateTargetStore(regions);
+  private_data_dirty_ = false;
+  return Status::OK();
+}
+
+Result<PublicNNResponse> CasperService::QueryNearestPublic(
+    anonymizer::UserId uid) {
+  PublicNNResponse response;
+  Stopwatch watch;
+
+  // 1. The trusted anonymizer blurs the query location.
+  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
+  response.cloak = cloak;
+  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+
+  // 2. The privacy-aware processor builds the candidate list.
+  watch.Reset();
+  CASPER_ASSIGN_OR_RETURN(
+      answer, processor::PrivateNearestNeighbor(public_store_, cloak.region,
+                                                options_.filter_policy));
+  response.timing.processor_seconds = watch.ElapsedSeconds();
+  response.timing.transmission_seconds =
+      options_.transmission.SecondsFor(answer.size());
+  response.server_answer = std::move(answer);
+
+  // 3. The client refines locally with its exact position.
+  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
+  CASPER_ASSIGN_OR_RETURN(
+      exact,
+      processor::RefineNearest(response.server_answer.candidates, position));
+  response.exact = exact;
+  return response;
+}
+
+Result<PublicKnnResponse> CasperService::QueryKNearestPublic(
+    anonymizer::UserId uid, size_t k) {
+  PublicKnnResponse response;
+  Stopwatch watch;
+
+  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
+  response.cloak = cloak;
+  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  CASPER_ASSIGN_OR_RETURN(
+      answer, processor::PrivateKNearestNeighbors(public_store_, cloak.region,
+                                                  k));
+  response.timing.processor_seconds = watch.ElapsedSeconds();
+  response.timing.transmission_seconds =
+      options_.transmission.SecondsFor(answer.size());
+  response.server_answer = std::move(answer);
+
+  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
+  response.exact = processor::RefineKNearest(
+      response.server_answer.candidates, position, k);
+  return response;
+}
+
+Result<processor::PublicNNCandidates> CasperService::QueryPublicNearest(
+    const Point& q) {
+  if (private_data_dirty_) {
+    return Status::FailedPrecondition(
+        "private data snapshot is stale; call SyncPrivateData() first");
+  }
+  return processor::PublicNearestNeighborOverPrivate(private_store_, q);
+}
+
+Result<processor::DensityMap> CasperService::QueryDensity(int cols,
+                                                          int rows) {
+  if (private_data_dirty_) {
+    return Status::FailedPrecondition(
+        "private data snapshot is stale; call SyncPrivateData() first");
+  }
+  return processor::ExpectedDensity(private_store_, options_.pyramid.space,
+                                    cols, rows);
+}
+
+Result<PrivateNNResponse> CasperService::QueryNearestPrivate(
+    anonymizer::UserId uid) {
+  if (private_data_dirty_) {
+    return Status::FailedPrecondition(
+        "private data snapshot is stale; call SyncPrivateData() first");
+  }
+  PrivateNNResponse response;
+  Stopwatch watch;
+
+  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
+  response.cloak = cloak;
+  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  processor::PrivateNNOptions nn_options;
+  nn_options.policy = options_.filter_policy;
+  // The querying user's own region is stored too (under her current
+  // pseudonym); exclude it from the whole computation — left eligible
+  // it would win every filter probe and starve the actual buddies.
+  const auto self = current_pseudonym_.find(uid);
+  if (self != current_pseudonym_.end()) {
+    nn_options.exclude_id = self->second;
+  }
+  CASPER_ASSIGN_OR_RETURN(answer,
+                          processor::PrivateNearestNeighborOverPrivate(
+                              private_store_, cloak.region, nn_options));
+  response.timing.processor_seconds = watch.ElapsedSeconds();
+  response.timing.transmission_seconds =
+      options_.transmission.SecondsFor(answer.size());
+  response.server_answer = std::move(answer);
+
+  if (response.server_answer.candidates.empty()) {
+    return Status::NotFound("no other users available as buddies");
+  }
+  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
+  CASPER_ASSIGN_OR_RETURN(
+      best, processor::RefineNearestRegion(response.server_answer.candidates,
+                                           position));
+  response.best = best;
+  return response;
+}
+
+Result<processor::RangeCountResult> CasperService::QueryPublicRange(
+    const Rect& region) {
+  if (private_data_dirty_) {
+    return Status::FailedPrecondition(
+        "private data snapshot is stale; call SyncPrivateData() first");
+  }
+  return processor::PublicRangeCount(private_store_, region);
+}
+
+Result<processor::PublicRangeCandidates> CasperService::QueryRangePublic(
+    anonymizer::UserId uid, double radius) {
+  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
+  return processor::PrivateRangeOverPublic(public_store_, cloak.region,
+                                           radius);
+}
+
+Result<Point> CasperService::ClientPosition(anonymizer::UserId uid) const {
+  auto it = client_positions_.find(uid);
+  if (it == client_positions_.end()) return Status::NotFound("unknown user");
+  return it->second;
+}
+
+}  // namespace casper

@@ -1,0 +1,217 @@
+#ifndef CASPER_CASPER_CASPER_H_
+#define CASPER_CASPER_CASPER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/anonymizer/pseudonyms.h"
+#include "src/casper/transmission.h"
+#include "src/processor/density.h"
+#include "src/processor/naive.h"
+#include "src/processor/private_knn.h"
+#include "src/processor/private_nn.h"
+#include "src/processor/private_nn_private.h"
+#include "src/processor/private_range.h"
+#include "src/processor/public_nn_private.h"
+#include "src/processor/public_range.h"
+
+/// \file
+/// The end-to-end Casper framework (Figure 1): mobile users register
+/// with privacy profiles, the location anonymizer blurs their positions
+/// into cloaked regions, and the privacy-aware query processor answers
+/// queries over those regions with candidate lists that the client
+/// refines locally.
+///
+/// `CasperService` wires the pieces together and keeps the per-query
+/// timing breakdown the paper's end-to-end experiment reports (§6.3):
+/// anonymizer time + query-processing time + candidate-list
+/// transmission time.
+
+namespace casper {
+
+struct CasperOptions {
+  anonymizer::PyramidConfig pyramid;
+
+  /// Which anonymizer variant backs the service (§4.1 vs §4.2).
+  bool use_adaptive_anonymizer = true;
+
+  processor::FilterPolicy filter_policy =
+      processor::FilterPolicy::kFourFilters;
+
+  TransmissionModel transmission;
+
+  /// Seed of the pseudonym stream used to strip user identities before
+  /// cloaked regions reach the database server (§3 pseudonymity).
+  uint64_t pseudonym_seed = 0xCA5;
+
+  /// When true, the anonymizer pushes a fresh cloaked region to the
+  /// server on every user event (register / move / profile change), so
+  /// private-data queries never require an explicit SyncPrivateData().
+  /// Each stored region reflects the pyramid state at its user's last
+  /// event — the same snapshot semantics as periodic syncing, at a
+  /// finer grain. Off by default (the paper's batch model).
+  bool auto_sync_private_data = false;
+};
+
+/// Per-query cost decomposition (Figure 17).
+struct TimingBreakdown {
+  double anonymizer_seconds = 0.0;
+  double processor_seconds = 0.0;
+  double transmission_seconds = 0.0;
+
+  double Total() const {
+    return anonymizer_seconds + processor_seconds + transmission_seconds;
+  }
+};
+
+/// Response to a private NN query over public data, as seen by the
+/// mobile client: candidate list plus the exact answer after local
+/// refinement.
+struct PublicNNResponse {
+  processor::PublicCandidateList server_answer;
+  processor::PublicTarget exact;  ///< After client-side refinement.
+  anonymizer::CloakingResult cloak;
+  TimingBreakdown timing;
+};
+
+/// Response to a private k-NN query over public data.
+struct PublicKnnResponse {
+  processor::KnnCandidateList server_answer;
+  std::vector<processor::PublicTarget> exact;  ///< k refined answers.
+  anonymizer::CloakingResult cloak;
+  TimingBreakdown timing;
+};
+
+/// Response to a private NN query over private data (buddies).
+struct PrivateNNResponse {
+  processor::PrivateCandidateList server_answer;
+  processor::PrivateTarget best;  ///< Client-side minimax refinement.
+  anonymizer::CloakingResult cloak;
+  TimingBreakdown timing;
+};
+
+/// The full framework: one anonymizer (trusted middleware), one
+/// privacy-aware database server holding public targets and the cloaked
+/// user regions, plus the client-side refinement logic. Single-threaded
+/// by design, mirroring the paper's single middleware process.
+class CasperService {
+ public:
+  explicit CasperService(const CasperOptions& options);
+
+  // --- User lifecycle (mobile clients -> anonymizer) ------------------
+
+  Status RegisterUser(anonymizer::UserId uid,
+                      const anonymizer::PrivacyProfile& profile,
+                      const Point& position);
+  Status UpdateUserLocation(anonymizer::UserId uid, const Point& position);
+  Status UpdateUserProfile(anonymizer::UserId uid,
+                           const anonymizer::PrivacyProfile& profile);
+  Status DeregisterUser(anonymizer::UserId uid);
+
+  // --- Public data (stored directly at the server) --------------------
+
+  void AddPublicTarget(const processor::PublicTarget& target);
+  void SetPublicTargets(const std::vector<processor::PublicTarget>& targets);
+
+  // --- Private-data snapshot ------------------------------------------
+  //
+  // The anonymizer pushes cloaked regions to the server. This facade
+  // refreshes the snapshot on demand: each registered user is cloaked,
+  // her identity is replaced by a *fresh pseudonym* (§3: the anonymizer
+  // "removes any user identity to ensure pseudonymity"; rotation makes
+  // snapshots unlinkable), and the regions are bulk-loaded into the
+  // server's private store. Call after a batch of movement.
+
+  Status SyncPrivateData();
+
+  /// Trusted-side translation of a pseudonym from a query answer back
+  /// to the user id (only the anonymizer side can do this; the database
+  /// server never can).
+  Result<anonymizer::UserId> ResolvePseudonym(
+      anonymizer::Pseudonym pseudonym) const {
+    return pseudonyms_.Resolve(pseudonym);
+  }
+
+  // --- Queries ----------------------------------------------------------
+
+  /// Private NN over public data: "my nearest gas station" for `uid`.
+  Result<PublicNNResponse> QueryNearestPublic(anonymizer::UserId uid);
+
+  /// Private k-NN over public data: "my k nearest gas stations".
+  Result<PublicKnnResponse> QueryKNearestPublic(anonymizer::UserId uid,
+                                                size_t k);
+
+  /// Public NN over private data: the administrator's "which user is
+  /// nearest to this point?" (requires SyncPrivateData).
+  Result<processor::PublicNNCandidates> QueryPublicNearest(const Point& q);
+
+  /// Expected-density map of the cloaked user population over a grid
+  /// spanning the whole managed space (requires SyncPrivateData).
+  Result<processor::DensityMap> QueryDensity(int cols, int rows);
+
+  /// Private NN over private data: "my nearest buddy" — the stored
+  /// cloaked regions of every *other* user (requires SyncPrivateData).
+  Result<PrivateNNResponse> QueryNearestPrivate(anonymizer::UserId uid);
+
+  /// Public query over private data: expected/possible user counts in
+  /// an exactly-known region (requires SyncPrivateData).
+  Result<processor::RangeCountResult> QueryPublicRange(const Rect& region);
+
+  /// Private range query over public data for `uid`.
+  Result<processor::PublicRangeCandidates> QueryRangePublic(
+      anonymizer::UserId uid, double radius);
+
+  // --- Introspection ----------------------------------------------------
+
+  anonymizer::LocationAnonymizer& anonymizer() { return *anonymizer_; }
+  const processor::PublicTargetStore& public_store() const {
+    return public_store_;
+  }
+  const processor::PrivateTargetStore& private_store() const {
+    return private_store_;
+  }
+  const CasperOptions& options() const { return options_; }
+  size_t user_count() const { return anonymizer_->user_count(); }
+
+  /// The client's own exact position (known only to the client and the
+  /// trusted anonymizer; used for local refinement and quality checks).
+  Result<Point> ClientPosition(anonymizer::UserId uid) const;
+
+ private:
+  /// Incremental private-store maintenance for auto-sync mode: re-cloak
+  /// one user and replace her stored region (rotating the pseudonym).
+  Status UpsertPrivateRegion(anonymizer::UserId uid);
+  Status RemovePrivateRegion(anonymizer::UserId uid);
+
+  /// Users whose profiles could not be satisfied yet (k above the
+  /// population at their last event) are retried as the population
+  /// grows.
+  Status RetryPendingPublications();
+
+  CasperOptions options_;
+  std::unique_ptr<anonymizer::LocationAnonymizer> anonymizer_;
+  processor::PublicTargetStore public_store_;
+  processor::PrivateTargetStore private_store_;
+  /// uid -> cloaked region currently stored at the server.
+  std::unordered_map<anonymizer::UserId, Rect> stored_regions_;
+  /// Identity stripping for server-side private data.
+  anonymizer::PseudonymRegistry pseudonyms_;
+  /// The querying user's own pseudonym must be excluded from buddy
+  /// answers; track the current one per user.
+  std::unordered_map<anonymizer::UserId, anonymizer::Pseudonym>
+      current_pseudonym_;
+  /// Auto-sync users awaiting a satisfiable profile (see
+  /// RetryPendingPublications).
+  std::unordered_set<anonymizer::UserId> pending_publication_;
+  /// Client-side knowledge: each client knows its own exact position.
+  std::unordered_map<anonymizer::UserId, Point> client_positions_;
+  bool private_data_dirty_ = true;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_CASPER_CASPER_H_

@@ -1,0 +1,99 @@
+#include "src/casper/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace casper::workload {
+
+std::vector<std::vector<network::LocationUpdate>> Trace::UpdatesByTick()
+    const {
+  std::vector<std::vector<network::LocationUpdate>> ticks;
+  for (const network::LocationUpdate& u : updates) {
+    CASPER_DCHECK(u.tick >= 1);
+    if (u.tick > ticks.size()) ticks.resize(u.tick);
+    ticks[u.tick - 1].push_back(u);
+  }
+  return ticks;
+}
+
+Status WriteTrace(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  std::fprintf(f, "# casper trace: %zu registrations, %zu updates\n",
+               trace.registrations.size(), trace.updates.size());
+  for (const TraceRegistration& r : trace.registrations) {
+    std::fprintf(f, "U,%" PRIu64 ",%u,%.17g,%.17g,%.17g\n", r.uid,
+                 r.profile.k, r.profile.a_min, r.position.x, r.position.y);
+  }
+  for (const network::LocationUpdate& u : trace.updates) {
+    std::fprintf(f, "L,%" PRIu64 ",%" PRIu64 ",%.17g,%.17g\n", u.tick, u.uid,
+                 u.position.x, u.position.y);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Internal("error closing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> ReadTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open trace: " + path);
+
+  Trace trace;
+  char line[512];
+  int line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    if (line[0] == 'U') {
+      TraceRegistration r;
+      if (std::sscanf(line, "U,%" SCNu64 ",%u,%lg,%lg,%lg", &r.uid,
+                      &r.profile.k, &r.profile.a_min, &r.position.x,
+                      &r.position.y) != 5) {
+        std::fclose(f);
+        return Status::InvalidArgument("malformed registration at line " +
+                                       std::to_string(line_no));
+      }
+      trace.registrations.push_back(r);
+    } else if (line[0] == 'L') {
+      network::LocationUpdate u;
+      if (std::sscanf(line, "L,%" SCNu64 ",%" SCNu64 ",%lg,%lg", &u.tick,
+                      &u.uid, &u.position.x, &u.position.y) != 4) {
+        std::fclose(f);
+        return Status::InvalidArgument("malformed update at line " +
+                                       std::to_string(line_no));
+      }
+      trace.updates.push_back(u);
+    } else {
+      std::fclose(f);
+      return Status::InvalidArgument("unknown record type at line " +
+                                     std::to_string(line_no));
+    }
+  }
+  std::fclose(f);
+  return trace;
+}
+
+Trace RecordTrace(network::MovingObjectSimulator* simulator, size_t users,
+                  const ProfileDistribution& dist, size_t ticks, Rng* rng) {
+  CASPER_DCHECK(users <= simulator->object_count());
+  Trace trace;
+  const Rect space = simulator->network().bounds();
+  for (anonymizer::UserId uid = 0; uid < users; ++uid) {
+    TraceRegistration r;
+    r.uid = uid;
+    r.profile = SampleProfile(dist, space.Area(), rng);
+    r.position = simulator->PositionOf(uid);
+    trace.registrations.push_back(r);
+  }
+  for (size_t t = 0; t < ticks; ++t) {
+    for (const network::LocationUpdate& u : simulator->Tick()) {
+      if (u.uid < users) trace.updates.push_back(u);
+    }
+  }
+  return trace;
+}
+
+}  // namespace casper::workload

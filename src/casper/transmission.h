@@ -1,0 +1,39 @@
+#ifndef CASPER_CASPER_TRANSMISSION_H_
+#define CASPER_CASPER_TRANSMISSION_H_
+
+#include <cstddef>
+
+/// \file
+/// The analytical downlink-cost model of §6.3: candidate-list records of
+/// 64 bytes shipped over a 100 Mbps channel. The paper's end-to-end
+/// experiment adds this transmission time to the anonymizer and
+/// query-processor times.
+
+namespace casper {
+
+class TransmissionModel {
+ public:
+  /// Defaults are the paper's parameters.
+  explicit TransmissionModel(size_t record_bytes = 64,
+                             double bandwidth_bits_per_second = 100e6)
+      : record_bytes_(record_bytes), bandwidth_bps_(bandwidth_bits_per_second) {}
+
+  /// Seconds to transmit `records` candidate-list entries.
+  double SecondsFor(size_t records) const {
+    return static_cast<double>(records * record_bytes_) * 8.0 /
+           bandwidth_bps_;
+  }
+
+  size_t BytesFor(size_t records) const { return records * record_bytes_; }
+
+  size_t record_bytes() const { return record_bytes_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+
+ private:
+  size_t record_bytes_;
+  double bandwidth_bps_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_CASPER_TRANSMISSION_H_

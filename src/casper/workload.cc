@@ -1,0 +1,106 @@
+#include "src/casper/workload.h"
+
+#include <algorithm>
+
+namespace casper::workload {
+
+anonymizer::PrivacyProfile SampleProfile(const ProfileDistribution& dist,
+                                         double space_area, Rng* rng) {
+  CASPER_DCHECK(dist.k_min >= 1 && dist.k_min <= dist.k_max);
+  CASPER_DCHECK(dist.area_fraction_min >= 0.0 &&
+                dist.area_fraction_min <= dist.area_fraction_max);
+  anonymizer::PrivacyProfile profile;
+  profile.k = static_cast<uint32_t>(rng->UniformInt(dist.k_min, dist.k_max));
+  profile.a_min =
+      space_area * rng->Uniform(dist.area_fraction_min, dist.area_fraction_max);
+  return profile;
+}
+
+std::vector<processor::PublicTarget> UniformPublicTargets(size_t n,
+                                                          const Rect& space,
+                                                          Rng* rng) {
+  std::vector<processor::PublicTarget> targets;
+  targets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    targets.push_back(processor::PublicTarget{i, rng->PointIn(space)});
+  }
+  return targets;
+}
+
+std::vector<processor::PrivateTarget> RandomPrivateTargets(
+    size_t n, const anonymizer::PyramidConfig& pyramid, int max_side,
+    Rng* rng) {
+  CASPER_DCHECK(max_side >= 1);
+  const double cell_w =
+      pyramid.space.width() / (1u << pyramid.height);
+  const double cell_h =
+      pyramid.space.height() / (1u << pyramid.height);
+
+  std::vector<processor::PrivateTarget> targets;
+  targets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double w =
+        cell_w * static_cast<double>(
+                     rng->UniformInt(1, static_cast<uint64_t>(max_side)));
+    const double h =
+        cell_h * static_cast<double>(
+                     rng->UniformInt(1, static_cast<uint64_t>(max_side)));
+    const Point corner = rng->PointIn(
+        Rect(pyramid.space.min.x, pyramid.space.min.y,
+             std::max(pyramid.space.max.x - w, pyramid.space.min.x),
+             std::max(pyramid.space.max.y - h, pyramid.space.min.y)));
+    Rect region(corner.x, corner.y,
+                std::min(corner.x + w, pyramid.space.max.x),
+                std::min(corner.y + h, pyramid.space.max.y));
+    targets.push_back(processor::PrivateTarget{i, region});
+  }
+  return targets;
+}
+
+Rect RandomCellAlignedRegion(const anonymizer::PyramidConfig& pyramid,
+                             int cells_wide, int cells_high, Rng* rng) {
+  CASPER_DCHECK(cells_wide >= 1 && cells_high >= 1);
+  const uint32_t dim = 1u << pyramid.height;
+  CASPER_DCHECK(static_cast<uint32_t>(cells_wide) <= dim &&
+                static_cast<uint32_t>(cells_high) <= dim);
+  const double cell_w = pyramid.space.width() / dim;
+  const double cell_h = pyramid.space.height() / dim;
+  const uint32_t max_x = dim - static_cast<uint32_t>(cells_wide);
+  const uint32_t max_y = dim - static_cast<uint32_t>(cells_high);
+  const uint32_t cx = static_cast<uint32_t>(rng->UniformInt(0, max_x));
+  const uint32_t cy = static_cast<uint32_t>(rng->UniformInt(0, max_y));
+  const double x0 = pyramid.space.min.x + cx * cell_w;
+  const double y0 = pyramid.space.min.y + cy * cell_h;
+  return Rect(x0, y0, x0 + cells_wide * cell_w, y0 + cells_high * cell_h);
+}
+
+Status RegisterSimulatedUsers(const network::MovingObjectSimulator& sim,
+                              size_t count, const ProfileDistribution& dist,
+                              anonymizer::LocationAnonymizer* anonymizer,
+                              Rng* rng) {
+  if (count > sim.object_count()) {
+    return Status::InvalidArgument(
+        "more users requested than simulated objects");
+  }
+  const double space_area = anonymizer->config().space.Area();
+  for (size_t uid = 0; uid < count; ++uid) {
+    const auto profile = SampleProfile(dist, space_area, rng);
+    const Point pos =
+        ClampToRect(sim.PositionOf(uid), anonymizer->config().space);
+    CASPER_RETURN_IF_ERROR(anonymizer->RegisterUser(uid, profile, pos));
+  }
+  return Status::OK();
+}
+
+Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
+                 anonymizer::LocationAnonymizer* anonymizer) {
+  const Rect& space = anonymizer->config().space;
+  for (const network::LocationUpdate& u : updates) {
+    if (u.uid >= anonymizer->user_count()) continue;
+    CASPER_RETURN_IF_ERROR(
+        anonymizer->UpdateLocation(u.uid, ClampToRect(u.position, space)));
+  }
+  return Status::OK();
+}
+
+}  // namespace casper::workload

@@ -1,0 +1,71 @@
+#ifndef CASPER_CASPER_WORKLOAD_H_
+#define CASPER_CASPER_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/anonymizer/anonymizer.h"
+#include "src/anonymizer/privacy_profile.h"
+#include "src/anonymizer/pyramid_config.h"
+#include "src/common/rng.h"
+#include "src/network/moving_objects.h"
+#include "src/processor/target_store.h"
+
+/// \file
+/// Workload builders shared by the experiments, examples, and tests.
+/// They reproduce the paper's setup (§6): privacy profiles uniform in a
+/// k range and an A_min range given as a fraction of the space, target
+/// objects uniform in space, private target regions of 1..64
+/// lowest-level cells, and user populations driven by the road-network
+/// simulator.
+
+namespace casper::workload {
+
+struct ProfileDistribution {
+  /// k drawn uniformly from [k_min, k_max].
+  uint32_t k_min = 1;
+  uint32_t k_max = 50;
+
+  /// A_min drawn uniformly from [area_fraction_min, area_fraction_max]
+  /// of the total space area (paper default: 0.005%..0.01%).
+  double area_fraction_min = 0.00005;
+  double area_fraction_max = 0.0001;
+};
+
+/// One random profile from the distribution.
+anonymizer::PrivacyProfile SampleProfile(const ProfileDistribution& dist,
+                                         double space_area, Rng* rng);
+
+/// `n` uniformly placed public targets with ids 0..n-1.
+std::vector<processor::PublicTarget> UniformPublicTargets(size_t n,
+                                                          const Rect& space,
+                                                          Rng* rng);
+
+/// `n` private target regions whose side lengths are 1..max_side cells
+/// of the pyramid's lowest level (max_side = 8 gives the paper's 1-64
+/// cell areas), placed uniformly, clipped to the space.
+std::vector<processor::PrivateTarget> RandomPrivateTargets(
+    size_t n, const anonymizer::PyramidConfig& pyramid, int max_side,
+    Rng* rng);
+
+/// A cloaked query region spanning `cells_wide` x `cells_high` cells of
+/// the pyramid's lowest level, placed uniformly at random.
+Rect RandomCellAlignedRegion(const anonymizer::PyramidConfig& pyramid,
+                             int cells_wide, int cells_high, Rng* rng);
+
+/// Registers `count` users into `anonymizer`, placed at the simulator's
+/// current object positions (uids 0..count-1 match simulator object
+/// ids) with profiles from `dist`. `count` must not exceed the
+/// simulator's object count.
+Status RegisterSimulatedUsers(const network::MovingObjectSimulator& sim,
+                              size_t count, const ProfileDistribution& dist,
+                              anonymizer::LocationAnonymizer* anonymizer,
+                              Rng* rng);
+
+/// Applies one simulator tick's location updates to the anonymizer
+/// (only uids already registered there).
+Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
+                 anonymizer::LocationAnonymizer* anonymizer);
+
+}  // namespace casper::workload
+
+#endif  // CASPER_CASPER_WORKLOAD_H_

@@ -1,0 +1,95 @@
+#include "src/common/geometry.h"
+
+#include <cstdio>
+
+namespace casper {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Rect::IntersectionArea(const Rect& other) const {
+  if (is_empty() || other.is_empty()) return 0.0;
+  const double w = std::min(max.x, other.max.x) - std::max(min.x, other.min.x);
+  const double h = std::min(max.y, other.max.y) - std::max(min.y, other.min.y);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+Rect Rect::Union(const Rect& other) const {
+  if (is_empty()) return other;
+  if (other.is_empty()) return *this;
+  return Rect(std::min(min.x, other.min.x), std::min(min.y, other.min.y),
+              std::max(max.x, other.max.x), std::max(max.y, other.max.y));
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[(%g, %g), (%g, %g)]", min.x, min.y, max.x,
+                max.y);
+  return buf;
+}
+
+double MinDist(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min.x - p.x, 0.0, p.x - r.max.x});
+  const double dy = std::max({r.min.y - p.y, 0.0, p.y - r.max.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Point& p, const Rect& r) {
+  const double dx = std::max(std::abs(p.x - r.min.x), std::abs(p.x - r.max.x));
+  const double dy = std::max(std::abs(p.y - r.min.y), std::abs(p.y - r.max.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Point FurthestCorner(const Point& p, const Rect& r) {
+  Point best = r.min;
+  double best_d = -1.0;
+  for (const Point& c : r.Corners()) {
+    const double d = SquaredDistance(p, c);
+    if (d > best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool BisectorEdgeIntersection(const Point& s, const Point& t,
+                              const Segment& edge, Point* out) {
+  if (s == t) return false;
+  // The bisector is the set of points q with |q-s|^2 == |q-t|^2, i.e.
+  //   2 (t-s) . q = |t|^2 - |s|^2.
+  // Parameterize the edge as q = a + u (b - a), u in [0, 1], and solve
+  // the resulting linear equation for u.
+  const double nx = t.x - s.x;
+  const double ny = t.y - s.y;
+  const double c = 0.5 * (t.x * t.x - s.x * s.x + t.y * t.y - s.y * s.y);
+  const Point& a = edge.a;
+  const Point& b = edge.b;
+  const double denom = nx * (b.x - a.x) + ny * (b.y - a.y);
+  const double num = c - (nx * a.x + ny * a.y);
+  if (denom == 0.0) {
+    // Edge parallel to the bisector: either disjoint or the whole edge is
+    // equidistant; treat both as "no single middle point".
+    return false;
+  }
+  const double u = num / denom;
+  if (u < 0.0 || u > 1.0) return false;
+  out->x = a.x + u * (b.x - a.x);
+  out->y = a.y + u * (b.y - a.y);
+  return true;
+}
+
+Point ClampToRect(const Point& p, const Rect& r) {
+  return Point{std::clamp(p.x, r.min.x, r.max.x),
+               std::clamp(p.y, r.min.y, r.max.y)};
+}
+
+}  // namespace casper

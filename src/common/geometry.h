@@ -1,0 +1,153 @@
+#ifndef CASPER_COMMON_GEOMETRY_H_
+#define CASPER_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+/// \file
+/// 2-D geometry primitives shared by every Casper module: points,
+/// axis-aligned rectangles, and the distance kernels Algorithm 2 needs
+/// (point-point, point-rectangle MinDist/MaxDist, furthest corner, and
+/// perpendicular-bisector/segment intersection).
+
+namespace casper {
+
+/// A point in the 2-D plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance (cheaper; use for comparisons).
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Euclidean distance.
+double Distance(const Point& a, const Point& b);
+
+/// An axis-aligned rectangle, closed on all sides. The canonical empty
+/// rectangle (default constructed) has min > max and reports
+/// `is_empty()`; all set operations treat it as the identity.
+struct Rect {
+  Point min{+1.0, +1.0};
+  Point max{-1.0, -1.0};
+
+  Rect() = default;
+  Rect(Point mn, Point mx) : min(mn), max(mx) {}
+  Rect(double min_x, double min_y, double max_x, double max_y)
+      : min{min_x, min_y}, max{max_x, max_y} {}
+
+  /// Degenerate rectangle containing exactly one point.
+  static Rect FromPoint(const Point& p) { return Rect(p, p); }
+
+  bool is_empty() const { return min.x > max.x || min.y > max.y; }
+
+  double width() const { return is_empty() ? 0.0 : max.x - min.x; }
+  double height() const { return is_empty() ? 0.0 : max.y - min.y; }
+  double Area() const { return width() * height(); }
+  /// Half-perimeter; the R-tree split heuristic margin term.
+  double Margin() const { return width() + height(); }
+
+  Point Center() const {
+    return Point{(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+
+  bool Contains(const Point& p) const {
+    return !is_empty() && p.x >= min.x && p.x <= max.x && p.y >= min.y &&
+           p.y <= max.y;
+  }
+
+  /// True when `other` lies fully inside this rectangle.
+  bool Contains(const Rect& other) const {
+    if (other.is_empty()) return true;
+    if (is_empty()) return false;
+    return other.min.x >= min.x && other.max.x <= max.x &&
+           other.min.y >= min.y && other.max.y <= max.y;
+  }
+
+  /// Closed-boundary overlap test (touching rectangles intersect).
+  bool Intersects(const Rect& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    return min.x <= other.max.x && other.min.x <= max.x &&
+           min.y <= other.max.y && other.min.y <= max.y;
+  }
+
+  /// Area of the overlap region (0 when disjoint).
+  double IntersectionArea(const Rect& other) const;
+
+  /// Smallest rectangle containing both.
+  Rect Union(const Rect& other) const;
+
+  /// Rectangle grown outward by `d >= 0` on every side.
+  Rect Expanded(double d) const {
+    if (is_empty()) return *this;
+    return Rect(min.x - d, min.y - d, max.x + d, max.y + d);
+  }
+
+  /// Rectangle with each side pushed outward by its own distance
+  /// (the Algorithm 2 extended-area construction: `left` moves min.x
+  /// left by that amount, etc.). Distances must be >= 0.
+  Rect ExpandedPerSide(double left, double bottom, double right,
+                       double top) const {
+    if (is_empty()) return *this;
+    return Rect(min.x - left, min.y - bottom, max.x + right, max.y + top);
+  }
+
+  /// The four corners in the fixed order used by the query processor:
+  /// v0 = (min.x, min.y), v1 = (max.x, min.y), v2 = (max.x, max.y),
+  /// v3 = (min.x, max.y) (counter-clockwise from bottom-left).
+  std::array<Point, 4> Corners() const {
+    return {Point{min.x, min.y}, Point{max.x, min.y}, Point{max.x, max.y},
+            Point{min.x, max.y}};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+/// Distance from `p` to the closest point of `r` (0 if inside).
+double MinDist(const Point& p, const Rect& r);
+
+/// Distance from `p` to the farthest point of `r` (a corner).
+double MaxDist(const Point& p, const Rect& r);
+
+/// The corner of `r` farthest from `p` (ties broken toward the corner
+/// ordering of Rect::Corners()). Used by the private-data filter step.
+Point FurthestCorner(const Point& p, const Rect& r);
+
+/// A directed segment from `a` to `b`.
+struct Segment {
+  Point a;
+  Point b;
+
+  double Length() const { return Distance(a, b); }
+  Point Midpoint() const {
+    return Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+  }
+};
+
+/// Intersection of the perpendicular bisector of segment `st` (the locus
+/// of points equidistant from s and t) with segment `edge`.
+///
+/// Returns true and sets `*out` when the bisector crosses the edge.
+/// Used by Algorithm 2 step 2: s and t are the filter targets of the two
+/// edge vertices, the result is the middle point m_ij. When s == t the
+/// bisector is undefined and the function returns false (the paper's
+/// "m_ij does not exist" case).
+bool BisectorEdgeIntersection(const Point& s, const Point& t,
+                              const Segment& edge, Point* out);
+
+/// Clamp `p` into `r` (no-op when already inside).
+Point ClampToRect(const Point& p, const Rect& r);
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_GEOMETRY_H_

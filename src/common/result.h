@@ -1,0 +1,65 @@
+#ifndef CASPER_COMMON_RESULT_H_
+#define CASPER_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace casper {
+
+/// Value-or-status, in the spirit of `absl::StatusOr` / `arrow::Result`.
+/// A `Result<T>` either holds a `T` (then `ok()` is true) or a non-OK
+/// `Status` explaining the failure. Access to `value()` on an error
+/// result is a fatal contract violation.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::NotFound(...)` both work in a Result-returning
+  /// function (mirrors absl::StatusOr ergonomics).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    CASPER_DCHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    CASPER_DCHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CASPER_DCHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CASPER_DCHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// The status; `Status::OK()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluate a Result-returning expression; on error propagate the status,
+/// otherwise bind the value to `lhs`.
+#define CASPER_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto lhs##_result = (expr);                   \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto lhs = std::move(lhs##_result).value()
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_RESULT_H_

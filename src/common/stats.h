@@ -1,0 +1,36 @@
+#ifndef CASPER_COMMON_STATS_H_
+#define CASPER_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace casper {
+
+/// Streaming accumulator for experiment metrics: count/mean/min/max plus
+/// exact quantiles on demand (samples are retained; experiment scales are
+/// small enough that this is fine).
+class SummaryStats {
+ public:
+  void Add(double v);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact q-quantile by nearest-rank, q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+  double StdDev() const;
+
+  /// Merge another accumulator into this one.
+  void Merge(const SummaryStats& other);
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_STATS_H_

@@ -1,0 +1,110 @@
+#ifndef CASPER_COMMON_STATUS_H_
+#define CASPER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+/// \file
+/// RocksDB-style error handling: fallible operations return a `Status`
+/// (or `Result<T>`, see result.h) rather than throwing. The library is
+/// built without exceptions in mind; nothing in src/ throws.
+
+namespace casper {
+
+/// Assert-style guard for programmer errors (contract violations).
+/// Enabled in all build types: the library is small enough that the
+/// checks are cheap relative to the work they guard.
+#define CASPER_DCHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CASPER_DCHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value outside the documented domain.
+  kNotFound,          ///< Referenced entity (user id, node id, ...) unknown.
+  kAlreadyExists,     ///< Registration of an id that is already registered.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kOutOfRange,        ///< Index/coordinate outside the managed space.
+  kInternal,          ///< Invariant violation that should never happen.
+};
+
+/// Lightweight status object: a code plus an optional human-readable
+/// message. `Status::OK()` carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>"; for logs and test failure output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define CASPER_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::casper::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef CASPER_COMMON_STOPWATCH_H_
+#define CASPER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace casper {
+
+/// Monotonic wall-clock timer for the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_STOPWATCH_H_

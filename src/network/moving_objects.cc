@@ -1,0 +1,97 @@
+#include "src/network/moving_objects.h"
+
+#include <algorithm>
+
+namespace casper::network {
+
+MovingObjectSimulator::MovingObjectSimulator(const RoadNetwork* network,
+                                             SimulatorOptions options,
+                                             uint64_t seed)
+    : network_(network), options_(options), rng_(seed) {
+  CASPER_DCHECK(network_ != nullptr);
+  CASPER_DCHECK(network_->node_count() >= 2);
+  CASPER_DCHECK(options_.min_speed_factor > 0.0);
+  CASPER_DCHECK(options_.min_speed_factor <= options_.max_speed_factor);
+
+  objects_.resize(options_.object_count);
+  for (ObjectState& obj : objects_) {
+    obj.speed_factor =
+        rng_.Uniform(options_.min_speed_factor, options_.max_speed_factor);
+    const NodeId start =
+        static_cast<NodeId>(rng_.UniformInt(0, network_->node_count() - 1));
+    obj.position = network_->node(start).position;
+    AssignNewRoute(&obj, start);
+  }
+}
+
+void MovingObjectSimulator::AssignNewRoute(ObjectState* obj, NodeId from) {
+  // Pick a distinct random destination; the network is connected so the
+  // route always exists.
+  NodeId to = from;
+  while (to == from) {
+    to = static_cast<NodeId>(rng_.UniformInt(0, network_->node_count() - 1));
+  }
+  auto route = ShortestPathAStar(*network_, from, to);
+  CASPER_DCHECK(route.ok());
+  obj->route = std::move(route).value();
+  obj->edge_index = 0;
+  obj->offset = 0.0;
+}
+
+Point MovingObjectSimulator::PointOnEdge(const Route& route, size_t idx,
+                                         double offset) const {
+  const RoadEdge& e = network_->edge(route.edges[idx]);
+  const Point a = network_->node(route.nodes[idx]).position;
+  const Point b = network_->node(route.nodes[idx + 1]).position;
+  const double t = e.length > 0.0 ? std::clamp(offset / e.length, 0.0, 1.0)
+                                  : 1.0;
+  return Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+std::vector<LocationUpdate> MovingObjectSimulator::Tick() {
+  ++tick_;
+  std::vector<LocationUpdate> updates;
+  updates.reserve(objects_.size());
+
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    ObjectState& obj = objects_[i];
+    double budget = options_.tick_seconds;
+
+    // Consume travel budget edge by edge; on arrival, immediately start
+    // a new route (continuing within the same tick).
+    while (budget > 0.0) {
+      if (obj.edge_index >= obj.route.edges.size()) {
+        AssignNewRoute(&obj, obj.route.nodes.back());
+        continue;
+      }
+      const RoadEdge& e = network_->edge(obj.route.edges[obj.edge_index]);
+      const double speed = SpeedOf(e.cls) * obj.speed_factor;
+      const double remaining = e.length - obj.offset;
+      const double step = speed * budget;
+      if (step < remaining) {
+        obj.offset += step;
+        budget = 0.0;
+      } else {
+        budget -= remaining / speed;
+        obj.offset = 0.0;
+        ++obj.edge_index;
+      }
+    }
+
+    if (obj.edge_index >= obj.route.edges.size()) {
+      obj.position = network_->node(obj.route.nodes.back()).position;
+    } else {
+      obj.position = PointOnEdge(obj.route, obj.edge_index, obj.offset);
+    }
+    updates.push_back(LocationUpdate{static_cast<ObjectId>(i), obj.position,
+                                     tick_});
+  }
+  return updates;
+}
+
+Point MovingObjectSimulator::PositionOf(ObjectId uid) const {
+  CASPER_DCHECK(uid < objects_.size());
+  return objects_[uid].position;
+}
+
+}  // namespace casper::network

@@ -1,0 +1,129 @@
+#include "src/network/network_generator.h"
+
+#include <algorithm>
+
+namespace casper::network {
+
+namespace {
+
+/// Road class of the grid line with index `i` (row or column).
+RoadClass LineClass(int i, const NetworkGeneratorOptions& opt) {
+  if (opt.highway_every > 0 && i % opt.highway_every == 0) {
+    return RoadClass::kHighway;
+  }
+  if (opt.arterial_every > 0 && i % opt.arterial_every == 0) {
+    return RoadClass::kArterial;
+  }
+  return RoadClass::kLocal;
+}
+
+}  // namespace
+
+Result<RoadNetwork> NetworkGenerator::Generate(uint64_t seed) const {
+  const NetworkGeneratorOptions& opt = options_;
+  if (opt.rows < 2 || opt.cols < 2) {
+    return Status::InvalidArgument("need at least a 2x2 grid");
+  }
+  if (opt.jitter < 0.0 || opt.jitter >= 0.5) {
+    return Status::InvalidArgument("jitter must be in [0, 0.5)");
+  }
+  if (opt.space.is_empty()) {
+    return Status::InvalidArgument("space must be non-empty");
+  }
+  if (opt.diagonal_prob < 0.0 || opt.diagonal_prob > 1.0 ||
+      opt.dropout_prob < 0.0 || opt.dropout_prob >= 1.0) {
+    return Status::InvalidArgument("probabilities out of range");
+  }
+
+  Rng rng(seed);
+  RoadNetwork net;
+
+  const double dx = opt.space.width() / (opt.cols - 1);
+  const double dy = opt.space.height() / (opt.rows - 1);
+
+  // Jittered grid of intersections. Border nodes stay inside the space.
+  std::vector<NodeId> grid(static_cast<size_t>(opt.rows) *
+                           static_cast<size_t>(opt.cols));
+  auto at = [&](int r, int c) -> NodeId& {
+    return grid[static_cast<size_t>(r) * static_cast<size_t>(opt.cols) +
+                static_cast<size_t>(c)];
+  };
+  for (int r = 0; r < opt.rows; ++r) {
+    for (int c = 0; c < opt.cols; ++c) {
+      const double jx = rng.Uniform(-opt.jitter, opt.jitter) * dx;
+      const double jy = rng.Uniform(-opt.jitter, opt.jitter) * dy;
+      Point p{opt.space.min.x + c * dx + jx, opt.space.min.y + r * dy + jy};
+      p = ClampToRect(p, opt.space);
+      at(r, c) = net.AddNode(p);
+    }
+  }
+
+  // Grid streets. Horizontal edges take the row's class, vertical edges
+  // the column's class; local streets may drop out.
+  for (int r = 0; r < opt.rows; ++r) {
+    for (int c = 0; c < opt.cols; ++c) {
+      if (c + 1 < opt.cols) {
+        const RoadClass cls = LineClass(r, opt);
+        if (cls != RoadClass::kLocal || !rng.Bernoulli(opt.dropout_prob)) {
+          auto st = net.AddEdge(at(r, c), at(r, c + 1), cls);
+          CASPER_DCHECK(st.ok());
+        }
+      }
+      if (r + 1 < opt.rows) {
+        const RoadClass cls = LineClass(c, opt);
+        if (cls != RoadClass::kLocal || !rng.Bernoulli(opt.dropout_prob)) {
+          auto st = net.AddEdge(at(r, c), at(r + 1, c), cls);
+          CASPER_DCHECK(st.ok());
+        }
+      }
+    }
+  }
+
+  // Diagonal shortcuts inside grid squares (alternating orientation so
+  // diagonals never cross each other).
+  for (int r = 0; r + 1 < opt.rows; ++r) {
+    for (int c = 0; c + 1 < opt.cols; ++c) {
+      if (!rng.Bernoulli(opt.diagonal_prob)) continue;
+      if ((r + c) % 2 == 0) {
+        (void)net.AddEdge(at(r, c), at(r + 1, c + 1), RoadClass::kLocal);
+      } else {
+        (void)net.AddEdge(at(r, c + 1), at(r + 1, c), RoadClass::kLocal);
+      }
+    }
+  }
+
+  // Repair connectivity broken by dropout: link each extra component to
+  // the main one through the closest node pair.
+  std::vector<std::vector<NodeId>> components = net.ConnectedComponents();
+  while (components.size() > 1) {
+    // Largest component is the backbone.
+    size_t main_idx = 0;
+    for (size_t i = 1; i < components.size(); ++i) {
+      if (components[i].size() > components[main_idx].size()) main_idx = i;
+    }
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (i == main_idx) continue;
+      NodeId best_a = kInvalidNode, best_b = kInvalidNode;
+      double best_d = 0.0;
+      for (NodeId a : components[i]) {
+        for (NodeId b : components[main_idx]) {
+          const double d =
+              SquaredDistance(net.node(a).position, net.node(b).position);
+          if (best_a == kInvalidNode || d < best_d) {
+            best_a = a;
+            best_b = b;
+            best_d = d;
+          }
+        }
+      }
+      auto st = net.AddEdge(best_a, best_b, RoadClass::kLocal);
+      CASPER_DCHECK(st.ok());
+    }
+    components = net.ConnectedComponents();
+  }
+
+  CASPER_DCHECK(net.IsConnected());
+  return net;
+}
+
+}  // namespace casper::network

@@ -1,0 +1,61 @@
+#ifndef CASPER_NETWORK_NETWORK_GENERATOR_H_
+#define CASPER_NETWORK_NETWORK_GENERATOR_H_
+
+#include "src/common/rng.h"
+#include "src/network/road_network.h"
+
+/// \file
+/// Synthetic road-network generator. Stands in for the Hennepin County
+/// road map the paper feeds to the Brinkhoff generator: a jittered grid
+/// of intersections with highway rows/columns, arterial rows/columns,
+/// diagonal shortcuts, and random local-street dropout — yielding the
+/// skewed, network-constrained user distribution the experiments need
+/// (see DESIGN.md substitutions).
+
+namespace casper::network {
+
+struct NetworkGeneratorOptions {
+  /// Intersection grid dimensions (nodes per side).
+  int rows = 24;
+  int cols = 24;
+
+  /// The spatial extent of the generated network.
+  Rect space = Rect(0.0, 0.0, 1.0, 1.0);
+
+  /// Maximum node displacement as a fraction of grid spacing, in [0, 0.5).
+  double jitter = 0.3;
+
+  /// Every `highway_every`-th row/column is a highway (0 disables).
+  int highway_every = 8;
+
+  /// Every `arterial_every`-th row/column is an arterial (0 disables).
+  int arterial_every = 4;
+
+  /// Probability of adding a diagonal shortcut inside a grid square.
+  double diagonal_prob = 0.1;
+
+  /// Probability of dropping a local street (connectivity is repaired
+  /// afterwards, so the result is always a single component).
+  double dropout_prob = 0.15;
+};
+
+/// Generates a connected synthetic road network.
+class NetworkGenerator {
+ public:
+  explicit NetworkGenerator(NetworkGeneratorOptions options)
+      : options_(options) {}
+
+  /// Build a network; deterministic for a given seed. Returns
+  /// InvalidArgument for degenerate options (fewer than 2 rows/cols,
+  /// jitter out of range, empty space).
+  Result<RoadNetwork> Generate(uint64_t seed) const;
+
+  const NetworkGeneratorOptions& options() const { return options_; }
+
+ private:
+  NetworkGeneratorOptions options_;
+};
+
+}  // namespace casper::network
+
+#endif  // CASPER_NETWORK_NETWORK_GENERATOR_H_

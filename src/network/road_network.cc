@@ -1,0 +1,105 @@
+#include "src/network/road_network.h"
+
+#include <algorithm>
+
+namespace casper::network {
+
+double SpeedOf(RoadClass cls) {
+  // Speeds are expressed in space-units per second for a unit-square
+  // city: a highway crossing of the whole map takes ~50 s, so per-tick
+  // displacements stay small ("reasonable speeds", §4.2) and location
+  // updates mostly stay within a pyramid cell, as in the paper's setup.
+  switch (cls) {
+    case RoadClass::kHighway: return 0.02;
+    case RoadClass::kArterial: return 0.01;
+    case RoadClass::kLocal: return 0.005;
+  }
+  return 0.005;
+}
+
+NodeId RoadEdge::Other(NodeId n) const {
+  CASPER_DCHECK(n == from || n == to);
+  return n == from ? to : from;
+}
+
+NodeId RoadNetwork::AddNode(const Point& position) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(RoadNode{id, position});
+  adjacency_.emplace_back();
+  return id;
+}
+
+Result<EdgeId> RoadNetwork::AddEdge(NodeId a, NodeId b, RoadClass cls) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::NotFound("edge endpoint does not exist");
+  }
+  if (a == b) return Status::InvalidArgument("self loops are not allowed");
+  if (HasEdge(a, b)) return Status::AlreadyExists("duplicate edge");
+
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  const double length = Distance(nodes_[a].position, nodes_[b].position);
+  edges_.push_back(RoadEdge{id, a, b, cls, length});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+bool RoadNetwork::HasEdge(NodeId a, NodeId b) const {
+  if (a >= adjacency_.size()) return false;
+  for (EdgeId eid : adjacency_[a]) {
+    const RoadEdge& e = edges_[eid];
+    if ((e.from == a && e.to == b) || (e.from == b && e.to == a)) return true;
+  }
+  return false;
+}
+
+Rect RoadNetwork::bounds() const {
+  Rect box;
+  for (const RoadNode& n : nodes_) box = box.Union(Rect::FromPoint(n.position));
+  return box;
+}
+
+NodeId RoadNetwork::NearestNode(const Point& p) const {
+  NodeId best = kInvalidNode;
+  double best_d = 0.0;
+  for (const RoadNode& n : nodes_) {
+    const double d = SquaredDistance(p, n.position);
+    if (best == kInvalidNode || d < best_d) {
+      best = n.id;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<NodeId>> RoadNetwork::ConnectedComponents() const {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<bool> seen(nodes_.size(), false);
+  for (NodeId start = 0; start < nodes_.size(); ++start) {
+    if (seen[start]) continue;
+    std::vector<NodeId> component;
+    std::vector<NodeId> stack{start};
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      component.push_back(n);
+      for (EdgeId eid : adjacency_[n]) {
+        const NodeId other = edges_[eid].Other(n);
+        if (!seen[other]) {
+          seen[other] = true;
+          stack.push_back(other);
+        }
+      }
+    }
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return true;
+  return ConnectedComponents().size() == 1;
+}
+
+}  // namespace casper::network

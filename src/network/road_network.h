@@ -1,0 +1,107 @@
+#ifndef CASPER_NETWORK_ROAD_NETWORK_H_
+#define CASPER_NETWORK_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+/// \file
+/// Road-network substrate for the Brinkhoff-style moving-object
+/// generator (the paper feeds the generator the Hennepin County road
+/// map; we substitute a synthetic network, see DESIGN.md).
+///
+/// The network is an undirected graph of spatial nodes connected by
+/// edges of three road classes with different free-flow speeds.
+
+namespace casper::network {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Road classes, from fastest to slowest.
+enum class RoadClass : uint8_t {
+  kHighway = 0,
+  kArterial = 1,
+  kLocal = 2,
+};
+
+/// Free-flow speed of a road class, in space units per time unit.
+double SpeedOf(RoadClass cls);
+
+struct RoadNode {
+  NodeId id = kInvalidNode;
+  Point position;
+};
+
+struct RoadEdge {
+  EdgeId id = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  RoadClass cls = RoadClass::kLocal;
+  double length = 0.0;
+
+  /// Travel time at free-flow speed.
+  double TravelTime() const { return length / SpeedOf(cls); }
+
+  /// The endpoint that is not `n` (DCHECKs that `n` is an endpoint).
+  NodeId Other(NodeId n) const;
+};
+
+/// An undirected spatial graph. Nodes and edges are append-only; ids are
+/// dense indices.
+class RoadNetwork {
+ public:
+  NodeId AddNode(const Point& position);
+
+  /// Adds an undirected edge; length is the Euclidean node distance.
+  /// Fails on unknown endpoints, self loops, or duplicate edges.
+  Result<EdgeId> AddEdge(NodeId a, NodeId b, RoadClass cls);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  const RoadNode& node(NodeId id) const {
+    CASPER_DCHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  const RoadEdge& edge(EdgeId id) const {
+    CASPER_DCHECK(id < edges_.size());
+    return edges_[id];
+  }
+
+  /// Edges incident to `id`.
+  const std::vector<EdgeId>& IncidentEdges(NodeId id) const {
+    CASPER_DCHECK(id < adjacency_.size());
+    return adjacency_[id];
+  }
+
+  /// True when an edge already connects `a` and `b`.
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  /// Bounding box of all node positions.
+  Rect bounds() const;
+
+  /// Node closest to `p` (linear scan; the generator builds a grid for
+  /// hot paths). kInvalidNode when the network is empty.
+  NodeId NearestNode(const Point& p) const;
+
+  /// Whether every node can reach every other node.
+  bool IsConnected() const;
+
+  /// Connected components as lists of node ids (for repair passes).
+  std::vector<std::vector<NodeId>> ConnectedComponents() const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace casper::network
+
+#endif  // CASPER_NETWORK_ROAD_NETWORK_H_

@@ -1,0 +1,83 @@
+#include "src/network/shortest_path.h"
+
+#include <limits>
+#include <queue>
+
+namespace casper::network {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared search core. `heuristic(n)` must lower-bound the remaining
+/// travel time from n to the goal (0 for Dijkstra).
+template <typename Heuristic>
+Result<Route> Search(const RoadNetwork& net, NodeId from, NodeId to,
+                     Heuristic heuristic) {
+  if (from >= net.node_count() || to >= net.node_count()) {
+    return Status::NotFound("unknown node id");
+  }
+
+  std::vector<double> dist(net.node_count(), kInf);
+  std::vector<EdgeId> via_edge(net.node_count(), 0);
+  std::vector<NodeId> via_node(net.node_count(), kInvalidNode);
+  std::vector<bool> settled(net.node_count(), false);
+
+  using QueueEntry = std::pair<double, NodeId>;  // (f-cost, node)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  dist[from] = 0.0;
+  frontier.emplace(heuristic(from), from);
+
+  while (!frontier.empty()) {
+    const NodeId n = frontier.top().second;
+    frontier.pop();
+    if (settled[n]) continue;
+    settled[n] = true;
+    if (n == to) break;
+    for (EdgeId eid : net.IncidentEdges(n)) {
+      const RoadEdge& e = net.edge(eid);
+      const NodeId m = e.Other(n);
+      const double candidate = dist[n] + e.TravelTime();
+      if (candidate < dist[m]) {
+        dist[m] = candidate;
+        via_edge[m] = eid;
+        via_node[m] = n;
+        frontier.emplace(candidate + heuristic(m), m);
+      }
+    }
+  }
+
+  if (dist[to] == kInf) return Status::NotFound("destination unreachable");
+
+  Route route;
+  route.travel_time = dist[to];
+  for (NodeId n = to; n != from; n = via_node[n]) {
+    route.nodes.push_back(n);
+    route.edges.push_back(via_edge[n]);
+    route.length += net.edge(via_edge[n]).length;
+  }
+  route.nodes.push_back(from);
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  std::reverse(route.edges.begin(), route.edges.end());
+  return route;
+}
+
+}  // namespace
+
+Result<Route> ShortestPath(const RoadNetwork& net, NodeId from, NodeId to) {
+  return Search(net, from, to, [](NodeId) { return 0.0; });
+}
+
+Result<Route> ShortestPathAStar(const RoadNetwork& net, NodeId from,
+                                NodeId to) {
+  if (to >= net.node_count()) return Status::NotFound("unknown node id");
+  const Point goal = net.node(to).position;
+  const double max_speed = SpeedOf(RoadClass::kHighway);
+  return Search(net, from, to, [&net, goal, max_speed](NodeId n) {
+    return Distance(net.node(n).position, goal) / max_speed;
+  });
+}
+
+}  // namespace casper::network

@@ -1,0 +1,38 @@
+#ifndef CASPER_NETWORK_SHORTEST_PATH_H_
+#define CASPER_NETWORK_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/network/road_network.h"
+
+/// \file
+/// Shortest-path routing over a RoadNetwork, minimizing free-flow travel
+/// time. Plain Dijkstra plus an A* variant with the admissible
+/// straight-line-at-highway-speed heuristic; both return identical routes.
+
+namespace casper::network {
+
+/// A route from `nodes.front()` to `nodes.back()`; `edges[i]` connects
+/// `nodes[i]` to `nodes[i+1]`.
+struct Route {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double travel_time = 0.0;
+  double length = 0.0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// Dijkstra over travel time. Returns NotFound when `to` is unreachable
+/// from `from` (cannot happen on generator output, which is connected).
+Result<Route> ShortestPath(const RoadNetwork& net, NodeId from, NodeId to);
+
+/// A* with straight-line / max-speed heuristic; same result as Dijkstra,
+/// fewer node expansions on large networks.
+Result<Route> ShortestPathAStar(const RoadNetwork& net, NodeId from,
+                                NodeId to);
+
+}  // namespace casper::network
+
+#endif  // CASPER_NETWORK_SHORTEST_PATH_H_

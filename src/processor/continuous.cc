@@ -1,0 +1,90 @@
+#include "src/processor/continuous.h"
+
+namespace casper::processor {
+
+Result<PublicCandidateList> ContinuousQueryManager::Evaluate(
+    const Rect& cloak) {
+  ++stats_.evaluations;
+  return PrivateNearestNeighbor(*store_, cloak, policy_);
+}
+
+Result<QueryId> ContinuousQueryManager::Register(const Rect& cloak) {
+  CASPER_ASSIGN_OR_RETURN(answer, Evaluate(cloak));
+  const QueryId qid = next_id_++;
+  queries_[qid] = QueryState{cloak, std::move(answer)};
+  return qid;
+}
+
+Status ContinuousQueryManager::Unregister(QueryId qid) {
+  if (queries_.erase(qid) == 0) return Status::NotFound("unknown query");
+  return Status::OK();
+}
+
+Result<PublicCandidateList> ContinuousQueryManager::OnCloakChanged(
+    QueryId qid, const Rect& cloak) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return Status::NotFound("unknown query");
+  QueryState& state = it->second;
+
+  // Containment shortcut: a list inclusive for every position of the
+  // old (larger) region is inclusive for the new one.
+  if (state.cloak.Contains(cloak)) {
+    ++stats_.reuses;
+    state.cloak = cloak;
+    return state.answer;
+  }
+
+  CASPER_ASSIGN_OR_RETURN(answer, Evaluate(cloak));
+  state.cloak = cloak;
+  state.answer = std::move(answer);
+  return state.answer;
+}
+
+Status ContinuousQueryManager::OnTargetInserted(const PublicTarget& target) {
+  for (auto& [qid, state] : queries_) {
+    (void)qid;
+    // Old extension distances are still valid upper bounds; the list
+    // stays "all targets inside A_EXT" by appending when covered.
+    if (state.answer.area.a_ext.Contains(target.position)) {
+      state.answer.candidates.push_back(target);
+      ++stats_.insert_patches;
+    }
+  }
+  return Status::OK();
+}
+
+Status ContinuousQueryManager::OnTargetRemoved(const PublicTarget& target) {
+  for (auto& [qid, state] : queries_) {
+    (void)qid;
+    auto& candidates = state.answer.candidates;
+    bool was_candidate = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].id == target.id) {
+        candidates.erase(candidates.begin() + static_cast<ptrdiff_t>(i));
+        was_candidate = true;
+        break;
+      }
+    }
+    if (!was_candidate) {
+      // Every bound and every possible answer lives inside A_EXT, so a
+      // removal outside it cannot affect this query.
+      ++stats_.removal_no_ops;
+      continue;
+    }
+    // The removed target may have been a filter, so the stored A_EXT is
+    // no longer a proven cover: recompute.
+    ++stats_.removal_recomputes;
+    CASPER_ASSIGN_OR_RETURN(answer, Evaluate(state.cloak));
+    state.answer = std::move(answer);
+  }
+  return Status::OK();
+}
+
+Result<PublicCandidateList> ContinuousQueryManager::Answer(
+    QueryId qid) const {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return Status::NotFound("unknown query");
+  return it->second.answer;
+}
+
+}  // namespace casper::processor

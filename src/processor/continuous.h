@@ -1,0 +1,93 @@
+#ifndef CASPER_PROCESSOR_CONTINUOUS_H_
+#define CASPER_PROCESSOR_CONTINUOUS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/processor/private_nn.h"
+
+/// \file
+/// Continuous private NN queries over public data. §5 defers continuous
+/// evaluation to "any scalable and/or incremental location-based query
+/// processor"; this manager supplies the incremental layer with three
+/// provably-safe shortcuts derived from Theorem 1:
+///
+///  * Cloak shrink/containment — if the new cloaked region is contained
+///    in the old one, the old candidate list is still inclusive (it
+///    covered every position of the larger region), so no recompute.
+///  * Target insertion — the old extension distances remain valid upper
+///    bounds (a new target only shrinks true NN distances), so the list
+///    is patched by appending the new target iff it falls inside the
+///    stored A_EXT.
+///  * Target removal — removing a *non-candidate* cannot affect the
+///    answer (every bound and every possible answer lives inside A_EXT);
+///    removing a candidate forces a recompute, because a filter bound
+///    may have been derived from it.
+///
+/// Everything else falls back to a full Algorithm 2 evaluation. The
+/// manager counts how many re-evaluations the shortcuts avoided.
+
+namespace casper::processor {
+
+using QueryId = uint64_t;
+
+/// Statistics over the lifetime of a manager.
+struct ContinuousStats {
+  uint64_t evaluations = 0;        ///< Full Algorithm 2 runs.
+  uint64_t reuses = 0;             ///< Cloak-containment shortcuts.
+  uint64_t insert_patches = 0;     ///< Targets appended in place.
+  uint64_t removal_no_ops = 0;     ///< Non-candidate removals ignored.
+  uint64_t removal_recomputes = 0; ///< Candidate removals recomputed.
+};
+
+class ContinuousQueryManager {
+ public:
+  /// The store must outlive the manager. The manager must be told about
+  /// every mutation of the store through OnTargetInserted/Removed —
+  /// callers mutate the store first, then notify.
+  explicit ContinuousQueryManager(PublicTargetStore* store,
+                                  FilterPolicy policy =
+                                      FilterPolicy::kFourFilters)
+      : store_(store), policy_(policy) {}
+
+  /// Register a continuous query for a user currently cloaked as
+  /// `cloak`; evaluates it immediately.
+  Result<QueryId> Register(const Rect& cloak);
+
+  Status Unregister(QueryId qid);
+
+  /// The user's cloak changed (movement or profile change). Returns the
+  /// up-to-date candidate list (recomputed or reused).
+  Result<PublicCandidateList> OnCloakChanged(QueryId qid, const Rect& cloak);
+
+  /// A target was inserted into the store (after the fact).
+  Status OnTargetInserted(const PublicTarget& target);
+
+  /// A target was removed from the store (after the fact).
+  Status OnTargetRemoved(const PublicTarget& target);
+
+  /// Current answer of a registered query.
+  Result<PublicCandidateList> Answer(QueryId qid) const;
+
+  size_t query_count() const { return queries_.size(); }
+  const ContinuousStats& stats() const { return stats_; }
+
+ private:
+  struct QueryState {
+    Rect cloak;
+    PublicCandidateList answer;
+  };
+
+  Result<PublicCandidateList> Evaluate(const Rect& cloak);
+
+  PublicTargetStore* store_;
+  FilterPolicy policy_;
+  std::unordered_map<QueryId, QueryState> queries_;
+  ContinuousStats stats_;
+  QueryId next_id_ = 1;
+};
+
+}  // namespace casper::processor
+
+#endif  // CASPER_PROCESSOR_CONTINUOUS_H_

@@ -1,0 +1,65 @@
+#ifndef CASPER_PROCESSOR_EXTENDED_AREA_H_
+#define CASPER_PROCESSOR_EXTENDED_AREA_H_
+
+#include <array>
+
+#include "src/common/geometry.h"
+#include "src/processor/filter_policy.h"
+
+/// \file
+/// Steps 2 and 3 of Algorithm 2 (§5.1.1) generalized to rectangular
+/// filter regions (§5.2.1): the middle-point construction per cloak
+/// edge and the per-side extension distances that form A_EXT.
+
+namespace casper::processor {
+
+/// Extension computed for one cloak edge.
+struct EdgeExtension {
+  /// Largest distance from any point on the edge to its nearest filter
+  /// (max of d_i, d_j, d_m in the paper) — the offset applied to this
+  /// side of the cloak.
+  double max_d = 0.0;
+
+  /// The middle point m_ij, when the endpoint filters differ and the
+  /// perpendicular bisector of their anchor segment crosses the edge.
+  bool has_middle = false;
+  Point middle;
+};
+
+/// The extended search region A_EXT plus per-edge detail. Edge order
+/// follows Rect::Corners(): 0 = bottom (v0->v1), 1 = right (v1->v2),
+/// 2 = top (v2->v3), 3 = left (v3->v0).
+struct ExtendedArea {
+  Rect a_ext;
+  std::array<EdgeExtension, 4> edges;
+};
+
+/// Builds A_EXT for `cloak` given the per-vertex filters of
+/// SelectFilters(). Handles public data transparently (degenerate
+/// rectangles). For each edge (v_i, v_j):
+///  * d_i = MaxDist(v_i, filter_i.region) — for private targets this is
+///    the distance to the furthest corner (§5.2.1 step 3);
+///  * when filter_i != filter_j, the bisector anchor segment runs from
+///    the corner of filter_i furthest from the *reverse* vertex v_j to
+///    the corner of filter_j furthest from v_i (§5.2.1 step 2), and
+///    d_m is the distance from the resulting middle point to either
+///    anchor;
+///  * max_d = max(d_i, d_j, d_m); if the bisector misses the edge
+///    segment, every edge point is nearer to one anchor and
+///    max(d_i, d_j) already bounds the required extension.
+ExtendedArea ComputeExtendedArea(const Rect& cloak,
+                                 const std::array<FilterTarget, 4>& filters);
+
+/// Filter selection + extension for a given policy, in one step.
+///
+/// For kOneFilter and kFourFilters this is SelectFilters followed by
+/// ComputeExtendedArea. For kTwoFilters the assignment of the two free
+/// corners (v1, v3) to the probed anchors is a free parameter — any
+/// assignment yields an inclusive area — so all four assignments are
+/// evaluated and the smallest A_EXT wins.
+Result<ExtendedArea> ComputeExtendedAreaForPolicy(
+    const Rect& cloak, FilterPolicy policy, const NearestTargetFn& nearest);
+
+}  // namespace casper::processor
+
+#endif  // CASPER_PROCESSOR_EXTENDED_AREA_H_

@@ -1,0 +1,44 @@
+#include "src/processor/filter_policy.h"
+
+namespace casper::processor {
+
+Result<std::array<FilterTarget, 4>> SelectFilters(
+    const Rect& cloak, FilterPolicy policy, const NearestTargetFn& nearest) {
+  if (cloak.is_empty()) {
+    return Status::InvalidArgument("cloaked area must be non-empty");
+  }
+  const std::array<Point, 4> v = cloak.Corners();
+  std::array<FilterTarget, 4> filters;
+
+  switch (policy) {
+    case FilterPolicy::kOneFilter: {
+      CASPER_ASSIGN_OR_RETURN(f, nearest(cloak.Center()));
+      filters.fill(f);
+      return filters;
+    }
+    case FilterPolicy::kTwoFilters: {
+      CASPER_ASSIGN_OR_RETURN(f0, nearest(v[0]));
+      CASPER_ASSIGN_OR_RETURN(f2, nearest(v[2]));
+      filters[0] = f0;
+      filters[2] = f2;
+      // The in-between corners take whichever anchor filter upper-bounds
+      // their nearest-neighbor distance more tightly.
+      for (int i : {1, 3}) {
+        const double d0 = MaxDist(v[static_cast<size_t>(i)], f0.region);
+        const double d2 = MaxDist(v[static_cast<size_t>(i)], f2.region);
+        filters[static_cast<size_t>(i)] = d0 <= d2 ? f0 : f2;
+      }
+      return filters;
+    }
+    case FilterPolicy::kFourFilters: {
+      for (size_t i = 0; i < 4; ++i) {
+        CASPER_ASSIGN_OR_RETURN(f, nearest(v[i]));
+        filters[i] = f;
+      }
+      return filters;
+    }
+  }
+  return Status::InvalidArgument("unknown filter policy");
+}
+
+}  // namespace casper::processor

@@ -1,0 +1,50 @@
+#ifndef CASPER_PROCESSOR_FILTER_POLICY_H_
+#define CASPER_PROCESSOR_FILTER_POLICY_H_
+
+#include <array>
+#include <functional>
+
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+#include "src/processor/target_store.h"
+
+/// \file
+/// Filter selection for Algorithm 2 (§5.1.1 step 1 and the 1/2/4-filter
+/// alternatives evaluated in §6.2). Public point targets are treated as
+/// degenerate rectangles so one code path serves both data kinds: for a
+/// point, MaxDist equals the ordinary distance and the furthest corner
+/// is the point itself.
+
+namespace casper::processor {
+
+/// How many filter targets seed the pruning (§6.2): one (nearest to the
+/// cloak center), two (nearest to two opposite corners), or four
+/// (nearest to every corner, the full Algorithm 2).
+enum class FilterPolicy {
+  kOneFilter = 1,
+  kTwoFilters = 2,
+  kFourFilters = 4,
+};
+
+/// A filter target: identity plus its (possibly degenerate) region.
+struct FilterTarget {
+  TargetId id = 0;
+  Rect region;
+};
+
+/// Nearest-target probe used during filter selection. Must return the
+/// target minimizing MaxDist(q, region) — for public data that is the
+/// ordinary nearest neighbor. NotFound is propagated (empty store).
+using NearestTargetFn = std::function<Result<FilterTarget>(const Point&)>;
+
+/// Picks the filter target assigned to each of the cloak's four corners
+/// (Rect::Corners() order). kOneFilter probes the center and assigns it
+/// everywhere; kTwoFilters probes corners v0 and v2 and assigns v1/v3 to
+/// whichever of the two is closer (by MaxDist); kFourFilters probes all
+/// corners.
+Result<std::array<FilterTarget, 4>> SelectFilters(
+    const Rect& cloak, FilterPolicy policy, const NearestTargetFn& nearest);
+
+}  // namespace casper::processor
+
+#endif  // CASPER_PROCESSOR_FILTER_POLICY_H_

@@ -1,0 +1,35 @@
+#include "src/processor/public_nn_private.h"
+
+#include <algorithm>
+
+namespace casper::processor {
+
+Result<PublicNNCandidates> PublicNearestNeighborOverPrivate(
+    const PrivateTargetStore& store, const Point& query) {
+  if (store.empty()) return Status::NotFound("no private targets stored");
+
+  // Minimax bound from the MaxDist-nearest region.
+  CASPER_ASSIGN_OR_RETURN(anchor, store.NearestByMaxDist(query));
+  PublicNNCandidates result;
+  result.minimax_bound = MaxDist(query, anchor.region);
+
+  // Every region intersecting the closed disk around the query of
+  // radius B; the bounding-square range query over-approximates the
+  // disk, then the exact MinDist test filters.
+  const Rect window = Rect::FromPoint(query).Expanded(result.minimax_bound);
+  for (const PrivateTarget& t : store.Overlapping(window)) {
+    const double min_d = MinDist(query, t.region);
+    if (min_d <= result.minimax_bound) {
+      result.candidates.push_back(PublicNNCandidates::Candidate{
+          t, min_d, MaxDist(query, t.region)});
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const PublicNNCandidates::Candidate& a,
+               const PublicNNCandidates::Candidate& b) {
+              return a.min_dist < b.min_dist;
+            });
+  return result;
+}
+
+}  // namespace casper::processor

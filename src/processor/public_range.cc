@@ -1,0 +1,29 @@
+#include "src/processor/public_range.h"
+
+namespace casper::processor {
+
+Result<RangeCountResult> PublicRangeCount(const PrivateTargetStore& store,
+                                          const Rect& query) {
+  if (query.is_empty()) {
+    return Status::InvalidArgument("query region must be non-empty");
+  }
+  RangeCountResult result;
+  result.overlapping = store.Overlapping(query);
+  result.possible = result.overlapping.size();
+  for (const PrivateTarget& t : result.overlapping) {
+    const double area = t.region.Area();
+    double fraction;
+    if (area > 0.0) {
+      fraction = t.region.IntersectionArea(query) / area;
+    } else {
+      // Degenerate region: the user position is known exactly; the
+      // overlap test already established containment.
+      fraction = 1.0;
+    }
+    result.expected += fraction;
+    if (query.Contains(t.region)) ++result.certain;
+  }
+  return result;
+}
+
+}  // namespace casper::processor

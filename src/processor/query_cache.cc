@@ -1,0 +1,59 @@
+#include "src/processor/query_cache.h"
+
+namespace casper::processor {
+
+size_t CachingQueryProcessor::RectKeyHash::operator()(
+    const RectKey& k) const {
+  auto mix = [](uint64_t h, double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  uint64_t h = 0;
+  h = mix(h, k.rect.min.x);
+  h = mix(h, k.rect.min.y);
+  h = mix(h, k.rect.max.x);
+  h = mix(h, k.rect.max.y);
+  return static_cast<size_t>(h);
+}
+
+CachingQueryProcessor::CachingQueryProcessor(const PublicTargetStore* store,
+                                             size_t capacity,
+                                             FilterPolicy policy)
+    : store_(store), capacity_(capacity > 0 ? capacity : 1),
+      policy_(policy) {
+  CASPER_DCHECK(store != nullptr);
+}
+
+Result<PublicCandidateList> CachingQueryProcessor::Query(const Rect& cloak) {
+  const RectKey key{cloak};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    // Refresh LRU position.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.answer;
+  }
+
+  ++stats_.misses;
+  CASPER_ASSIGN_OR_RETURN(answer,
+                          PrivateNearestNeighbor(*store_, cloak, policy_));
+  if (map_.size() >= capacity_) {
+    const RectKey victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(key);
+  map_[key] = Entry{answer, lru_.begin()};
+  return answer;
+}
+
+void CachingQueryProcessor::InvalidateAll() {
+  if (!map_.empty()) ++stats_.invalidations;
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace casper::processor

@@ -1,0 +1,80 @@
+#ifndef CASPER_PROCESSOR_QUERY_CACHE_H_
+#define CASPER_PROCESSOR_QUERY_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/processor/private_nn.h"
+
+/// \file
+/// Cloak-keyed candidate-list cache. A consequence of Casper's design
+/// the paper does not exploit: the anonymizer's cloaks are *cell
+/// aligned*, so co-located users with similar profiles receive exactly
+/// the same cloaked region — and Algorithm 2's answer depends only on
+/// the cloak (and the target set). Memoizing candidate lists by cloak
+/// rectangle therefore serves whole neighborhoods from one evaluation,
+/// which is how a production server would absorb the "large numbers of
+/// outstanding queries" §5 alludes to.
+///
+/// The cache is invalidated wholesale when the target set changes
+/// (coarse but always safe — the epoch bump is O(1)).
+
+namespace casper::processor {
+
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class CachingQueryProcessor {
+ public:
+  /// The store must outlive the processor. `capacity` bounds the number
+  /// of cached cloak rectangles (LRU eviction).
+  CachingQueryProcessor(const PublicTargetStore* store, size_t capacity,
+                        FilterPolicy policy = FilterPolicy::kFourFilters);
+
+  /// Cached Algorithm 2: same contract as PrivateNearestNeighbor.
+  Result<PublicCandidateList> Query(const Rect& cloak);
+
+  /// Must be called after any mutation of the target store; drops every
+  /// cached entry.
+  void InvalidateAll();
+
+  const QueryCacheStats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct RectKey {
+    Rect rect;
+    bool operator==(const RectKey& other) const {
+      return rect == other.rect;
+    }
+  };
+  struct RectKeyHash {
+    size_t operator()(const RectKey& k) const;
+  };
+
+  using LruList = std::list<RectKey>;
+  struct Entry {
+    PublicCandidateList answer;
+    LruList::iterator lru_pos;
+  };
+
+  const PublicTargetStore* store_;
+  size_t capacity_;
+  FilterPolicy policy_;
+  std::unordered_map<RectKey, Entry, RectKeyHash> map_;
+  LruList lru_;  ///< Front = most recently used.
+  QueryCacheStats stats_;
+};
+
+}  // namespace casper::processor
+
+#endif  // CASPER_PROCESSOR_QUERY_CACHE_H_

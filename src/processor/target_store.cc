@@ -1,0 +1,125 @@
+#include "src/processor/target_store.h"
+
+namespace casper::processor {
+
+namespace {
+
+std::vector<spatial::RTree::Entry> ToEntries(
+    const std::vector<PublicTarget>& targets) {
+  std::vector<spatial::RTree::Entry> entries;
+  entries.reserve(targets.size());
+  for (const PublicTarget& t : targets) {
+    entries.push_back({Rect::FromPoint(t.position), t.id});
+  }
+  return entries;
+}
+
+std::vector<spatial::RTree::Entry> ToEntries(
+    const std::vector<PrivateTarget>& targets) {
+  std::vector<spatial::RTree::Entry> entries;
+  entries.reserve(targets.size());
+  for (const PrivateTarget& t : targets) {
+    CASPER_DCHECK(!t.region.is_empty());
+    entries.push_back({t.region, t.id});
+  }
+  return entries;
+}
+
+}  // namespace
+
+PublicTargetStore::PublicTargetStore(const std::vector<PublicTarget>& targets)
+    : tree_(spatial::RTree::BulkLoad(ToEntries(targets))) {}
+
+void PublicTargetStore::Insert(const PublicTarget& target) {
+  tree_.Insert(Rect::FromPoint(target.position), target.id);
+}
+
+bool PublicTargetStore::Remove(const PublicTarget& target) {
+  return tree_.Remove(Rect::FromPoint(target.position), target.id);
+}
+
+Result<PublicTarget> PublicTargetStore::Nearest(const Point& q) const {
+  const auto nn = tree_.Nearest(q, spatial::RTree::Metric::kMinDist);
+  if (!nn.found) return Status::NotFound("target store is empty");
+  return PublicTarget{nn.neighbor.id, nn.neighbor.box.min};
+}
+
+std::vector<PublicTarget> PublicTargetStore::KNearest(const Point& q,
+                                                      size_t k) const {
+  std::vector<PublicTarget> out;
+  for (const auto& n : tree_.KNearest(q, k, spatial::RTree::Metric::kMinDist)) {
+    out.push_back(PublicTarget{n.id, n.box.min});
+  }
+  return out;
+}
+
+std::vector<PublicTarget> PublicTargetStore::RangeQuery(
+    const Rect& window) const {
+  std::vector<PublicTarget> out;
+  tree_.RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
+    out.push_back(PublicTarget{e.id, e.box.min});
+    return true;
+  });
+  return out;
+}
+
+size_t PublicTargetStore::RangeCount(const Rect& window) const {
+  return tree_.RangeCount(window);
+}
+
+PrivateTargetStore::PrivateTargetStore(
+    const std::vector<PrivateTarget>& targets)
+    : tree_(spatial::RTree::BulkLoad(ToEntries(targets))) {}
+
+void PrivateTargetStore::Insert(const PrivateTarget& target) {
+  CASPER_DCHECK(!target.region.is_empty());
+  tree_.Insert(target.region, target.id);
+}
+
+bool PrivateTargetStore::Remove(const PrivateTarget& target) {
+  return tree_.Remove(target.region, target.id);
+}
+
+Result<PrivateTarget> PrivateTargetStore::NearestByMaxDist(
+    const Point& q, std::optional<TargetId> exclude) const {
+  const size_t want = exclude.has_value() ? 2 : 1;
+  for (const auto& n :
+       tree_.KNearest(q, want, spatial::RTree::Metric::kMaxDist)) {
+    if (exclude.has_value() && n.id == *exclude) continue;
+    return PrivateTarget{n.id, n.box};
+  }
+  return Status::NotFound("no eligible target in store");
+}
+
+std::vector<PrivateTarget> PrivateTargetStore::Overlapping(
+    const Rect& window) const {
+  std::vector<PrivateTarget> out;
+  tree_.RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
+    out.push_back(PrivateTarget{e.id, e.box});
+    return true;
+  });
+  return out;
+}
+
+std::vector<PrivateTarget> PrivateTargetStore::OverlappingAtLeast(
+    const Rect& window, double min_overlap_fraction) const {
+  CASPER_DCHECK(min_overlap_fraction >= 0.0 && min_overlap_fraction <= 1.0);
+  std::vector<PrivateTarget> out;
+  tree_.RangeQuery(window, [&](const spatial::RTree::Entry& e) {
+    const double area = e.box.Area();
+    const double overlap = e.box.IntersectionArea(window);
+    // Degenerate (zero-area) regions count as fully overlapped.
+    const double fraction = area > 0.0 ? overlap / area : 1.0;
+    if (fraction >= min_overlap_fraction) {
+      out.push_back(PrivateTarget{e.id, e.box});
+    }
+    return true;
+  });
+  return out;
+}
+
+size_t PrivateTargetStore::OverlapCount(const Rect& window) const {
+  return tree_.RangeCount(window);
+}
+
+}  // namespace casper::processor

@@ -1,0 +1,104 @@
+#ifndef CASPER_PROCESSOR_TARGET_STORE_H_
+#define CASPER_PROCESSOR_TARGET_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+#include "src/spatial/rtree.h"
+
+/// \file
+/// The two data populations of the privacy-aware database server (§5):
+///  * public data — exact point locations (gas stations, hospitals,
+///    police cars) stored as-is;
+///  * private data — users' cloaked rectangular regions received from
+///    the location anonymizer; the server never sees exact positions.
+
+namespace casper::processor {
+
+using TargetId = uint64_t;
+
+/// A public target: an exact point.
+struct PublicTarget {
+  TargetId id = 0;
+  Point position;
+};
+
+/// A private target: a cloaked region.
+struct PrivateTarget {
+  TargetId id = 0;
+  Rect region;
+};
+
+/// Point targets indexed by an R-tree.
+class PublicTargetStore {
+ public:
+  PublicTargetStore() = default;
+
+  /// Bulk-build from a target list (STR packing).
+  explicit PublicTargetStore(const std::vector<PublicTarget>& targets);
+
+  /// Incremental insert. Fails on duplicate id only in debug checks;
+  /// ids are caller-managed.
+  void Insert(const PublicTarget& target);
+  bool Remove(const PublicTarget& target);
+
+  /// Nearest target to `q`; NotFound on empty store.
+  Result<PublicTarget> Nearest(const Point& q) const;
+
+  std::vector<PublicTarget> KNearest(const Point& q, size_t k) const;
+
+  /// All targets inside `window` (closed boundaries).
+  std::vector<PublicTarget> RangeQuery(const Rect& window) const;
+
+  size_t RangeCount(const Rect& window) const;
+
+  size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+ private:
+  spatial::RTree tree_;
+};
+
+/// Region targets indexed by an R-tree. Nearest-neighbor ranking uses
+/// the MaxDist metric (distance to the region's furthest corner), which
+/// is what the private-data filter step requires (§5.2.1: "the exact
+/// location of a target object within its cloaked area is the furthest
+/// corner").
+class PrivateTargetStore {
+ public:
+  PrivateTargetStore() = default;
+  explicit PrivateTargetStore(const std::vector<PrivateTarget>& targets);
+
+  void Insert(const PrivateTarget& target);
+  bool Remove(const PrivateTarget& target);
+
+  /// Target whose furthest corner is nearest to `q`. When `exclude` is
+  /// set, that target id is skipped (a querying user's own stored
+  /// region must not act as its own filter).
+  Result<PrivateTarget> NearestByMaxDist(
+      const Point& q, std::optional<TargetId> exclude = std::nullopt) const;
+
+  /// All targets whose region overlaps `window`.
+  std::vector<PrivateTarget> Overlapping(const Rect& window) const;
+
+  /// Targets with at least `min_overlap_fraction` of their own area
+  /// inside `window` (the probabilistic x%-policy of §5.2.1 step 4;
+  /// 0 reduces to plain overlap).
+  std::vector<PrivateTarget> OverlappingAtLeast(
+      const Rect& window, double min_overlap_fraction) const;
+
+  size_t OverlapCount(const Rect& window) const;
+
+  size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+ private:
+  spatial::RTree tree_;
+};
+
+}  // namespace casper::processor
+
+#endif  // CASPER_PROCESSOR_TARGET_STORE_H_

@@ -1,0 +1,160 @@
+#include "src/spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace casper::spatial {
+
+GridIndex::GridIndex(const Rect& space, int cells_per_side)
+    : space_(space), cells_per_side_(std::max(cells_per_side, 1)) {
+  CASPER_DCHECK(!space.is_empty());
+  cell_w_ = space_.width() / cells_per_side_;
+  cell_h_ = space_.height() / cells_per_side_;
+  cells_.resize(static_cast<size_t>(cells_per_side_) *
+                static_cast<size_t>(cells_per_side_));
+}
+
+int GridIndex::CellX(double x) const {
+  const int c = static_cast<int>((x - space_.min.x) / cell_w_);
+  return std::clamp(c, 0, cells_per_side_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const int c = static_cast<int>((y - space_.min.y) / cell_h_);
+  return std::clamp(c, 0, cells_per_side_ - 1);
+}
+
+Status GridIndex::Insert(const Point& p, uint64_t id) {
+  if (!space_.Contains(p)) {
+    return Status::OutOfRange("point outside grid space");
+  }
+  if (positions_.count(id) > 0) {
+    return Status::AlreadyExists("id already in grid index");
+  }
+  const CellRef ref{CellX(p.x), CellY(p.y)};
+  cells_[CellIndex(ref.cx, ref.cy)].push_back(id);
+  positions_[id] = p;
+  cell_of_[id] = ref;
+  return Status::OK();
+}
+
+Status GridIndex::Remove(uint64_t id) {
+  auto it = cell_of_.find(id);
+  if (it == cell_of_.end()) return Status::NotFound("id not in grid index");
+  auto& bucket = cells_[CellIndex(it->second.cx, it->second.cy)];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  cell_of_.erase(it);
+  positions_.erase(id);
+  return Status::OK();
+}
+
+Status GridIndex::Update(const Point& p, uint64_t id) {
+  auto it = cell_of_.find(id);
+  if (it == cell_of_.end()) return Status::NotFound("id not in grid index");
+  if (!space_.Contains(p)) {
+    return Status::OutOfRange("point outside grid space");
+  }
+  const CellRef next{CellX(p.x), CellY(p.y)};
+  if (next.cx != it->second.cx || next.cy != it->second.cy) {
+    auto& old_bucket = cells_[CellIndex(it->second.cx, it->second.cy)];
+    old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+    cells_[CellIndex(next.cx, next.cy)].push_back(id);
+    it->second = next;
+  }
+  positions_[id] = p;
+  return Status::OK();
+}
+
+void GridIndex::RangeQuery(const Rect& window,
+                           std::vector<uint64_t>* out) const {
+  if (window.is_empty()) return;
+  const int x0 = CellX(std::max(window.min.x, space_.min.x));
+  const int x1 = CellX(std::min(window.max.x, space_.max.x));
+  const int y0 = CellY(std::max(window.min.y, space_.min.y));
+  const int y1 = CellY(std::min(window.max.y, space_.max.y));
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (uint64_t id : cells_[CellIndex(cx, cy)]) {
+        if (window.Contains(positions_.at(id))) out->push_back(id);
+      }
+    }
+  }
+}
+
+size_t GridIndex::RangeCount(const Rect& window) const {
+  std::vector<uint64_t> tmp;
+  RangeQuery(window, &tmp);
+  return tmp.size();
+}
+
+GridIndex::NNResult GridIndex::Nearest(const Point& q) const {
+  auto knn = KNearest(q, 1);
+  if (knn.empty()) return NNResult{};
+  return knn.front();
+}
+
+std::vector<GridIndex::NNResult> GridIndex::KNearest(const Point& q,
+                                                     size_t k) const {
+  std::vector<NNResult> best;
+  if (positions_.empty() || k == 0) return best;
+
+  // Max-heap of the k best candidates found so far, keyed by distance.
+  auto cmp = [](const NNResult& a, const NNResult& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<NNResult, std::vector<NNResult>, decltype(cmp)> heap(
+      cmp);
+
+  const int qcx = CellX(std::clamp(q.x, space_.min.x, space_.max.x));
+  const int qcy = CellY(std::clamp(q.y, space_.min.y, space_.max.y));
+
+  // Expanding rings of cells around the query cell. A ring at radius r
+  // contains every cell whose Chebyshev distance (in cells) is exactly r.
+  // Once we hold k candidates and the closest possible point of the next
+  // ring is farther than the current k-th distance, stop.
+  const int max_radius = cells_per_side_;  // Covers the full grid.
+  for (int r = 0; r <= max_radius; ++r) {
+    if (heap.size() >= k) {
+      // Minimum distance to any unexplored cell: (r - 1) full cell spans
+      // from the query cell boundary (conservative bound).
+      const double ring_min =
+          (r - 1) > 0 ? (r - 1) * std::min(cell_w_, cell_h_) : 0.0;
+      if (ring_min > heap.top().distance) break;
+    }
+    for (int cy = qcy - r; cy <= qcy + r; ++cy) {
+      if (cy < 0 || cy >= cells_per_side_) continue;
+      for (int cx = qcx - r; cx <= qcx + r; ++cx) {
+        if (cx < 0 || cx >= cells_per_side_) continue;
+        // Ring only: skip interior cells already scanned.
+        if (std::max(std::abs(cx - qcx), std::abs(cy - qcy)) != r) continue;
+        for (uint64_t id : cells_[CellIndex(cx, cy)]) {
+          const Point& p = positions_.at(id);
+          const double d = Distance(q, p);
+          if (heap.size() < k) {
+            heap.push(NNResult{true, id, p, d});
+          } else if (d < heap.top().distance) {
+            heap.pop();
+            heap.push(NNResult{true, id, p, d});
+          }
+        }
+      }
+    }
+  }
+
+  best.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    best[i] = heap.top();
+    heap.pop();
+  }
+  return best;
+}
+
+bool GridIndex::TryGetPosition(uint64_t id, Point* out) const {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+}  // namespace casper::spatial

@@ -1,0 +1,85 @@
+#ifndef CASPER_SPATIAL_GRID_INDEX_H_
+#define CASPER_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/status.h"
+
+/// \file
+/// Uniform grid over point objects — the alternative "traditional"
+/// spatial index (§5.1.1 allows "R-tree or any other methods"). Used in
+/// tests as an oracle against the R-tree and by modules that prefer
+/// O(1) point updates (e.g. nearest-road-node lookup).
+
+namespace casper::spatial {
+
+/// A uniform grid of `cells_per_side^2` buckets over a fixed space.
+/// Entries are (point, id); ids must be unique per index.
+class GridIndex {
+ public:
+  /// `space` must be non-empty; `cells_per_side >= 1`.
+  GridIndex(const Rect& space, int cells_per_side);
+
+  /// Insert id at `p`. Returns AlreadyExists if the id is present,
+  /// OutOfRange if `p` lies outside the managed space.
+  Status Insert(const Point& p, uint64_t id);
+
+  /// Remove an id. Returns NotFound when absent.
+  Status Remove(uint64_t id);
+
+  /// Move an existing id to a new position (cheaper than remove+insert
+  /// when the cell does not change).
+  Status Update(const Point& p, uint64_t id);
+
+  /// All ids whose point lies inside `window` (closed boundaries).
+  void RangeQuery(const Rect& window, std::vector<uint64_t>* out) const;
+
+  size_t RangeCount(const Rect& window) const;
+
+  /// Nearest entry to `q` by expanding-ring search.
+  struct NNResult {
+    bool found = false;
+    uint64_t id = 0;
+    Point position;
+    double distance = 0.0;
+  };
+  NNResult Nearest(const Point& q) const;
+
+  /// k nearest entries, ascending by distance.
+  std::vector<NNResult> KNearest(const Point& q, size_t k) const;
+
+  size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+  const Rect& space() const { return space_; }
+
+  /// Current position of `id`, if present.
+  bool TryGetPosition(uint64_t id, Point* out) const;
+
+ private:
+  struct CellRef {
+    int cx = 0;
+    int cy = 0;
+  };
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(cells_per_side_) +
+           static_cast<size_t>(cx);
+  }
+
+  Rect space_;
+  int cells_per_side_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<uint64_t>> cells_;
+  std::unordered_map<uint64_t, Point> positions_;
+  std::unordered_map<uint64_t, CellRef> cell_of_;
+};
+
+}  // namespace casper::spatial
+
+#endif  // CASPER_SPATIAL_GRID_INDEX_H_

@@ -1,0 +1,536 @@
+#include "src/spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/status.h"
+
+namespace casper::spatial {
+
+struct RTree::Node {
+  Node* parent = nullptr;
+  int level = 0;  ///< 0 = leaf; children live at level - 1.
+  Rect mbr;
+  std::vector<std::unique_ptr<Node>> children;  ///< internal nodes only
+  std::vector<Entry> entries;                   ///< leaves only
+
+  bool is_leaf() const { return level == 0; }
+  size_t item_count() const {
+    return is_leaf() ? entries.size() : children.size();
+  }
+
+  void RecomputeMbr() {
+    Rect box;
+    if (is_leaf()) {
+      for (const Entry& e : entries) box = box.Union(e.box);
+    } else {
+      for (const auto& c : children) box = box.Union(c->mbr);
+    }
+    mbr = box;
+  }
+};
+
+namespace {
+
+/// Enlargement of `base` needed to also cover `add`.
+double Enlargement(const Rect& base, const Rect& add) {
+  return base.Union(add).Area() - base.Area();
+}
+
+/// Quadratic pick-seeds: indices of the two boxes wasting the most area
+/// when paired.
+std::pair<size_t, size_t> PickSeeds(const std::vector<Rect>& boxes) {
+  CASPER_DCHECK(boxes.size() >= 2);
+  size_t best_i = 0, best_j = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i + 1 < boxes.size(); ++i) {
+    for (size_t j = i + 1; j < boxes.size(); ++j) {
+      const double waste =
+          boxes[i].Union(boxes[j]).Area() - boxes[i].Area() - boxes[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  return {best_i, best_j};
+}
+
+/// Quadratic-split group assignment: returns for each input box which
+/// group (0 or 1) it belongs to, honoring the min-fill constraint.
+std::vector<int> QuadraticAssign(const std::vector<Rect>& boxes,
+                                 size_t min_fill) {
+  const size_t n = boxes.size();
+  std::vector<int> group(n, -1);
+  auto [s0, s1] = PickSeeds(boxes);
+  group[s0] = 0;
+  group[s1] = 1;
+  Rect mbr0 = boxes[s0];
+  Rect mbr1 = boxes[s1];
+  size_t count0 = 1, count1 = 1;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Forced assignment when one group must take all the rest to reach
+    // min fill.
+    if (count0 + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i)
+        if (group[i] < 0) group[i] = 0;
+      break;
+    }
+    if (count1 + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i)
+        if (group[i] < 0) group[i] = 1;
+      break;
+    }
+    // Pick-next: the unassigned box with the largest preference gap.
+    size_t pick = n;
+    double best_gap = -1.0;
+    double pick_d0 = 0.0, pick_d1 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      const double d0 = Enlargement(mbr0, boxes[i]);
+      const double d1 = Enlargement(mbr1, boxes[i]);
+      const double gap = std::abs(d0 - d1);
+      if (gap > best_gap) {
+        best_gap = gap;
+        pick = i;
+        pick_d0 = d0;
+        pick_d1 = d1;
+      }
+    }
+    CASPER_DCHECK(pick < n);
+    int g;
+    if (pick_d0 < pick_d1) {
+      g = 0;
+    } else if (pick_d1 < pick_d0) {
+      g = 1;
+    } else if (mbr0.Area() != mbr1.Area()) {
+      g = mbr0.Area() < mbr1.Area() ? 0 : 1;
+    } else {
+      g = count0 <= count1 ? 0 : 1;
+    }
+    group[pick] = g;
+    if (g == 0) {
+      mbr0 = mbr0.Union(boxes[pick]);
+      ++count0;
+    } else {
+      mbr1 = mbr1.Union(boxes[pick]);
+      ++count1;
+    }
+    --remaining;
+  }
+  return group;
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries)
+    : max_entries_(std::max(max_entries, 4)),
+      min_entries_(std::max(2, static_cast<int>(max_entries_ * 0.4))) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Rect& box,
+                               int /*target_level*/) {
+  while (!node->is_leaf()) {
+    Node* best = nullptr;
+    double best_enlargement = 0.0;
+    for (const auto& child : node->children) {
+      const double e = Enlargement(child->mbr, box);
+      if (best == nullptr || e < best_enlargement ||
+          (e == best_enlargement && child->mbr.Area() < best->mbr.Area())) {
+        best = child.get();
+        best_enlargement = e;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::Insert(const Rect& box, uint64_t id) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  Node* leaf = ChooseLeaf(root_.get(), box, 0);
+  leaf->entries.push_back(Entry{box, id});
+  ++size_;
+  AdjustUpward(leaf);
+}
+
+void RTree::AdjustUpward(Node* node) {
+  node->RecomputeMbr();
+  if (node->item_count() > static_cast<size_t>(max_entries_)) {
+    SplitNode(node);  // Splits ancestors recursively as needed.
+  }
+  // Enlargement without split also propagates; splits only ever touch
+  // nodes on this ancestor path, so one upward sweep refreshes all MBRs.
+  for (Node* n = node->parent; n != nullptr; n = n->parent) {
+    n->RecomputeMbr();
+  }
+}
+
+void RTree::SplitNode(Node* node) {
+  std::vector<Rect> boxes;
+  if (node->is_leaf()) {
+    boxes.reserve(node->entries.size());
+    for (const Entry& e : node->entries) boxes.push_back(e.box);
+  } else {
+    boxes.reserve(node->children.size());
+    for (const auto& c : node->children) boxes.push_back(c->mbr);
+  }
+  const std::vector<int> group =
+      QuadraticAssign(boxes, static_cast<size_t>(min_entries_));
+
+  auto sibling = std::make_unique<Node>();
+  sibling->level = node->level;
+
+  if (node->is_leaf()) {
+    std::vector<Entry> keep;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(node->entries[i]);
+      } else {
+        sibling->entries.push_back(node->entries[i]);
+      }
+    }
+    node->entries = std::move(keep);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        node->children[i]->parent = sibling.get();
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  node->RecomputeMbr();
+  sibling->RecomputeMbr();
+
+  if (node->parent == nullptr) {
+    // Grow a new root above the split node.
+    auto new_root = std::make_unique<Node>();
+    new_root->level = node->level + 1;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  } else {
+    Node* parent = node->parent;
+    sibling->parent = parent;
+    parent->children.push_back(std::move(sibling));
+    parent->RecomputeMbr();
+    if (parent->item_count() > static_cast<size_t>(max_entries_)) {
+      SplitNode(parent);
+    }
+  }
+}
+
+bool RTree::Remove(const Rect& box, uint64_t id) {
+  if (!root_) return false;
+  // Depth-first search for the leaf holding (box, id).
+  Node* found_leaf = nullptr;
+  size_t found_idx = 0;
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty() && found_leaf == nullptr) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Contains(box)) continue;
+    if (node->is_leaf()) {
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].id == id && node->entries[i].box == box) {
+          found_leaf = node;
+          found_idx = i;
+          break;
+        }
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  if (found_leaf == nullptr) return false;
+
+  found_leaf->entries.erase(found_leaf->entries.begin() +
+                            static_cast<ptrdiff_t>(found_idx));
+  --size_;
+  CondenseTree(found_leaf);
+  return true;
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  // Walk upward removing underfull nodes; their leaf entries are
+  // collected and reinserted afterwards (Guttman's CondenseTree with
+  // entry-level reinsertion).
+  std::vector<Entry> orphans;
+  Node* node = leaf;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->item_count() < static_cast<size_t>(min_entries_)) {
+      // Collect all leaf entries under `node`.
+      std::vector<Node*> stack{node};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        if (n->is_leaf()) {
+          orphans.insert(orphans.end(), n->entries.begin(), n->entries.end());
+        } else {
+          for (const auto& c : n->children) stack.push_back(c.get());
+        }
+      }
+      // Detach `node` from parent.
+      auto& siblings = parent->children;
+      for (size_t i = 0; i < siblings.size(); ++i) {
+        if (siblings[i].get() == node) {
+          siblings.erase(siblings.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      node->RecomputeMbr();
+    }
+    node = parent;
+  }
+  root_->RecomputeMbr();
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf() && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children.front());
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (!root_->is_leaf() && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  size_ -= orphans.size();  // Reinsert bumps it back up.
+  for (const Entry& e : orphans) Insert(e.box, e.id);
+}
+
+void RTree::RangeQuery(const Rect& window, std::vector<Entry>* out) const {
+  RangeQuery(window, [out](const Entry& e) {
+    out->push_back(e);
+    return true;
+  });
+}
+
+void RTree::RangeQuery(const Rect& window,
+                       const std::function<bool(const Entry&)>& visit) const {
+  if (!root_) return;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(window)) continue;
+    if (node->is_leaf()) {
+      for (const Entry& e : node->entries) {
+        if (e.box.Intersects(window)) {
+          if (!visit(e)) return;
+        }
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+}
+
+size_t RTree::RangeCount(const Rect& window) const {
+  size_t count = 0;
+  RangeQuery(window, [&count](const Entry&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<RTree::Neighbor> RTree::KNearest(const Point& q, size_t k,
+                                             Metric metric) const {
+  std::vector<Neighbor> result;
+  if (!root_ || k == 0 || size_ == 0) return result;
+
+  struct QueueItem {
+    double key;
+    bool is_entry;
+    const Node* node;  // when !is_entry
+    Entry entry;       // when is_entry
+  };
+  struct Cmp {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      return a.key > b.key;  // min-heap
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Cmp> heap;
+  heap.push(QueueItem{MinDist(q, root_->mbr), false, root_.get(), {}});
+
+  auto entry_key = [&](const Entry& e) {
+    return metric == Metric::kMinDist ? MinDist(q, e.box) : MaxDist(q, e.box);
+  };
+
+  while (!heap.empty() && result.size() < k) {
+    QueueItem item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.push_back(Neighbor{item.entry.box, item.entry.id, item.key});
+      continue;
+    }
+    const Node* node = item.node;
+    if (node->is_leaf()) {
+      for (const Entry& e : node->entries) {
+        heap.push(QueueItem{entry_key(e), true, nullptr, e});
+      }
+    } else {
+      for (const auto& c : node->children) {
+        // MinDist to the child MBR lower-bounds both metrics for every
+        // entry inside, so the best-first order stays admissible.
+        heap.push(QueueItem{MinDist(q, c->mbr), false, c.get(), {}});
+      }
+    }
+  }
+  return result;
+}
+
+RTree::NNResult RTree::Nearest(const Point& q, Metric metric) const {
+  NNResult r;
+  auto knn = KNearest(q, 1, metric);
+  if (!knn.empty()) {
+    r.found = true;
+    r.neighbor = knn.front();
+  }
+  return r;
+}
+
+int RTree::height() const {
+  if (!root_) return 0;
+  return root_->level + 1;
+}
+
+Rect RTree::bounds() const {
+  if (!root_) return Rect();
+  return root_->mbr;
+}
+
+RTree RTree::BulkLoad(std::vector<Entry> entries, int max_entries) {
+  RTree tree(max_entries);
+  if (entries.empty()) return tree;
+  const size_t fanout = static_cast<size_t>(tree.max_entries_);
+
+  // Build the leaf level with Sort-Tile-Recursive packing.
+  auto center_x = [](const Rect& r) { return (r.min.x + r.max.x) / 2.0; };
+  auto center_y = [](const Rect& r) { return (r.min.y + r.max.y) / 2.0; };
+
+  std::sort(entries.begin(), entries.end(),
+            [&](const Entry& a, const Entry& b) {
+              return center_x(a.box) < center_x(b.box);
+            });
+  const size_t n = entries.size();
+  const size_t num_leaves = (n + fanout - 1) / fanout;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size = (n + num_slabs - 1) / num_slabs;
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t s = 0; s < n; s += slab_size) {
+    const size_t end = std::min(s + slab_size, n);
+    std::sort(entries.begin() + static_cast<ptrdiff_t>(s),
+              entries.begin() + static_cast<ptrdiff_t>(end),
+              [&](const Entry& a, const Entry& b) {
+                return center_y(a.box) < center_y(b.box);
+              });
+    for (size_t i = s; i < end; i += fanout) {
+      auto node = std::make_unique<Node>();
+      const size_t chunk_end = std::min(i + fanout, end);
+      node->entries.assign(entries.begin() + static_cast<ptrdiff_t>(i),
+                           entries.begin() + static_cast<ptrdiff_t>(chunk_end));
+      node->RecomputeMbr();
+      level.push_back(std::move(node));
+    }
+  }
+
+  // Pack upper levels the same way until a single root remains.
+  int current_level = 0;
+  while (level.size() > 1) {
+    ++current_level;
+    std::sort(level.begin(), level.end(),
+              [&](const std::unique_ptr<Node>& a,
+                  const std::unique_ptr<Node>& b) {
+                return center_x(a->mbr) < center_x(b->mbr);
+              });
+    const size_t m = level.size();
+    const size_t num_parents = (m + fanout - 1) / fanout;
+    const size_t parent_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const size_t pslab = (m + parent_slabs - 1) / parent_slabs;
+
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t s = 0; s < m; s += pslab) {
+      const size_t end = std::min(s + pslab, m);
+      std::sort(level.begin() + static_cast<ptrdiff_t>(s),
+                level.begin() + static_cast<ptrdiff_t>(end),
+                [&](const std::unique_ptr<Node>& a,
+                    const std::unique_ptr<Node>& b) {
+                  return center_y(a->mbr) < center_y(b->mbr);
+                });
+      for (size_t i = s; i < end; i += fanout) {
+        auto node = std::make_unique<Node>();
+        node->level = current_level;
+        const size_t chunk_end = std::min(i + fanout, end);
+        for (size_t j = i; j < chunk_end; ++j) {
+          level[j]->parent = node.get();
+          node->children.push_back(std::move(level[j]));
+        }
+        node->RecomputeMbr();
+        next.push_back(std::move(node));
+      }
+    }
+    level = std::move(next);
+  }
+
+  tree.root_ = std::move(level.front());
+  tree.size_ = n;
+  return tree;
+}
+
+bool RTree::CheckInvariants() const {
+  if (!root_) return true;
+  bool ok = true;
+  size_t counted = 0;
+  // (node, expected_level) pairs; leaves must all be level 0.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty() && ok) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    Rect expect;
+    if (node->is_leaf()) {
+      counted += node->entries.size();
+      for (const Entry& e : node->entries) expect = expect.Union(e.box);
+      if (!node->children.empty()) ok = false;
+    } else {
+      if (!node->entries.empty()) ok = false;
+      if (node->children.empty()) ok = false;
+      for (const auto& c : node->children) {
+        expect = expect.Union(c->mbr);
+        if (c->parent != node) ok = false;
+        if (c->level != node->level - 1) ok = false;
+        stack.push_back(c.get());
+      }
+    }
+    if (!(expect == node->mbr) && node->item_count() > 0) ok = false;
+    // Fill-factor: root exempt; bulk-loaded trees satisfy >= 1.
+    if (node != root_.get() && node->item_count() < 1) ok = false;
+    if (node->item_count() > static_cast<size_t>(max_entries_)) ok = false;
+  }
+  if (counted != size_) ok = false;
+  return ok;
+}
+
+}  // namespace casper::spatial

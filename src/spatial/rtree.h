@@ -1,0 +1,118 @@
+#ifndef CASPER_SPATIAL_RTREE_H_
+#define CASPER_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/geometry.h"
+
+/// \file
+/// A classic Guttman R-tree over (rectangle, id) entries. This is the
+/// "traditional location-based database server" index that the paper's
+/// privacy-aware query processor plugs into (§5.1.1: "it can be employed
+/// using R-tree or any other methods"). Point data is stored as
+/// degenerate rectangles.
+///
+/// Supported operations:
+///  * Insert / Remove (quadratic split, Guttman condense-tree on delete)
+///  * STR bulk load (Sort-Tile-Recursive) for static target sets
+///  * Range query (all entries intersecting a window)
+///  * Best-first nearest neighbor / k-nearest under two metrics:
+///     - kMinDist: distance to the closest point of the entry rectangle
+///       (ordinary NN; exact for point entries)
+///     - kMaxDist: distance to the farthest corner of the entry rectangle
+///       (the metric the private-data filter step needs, §5.2.1)
+
+namespace casper::spatial {
+
+class RTree {
+ public:
+  /// One stored object.
+  struct Entry {
+    Rect box;
+    uint64_t id = 0;
+  };
+
+  /// Distance used to rank *entries* in NN search. Interior nodes are
+  /// always ranked by MinDist to their MBR, which lower-bounds both
+  /// metrics and keeps the search correct.
+  enum class Metric { kMinDist, kMaxDist };
+
+  /// Result of a (k-)NN probe.
+  struct Neighbor {
+    Rect box;
+    uint64_t id = 0;
+    double distance = 0.0;
+  };
+
+  /// `max_entries` is the node fan-out M (min fill is M * 0.4, >= 2).
+  explicit RTree(int max_entries = 16);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Build a packed tree from `entries` with Sort-Tile-Recursive.
+  static RTree BulkLoad(std::vector<Entry> entries, int max_entries = 16);
+
+  void Insert(const Rect& box, uint64_t id);
+
+  /// Remove the entry matching (box, id) exactly. Returns false when no
+  /// such entry exists.
+  bool Remove(const Rect& box, uint64_t id);
+
+  /// Append every entry whose rectangle intersects `window` to `*out`.
+  void RangeQuery(const Rect& window, std::vector<Entry>* out) const;
+
+  /// Visitor form; return false from the visitor to stop early.
+  void RangeQuery(const Rect& window,
+                  const std::function<bool(const Entry&)>& visit) const;
+
+  /// Number of entries intersecting `window` without materializing them.
+  size_t RangeCount(const Rect& window) const;
+
+  /// Nearest entry to `q` under `metric`; empty vector when the tree is
+  /// empty. Ties are broken arbitrarily but deterministically.
+  std::vector<Neighbor> KNearest(const Point& q, size_t k,
+                                 Metric metric = Metric::kMinDist) const;
+
+  /// Convenience single-NN wrapper. `found` is false only on empty tree.
+  struct NNResult {
+    bool found = false;
+    Neighbor neighbor;
+  };
+  NNResult Nearest(const Point& q, Metric metric = Metric::kMinDist) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Bounding box of the whole tree (empty rect when empty).
+  Rect bounds() const;
+
+  /// Structural invariant check for tests: MBRs tight and covering,
+  /// uniform leaf depth, fill factors respected (root exempt).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  void InsertEntry(const Rect& box, uint64_t id, int target_level);
+  Node* ChooseLeaf(Node* node, const Rect& box, int target_level);
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  void CondenseTree(Node* leaf);
+
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace casper::spatial
+
+#endif  // CASPER_SPATIAL_RTREE_H_

@@ -1,0 +1,201 @@
+#include "src/anonymizer/adaptive_anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::anonymizer {
+namespace {
+
+PyramidConfig SmallConfig(int height = 5) {
+  PyramidConfig config;
+  config.height = height;
+  return config;
+}
+
+TEST(AdaptiveAnonymizerTest, StartsWithOnlyRoot) {
+  AdaptiveAnonymizer anon(SmallConfig());
+  EXPECT_EQ(anon.materialized_cell_count(), 1u);
+  EXPECT_TRUE(anon.IsMaterialized(CellId::Root()));
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(AdaptiveAnonymizerTest, RelaxedUsersDeepenStructure) {
+  AdaptiveAnonymizer anon(SmallConfig(4));
+  Rng rng(1);
+  // Fully relaxed users (k=1, no area need): the structure should split
+  // down toward the lowest level around each user.
+  for (UserId uid = 0; uid < 50; ++uid) {
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {1, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  EXPECT_GT(anon.materialized_cell_count(), 1u);
+  EXPECT_GT(anon.stats().splits, 0u);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(AdaptiveAnonymizerTest, StrictUsersKeepStructureShallow) {
+  AdaptiveAnonymizer anon(SmallConfig(6));
+  Rng rng(2);
+  // Every user requires the entire population (k = uid count would be
+  // unachievable below root for most cells).
+  for (UserId uid = 0; uid < 40; ++uid) {
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {40, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  // k=40 of 40 users: no level-1 cell can hold everyone unless all users
+  // cluster in one quadrant, so the structure stays tiny.
+  EXPECT_LT(anon.materialized_cell_count(), 10u);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(AdaptiveAnonymizerTest, AreaRequirementBoundsDepth) {
+  PyramidConfig config = SmallConfig(8);
+  AdaptiveAnonymizer anon(config);
+  Rng rng(3);
+  // a_min equal to a level-2 cell: no cell deeper than level 2 can ever
+  // serve these users, so no leaf is deeper than level 2.
+  const double a_min = config.CellArea(2);
+  for (UserId uid = 0; uid < 200; ++uid) {
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {1, a_min}, rng.PointIn(config.space)).ok());
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+  // Materialized cells can be at most level 2 (leaves) — count bound:
+  // root + 4 + 16 = 21.
+  EXPECT_LE(anon.materialized_cell_count(), 21u);
+}
+
+TEST(AdaptiveAnonymizerTest, DeregistrationTriggersMerges) {
+  AdaptiveAnonymizer anon(SmallConfig(5));
+  Rng rng(4);
+  std::vector<UserId> uids;
+  for (UserId uid = 0; uid < 100; ++uid) {
+    uids.push_back(uid);
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {2, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  const size_t peak = anon.materialized_cell_count();
+  for (UserId uid : uids) ASSERT_TRUE(anon.DeregisterUser(uid).ok());
+  EXPECT_EQ(anon.user_count(), 0u);
+  EXPECT_TRUE(anon.CheckInvariants());
+  // With everyone gone, merges should have collapsed the structure
+  // substantially (empty quadrants merge: no user needs them).
+  EXPECT_LT(anon.materialized_cell_count(), peak);
+  EXPECT_GT(anon.stats().merges, 0u);
+}
+
+TEST(AdaptiveAnonymizerTest, MovementMaintainsInvariants) {
+  AdaptiveAnonymizer anon(SmallConfig(6));
+  Rng rng(5);
+  const Rect space = anon.config().space;
+  for (UserId uid = 0; uid < 150; ++uid) {
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 20));
+    ASSERT_TRUE(anon.RegisterUser(uid, {k, 0.0}, rng.PointIn(space)).ok());
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (UserId uid = 0; uid < 150; ++uid) {
+      ASSERT_TRUE(anon.UpdateLocation(uid, rng.PointIn(space)).ok());
+    }
+    ASSERT_TRUE(anon.CheckInvariants()) << "round " << round;
+  }
+}
+
+TEST(AdaptiveAnonymizerTest, LocalMovementMaintainsInvariants) {
+  // Small steps (the realistic regime for the adaptive structure).
+  AdaptiveAnonymizer anon(SmallConfig(6));
+  Rng rng(6);
+  const Rect space = anon.config().space;
+  std::vector<Point> pos;
+  for (UserId uid = 0; uid < 100; ++uid) {
+    pos.push_back(rng.PointIn(space));
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 10));
+    ASSERT_TRUE(anon.RegisterUser(uid, {k, 0.0}, pos.back()).ok());
+  }
+  for (int round = 0; round < 30; ++round) {
+    for (UserId uid = 0; uid < 100; ++uid) {
+      pos[uid].x = std::clamp(pos[uid].x + rng.Uniform(-0.02, 0.02), 0.0, 1.0);
+      pos[uid].y = std::clamp(pos[uid].y + rng.Uniform(-0.02, 0.02), 0.0, 1.0);
+      ASSERT_TRUE(anon.UpdateLocation(uid, pos[uid]).ok());
+    }
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(AdaptiveAnonymizerTest, CloakHonorsProfile) {
+  AdaptiveAnonymizer anon(SmallConfig(7));
+  Rng rng(7);
+  std::vector<Point> positions;
+  for (UserId uid = 0; uid < 300; ++uid) {
+    const Point p = rng.PointIn(anon.config().space);
+    positions.push_back(p);
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 30));
+    const double a_min = anon.config().space.Area() * rng.Uniform(0, 1e-3);
+    ASSERT_TRUE(anon.RegisterUser(uid, {k, a_min}, p).ok());
+  }
+  for (UserId uid = 0; uid < 300; uid += 5) {
+    auto result = anon.Cloak(uid);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->region.Contains(positions[uid]));
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(AdaptiveAnonymizerTest, ProfileChangeReshapesStructure) {
+  AdaptiveAnonymizer anon(SmallConfig(6));
+  Rng rng(8);
+  for (UserId uid = 0; uid < 60; ++uid) {
+    // Strict: nobody satisfiable below root-ish levels.
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {60, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  const size_t shallow = anon.materialized_cell_count();
+  // Relax everyone: structure should deepen.
+  for (UserId uid = 0; uid < 60; ++uid) {
+    ASSERT_TRUE(anon.UpdateProfile(uid, {1, 0.0}).ok());
+  }
+  EXPECT_GT(anon.materialized_cell_count(), shallow);
+  EXPECT_TRUE(anon.CheckInvariants());
+
+  // Tighten again: merges collapse it back.
+  for (UserId uid = 0; uid < 60; ++uid) {
+    ASSERT_TRUE(anon.UpdateProfile(uid, {60, 0.0}).ok());
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+  EXPECT_LE(anon.materialized_cell_count(), shallow + 8);
+}
+
+TEST(AdaptiveAnonymizerTest, FewerMaterializedCellsThanComplete) {
+  const int height = 7;
+  AdaptiveAnonymizer anon(SmallConfig(height));
+  Rng rng(9);
+  for (UserId uid = 0; uid < 500; ++uid) {
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(10, 50));
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {k, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  // Complete pyramid cell count: sum 4^l, l = 0..7 = 21845.
+  size_t complete = 0;
+  for (int l = 0; l <= height; ++l) complete += size_t{1} << (2 * l);
+  EXPECT_LT(anon.materialized_cell_count(), complete / 10);
+}
+
+TEST(AdaptiveAnonymizerTest, ErrorPaths) {
+  AdaptiveAnonymizer anon(SmallConfig());
+  EXPECT_EQ(anon.UpdateLocation(9, {0.5, 0.5}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(anon.DeregisterUser(9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(anon.Cloak(9).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.5, 0.5}).ok());
+  EXPECT_EQ(anon.RegisterUser(1, {1, 0.0}, {0.5, 0.5}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(anon.UpdateLocation(1, {2.0, 0.5}).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

@@ -1,0 +1,154 @@
+#include "src/anonymizer/basic_anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::anonymizer {
+namespace {
+
+PyramidConfig SmallConfig(int height = 5) {
+  PyramidConfig config;
+  config.height = height;
+  return config;
+}
+
+TEST(BasicAnonymizerTest, RegisterUpdatesAllLevels) {
+  BasicAnonymizer anon(SmallConfig(3));
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.1, 0.1}).ok());
+  EXPECT_EQ(anon.user_count(), 1u);
+  // Every ancestor of the user's leaf counts her.
+  for (int level = 0; level <= 3; ++level) {
+    EXPECT_EQ(anon.CellCount(anon.config().CellAt(level, {0.1, 0.1})), 1u);
+  }
+  // Stats: one counter update per level.
+  EXPECT_EQ(anon.stats().counter_updates, 4u);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(BasicAnonymizerTest, RegistrationValidation) {
+  BasicAnonymizer anon(SmallConfig());
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.5, 0.5}).ok());
+  EXPECT_EQ(anon.RegisterUser(1, {1, 0.0}, {0.5, 0.5}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(anon.RegisterUser(2, {1, 0.0}, {1.5, 0.5}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(anon.RegisterUser(3, {0, 0.0}, {0.5, 0.5}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(anon.user_count(), 1u);
+}
+
+TEST(BasicAnonymizerTest, UpdateWithinCellIsFree) {
+  BasicAnonymizer anon(SmallConfig(3));
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.10, 0.10}).ok());
+  const uint64_t before = anon.stats().counter_updates;
+  // Leaf cells at height 3 have side 1/8; stay inside the same cell.
+  ASSERT_TRUE(anon.UpdateLocation(1, {0.11, 0.11}).ok());
+  EXPECT_EQ(anon.stats().counter_updates, before);
+  EXPECT_EQ(anon.stats().cell_crossings, 0u);
+  EXPECT_EQ(anon.stats().location_updates, 1u);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(BasicAnonymizerTest, UpdateAcrossCellsPropagatesToLca) {
+  BasicAnonymizer anon(SmallConfig(3));
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.05, 0.05}).ok());
+  const uint64_t before = anon.stats().counter_updates;
+
+  // Move to the adjacent leaf (same parent): 2 mutations at the leaf
+  // level only.
+  ASSERT_TRUE(anon.UpdateLocation(1, {0.2, 0.05}).ok());
+  EXPECT_EQ(anon.stats().counter_updates - before, 2u);
+  EXPECT_TRUE(anon.CheckInvariants());
+
+  // Move across the whole space: mutations at every level below root.
+  const uint64_t before2 = anon.stats().counter_updates;
+  ASSERT_TRUE(anon.UpdateLocation(1, {0.95, 0.95}).ok());
+  EXPECT_EQ(anon.stats().counter_updates - before2, 2u * 3);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(BasicAnonymizerTest, DeregisterRemovesCounts) {
+  BasicAnonymizer anon(SmallConfig());
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.3, 0.3}).ok());
+  ASSERT_TRUE(anon.RegisterUser(2, {1, 0.0}, {0.3, 0.3}).ok());
+  ASSERT_TRUE(anon.DeregisterUser(1).ok());
+  EXPECT_EQ(anon.user_count(), 1u);
+  EXPECT_EQ(anon.CellCount(CellId::Root()), 1u);
+  EXPECT_EQ(anon.DeregisterUser(1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(anon.CheckInvariants());
+}
+
+TEST(BasicAnonymizerTest, CloakHonorsProfile) {
+  BasicAnonymizer anon(SmallConfig(6));
+  Rng rng(1);
+  for (UserId uid = 0; uid < 500; ++uid) {
+    ASSERT_TRUE(
+        anon.RegisterUser(uid, {1, 0.0}, rng.PointIn(anon.config().space))
+            .ok());
+  }
+  // Tighten one user's profile and cloak.
+  ASSERT_TRUE(anon.UpdateProfile(0, {50, 0.01}).ok());
+  auto result = anon.Cloak(0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->users_in_region, 50u);
+  EXPECT_GE(result->region.Area(), 0.01);
+  EXPECT_EQ(anon.stats().cloak_calls, 1u);
+  EXPECT_GT(anon.stats().cloak_levels_visited, 0u);
+}
+
+TEST(BasicAnonymizerTest, CloakUnknownUser) {
+  BasicAnonymizer anon(SmallConfig());
+  EXPECT_EQ(anon.Cloak(77).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BasicAnonymizerTest, CloakFailsWhenKExceedsPopulation) {
+  BasicAnonymizer anon(SmallConfig());
+  ASSERT_TRUE(anon.RegisterUser(1, {10, 0.0}, {0.5, 0.5}).ok());
+  EXPECT_EQ(anon.Cloak(1).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BasicAnonymizerTest, ProfileUpdateValidation) {
+  BasicAnonymizer anon(SmallConfig());
+  ASSERT_TRUE(anon.RegisterUser(1, {1, 0.0}, {0.5, 0.5}).ok());
+  EXPECT_EQ(anon.UpdateProfile(2, {1, 0.0}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(anon.UpdateProfile(1, {0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BasicAnonymizerTest, ManyUsersManyMovesInvariants) {
+  BasicAnonymizer anon(SmallConfig(6));
+  Rng rng(2);
+  const Rect space = anon.config().space;
+  for (UserId uid = 0; uid < 300; ++uid) {
+    ASSERT_TRUE(anon.RegisterUser(uid, {1, 0.0}, rng.PointIn(space)).ok());
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (UserId uid = 0; uid < 300; ++uid) {
+      ASSERT_TRUE(anon.UpdateLocation(uid, rng.PointIn(space)).ok());
+    }
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+  EXPECT_EQ(anon.stats().location_updates, 3000u);
+}
+
+TEST(BasicAnonymizerTest, CloakedRegionAlwaysContainsUser) {
+  BasicAnonymizer anon(SmallConfig(7));
+  Rng rng(3);
+  const Rect space = anon.config().space;
+  std::vector<Point> positions;
+  for (UserId uid = 0; uid < 400; ++uid) {
+    const Point p = rng.PointIn(space);
+    positions.push_back(p);
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 40));
+    ASSERT_TRUE(anon.RegisterUser(uid, {k, 0.0}, p).ok());
+  }
+  for (UserId uid = 0; uid < 400; uid += 7) {
+    auto result = anon.Cloak(uid);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->region.Contains(positions[uid]));
+  }
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

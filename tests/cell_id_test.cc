@@ -1,0 +1,96 @@
+#include "src/anonymizer/cell_id.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace casper::anonymizer {
+namespace {
+
+TEST(CellIdTest, RootProperties) {
+  const CellId root = CellId::Root();
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.GridDim(), 1u);
+  EXPECT_EQ(root.level, 0u);
+}
+
+TEST(CellIdTest, ParentChildRoundTrip) {
+  const CellId cell{3, 5, 6};
+  for (const CellId& child : cell.Children()) {
+    EXPECT_EQ(child.Parent(), cell);
+    EXPECT_EQ(child.level, 4u);
+  }
+}
+
+TEST(CellIdTest, ChildrenAreDistinctAndOrdered) {
+  const CellId cell{2, 1, 3};
+  const auto kids = cell.Children();
+  // (SW, SE, NW, NE) layout.
+  EXPECT_EQ(kids[0], (CellId{3, 2, 6}));
+  EXPECT_EQ(kids[1], (CellId{3, 3, 6}));
+  EXPECT_EQ(kids[2], (CellId{3, 2, 7}));
+  EXPECT_EQ(kids[3], (CellId{3, 3, 7}));
+}
+
+TEST(CellIdTest, NeighborsShareParentAndAxis) {
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      const CellId cell{3, x, y};
+      const CellId h = cell.HorizontalNeighbor();
+      const CellId v = cell.VerticalNeighbor();
+      EXPECT_EQ(h.Parent(), cell.Parent());
+      EXPECT_EQ(v.Parent(), cell.Parent());
+      EXPECT_EQ(h.y, cell.y);  // Same row.
+      EXPECT_NE(h.x, cell.x);
+      EXPECT_EQ(v.x, cell.x);  // Same column.
+      EXPECT_NE(v.y, cell.y);
+      // Neighborhood is symmetric.
+      EXPECT_EQ(h.HorizontalNeighbor(), cell);
+      EXPECT_EQ(v.VerticalNeighbor(), cell);
+    }
+  }
+}
+
+TEST(CellIdTest, ChildSlotCoversAllQuadrants) {
+  const CellId cell{1, 0, 0};
+  std::unordered_set<int> slots;
+  for (const CellId& child : cell.Children()) {
+    slots.insert(child.ChildSlot());
+  }
+  EXPECT_EQ(slots.size(), 4u);
+}
+
+TEST(CellIdTest, IsAncestorOf) {
+  const CellId root = CellId::Root();
+  const CellId cell{3, 5, 6};
+  EXPECT_TRUE(root.IsAncestorOf(cell));
+  EXPECT_TRUE(cell.IsAncestorOf(cell));
+  EXPECT_TRUE(cell.Parent().IsAncestorOf(cell));
+  EXPECT_FALSE(cell.IsAncestorOf(cell.Parent()));
+  EXPECT_FALSE(cell.HorizontalNeighbor().IsAncestorOf(cell));
+  for (const CellId& child : cell.Children()) {
+    EXPECT_TRUE(cell.IsAncestorOf(child));
+  }
+}
+
+TEST(CellIdTest, HashDistinguishesCells) {
+  CellIdHash hash;
+  std::unordered_set<size_t> seen;
+  for (uint32_t level = 0; level < 4; ++level) {
+    const uint32_t dim = 1u << level;
+    for (uint32_t x = 0; x < dim; ++x) {
+      for (uint32_t y = 0; y < dim; ++y) {
+        seen.insert(hash(CellId{level, x, y}));
+      }
+    }
+  }
+  // 1 + 4 + 16 + 64 = 85 distinct cells; allow zero collisions here.
+  EXPECT_EQ(seen.size(), 85u);
+}
+
+TEST(CellIdTest, ToStringFormat) {
+  EXPECT_EQ((CellId{2, 1, 3}).ToString(), "L2(1,3)");
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

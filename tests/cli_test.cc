@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+/// End-to-end test of the casper_cli tool: drives the binary through a
+/// scripted session over a pipe and checks the emitted answers. Locates
+/// the binary relative to the test executable (both live in the build
+/// tree).
+
+namespace {
+
+std::string RunCli(const std::string& script) {
+  // Tests run from build/tests; the tool lives in build/tools.
+  const char* candidates[] = {"./tools/casper_cli", "../tools/casper_cli",
+                              "build/tools/casper_cli"};
+  std::string binary;
+  for (const char* c : candidates) {
+    if (std::FILE* f = std::fopen(c, "r")) {
+      std::fclose(f);
+      binary = c;
+      break;
+    }
+  }
+  if (binary.empty()) return "<binary-not-found>";
+
+  const std::string command =
+      "printf '" + script + "' | " + binary + " 2>/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "<popen-failed>";
+  std::string output;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  pclose(pipe);
+  return output;
+}
+
+TEST(CliTest, FullSession) {
+  const std::string output = RunCli(
+      "targets 50 7\\n"
+      "register 1 2 0 0.5 0.5\\n"
+      "register 2 2 0 0.52 0.5\\n"
+      "register 3 2 0 0.48 0.52\\n"
+      "cloak 1\\n"
+      "nn 1\\n"
+      "sync\\n"
+      "count 0 0 1 1\\n"
+      "stats\\n"
+      "quit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+
+  // Registration confirmations.
+  EXPECT_NE(output.find("OK: 50 public targets"), std::string::npos)
+      << output;
+  // Cloak line shows a region and a population >= k.
+  EXPECT_NE(output.find("region="), std::string::npos) << output;
+  // NN answer includes candidates and an exact target.
+  EXPECT_NE(output.find("exact=target:"), std::string::npos) << output;
+  // Whole-space count sees all three users with certainty.
+  EXPECT_NE(output.find("certain=3 expected=3.00 possible=3"),
+            std::string::npos)
+      << output;
+  // Stats line mentions the population.
+  EXPECT_NE(output.find("users=3"), std::string::npos) << output;
+  EXPECT_NE(output.find("bye"), std::string::npos) << output;
+}
+
+TEST(CliTest, ErrorsAreReportedNotFatal) {
+  const std::string output = RunCli(
+      "nn 99\\n"
+      "register 1 0 0 0.5 0.5\\n"
+      "move 7 0.1 0.1\\n"
+      "bogus\\n"
+      "quit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  EXPECT_NE(output.find("NotFound"), std::string::npos) << output;
+  EXPECT_NE(output.find("InvalidArgument"), std::string::npos) << output;
+  EXPECT_NE(output.find("unknown command"), std::string::npos) << output;
+  EXPECT_NE(output.find("bye"), std::string::npos) << output;
+}
+
+TEST(CliTest, HelpListsCommands) {
+  const std::string output = RunCli("help\\nquit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  for (const char* cmd : {"register", "move", "nn", "knn", "density",
+                          "buddy", "sync"}) {
+    EXPECT_NE(output.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include "src/baselines/clique_cloak.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::baselines {
+namespace {
+
+CliqueRequest Req(anonymizer::UserId uid, double x, double y, uint32_t k,
+                  double tolerance = 0.2) {
+  return CliqueRequest{uid, Point{x, y}, k, tolerance};
+}
+
+TEST(CliqueCloakTest, SingletonKOneIsImmediate) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  auto result = cc.Submit(Req(1, 0.5, 0.5, 1));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].uid, 1u);
+  EXPECT_EQ(cc.pending_count(), 0u);
+}
+
+TEST(CliqueCloakTest, WaitsForCompatiblePartners) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  auto first = cc.Submit(Req(1, 0.5, 0.5, 2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->empty());
+  EXPECT_EQ(cc.pending_count(), 1u);
+
+  // A second user nearby completes the 2-clique; both are cloaked with
+  // the same MBR.
+  auto second = cc.Submit(Req(2, 0.55, 0.5, 2));
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 2u);
+  EXPECT_EQ((*second)[0].region, (*second)[1].region);
+  EXPECT_EQ((*second)[0].group_size, 2u);
+  EXPECT_EQ(cc.pending_count(), 0u);
+}
+
+TEST(CliqueCloakTest, MbrLeaksMemberPositions) {
+  // The paper's §2 criticism: members lie on the MBR boundary.
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  ASSERT_TRUE(cc.Submit(Req(1, 0.4, 0.4, 2)).ok());
+  auto done = cc.Submit(Req(2, 0.5, 0.5, 2));
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 2u);
+  const Rect mbr = (*done)[0].region;
+  // Both submitted positions sit exactly on the MBR corners.
+  EXPECT_EQ(mbr, Rect(0.4, 0.4, 0.5, 0.5));
+}
+
+TEST(CliqueCloakTest, IncompatibleRequestsDoNotGroup) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  ASSERT_TRUE(cc.Submit(Req(1, 0.1, 0.1, 2, 0.05)).ok());
+  // Far away: not within each other's tolerance.
+  auto second = cc.Submit(Req(2, 0.9, 0.9, 2, 0.05));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->empty());
+  EXPECT_EQ(cc.pending_count(), 2u);
+}
+
+TEST(CliqueCloakTest, AsymmetricToleranceBlocksGrouping) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  // u1 accepts distant partners, but u2's tiny tolerance excludes u1:
+  // compatibility must be mutual.
+  ASSERT_TRUE(cc.Submit(Req(1, 0.3, 0.5, 2, 0.5)).ok());
+  auto second = cc.Submit(Req(2, 0.7, 0.5, 2, 0.1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->empty());
+}
+
+TEST(CliqueCloakTest, LargestMemberKGovernsGroupSize) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  // All pending members demand k=4, so any group that includes one of
+  // them must reach four members before it can be released.
+  ASSERT_TRUE(cc.Submit(Req(1, 0.50, 0.5, 4)).ok());
+  ASSERT_TRUE(cc.Submit(Req(2, 0.52, 0.5, 4)).ok());
+  ASSERT_TRUE(cc.Submit(Req(3, 0.54, 0.5, 4)).ok());
+  auto done = cc.Submit(Req(4, 0.56, 0.5, 2));
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 4u);
+  for (const auto& c : *done) EXPECT_EQ(c.group_size, 4u);
+}
+
+TEST(CliqueCloakTest, GreedyServesSmallestSatisfiableGroup) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  // A k=4 requester parks; two k=2 users pair up around it and leave it
+  // starving — the behavior the paper criticizes.
+  ASSERT_TRUE(cc.Submit(Req(1, 0.50, 0.5, 4)).ok());
+  ASSERT_TRUE(cc.Submit(Req(2, 0.52, 0.5, 2)).ok());
+  auto done = cc.Submit(Req(3, 0.54, 0.5, 2));
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 2u);
+  for (const auto& c : *done) EXPECT_NE(c.uid, 1u);
+  EXPECT_EQ(cc.pending_count(), 1u);  // The k=4 user still waits.
+}
+
+TEST(CliqueCloakTest, Validation) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  EXPECT_EQ(cc.Submit(Req(1, 0.5, 0.5, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cc.Submit(Req(1, 1.5, 0.5, 1)).status().code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(cc.Submit(Req(1, 0.5, 0.5, 3)).ok());
+  EXPECT_EQ(cc.Submit(Req(1, 0.6, 0.5, 3)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CliqueCloakTest, Cancel) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  ASSERT_TRUE(cc.Submit(Req(1, 0.5, 0.5, 5)).ok());
+  EXPECT_EQ(cc.pending_count(), 1u);
+  ASSERT_TRUE(cc.Cancel(1).ok());
+  EXPECT_EQ(cc.pending_count(), 0u);
+  EXPECT_EQ(cc.Cancel(1).code(), StatusCode::kNotFound);
+}
+
+TEST(CliqueCloakTest, StarvationWithLargeK) {
+  // The paper's scalability criticism: requests with large k in a
+  // sparse pool never complete.
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  Rng rng(1);
+  size_t fulfilled = 0;
+  for (anonymizer::UserId uid = 0; uid < 30; ++uid) {
+    auto r = cc.Submit(Req(uid, rng.Uniform(0, 1), rng.Uniform(0, 1), 50,
+                           0.05));
+    ASSERT_TRUE(r.ok());
+    fulfilled += r->size();
+  }
+  EXPECT_EQ(fulfilled, 0u);
+  EXPECT_EQ(cc.pending_count(), 30u);
+}
+
+TEST(CliqueCloakTest, DenseSmallKFulfillsMost) {
+  CliqueCloak cc(Rect(0, 0, 1, 1));
+  Rng rng(2);
+  size_t fulfilled = 0;
+  for (anonymizer::UserId uid = 0; uid < 200; ++uid) {
+    auto r = cc.Submit(
+        Req(uid, rng.Uniform(0.4, 0.6), rng.Uniform(0.4, 0.6), 5, 0.3));
+    ASSERT_TRUE(r.ok());
+    fulfilled += r->size();
+  }
+  EXPECT_GT(fulfilled, 150u);
+}
+
+}  // namespace
+}  // namespace casper::baselines

@@ -1,0 +1,247 @@
+#include "src/anonymizer/cloaking.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace casper::anonymizer {
+namespace {
+
+/// A synthetic pyramid backed by explicit user points: counts computed
+/// on the fly, serving as a simple oracle for Algorithm 1.
+class PointPyramid {
+ public:
+  PointPyramid(PyramidConfig config, std::vector<Point> points)
+      : config_(config), points_(std::move(points)) {}
+
+  uint64_t Count(const CellId& cell) const {
+    const Rect r = config_.CellRect(cell);
+    uint64_t n = 0;
+    // Count cell membership the way the pyramid does (by leaf cell), not
+    // by geometric containment, so shared boundaries are unambiguous.
+    for (const Point& p : points_) {
+      CellId pc = config_.CellAt(static_cast<int>(cell.level), p);
+      if (pc == cell) ++n;
+    }
+    (void)r;
+    return n;
+  }
+
+  CellCountFn CountFn() const {
+    return [this](const CellId& cell) { return Count(cell); };
+  }
+
+  const PyramidConfig& config() const { return config_; }
+  uint64_t total() const { return points_.size(); }
+
+ private:
+  PyramidConfig config_;
+  std::vector<Point> points_;
+};
+
+PointPyramid UniformPyramid(size_t n, int height, uint64_t seed) {
+  PyramidConfig config;
+  config.height = height;
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (size_t i = 0; i < n; ++i) points.push_back(rng.PointIn(config.space));
+  return PointPyramid(config, std::move(points));
+}
+
+TEST(CloakingTest, SatisfiedAtStartCellReturnsIt) {
+  PointPyramid pyramid = UniformPyramid(4096, 4, 1);
+  // k=1, no area requirement: the start cell itself qualifies whenever
+  // the user is inside it (count >= 1).
+  PrivacyProfile profile{1, 0.0};
+  const CellId start = pyramid.config().CellAt(4, {0.3, 0.3});
+  auto result = BottomUpCloak(pyramid.config(), pyramid.CountFn(),
+                              pyramid.total(), profile, start);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region, pyramid.config().CellRect(start));
+  EXPECT_EQ(result->levels_visited, 1);
+  EXPECT_FALSE(result->merged_with_neighbor);
+}
+
+TEST(CloakingTest, SatisfiesKRequirement) {
+  PointPyramid pyramid = UniformPyramid(2000, 6, 2);
+  Rng rng(3);
+  for (uint32_t k : {1u, 5u, 20u, 100u, 500u}) {
+    for (int i = 0; i < 20; ++i) {
+      const Point p = rng.PointIn(pyramid.config().space);
+      const CellId start = pyramid.config().LeafCellAt(p);
+      auto result = BottomUpCloak(pyramid.config(), pyramid.CountFn(),
+                                  pyramid.total(), PrivacyProfile{k, 0.0},
+                                  start);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_GE(result->users_in_region, k);
+      EXPECT_TRUE(result->region.Contains(p));
+    }
+  }
+}
+
+TEST(CloakingTest, SatisfiesAreaRequirement) {
+  PointPyramid pyramid = UniformPyramid(1000, 6, 4);
+  Rng rng(5);
+  for (double a_min : {0.0, 1e-4, 1e-3, 1e-2, 0.2, 1.0}) {
+    for (int i = 0; i < 10; ++i) {
+      const Point p = rng.PointIn(pyramid.config().space);
+      auto result = BottomUpCloak(pyramid.config(), pyramid.CountFn(),
+                                  pyramid.total(), PrivacyProfile{1, a_min},
+                                  pyramid.config().LeafCellAt(p));
+      ASSERT_TRUE(result.ok());
+      EXPECT_GE(result->region.Area(), a_min - 1e-12);
+    }
+  }
+}
+
+TEST(CloakingTest, RegionIsCellOrNeighborUnion) {
+  PointPyramid pyramid = UniformPyramid(500, 5, 6);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Point p = rng.PointIn(pyramid.config().space);
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 100));
+    auto result = BottomUpCloak(pyramid.config(), pyramid.CountFn(),
+                                pyramid.total(), PrivacyProfile{k, 0.0},
+                                pyramid.config().LeafCellAt(p));
+    ASSERT_TRUE(result.ok());
+    // The region must be an axis-aligned 1x1 cell or a 1x2/2x1 block.
+    const double ratio = result->region.width() / result->region.height();
+    if (result->merged_with_neighbor) {
+      EXPECT_TRUE(std::abs(ratio - 2.0) < 1e-9 ||
+                  std::abs(ratio - 0.5) < 1e-9);
+    } else {
+      EXPECT_NEAR(ratio, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(CloakingTest, NeighborMergePrefersCloserToK) {
+  // Craft a 2-level pyramid: lowest level 2x2. Put 3 users in cell
+  // (0,0), 5 in its horizontal neighbor (1,0), 9 in the vertical
+  // neighbor (0,1), 0 elsewhere.
+  PyramidConfig config;
+  config.height = 1;
+  std::vector<Point> points;
+  auto add = [&](double x, double y, int n) {
+    for (int i = 0; i < n; ++i) points.push_back({x, y});
+  };
+  add(0.25, 0.25, 3);   // cell (0,0)
+  add(0.75, 0.25, 5);   // cell (1,0) horizontal neighbor
+  add(0.25, 0.75, 9);   // cell (0,1) vertical neighbor
+  PointPyramid pyramid(config, points);
+
+  // k=8: N_H = 3+5 = 8 >= 8, N_V = 3+9 = 12 >= 8, N_H <= N_V: horizontal.
+  auto result =
+      BottomUpCloak(config, pyramid.CountFn(), 17, PrivacyProfile{8, 0.0},
+                    CellId{1, 0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->merged_with_neighbor);
+  EXPECT_EQ(result->users_in_region, 8u);
+  EXPECT_EQ(result->region, Rect(0, 0, 1, 0.5));  // Bottom row.
+
+  // k=9: N_H = 8 < 9, N_V = 12 >= 9: vertical merge.
+  result = BottomUpCloak(config, pyramid.CountFn(), 17,
+                         PrivacyProfile{9, 0.0}, CellId{1, 0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->merged_with_neighbor);
+  EXPECT_EQ(result->users_in_region, 12u);
+  EXPECT_EQ(result->region, Rect(0, 0, 0.5, 1));  // Left column.
+
+  // k=13: neither union works; falls to root.
+  result = BottomUpCloak(config, pyramid.CountFn(), 17,
+                         PrivacyProfile{13, 0.0}, CellId{1, 0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region, config.space);
+  EXPECT_EQ(result->users_in_region, 17u);
+  EXPECT_EQ(result->levels_visited, 2);
+}
+
+TEST(CloakingTest, AreaRequirementBlocksNeighborMerge) {
+  // Same population; k=8 is achievable via the bottom-row merge whose
+  // area is 0.5, but a_min of 0.9 forces the root.
+  PyramidConfig config;
+  config.height = 1;
+  std::vector<Point> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back({i < 3 ? 0.25 : 0.75, 0.25});
+  }
+  PointPyramid pyramid(config, points);
+  auto result = BottomUpCloak(config, pyramid.CountFn(), 8,
+                              PrivacyProfile{8, 0.9}, CellId{1, 0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region, config.space);
+}
+
+TEST(CloakingTest, DisableNeighborMergeAblation) {
+  PyramidConfig config;
+  config.height = 1;
+  std::vector<Point> points;
+  for (int i = 0; i < 4; ++i) points.push_back({i < 2 ? 0.25 : 0.75, 0.25});
+  PointPyramid pyramid(config, points);
+
+  CloakingOptions no_merge;
+  no_merge.enable_neighbor_merge = false;
+  // k=4 via merge would give the bottom row; without merge -> root.
+  auto with = BottomUpCloak(config, pyramid.CountFn(), 4,
+                            PrivacyProfile{4, 0.0}, CellId{1, 0, 0});
+  auto without = BottomUpCloak(config, pyramid.CountFn(), 4,
+                               PrivacyProfile{4, 0.0}, CellId{1, 0, 0},
+                               no_merge);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(with->merged_with_neighbor);
+  EXPECT_EQ(without->region, config.space);
+  EXPECT_LE(with->region.Area(), without->region.Area());
+}
+
+TEST(CloakingTest, ValidatesPreconditions) {
+  PointPyramid pyramid = UniformPyramid(10, 3, 8);
+  const CellId start = pyramid.config().LeafCellAt({0.5, 0.5});
+  // k = 0.
+  EXPECT_EQ(BottomUpCloak(pyramid.config(), pyramid.CountFn(), 10,
+                          PrivacyProfile{0, 0.0}, start)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // k > population.
+  EXPECT_EQ(BottomUpCloak(pyramid.config(), pyramid.CountFn(), 10,
+                          PrivacyProfile{11, 0.0}, start)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // a_min > space area.
+  EXPECT_EQ(BottomUpCloak(pyramid.config(), pyramid.CountFn(), 10,
+                          PrivacyProfile{1, 2.0}, start)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Start below pyramid height.
+  EXPECT_EQ(BottomUpCloak(pyramid.config(), pyramid.CountFn(), 10,
+                          PrivacyProfile{1, 0.0}, CellId{9, 0, 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CloakingTest, StricterProfileNeverShrinksRegion) {
+  PointPyramid pyramid = UniformPyramid(800, 6, 9);
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const Point p = rng.PointIn(pyramid.config().space);
+    const CellId start = pyramid.config().LeafCellAt(p);
+    double prev_area = 0.0;
+    for (uint32_t k : {1u, 4u, 16u, 64u, 256u}) {
+      auto result = BottomUpCloak(pyramid.config(), pyramid.CountFn(),
+                                  pyramid.total(), PrivacyProfile{k, 0.0},
+                                  start);
+      ASSERT_TRUE(result.ok());
+      EXPECT_GE(result->region.Area(), prev_area - 1e-12);
+      prev_area = result->region.Area();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

@@ -1,0 +1,235 @@
+#include "src/processor/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+std::vector<PublicTarget> UniformTargets(size_t n, Rng* rng) {
+  std::vector<PublicTarget> targets;
+  for (uint64_t i = 0; i < n; ++i) {
+    targets.push_back({i, rng->PointIn(Rect(0, 0, 1, 1))});
+  }
+  return targets;
+}
+
+TEST(ContinuousTest, RegisterEvaluatesImmediately) {
+  Rng rng(1);
+  PublicTargetStore store(UniformTargets(200, &rng));
+  ContinuousQueryManager manager(&store);
+  auto qid = manager.Register(Rect(0.4, 0.4, 0.6, 0.6));
+  ASSERT_TRUE(qid.ok());
+  auto answer = manager.Answer(*qid);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->size(), 0u);
+  EXPECT_EQ(manager.stats().evaluations, 1u);
+  EXPECT_EQ(manager.query_count(), 1u);
+}
+
+TEST(ContinuousTest, UnregisterAndUnknownIds) {
+  Rng rng(2);
+  PublicTargetStore store(UniformTargets(50, &rng));
+  ContinuousQueryManager manager(&store);
+  auto qid = manager.Register(Rect(0.1, 0.1, 0.3, 0.3));
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(manager.Unregister(*qid).ok());
+  EXPECT_EQ(manager.Unregister(*qid).code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Answer(*qid).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.OnCloakChanged(*qid, Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ContinuousTest, ShrinkingCloakReusesAnswer) {
+  Rng rng(3);
+  PublicTargetStore store(UniformTargets(300, &rng));
+  ContinuousQueryManager manager(&store);
+  auto qid = manager.Register(Rect(0.2, 0.2, 0.6, 0.6));
+  ASSERT_TRUE(qid.ok());
+  const uint64_t evals = manager.stats().evaluations;
+
+  // Contained cloak: no re-evaluation.
+  auto answer = manager.OnCloakChanged(*qid, Rect(0.3, 0.3, 0.5, 0.5));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(manager.stats().evaluations, evals);
+  EXPECT_EQ(manager.stats().reuses, 1u);
+
+  // Moving outside forces a recompute.
+  answer = manager.OnCloakChanged(*qid, Rect(0.5, 0.5, 0.8, 0.8));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(manager.stats().evaluations, evals + 1);
+}
+
+TEST(ContinuousTest, ReusedAnswerStillInclusive) {
+  Rng rng(4);
+  auto targets = UniformTargets(400, &rng);
+  PublicTargetStore store(targets);
+  ContinuousQueryManager manager(&store);
+  const Rect big(0.2, 0.2, 0.7, 0.7);
+  auto qid = manager.Register(big);
+  ASSERT_TRUE(qid.ok());
+
+  const Rect small(0.4, 0.4, 0.5, 0.5);
+  auto answer = manager.OnCloakChanged(*qid, small);
+  ASSERT_TRUE(answer.ok());
+  std::vector<uint64_t> ids;
+  for (const auto& t : answer->candidates) ids.push_back(t.id);
+  std::sort(ids.begin(), ids.end());
+
+  for (int s = 0; s < 100; ++s) {
+    const Point user = rng.PointIn(small);
+    uint64_t best = 0;
+    double best_d = 1e300;
+    for (const auto& t : targets) {
+      const double d = SquaredDistance(user, t.position);
+      if (d < best_d) {
+        best_d = d;
+        best = t.id;
+      }
+    }
+    EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), best));
+  }
+}
+
+TEST(ContinuousTest, InsertPatchesCoveredQueries) {
+  Rng rng(5);
+  PublicTargetStore store(UniformTargets(100, &rng));
+  ContinuousQueryManager manager(&store);
+  auto qid = manager.Register(Rect(0.4, 0.4, 0.6, 0.6));
+  ASSERT_TRUE(qid.ok());
+  auto before = manager.Answer(*qid);
+  ASSERT_TRUE(before.ok());
+
+  // Insert inside the cloak itself (definitely inside A_EXT).
+  const PublicTarget inside{1000, {0.5, 0.5}};
+  store.Insert(inside);
+  ASSERT_TRUE(manager.OnTargetInserted(inside).ok());
+  auto after = manager.Answer(*qid);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size() + 1);
+  EXPECT_EQ(manager.stats().insert_patches, 1u);
+  EXPECT_EQ(manager.stats().evaluations, 1u);  // No recompute.
+
+  // Insert far away: ignored.
+  const PublicTarget outside{1001, {0.01, 0.99}};
+  store.Insert(outside);
+  ASSERT_TRUE(manager.OnTargetInserted(outside).ok());
+  EXPECT_EQ(manager.Answer(*qid)->size(), after->size());
+}
+
+TEST(ContinuousTest, RemovalOfCandidateRecomputes) {
+  Rng rng(6);
+  auto targets = UniformTargets(300, &rng);
+  PublicTargetStore store(targets);
+  ContinuousQueryManager manager(&store);
+  auto qid = manager.Register(Rect(0.4, 0.4, 0.6, 0.6));
+  ASSERT_TRUE(qid.ok());
+  auto answer = manager.Answer(*qid);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_GT(answer->size(), 0u);
+
+  // Remove one of the candidates from the store, then notify.
+  const PublicTarget victim = answer->candidates.front();
+  ASSERT_TRUE(store.Remove(victim));
+  ASSERT_TRUE(manager.OnTargetRemoved(victim).ok());
+  EXPECT_EQ(manager.stats().removal_recomputes, 1u);
+  EXPECT_EQ(manager.stats().evaluations, 2u);
+
+  // Remove a far-away non-candidate: no-op.
+  PublicTarget far{9999, {0.0, 0.0}};
+  bool found_far = false;
+  for (const auto& t : targets) {
+    if (!Rect(0.2, 0.2, 0.9, 0.9).Contains(t.position)) {
+      far = t;
+      found_far = true;
+      break;
+    }
+  }
+  if (found_far) {
+    // Only counts as a no-op if it is not in the candidate list.
+    auto current = manager.Answer(*qid);
+    ASSERT_TRUE(current.ok());
+    bool is_candidate = false;
+    for (const auto& c : current->candidates) {
+      if (c.id == far.id) is_candidate = true;
+    }
+    if (!is_candidate) {
+      ASSERT_TRUE(store.Remove(far));
+      ASSERT_TRUE(manager.OnTargetRemoved(far).ok());
+      EXPECT_EQ(manager.stats().removal_no_ops, 1u);
+      EXPECT_EQ(manager.stats().evaluations, 2u);
+    }
+  }
+}
+
+/// Long randomized churn: the manager's answer must always match a
+/// fresh evaluation in inclusiveness (fresh list is a subset check is
+/// too strong under patches, so verify true-NN membership directly).
+TEST(ContinuousTest, ChurnPreservesInclusiveness) {
+  Rng rng(7);
+  std::vector<PublicTarget> live = UniformTargets(150, &rng);
+  PublicTargetStore store(live);
+  ContinuousQueryManager manager(&store);
+
+  Rect cloak(0.3, 0.3, 0.5, 0.5);
+  auto qid = manager.Register(cloak);
+  ASSERT_TRUE(qid.ok());
+  uint64_t next_id = 1000;
+
+  for (int round = 0; round < 200; ++round) {
+    const double action = rng.NextDouble();
+    if (action < 0.3) {
+      // Move the cloak (sometimes shrink, sometimes translate).
+      if (rng.Bernoulli(0.5) && cloak.width() > 0.05) {
+        cloak = Rect(cloak.min.x + 0.01, cloak.min.y + 0.01,
+                     cloak.max.x - 0.01, cloak.max.y - 0.01);
+      } else {
+        const Point c = rng.PointIn(Rect(0, 0, 0.8, 0.8));
+        cloak = Rect(c.x, c.y, c.x + rng.Uniform(0.05, 0.2),
+                     c.y + rng.Uniform(0.05, 0.2));
+      }
+      ASSERT_TRUE(manager.OnCloakChanged(*qid, cloak).ok());
+    } else if (action < 0.6 || live.size() < 10) {
+      const PublicTarget t{next_id++, rng.PointIn(Rect(0, 0, 1, 1))};
+      live.push_back(t);
+      store.Insert(t);
+      ASSERT_TRUE(manager.OnTargetInserted(t).ok());
+    } else {
+      const size_t idx = rng.UniformInt(0, live.size() - 1);
+      const PublicTarget t = live[idx];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+      ASSERT_TRUE(store.Remove(t));
+      ASSERT_TRUE(manager.OnTargetRemoved(t).ok());
+    }
+
+    // Inclusiveness check against brute force.
+    auto answer = manager.Answer(*qid);
+    ASSERT_TRUE(answer.ok());
+    std::vector<uint64_t> ids;
+    for (const auto& t : answer->candidates) ids.push_back(t.id);
+    std::sort(ids.begin(), ids.end());
+    for (int s = 0; s < 5; ++s) {
+      const Point user = rng.PointIn(cloak);
+      uint64_t best = 0;
+      double best_d = 1e300;
+      for (const auto& t : live) {
+        const double d = SquaredDistance(user, t.position);
+        if (d < best_d) {
+          best_d = d;
+          best = t.id;
+        }
+      }
+      ASSERT_TRUE(std::binary_search(ids.begin(), ids.end(), best))
+          << "round " << round;
+    }
+  }
+  // The shortcuts must actually fire during the churn.
+  EXPECT_GT(manager.stats().insert_patches, 0u);
+  EXPECT_GT(manager.stats().removal_no_ops, 0u);
+}
+
+}  // namespace
+}  // namespace casper::processor

@@ -1,0 +1,113 @@
+#include "src/processor/density.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+TEST(DensityTest, Validation) {
+  PrivateTargetStore store;
+  EXPECT_EQ(ExpectedDensity(store, Rect(), 2, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ExpectedDensity(store, Rect(0, 0, 1, 1), 0, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DensityTest, EmptyStoreIsZero) {
+  PrivateTargetStore store;
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 4, 4);
+  ASSERT_TRUE(map.ok());
+  EXPECT_DOUBLE_EQ(map->Total(), 0.0);
+}
+
+TEST(DensityTest, RegionInsideOneCell) {
+  PrivateTargetStore store;
+  store.Insert({0, Rect(0.1, 0.1, 0.2, 0.2)});
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 2, 2);
+  ASSERT_TRUE(map.ok());
+  EXPECT_DOUBLE_EQ(map->At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(map->At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map->At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(map->At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(map->Total(), 1.0);
+}
+
+TEST(DensityTest, RegionSplitsAcrossCells) {
+  PrivateTargetStore store;
+  // Centered square overlapping all four quadrants equally.
+  store.Insert({0, Rect(0.4, 0.4, 0.6, 0.6)});
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 2, 2);
+  ASSERT_TRUE(map.ok());
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(map->At(c, r), 0.25, 1e-12);
+    }
+  }
+  EXPECT_NEAR(map->Total(), 1.0, 1e-12);
+}
+
+TEST(DensityTest, DegenerateRegionCountsOnce) {
+  PrivateTargetStore store;
+  store.Insert({0, Rect::FromPoint({0.75, 0.25})});
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 2, 2);
+  ASSERT_TRUE(map.ok());
+  EXPECT_DOUBLE_EQ(map->At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(map->Total(), 1.0);
+}
+
+TEST(DensityTest, TotalEqualsPopulationWhenAllInside) {
+  Rng rng(1);
+  PrivateTargetStore store;
+  const size_t n = 200;
+  for (uint64_t i = 0; i < n; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.9, 0.9));
+    store.Insert({i, Rect(c.x, c.y, c.x + 0.1, c.y + 0.1)});
+  }
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 8, 8);
+  ASSERT_TRUE(map.ok());
+  EXPECT_NEAR(map->Total(), static_cast<double>(n), 1e-9);
+}
+
+TEST(DensityTest, MatchesPerCellRangeCounts) {
+  // The density map must equal running PublicRangeCount per cell.
+  Rng rng(2);
+  std::vector<PrivateTarget> regions;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.8, 0.8));
+    regions.push_back({i, Rect(c.x, c.y, c.x + rng.Uniform(0.01, 0.2),
+                               c.y + rng.Uniform(0.01, 0.2))});
+  }
+  PrivateTargetStore store(regions);
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 4, 4);
+  ASSERT_TRUE(map.ok());
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      const Rect cell = map->CellRect(col, row);
+      double expect = 0.0;
+      for (const auto& r : regions) {
+        if (r.region.Area() > 0.0) {
+          expect += r.region.IntersectionArea(cell) / r.region.Area();
+        }
+      }
+      EXPECT_NEAR(map->At(col, row), expect, 1e-9);
+    }
+  }
+}
+
+TEST(DensityTest, SkewedPopulationShowsSkew) {
+  Rng rng(3);
+  PrivateTargetStore store;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.4, 0.4));  // All in the SW.
+    store.Insert({i, Rect(c.x, c.y, c.x + 0.05, c.y + 0.05)});
+  }
+  auto map = ExpectedDensity(store, Rect(0, 0, 1, 1), 2, 2);
+  ASSERT_TRUE(map.ok());
+  EXPECT_GT(map->At(0, 0), 90.0);
+  EXPECT_LT(map->At(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace casper::processor

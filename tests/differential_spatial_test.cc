@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/spatial/grid_index.h"
+#include "src/spatial/rtree.h"
+
+/// Differential testing of the two spatial indexes: driven through the
+/// same randomized point workload, the R-tree and the grid index must
+/// agree on every range query and (by distance) every NN probe. Each is
+/// the other's oracle — a disagreement pinpoints a bug in one of them.
+
+namespace casper::spatial {
+namespace {
+
+struct WorkloadParams {
+  size_t initial;
+  int rounds;
+  int grid_cells;
+  int rtree_fanout;
+  uint64_t seed;
+};
+
+class DifferentialSpatialTest
+    : public ::testing::TestWithParam<WorkloadParams> {};
+
+TEST_P(DifferentialSpatialTest, IndexesAgreeUnderChurn) {
+  const WorkloadParams params = GetParam();
+  Rng rng(params.seed);
+  const Rect space(0, 0, 1, 1);
+
+  RTree tree(params.rtree_fanout);
+  GridIndex grid(space, params.grid_cells);
+  std::unordered_map<uint64_t, Point> live;
+  uint64_t next_id = 0;
+
+  auto insert = [&]() {
+    const Point p = rng.PointIn(space);
+    const uint64_t id = next_id++;
+    tree.Insert(Rect::FromPoint(p), id);
+    ASSERT_TRUE(grid.Insert(p, id).ok());
+    live[id] = p;
+  };
+  for (size_t i = 0; i < params.initial; ++i) insert();
+
+  for (int round = 0; round < params.rounds; ++round) {
+    const double action = rng.NextDouble();
+    if (action < 0.4 || live.size() < 5) {
+      insert();
+    } else if (action < 0.6) {
+      // Remove a random live id.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(0, live.size() - 1)));
+      ASSERT_TRUE(tree.Remove(Rect::FromPoint(it->second), it->first));
+      ASSERT_TRUE(grid.Remove(it->first).ok());
+      live.erase(it);
+    } else if (action < 0.8) {
+      // Move a random live id.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(0, live.size() - 1)));
+      const Point p = rng.PointIn(space);
+      ASSERT_TRUE(tree.Remove(Rect::FromPoint(it->second), it->first));
+      tree.Insert(Rect::FromPoint(p), it->first);
+      ASSERT_TRUE(grid.Update(p, it->first).ok());
+      it->second = p;
+    } else {
+      // Cross-check queries.
+      const Point c = rng.PointIn(space);
+      const Rect window(c.x, c.y, std::min(c.x + rng.Uniform(0, 0.3), 1.0),
+                        std::min(c.y + rng.Uniform(0, 0.3), 1.0));
+      std::vector<uint64_t> from_tree;
+      tree.RangeQuery(window, [&](const RTree::Entry& e) {
+        from_tree.push_back(e.id);
+        return true;
+      });
+      std::vector<uint64_t> from_grid;
+      grid.RangeQuery(window, &from_grid);
+      std::sort(from_tree.begin(), from_tree.end());
+      std::sort(from_grid.begin(), from_grid.end());
+      ASSERT_EQ(from_tree, from_grid) << "round " << round;
+
+      const Point q = rng.PointIn(space);
+      const auto tree_nn = tree.Nearest(q);
+      const auto grid_nn = grid.Nearest(q);
+      ASSERT_EQ(tree_nn.found, grid_nn.found);
+      if (tree_nn.found) {
+        ASSERT_NEAR(tree_nn.neighbor.distance, grid_nn.distance, 1e-12)
+            << "round " << round;
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  EXPECT_EQ(grid.size(), live.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DifferentialSpatialTest,
+    ::testing::Values(WorkloadParams{50, 400, 8, 4, 1},
+                      WorkloadParams{200, 400, 16, 8, 2},
+                      WorkloadParams{500, 300, 32, 16, 3},
+                      WorkloadParams{5, 500, 4, 4, 4},
+                      WorkloadParams{1000, 200, 64, 12, 5}));
+
+}  // namespace
+}  // namespace casper::spatial

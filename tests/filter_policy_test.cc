@@ -1,0 +1,130 @@
+#include "src/processor/filter_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+/// Brute-force nearest over a fixed target list (MaxDist metric).
+NearestTargetFn MakeNearest(const std::vector<FilterTarget>& targets) {
+  return [targets](const Point& q) -> Result<FilterTarget> {
+    if (targets.empty()) return Status::NotFound("empty");
+    const FilterTarget* best = &targets.front();
+    double best_d = MaxDist(q, best->region);
+    for (const FilterTarget& t : targets) {
+      const double d = MaxDist(q, t.region);
+      if (d < best_d) {
+        best = &t;
+        best_d = d;
+      }
+    }
+    return *best;
+  };
+}
+
+std::vector<FilterTarget> CornerTargets() {
+  // One point target near each corner of the unit square.
+  return {{0, Rect::FromPoint({0.05, 0.05})},
+          {1, Rect::FromPoint({0.95, 0.05})},
+          {2, Rect::FromPoint({0.95, 0.95})},
+          {3, Rect::FromPoint({0.05, 0.95})}};
+}
+
+TEST(FilterPolicyTest, FourFiltersPickPerCornerNearest) {
+  const Rect cloak(0.2, 0.2, 0.8, 0.8);
+  auto filters = SelectFilters(cloak, FilterPolicy::kFourFilters,
+                               MakeNearest(CornerTargets()));
+  ASSERT_TRUE(filters.ok());
+  EXPECT_EQ((*filters)[0].id, 0u);
+  EXPECT_EQ((*filters)[1].id, 1u);
+  EXPECT_EQ((*filters)[2].id, 2u);
+  EXPECT_EQ((*filters)[3].id, 3u);
+}
+
+TEST(FilterPolicyTest, OneFilterAssignsCenterNearestEverywhere) {
+  const Rect cloak(0.2, 0.2, 0.8, 0.8);
+  auto targets = CornerTargets();
+  targets.push_back({9, Rect::FromPoint({0.5, 0.51})});  // Nearest to center.
+  auto filters =
+      SelectFilters(cloak, FilterPolicy::kOneFilter, MakeNearest(targets));
+  ASSERT_TRUE(filters.ok());
+  for (const FilterTarget& f : *filters) EXPECT_EQ(f.id, 9u);
+}
+
+TEST(FilterPolicyTest, TwoFiltersAnchorOppositeCorners) {
+  const Rect cloak(0.2, 0.2, 0.8, 0.8);
+  auto filters = SelectFilters(cloak, FilterPolicy::kTwoFilters,
+                               MakeNearest(CornerTargets()));
+  ASSERT_TRUE(filters.ok());
+  EXPECT_EQ((*filters)[0].id, 0u);  // Anchor at v0.
+  EXPECT_EQ((*filters)[2].id, 2u);  // Anchor at v2.
+  // v1/v3 take one of the two anchors.
+  for (int i : {1, 3}) {
+    EXPECT_TRUE((*filters)[static_cast<size_t>(i)].id == 0u ||
+                (*filters)[static_cast<size_t>(i)].id == 2u);
+  }
+}
+
+TEST(FilterPolicyTest, TwoFiltersAssignTighterAnchor) {
+  // t0 anchors v0 = (0.2, 0.2); t2 anchors v2 = (0.8, 0.8). The corner
+  // v1 = (0.8, 0.2) is nearer to t0, v3 = (0.2, 0.8) nearer to t2.
+  std::vector<FilterTarget> targets = {{0, Rect::FromPoint({0.2, 0.1})},
+                                       {2, Rect::FromPoint({0.85, 0.85})}};
+  const Rect cloak(0.2, 0.2, 0.8, 0.8);
+  auto filters =
+      SelectFilters(cloak, FilterPolicy::kTwoFilters, MakeNearest(targets));
+  ASSERT_TRUE(filters.ok());
+  EXPECT_EQ((*filters)[0].id, 0u);
+  EXPECT_EQ((*filters)[2].id, 2u);
+  EXPECT_EQ((*filters)[1].id, 0u);
+  EXPECT_EQ((*filters)[3].id, 2u);
+}
+
+TEST(FilterPolicyTest, EmptyCloakRejected) {
+  auto filters = SelectFilters(Rect(), FilterPolicy::kFourFilters,
+                               MakeNearest(CornerTargets()));
+  EXPECT_EQ(filters.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FilterPolicyTest, EmptyStorePropagates) {
+  auto filters = SelectFilters(Rect(0, 0, 1, 1), FilterPolicy::kFourFilters,
+                               MakeNearest({}));
+  EXPECT_EQ(filters.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FilterPolicyTest, FilterUpperBoundsVertexNNDistance) {
+  // Whatever the policy, MaxDist(v_i, filter_i.region) must upper-bound
+  // the true NN distance from v_i — that is what the inclusiveness proof
+  // leans on.
+  Rng rng(5);
+  std::vector<FilterTarget> targets;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 1, 1));
+    targets.push_back({i, Rect(c.x, c.y, std::min(c.x + 0.05, 1.0),
+                               std::min(c.y + 0.05, 1.0))});
+  }
+  auto nearest = MakeNearest(targets);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point c = rng.PointIn(Rect(0.1, 0.1, 0.7, 0.7));
+    const Rect cloak(c.x, c.y, c.x + 0.2, c.y + 0.2);
+    for (FilterPolicy policy :
+         {FilterPolicy::kOneFilter, FilterPolicy::kTwoFilters,
+          FilterPolicy::kFourFilters}) {
+      auto filters = SelectFilters(cloak, policy, nearest);
+      ASSERT_TRUE(filters.ok());
+      const auto corners = cloak.Corners();
+      for (size_t i = 0; i < 4; ++i) {
+        double true_nn = 1e300;
+        for (const auto& t : targets) {
+          true_nn = std::min(true_nn, MaxDist(corners[i], t.region));
+        }
+        EXPECT_GE(MaxDist(corners[i], (*filters)[i].region) + 1e-12, true_nn);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper::processor

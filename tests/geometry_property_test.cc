@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/common/geometry.h"
+#include "src/common/rng.h"
+
+/// Randomized property sweeps over the geometry kernels that every
+/// correctness proof in the query processor leans on.
+
+namespace casper {
+namespace {
+
+Rect RandomRect(Rng* rng, const Rect& space) {
+  const Point a = rng->PointIn(space);
+  const Point b = rng->PointIn(space);
+  return Rect(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+              std::max(a.y, b.y));
+}
+
+class GeometryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometryPropertyTest, MinMaxDistBracketEveryInteriorPoint) {
+  Rng rng(GetParam());
+  const Rect space(-2, -2, 2, 2);
+  for (int i = 0; i < 300; ++i) {
+    const Rect r = RandomRect(&rng, space);
+    const Point q = rng.PointIn(space);
+    const double lo = MinDist(q, r);
+    const double hi = MaxDist(q, r);
+    EXPECT_LE(lo, hi + 1e-12);
+    for (int s = 0; s < 10; ++s) {
+      const Point p = rng.PointIn(r);
+      const double d = Distance(q, p);
+      EXPECT_GE(d, lo - 1e-12);
+      EXPECT_LE(d, hi + 1e-12);
+    }
+  }
+}
+
+TEST_P(GeometryPropertyTest, UnionContainsBothAndIsMinimal) {
+  Rng rng(GetParam() + 100);
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 300; ++i) {
+    const Rect a = RandomRect(&rng, space);
+    const Rect b = RandomRect(&rng, space);
+    const Rect u = a.Union(b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    // Minimality: each side of the union touches a or b.
+    EXPECT_TRUE(u.min.x == a.min.x || u.min.x == b.min.x);
+    EXPECT_TRUE(u.max.x == a.max.x || u.max.x == b.max.x);
+    EXPECT_TRUE(u.min.y == a.min.y || u.min.y == b.min.y);
+    EXPECT_TRUE(u.max.y == a.max.y || u.max.y == b.max.y);
+  }
+}
+
+TEST_P(GeometryPropertyTest, IntersectionAreaSymmetricAndBounded) {
+  Rng rng(GetParam() + 200);
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 300; ++i) {
+    const Rect a = RandomRect(&rng, space);
+    const Rect b = RandomRect(&rng, space);
+    const double ab = a.IntersectionArea(b);
+    EXPECT_DOUBLE_EQ(ab, b.IntersectionArea(a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, std::min(a.Area(), b.Area()) + 1e-15);
+    // Positive overlap implies intersection (the converse fails only
+    // for boundary touches, where the area is 0 by construction).
+    if (ab > 0.0) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+    // Containment implies overlap equals the contained area.
+    if (a.Contains(b)) {
+      EXPECT_NEAR(ab, b.Area(), 1e-15);
+    }
+  }
+}
+
+TEST_P(GeometryPropertyTest, IntersectsConsistentWithMinDist) {
+  Rng rng(GetParam() + 300);
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = RandomRect(&rng, space);
+    const Point q = rng.PointIn(space);
+    EXPECT_EQ(a.Contains(q), MinDist(q, a) == 0.0);
+  }
+}
+
+TEST_P(GeometryPropertyTest, ExpandedContainsOriginalAndGrowsMonotonic) {
+  Rng rng(GetParam() + 400);
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Rect r = RandomRect(&rng, space);
+    const double d1 = rng.Uniform(0, 0.5);
+    const double d2 = d1 + rng.Uniform(0, 0.5);
+    EXPECT_TRUE(r.Expanded(d1).Contains(r));
+    EXPECT_TRUE(r.Expanded(d2).Contains(r.Expanded(d1)));
+    // Every point within distance d of r lies inside r.Expanded(d).
+    const Point q = rng.PointIn(space);
+    if (MinDist(q, r) <= d1) {
+      EXPECT_TRUE(r.Expanded(d1).Contains(q));
+    }
+  }
+}
+
+TEST_P(GeometryPropertyTest, FurthestCornerRealizesMaxDist) {
+  Rng rng(GetParam() + 500);
+  const Rect space(-1, -1, 2, 2);
+  for (int i = 0; i < 400; ++i) {
+    const Rect r = RandomRect(&rng, space);
+    const Point q = rng.PointIn(space);
+    const Point c = FurthestCorner(q, r);
+    EXPECT_TRUE(r.Contains(c));
+    EXPECT_NEAR(Distance(q, c), MaxDist(q, r), 1e-12);
+  }
+}
+
+TEST_P(GeometryPropertyTest, BisectorSplitsEdgeByNearerAnchor) {
+  Rng rng(GetParam() + 600);
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 300; ++i) {
+    const Point s = rng.PointIn(space);
+    const Point t = rng.PointIn(space);
+    const Segment edge{rng.PointIn(space), rng.PointIn(space)};
+    Point m;
+    if (!BisectorEdgeIntersection(s, t, edge, &m)) continue;
+    // Points on the edge on either side of m prefer the corresponding
+    // anchor. Sample along the edge.
+    for (int k = 0; k <= 10; ++k) {
+      const double u = k / 10.0;
+      const Point p{edge.a.x + u * (edge.b.x - edge.a.x),
+                    edge.a.y + u * (edge.b.y - edge.a.y)};
+      const double towards_m = Distance(p, m);
+      const double via_s = Distance(p, s);
+      const double via_t = Distance(p, t);
+      // Equidistance at m itself.
+      if (towards_m < 1e-12) {
+        EXPECT_NEAR(via_s, via_t, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryPropertyTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace casper

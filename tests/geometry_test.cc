@@ -1,0 +1,199 @@
+#include "src/common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RectTest, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.is_empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0, 0}));
+}
+
+TEST(RectTest, AreaWidthHeight) {
+  Rect r(0, 0, 4, 2);
+  EXPECT_FALSE(r.is_empty());
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 6.0);
+}
+
+TEST(RectTest, DegeneratePointRect) {
+  Rect r = Rect::FromPoint({2, 3});
+  EXPECT_FALSE(r.is_empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{2, 3}));
+  EXPECT_FALSE(r.Contains(Point{2, 3.001}));
+}
+
+TEST(RectTest, ContainsPointClosedBoundaries) {
+  Rect r(0, 0, 1, 1);
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{1.0001, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{-0.0001, 0.5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(1, 1, 2, 2)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(5, 5, 11, 6)));
+  // Empty rect is contained everywhere.
+  EXPECT_TRUE(outer.Contains(Rect()));
+  EXPECT_FALSE(Rect().Contains(outer));
+}
+
+TEST(RectTest, Intersects) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Rect(2, 0, 4, 2)));  // Touching edge counts.
+  EXPECT_FALSE(a.Intersects(Rect(2.001, 0, 4, 2)));
+  EXPECT_FALSE(a.Intersects(Rect()));
+  EXPECT_FALSE(Rect().Intersects(a));
+}
+
+TEST(RectTest, IntersectionArea) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect(1, 1, 3, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(a), 4.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect(2, 0, 4, 2)), 0.0);  // Edge touch.
+}
+
+TEST(RectTest, UnionBehavesAsIdentityOnEmpty) {
+  Rect a(0, 0, 1, 1);
+  EXPECT_EQ(a.Union(Rect()), a);
+  EXPECT_EQ(Rect().Union(a), a);
+  EXPECT_EQ(a.Union(Rect(2, 2, 3, 3)), Rect(0, 0, 3, 3));
+}
+
+TEST(RectTest, ExpandedPerSide) {
+  Rect r(1, 1, 2, 2);
+  const Rect e = r.ExpandedPerSide(0.1, 0.2, 0.3, 0.4);
+  EXPECT_DOUBLE_EQ(e.min.x, 0.9);
+  EXPECT_DOUBLE_EQ(e.min.y, 0.8);
+  EXPECT_DOUBLE_EQ(e.max.x, 2.3);
+  EXPECT_DOUBLE_EQ(e.max.y, 2.4);
+}
+
+TEST(RectTest, CornersOrder) {
+  Rect r(0, 0, 1, 2);
+  const auto c = r.Corners();
+  EXPECT_EQ(c[0], (Point{0, 0}));
+  EXPECT_EQ(c[1], (Point{1, 0}));
+  EXPECT_EQ(c[2], (Point{1, 2}));
+  EXPECT_EQ(c[3], (Point{0, 2}));
+}
+
+TEST(RectTest, Center) {
+  EXPECT_EQ(Rect(0, 0, 2, 4).Center(), (Point{1, 2}));
+}
+
+TEST(MinMaxDistTest, PointInsideRect) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(MinDist({1, 1}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MaxDist({1, 1}, r), Distance({1, 1}, {0, 0}));
+}
+
+TEST(MinMaxDistTest, PointOutsideRect) {
+  Rect r(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(MinDist({3, 0.5}, r), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDist({3, 0.5}, r), Distance({3, 0.5}, {0, 0}));
+  EXPECT_DOUBLE_EQ(MinDist({2, 2}, r), Distance({2, 2}, {1, 1}));
+}
+
+TEST(MinMaxDistTest, DegenerateRectEqualsPointDistance) {
+  Rect r = Rect::FromPoint({1, 1});
+  EXPECT_DOUBLE_EQ(MinDist({4, 5}, r), 5.0);
+  EXPECT_DOUBLE_EQ(MaxDist({4, 5}, r), 5.0);
+}
+
+TEST(FurthestCornerTest, PicksOppositeCorner) {
+  Rect r(0, 0, 1, 1);
+  EXPECT_EQ(FurthestCorner({-1, -1}, r), (Point{1, 1}));
+  EXPECT_EQ(FurthestCorner({2, -1}, r), (Point{0, 1}));
+  EXPECT_EQ(FurthestCorner({2, 2}, r), (Point{0, 0}));
+}
+
+TEST(FurthestCornerTest, MatchesMaxDist) {
+  Rng rng(7);
+  const Rect space(0, 0, 10, 10);
+  for (int i = 0; i < 200; ++i) {
+    const Point a = rng.PointIn(space);
+    const Point b = rng.PointIn(space);
+    const Rect r(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                 std::max(a.y, b.y));
+    const Point q = rng.PointIn(space);
+    EXPECT_NEAR(Distance(q, FurthestCorner(q, r)), MaxDist(q, r), 1e-12);
+  }
+}
+
+TEST(BisectorTest, VerticalBisectorCrossesHorizontalEdge) {
+  // s and t symmetric about x = 1; edge along y = 0 from x=0..2.
+  Point out;
+  ASSERT_TRUE(BisectorEdgeIntersection({0, 1}, {2, 1},
+                                       Segment{{0, 0}, {2, 0}}, &out));
+  EXPECT_NEAR(out.x, 1.0, 1e-12);
+  EXPECT_NEAR(out.y, 0.0, 1e-12);
+}
+
+TEST(BisectorTest, EquidistanceProperty) {
+  Rng rng(11);
+  const Rect space(0, 0, 1, 1);
+  int found = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Point s = rng.PointIn(space);
+    const Point t = rng.PointIn(space);
+    const Segment edge{rng.PointIn(space), rng.PointIn(space)};
+    Point m;
+    if (BisectorEdgeIntersection(s, t, edge, &m)) {
+      ++found;
+      EXPECT_NEAR(Distance(m, s), Distance(m, t), 1e-9);
+      // m must lie on the edge segment.
+      EXPECT_GE(m.x, std::min(edge.a.x, edge.b.x) - 1e-9);
+      EXPECT_LE(m.x, std::max(edge.a.x, edge.b.x) + 1e-9);
+    }
+  }
+  EXPECT_GT(found, 0);  // The sweep must exercise the positive branch.
+}
+
+TEST(BisectorTest, IdenticalPointsHaveNoBisector) {
+  Point out;
+  EXPECT_FALSE(BisectorEdgeIntersection({1, 1}, {1, 1},
+                                        Segment{{0, 0}, {2, 0}}, &out));
+}
+
+TEST(BisectorTest, MissesEdgeOutsideSegment) {
+  // Bisector is x = 5; edge spans x = 0..1.
+  Point out;
+  EXPECT_FALSE(BisectorEdgeIntersection({4, 0}, {6, 0},
+                                        Segment{{0, 1}, {1, 1}}, &out));
+}
+
+TEST(ClampToRectTest, Clamps) {
+  Rect r(0, 0, 1, 1);
+  EXPECT_EQ(ClampToRect({2, -1}, r), (Point{1, 0}));
+  EXPECT_EQ(ClampToRect({0.5, 0.5}, r), (Point{0.5, 0.5}));
+}
+
+TEST(SegmentTest, MidpointAndLength) {
+  Segment s{{0, 0}, {2, 0}};
+  EXPECT_EQ(s.Midpoint(), (Point{1, 0}));
+  EXPECT_DOUBLE_EQ(s.Length(), 2.0);
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,93 @@
+#include "src/baselines/gg_cloak.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::baselines {
+namespace {
+
+anonymizer::PyramidConfig Config(int height = 6) {
+  anonymizer::PyramidConfig config;
+  config.height = height;
+  return config;
+}
+
+TEST(GGCloakTest, UserLifecycle) {
+  GGCloak gg(Config(), 2);
+  ASSERT_TRUE(gg.RegisterUser(1, {0.5, 0.5}).ok());
+  EXPECT_EQ(gg.RegisterUser(1, {0.5, 0.5}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(gg.RegisterUser(2, {1.5, 0.5}).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(gg.UpdateLocation(1, {0.2, 0.2}).ok());
+  EXPECT_EQ(gg.UpdateLocation(9, {0.2, 0.2}).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(gg.DeregisterUser(1).ok());
+  EXPECT_EQ(gg.DeregisterUser(1).code(), StatusCode::kNotFound);
+}
+
+TEST(GGCloakTest, CloakRequiresPopulation) {
+  GGCloak gg(Config(), 5);
+  ASSERT_TRUE(gg.RegisterUser(1, {0.5, 0.5}).ok());
+  EXPECT_EQ(gg.Cloak(1).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gg.Cloak(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GGCloakTest, CloakSatisfiesGlobalK) {
+  Rng rng(1);
+  GGCloak gg(Config(7), 10);
+  std::vector<Point> positions;
+  for (anonymizer::UserId uid = 0; uid < 300; ++uid) {
+    const Point p = rng.PointIn(Rect(0, 0, 1, 1));
+    positions.push_back(p);
+    ASSERT_TRUE(gg.RegisterUser(uid, p).ok());
+  }
+  for (anonymizer::UserId uid = 0; uid < 300; uid += 13) {
+    auto cloak = gg.Cloak(uid);
+    ASSERT_TRUE(cloak.ok());
+    EXPECT_GE(cloak->users_in_region, 10u);
+    EXPECT_TRUE(cloak->region.Contains(positions[uid]));
+  }
+}
+
+TEST(GGCloakTest, RelaxedKGivesSmallerRegions) {
+  Rng rng(2);
+  std::vector<Point> positions;
+  for (int i = 0; i < 500; ++i) positions.push_back(rng.PointIn(Rect(0, 0, 1, 1)));
+
+  double area_k2 = 0.0, area_k50 = 0.0;
+  for (uint32_t k : {2u, 50u}) {
+    GGCloak gg(Config(8), k);
+    for (anonymizer::UserId uid = 0; uid < positions.size(); ++uid) {
+      ASSERT_TRUE(gg.RegisterUser(uid, positions[uid]).ok());
+    }
+    double total = 0.0;
+    for (anonymizer::UserId uid = 0; uid < 100; ++uid) {
+      auto cloak = gg.Cloak(uid);
+      ASSERT_TRUE(cloak.ok());
+      total += cloak->region.Area();
+    }
+    (k == 2 ? area_k2 : area_k50) = total;
+  }
+  EXPECT_LT(area_k2, area_k50);
+}
+
+TEST(GGCloakTest, QuadrantIsAlwaysPyramidCell) {
+  Rng rng(3);
+  anonymizer::PyramidConfig config = Config(5);
+  GGCloak gg(config, 4);
+  for (anonymizer::UserId uid = 0; uid < 200; ++uid) {
+    ASSERT_TRUE(gg.RegisterUser(uid, rng.PointIn(config.space)).ok());
+  }
+  for (anonymizer::UserId uid = 0; uid < 50; ++uid) {
+    auto cloak = gg.Cloak(uid);
+    ASSERT_TRUE(cloak.ok());
+    // Region must be a power-of-four fraction of the space (a quadtree
+    // cell), unlike CliqueCloak's arbitrary MBRs.
+    const double ratio = config.space.Area() / cloak->region.Area();
+    const double log4 = std::log(ratio) / std::log(4.0);
+    EXPECT_NEAR(log4, std::round(log4), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace casper::baselines

@@ -1,0 +1,154 @@
+#include "src/spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace casper::spatial {
+namespace {
+
+TEST(GridIndexTest, InsertQueryRemove) {
+  GridIndex grid(Rect(0, 0, 1, 1), 8);
+  ASSERT_TRUE(grid.Insert({0.5, 0.5}, 1).ok());
+  ASSERT_TRUE(grid.Insert({0.9, 0.1}, 2).ok());
+  EXPECT_EQ(grid.size(), 2u);
+
+  std::vector<uint64_t> out;
+  grid.RangeQuery(Rect(0.4, 0.4, 0.6, 0.6), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+
+  EXPECT_TRUE(grid.Remove(1).ok());
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.Remove(1).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, RejectsDuplicatesAndOutOfRange) {
+  GridIndex grid(Rect(0, 0, 1, 1), 4);
+  ASSERT_TRUE(grid.Insert({0.5, 0.5}, 1).ok());
+  EXPECT_EQ(grid.Insert({0.2, 0.2}, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(grid.Insert({1.5, 0.5}, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(grid.Update({2.0, 0.0}, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(grid.Update({0.1, 0.1}, 99).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, UpdateMovesAcrossCells) {
+  GridIndex grid(Rect(0, 0, 1, 1), 4);
+  ASSERT_TRUE(grid.Insert({0.1, 0.1}, 1).ok());
+  ASSERT_TRUE(grid.Update({0.9, 0.9}, 1).ok());
+  Point p;
+  ASSERT_TRUE(grid.TryGetPosition(1, &p));
+  EXPECT_EQ(p, (Point{0.9, 0.9}));
+  std::vector<uint64_t> out;
+  grid.RangeQuery(Rect(0.8, 0.8, 1.0, 1.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(GridIndexTest, NearestSimple) {
+  GridIndex grid(Rect(0, 0, 1, 1), 8);
+  ASSERT_TRUE(grid.Insert({0.2, 0.2}, 1).ok());
+  ASSERT_TRUE(grid.Insert({0.8, 0.8}, 2).ok());
+  const auto nn = grid.Nearest({0.25, 0.25});
+  ASSERT_TRUE(nn.found);
+  EXPECT_EQ(nn.id, 1u);
+  EXPECT_NEAR(nn.distance, Distance({0.25, 0.25}, {0.2, 0.2}), 1e-12);
+}
+
+TEST(GridIndexTest, NearestEmpty) {
+  GridIndex grid(Rect(0, 0, 1, 1), 8);
+  EXPECT_FALSE(grid.Nearest({0.5, 0.5}).found);
+  EXPECT_TRUE(grid.KNearest({0.5, 0.5}, 3).empty());
+}
+
+TEST(GridIndexTest, NearestMatchesBruteForce) {
+  Rng rng(42);
+  const Rect space(0, 0, 1, 1);
+  GridIndex grid(space, 16);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const Point p = rng.PointIn(space);
+    points.push_back(p);
+    ASSERT_TRUE(grid.Insert(p, i).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Point q = rng.PointIn(space);
+    const auto nn = grid.Nearest(q);
+    ASSERT_TRUE(nn.found);
+    double best = 1e300;
+    for (const Point& p : points) best = std::min(best, Distance(q, p));
+    EXPECT_NEAR(nn.distance, best, 1e-12);
+  }
+}
+
+TEST(GridIndexTest, KNearestMatchesBruteForce) {
+  Rng rng(43);
+  const Rect space(0, 0, 1, 1);
+  GridIndex grid(space, 8);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Point p = rng.PointIn(space);
+    points.push_back(p);
+    ASSERT_TRUE(grid.Insert(p, i).ok());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q = rng.PointIn(space);
+    const auto knn = grid.KNearest(q, 5);
+    ASSERT_EQ(knn.size(), 5u);
+    std::vector<double> brute;
+    for (const Point& p : points) brute.push_back(Distance(q, p));
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(knn[i].distance, brute[i], 1e-12);
+    }
+  }
+}
+
+TEST(GridIndexTest, NearestFromOutsideSpace) {
+  GridIndex grid(Rect(0, 0, 1, 1), 8);
+  ASSERT_TRUE(grid.Insert({0.5, 0.5}, 1).ok());
+  const auto nn = grid.Nearest({5.0, 5.0});
+  ASSERT_TRUE(nn.found);
+  EXPECT_EQ(nn.id, 1u);
+}
+
+TEST(GridIndexTest, RangeQueryMatchesBruteForce) {
+  Rng rng(44);
+  const Rect space(0, 0, 1, 1);
+  GridIndex grid(space, 10);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Point p = rng.PointIn(space);
+    points.push_back(p);
+    ASSERT_TRUE(grid.Insert(p, i).ok());
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point c = rng.PointIn(space);
+    const Rect window(c.x, c.y, std::min(c.x + 0.3, 1.0),
+                      std::min(c.y + 0.2, 1.0));
+    std::vector<uint64_t> got;
+    grid.RangeQuery(window, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expect;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (window.Contains(points[i])) expect.push_back(i);
+    }
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(grid.RangeCount(window), expect.size());
+  }
+}
+
+TEST(GridIndexTest, SingleCellGridWorks) {
+  GridIndex grid(Rect(0, 0, 1, 1), 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(grid.Insert({0.1 * i, 0.05 * i}, i).ok());
+  }
+  EXPECT_EQ(grid.size(), 10u);
+  const auto nn = grid.Nearest({0.0, 0.0});
+  ASSERT_TRUE(nn.found);
+  EXPECT_EQ(nn.id, 0u);
+}
+
+}  // namespace
+}  // namespace casper::spatial

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/processor/extended_area.h"
+#include "src/processor/private_nn.h"
+
+/// Empirical check of Theorem 2 (minimality): given the chosen filters,
+/// each side's extension distance max_d is *achieved* — there is a
+/// point on the corresponding cloak edge whose distance to its nearest
+/// filter equals max_d (up to edge sampling resolution). Shrinking any
+/// side would therefore cut into a circle that may contain the true
+/// nearest target, i.e. A_EXT is the smallest per-side extension that
+/// stays inclusive for this filter set.
+
+namespace casper::processor {
+namespace {
+
+double EdgeBound(const Point& p, const FilterTarget& fi,
+                 const FilterTarget& fj) {
+  return std::min(MaxDist(p, fi.region), MaxDist(p, fj.region));
+}
+
+class MinimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimalityTest, PerSideExtensionIsAchievedOnTheEdge) {
+  Rng rng(GetParam());
+  const Rect space(0, 0, 1, 1);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random cloak and random *point* filters assigned per corner as
+    // the true per-corner nearest among a random target set, matching
+    // Algorithm 2's filter step.
+    std::vector<FilterTarget> targets;
+    for (uint64_t i = 0; i < 60; ++i) {
+      targets.push_back({i, Rect::FromPoint(rng.PointIn(space))});
+    }
+    const Point c = rng.PointIn(Rect(0.2, 0.2, 0.6, 0.6));
+    const Rect cloak(c.x, c.y, c.x + rng.Uniform(0.05, 0.25),
+                     c.y + rng.Uniform(0.05, 0.25));
+    const auto corners = cloak.Corners();
+    std::array<FilterTarget, 4> filters;
+    for (size_t i = 0; i < 4; ++i) {
+      const FilterTarget* best = &targets.front();
+      double best_d = MaxDist(corners[i], best->region);
+      for (const auto& t : targets) {
+        const double d = MaxDist(corners[i], t.region);
+        if (d < best_d) {
+          best = &t;
+          best_d = d;
+        }
+      }
+      filters[i] = *best;
+    }
+
+    const ExtendedArea area = ComputeExtendedArea(cloak, filters);
+    for (size_t e = 0; e < 4; ++e) {
+      const Point a = corners[e];
+      const Point b = corners[(e + 1) % 4];
+      // Dense sampling of the edge: the supremum of the per-point bound
+      // must reach max_d (tightness) and never exceed it (soundness).
+      double achieved = 0.0;
+      for (int s = 0; s <= 400; ++s) {
+        const double u = s / 400.0;
+        const Point p{a.x + u * (b.x - a.x), a.y + u * (b.y - a.y)};
+        achieved = std::max(
+            achieved, EdgeBound(p, filters[e], filters[(e + 1) % 4]));
+      }
+      EXPECT_LE(achieved, area.edges[e].max_d + 1e-9);
+      EXPECT_GE(achieved, area.edges[e].max_d - 0.01);  // Sampling slack.
+    }
+  }
+}
+
+TEST_P(MinimalityTest, ShrunkAreaLosesInclusiveness) {
+  // Constructive counterexample check: shrink every side of A_EXT by 5%
+  // of its extension and show some (user position, target layout) pair
+  // whose true NN falls outside the shrunk area — i.e. the full
+  // extension is not slack. Statistical: must find violations across
+  // the sweep, not necessarily per trial.
+  Rng rng(GetParam() + 77);
+  const Rect space(0, 0, 1, 1);
+  int violations = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<PublicTarget> targets;
+    for (uint64_t i = 0; i < 40; ++i) {
+      targets.push_back({i, rng.PointIn(space)});
+    }
+    PublicTargetStore store(targets);
+    const Point c = rng.PointIn(Rect(0.25, 0.25, 0.5, 0.5));
+    const Rect cloak(c.x, c.y, c.x + 0.15, c.y + 0.15);
+    auto answer = PrivateNearestNeighbor(store, cloak);
+    ASSERT_TRUE(answer.ok());
+    const Rect& full = answer->area.a_ext;
+    const Rect shrunk(
+        full.min.x + 0.05 * (cloak.min.x - full.min.x),
+        full.min.y + 0.05 * (cloak.min.y - full.min.y),
+        full.max.x + 0.05 * (cloak.max.x - full.max.x),
+        full.max.y + 0.05 * (cloak.max.y - full.max.y));
+    for (int s = 0; s < 50 && violations < 1000; ++s) {
+      const Point user = rng.PointIn(cloak);
+      const PublicTarget* best = &targets.front();
+      double best_d = 1e300;
+      for (const auto& t : targets) {
+        const double d = SquaredDistance(user, t.position);
+        if (d < best_d) {
+          best_d = d;
+          best = &t;
+        }
+      }
+      if (!shrunk.Contains(best->position)) ++violations;
+    }
+  }
+  // The extension is tight enough that trimming it really does lose
+  // answers somewhere in the sweep.
+  EXPECT_GT(violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimalityTest,
+                         ::testing::Values(1ull, 2ull, 3ull));
+
+}  // namespace
+}  // namespace casper::processor

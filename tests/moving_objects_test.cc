@@ -1,0 +1,119 @@
+#include "src/network/moving_objects.h"
+
+#include <gtest/gtest.h>
+
+#include "src/network/network_generator.h"
+
+namespace casper::network {
+namespace {
+
+RoadNetwork TestNetwork(uint64_t seed = 1) {
+  NetworkGeneratorOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  auto net = NetworkGenerator(opt).Generate(seed);
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+TEST(MovingObjectsTest, EveryObjectReportsEveryTick) {
+  RoadNetwork net = TestNetwork();
+  SimulatorOptions opt;
+  opt.object_count = 50;
+  MovingObjectSimulator sim(&net, opt, 42);
+  EXPECT_EQ(sim.object_count(), 50u);
+
+  const auto updates = sim.Tick();
+  ASSERT_EQ(updates.size(), 50u);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].uid, i);
+    EXPECT_EQ(updates[i].tick, 1u);
+  }
+  EXPECT_EQ(sim.current_tick(), 1u);
+}
+
+TEST(MovingObjectsTest, PositionsStayWithinNetworkBounds) {
+  RoadNetwork net = TestNetwork(2);
+  const Rect bounds = net.bounds();
+  SimulatorOptions opt;
+  opt.object_count = 30;
+  opt.tick_seconds = 0.5;
+  MovingObjectSimulator sim(&net, opt, 7);
+  for (int t = 0; t < 50; ++t) {
+    for (const auto& u : sim.Tick()) {
+      EXPECT_TRUE(bounds.Contains(u.position))
+          << u.position.x << "," << u.position.y;
+    }
+  }
+}
+
+TEST(MovingObjectsTest, ObjectsActuallyMove) {
+  RoadNetwork net = TestNetwork(3);
+  SimulatorOptions opt;
+  opt.object_count = 20;
+  opt.tick_seconds = 0.05;
+  MovingObjectSimulator sim(&net, opt, 9);
+  std::vector<Point> before;
+  for (size_t i = 0; i < 20; ++i) before.push_back(sim.PositionOf(i));
+  sim.Tick();
+  int moved = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    if (!(sim.PositionOf(i) == before[i])) ++moved;
+  }
+  EXPECT_GT(moved, 15);  // Nearly everyone moves every tick.
+}
+
+TEST(MovingObjectsTest, MovementSpeedIsBounded) {
+  RoadNetwork net = TestNetwork(4);
+  SimulatorOptions opt;
+  opt.object_count = 25;
+  opt.tick_seconds = 0.01;
+  opt.max_speed_factor = 1.5;
+  MovingObjectSimulator sim(&net, opt, 11);
+  const double max_step =
+      SpeedOf(RoadClass::kHighway) * opt.max_speed_factor * opt.tick_seconds;
+  std::vector<Point> prev;
+  for (size_t i = 0; i < 25; ++i) prev.push_back(sim.PositionOf(i));
+  for (int t = 0; t < 30; ++t) {
+    sim.Tick();
+    for (size_t i = 0; i < 25; ++i) {
+      const Point now = sim.PositionOf(i);
+      // Straight-line displacement can't exceed path distance traveled.
+      EXPECT_LE(Distance(prev[i], now), max_step + 1e-9);
+      prev[i] = now;
+    }
+  }
+}
+
+TEST(MovingObjectsTest, DeterministicForSeed) {
+  RoadNetwork net = TestNetwork(5);
+  SimulatorOptions opt;
+  opt.object_count = 10;
+  MovingObjectSimulator a(&net, opt, 123);
+  MovingObjectSimulator b(&net, opt, 123);
+  for (int t = 0; t < 20; ++t) {
+    const auto ua = a.Tick();
+    const auto ub = b.Tick();
+    ASSERT_EQ(ua.size(), ub.size());
+    for (size_t i = 0; i < ua.size(); ++i) {
+      EXPECT_EQ(ua[i].position, ub[i].position);
+    }
+  }
+}
+
+TEST(MovingObjectsTest, LongTickCrossesManyEdgesSafely) {
+  RoadNetwork net = TestNetwork(6);
+  SimulatorOptions opt;
+  opt.object_count = 5;
+  opt.tick_seconds = 100.0;  // Far longer than any single route.
+  MovingObjectSimulator sim(&net, opt, 13);
+  const Rect bounds = net.bounds();
+  for (int t = 0; t < 5; ++t) {
+    for (const auto& u : sim.Tick()) {
+      EXPECT_TRUE(bounds.Contains(u.position));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper::network

@@ -1,0 +1,84 @@
+#include "src/processor/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/processor/private_nn.h"
+
+namespace casper::processor {
+namespace {
+
+TEST(NaiveTest, CenterNearestReturnsNNOfCenter) {
+  PublicTargetStore store(std::vector<PublicTarget>{
+      {0, {0.45, 0.45}}, {1, {0.9, 0.9}}});
+  auto result = NaiveCenterNearest(store, Rect(0.4, 0.4, 0.6, 0.6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->id, 0u);
+}
+
+TEST(NaiveTest, CenterNearestErrorPaths) {
+  PublicTargetStore empty;
+  EXPECT_EQ(NaiveCenterNearest(empty, Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kNotFound);
+  PublicTargetStore store(std::vector<PublicTarget>{{0, {0.5, 0.5}}});
+  EXPECT_EQ(NaiveCenterNearest(store, Rect()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NaiveTest, SendAllReturnsEverything) {
+  Rng rng(1);
+  std::vector<PublicTarget> targets;
+  for (uint64_t i = 0; i < 123; ++i) {
+    targets.push_back({i, rng.PointIn(Rect(0, 0, 1, 1))});
+  }
+  PublicTargetStore store(targets);
+  EXPECT_EQ(NaiveSendAll(store).size(), 123u);
+}
+
+TEST(NaiveTest, CenterNNIsSometimesWrongButCasperNever) {
+  // The Figure 4 comparison: for users away from the cloak center, the
+  // center-NN baseline returns the wrong answer on some draws; the
+  // candidate-list approach refined at the client never does.
+  Rng rng(2);
+  const Rect space(0, 0, 1, 1);
+  std::vector<PublicTarget> targets;
+  for (uint64_t i = 0; i < 500; ++i) {
+    targets.push_back({i, rng.PointIn(space)});
+  }
+  PublicTargetStore store(targets);
+
+  int center_wrong = 0;
+  int casper_wrong = 0;
+  int trials = 0;
+  for (int t = 0; t < 100; ++t) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.8, 0.8));
+    const Rect cloak(c.x, c.y, c.x + 0.2, c.y + 0.2);
+    const Point user = rng.PointIn(cloak);
+
+    uint64_t true_nn = 0;
+    double best = 1e300;
+    for (const auto& tg : targets) {
+      const double d = SquaredDistance(user, tg.position);
+      if (d < best) {
+        best = d;
+        true_nn = tg.id;
+      }
+    }
+
+    auto naive = NaiveCenterNearest(store, cloak);
+    ASSERT_TRUE(naive.ok());
+    if (naive->id != true_nn) ++center_wrong;
+
+    auto casper = PrivateNearestNeighbor(store, cloak);
+    ASSERT_TRUE(casper.ok());
+    auto refined = RefineNearest(casper->candidates, user);
+    ASSERT_TRUE(refined.ok());
+    if (refined->id != true_nn) ++casper_wrong;
+    ++trials;
+  }
+  EXPECT_EQ(casper_wrong, 0);
+  EXPECT_GT(center_wrong, 0) << "with " << trials << " trials";
+}
+
+}  // namespace
+}  // namespace casper::processor

@@ -1,0 +1,132 @@
+#include "src/network/network_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace casper::network {
+namespace {
+
+TEST(NetworkGeneratorTest, GeneratesConnectedNetwork) {
+  NetworkGeneratorOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  NetworkGenerator gen(opt);
+  auto net = gen.Generate(1);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->node_count(), 144u);
+  EXPECT_TRUE(net->IsConnected());
+  EXPECT_GT(net->edge_count(), 144u);  // Grid has ~2x edges as nodes.
+}
+
+TEST(NetworkGeneratorTest, DeterministicForSeed) {
+  NetworkGenerator gen(NetworkGeneratorOptions{});
+  auto a = gen.Generate(7);
+  auto b = gen.Generate(7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->node_count(), b->node_count());
+  ASSERT_EQ(a->edge_count(), b->edge_count());
+  for (NodeId i = 0; i < a->node_count(); ++i) {
+    EXPECT_EQ(a->node(i).position, b->node(i).position);
+  }
+}
+
+TEST(NetworkGeneratorTest, DifferentSeedsDiffer) {
+  NetworkGenerator gen(NetworkGeneratorOptions{});
+  auto a = gen.Generate(1);
+  auto b = gen.Generate(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = a->edge_count() != b->edge_count();
+  for (NodeId i = 0; !any_diff && i < a->node_count(); ++i) {
+    any_diff = !(a->node(i).position == b->node(i).position);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NetworkGeneratorTest, NodesStayInsideSpace) {
+  NetworkGeneratorOptions opt;
+  opt.space = Rect(10, 20, 30, 40);
+  opt.jitter = 0.45;
+  NetworkGenerator gen(opt);
+  auto net = gen.Generate(3);
+  ASSERT_TRUE(net.ok());
+  for (NodeId i = 0; i < net->node_count(); ++i) {
+    EXPECT_TRUE(opt.space.Contains(net->node(i).position));
+  }
+}
+
+TEST(NetworkGeneratorTest, ContainsAllRoadClasses) {
+  NetworkGeneratorOptions opt;
+  opt.rows = 17;
+  opt.cols = 17;
+  NetworkGenerator gen(opt);
+  auto net = gen.Generate(5);
+  ASSERT_TRUE(net.ok());
+  bool has_highway = false, has_arterial = false, has_local = false;
+  for (EdgeId e = 0; e < net->edge_count(); ++e) {
+    switch (net->edge(e).cls) {
+      case RoadClass::kHighway: has_highway = true; break;
+      case RoadClass::kArterial: has_arterial = true; break;
+      case RoadClass::kLocal: has_local = true; break;
+    }
+  }
+  EXPECT_TRUE(has_highway);
+  EXPECT_TRUE(has_arterial);
+  EXPECT_TRUE(has_local);
+}
+
+TEST(NetworkGeneratorTest, HeavyDropoutStillConnected) {
+  NetworkGeneratorOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.dropout_prob = 0.6;
+  NetworkGenerator gen(opt);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto net = gen.Generate(seed);
+    ASSERT_TRUE(net.ok());
+    EXPECT_TRUE(net->IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(NetworkGeneratorTest, RejectsDegenerateOptions) {
+  {
+    NetworkGeneratorOptions opt;
+    opt.rows = 1;
+    EXPECT_EQ(NetworkGenerator(opt).Generate(1).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    NetworkGeneratorOptions opt;
+    opt.jitter = 0.5;
+    EXPECT_EQ(NetworkGenerator(opt).Generate(1).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    NetworkGeneratorOptions opt;
+    opt.dropout_prob = 1.0;
+    EXPECT_EQ(NetworkGenerator(opt).Generate(1).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    NetworkGeneratorOptions opt;
+    opt.space = Rect();
+    EXPECT_EQ(NetworkGenerator(opt).Generate(1).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetworkGeneratorTest, NoDropoutNoDiagonalsGivesFullGrid) {
+  NetworkGeneratorOptions opt;
+  opt.rows = 5;
+  opt.cols = 7;
+  opt.dropout_prob = 0.0;
+  opt.diagonal_prob = 0.0;
+  NetworkGenerator gen(opt);
+  auto net = gen.Generate(11);
+  ASSERT_TRUE(net.ok());
+  // Full grid: rows*(cols-1) horizontal + cols*(rows-1) vertical edges.
+  EXPECT_EQ(net->edge_count(), 5u * 6 + 7u * 4);
+}
+
+}  // namespace
+}  // namespace casper::network

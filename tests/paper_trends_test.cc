@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/casper/transmission.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/processor/private_nn.h"
+
+/// Regression tests pinning the *qualitative* claims of the paper's
+/// evaluation (§6) at test-sized workloads, so a refactor that silently
+/// destroys a headline result fails CI rather than only showing up in
+/// bench output. Each test mirrors one figure's punchline.
+
+namespace casper {
+namespace {
+
+using anonymizer::AdaptiveAnonymizer;
+using anonymizer::BasicAnonymizer;
+using anonymizer::PyramidConfig;
+using anonymizer::UserId;
+
+/// Uniform random population applied identically to both anonymizers.
+template <typename Anon>
+void Populate(Anon* anon, size_t users, uint32_t k_min, uint32_t k_max,
+              uint64_t seed) {
+  Rng rng(seed);
+  for (UserId uid = 0; uid < users; ++uid) {
+    anonymizer::PrivacyProfile profile;
+    profile.k = static_cast<uint32_t>(rng.UniformInt(k_min, k_max));
+    ASSERT_TRUE(
+        anon->RegisterUser(uid, profile, rng.PointIn(anon->config().space))
+            .ok());
+  }
+}
+
+template <typename Anon>
+double UpdateCost(Anon* anon, size_t users, int rounds, uint64_t seed) {
+  Rng rng(seed);
+  anon->ResetStats();
+  for (int round = 0; round < rounds; ++round) {
+    for (UserId uid = 0; uid < users; ++uid) {
+      const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      EXPECT_TRUE(anon->UpdateLocation(uid, p).ok());
+    }
+  }
+  return anon->stats().UpdatesPerLocationUpdate();
+}
+
+TEST(PaperTrendsTest, Fig10bAdaptiveUpdateCostPlateausWithHeight) {
+  // Basic pays ~2 more counter updates per extra level; adaptive
+  // plateaus once the profiles stop using deeper levels.
+  const size_t users = 2000;
+  double basic_low = 0, basic_high = 0, adaptive_low = 0, adaptive_high = 0;
+  for (int height : {5, 9}) {
+    PyramidConfig config;
+    config.height = height;
+    BasicAnonymizer basic(config);
+    AdaptiveAnonymizer adaptive(config);
+    Populate(&basic, users, 10, 50, 7);
+    Populate(&adaptive, users, 10, 50, 7);
+    const double b = UpdateCost(&basic, users, 2, 9);
+    const double a = UpdateCost(&adaptive, users, 2, 9);
+    if (height == 5) {
+      basic_low = b;
+      adaptive_low = a;
+    } else {
+      basic_high = b;
+      adaptive_high = a;
+    }
+  }
+  // Basic grows steeply with height; adaptive grows much less.
+  EXPECT_GT(basic_high - basic_low, 2.0);
+  EXPECT_LT(adaptive_high - adaptive_low, basic_high - basic_low);
+  // At height 9 the adaptive structure is clearly cheaper.
+  EXPECT_LT(adaptive_high, basic_high * 0.8);
+}
+
+TEST(PaperTrendsTest, Fig12bStricterProfilesCheapenAdaptiveOnly) {
+  const size_t users = 2000;
+  PyramidConfig config;
+  config.height = 8;
+  double basic_relaxed, basic_strict, adaptive_relaxed, adaptive_strict;
+  {
+    BasicAnonymizer basic(config);
+    AdaptiveAnonymizer adaptive(config);
+    Populate(&basic, users, 1, 10, 11);
+    Populate(&adaptive, users, 1, 10, 11);
+    basic_relaxed = UpdateCost(&basic, users, 2, 13);
+    adaptive_relaxed = UpdateCost(&adaptive, users, 2, 13);
+  }
+  {
+    BasicAnonymizer basic(config);
+    AdaptiveAnonymizer adaptive(config);
+    Populate(&basic, users, 150, 200, 11);
+    Populate(&adaptive, users, 150, 200, 11);
+    basic_strict = UpdateCost(&basic, users, 2, 13);
+    adaptive_strict = UpdateCost(&adaptive, users, 2, 13);
+  }
+  // The complete pyramid is profile-independent...
+  EXPECT_NEAR(basic_relaxed, basic_strict, basic_relaxed * 0.05);
+  // ...while the incomplete pyramid gets much cheaper under strictness.
+  EXPECT_LT(adaptive_strict, adaptive_relaxed * 0.5);
+}
+
+TEST(PaperTrendsTest, Fig13FourFiltersShrinkCandidates) {
+  Rng rng(17);
+  PyramidConfig config;
+  config.height = 8;
+  processor::PublicTargetStore store(
+      workload::UniformPublicTargets(3000, config.space, &rng));
+  double one = 0, four = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Rect cloak = workload::RandomCellAlignedRegion(config, 16, 16,
+                                                         &rng);
+    auto a = processor::PrivateNearestNeighbor(
+        store, cloak, processor::FilterPolicy::kOneFilter);
+    auto b = processor::PrivateNearestNeighbor(
+        store, cloak, processor::FilterPolicy::kFourFilters);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    one += static_cast<double>(a->size());
+    four += static_cast<double>(b->size());
+  }
+  EXPECT_LT(four, one * 0.8);  // Clearly smaller, as in Fig 13a.
+}
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CASPER_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CASPER_SANITIZED 1
+#endif
+#endif
+
+TEST(PaperTrendsTest, Fig17TransmissionDominatesAtStrictPrivacy) {
+  // For strict privacy the candidate list is large enough that the
+  // modeled channel dwarfs the server's processing time.
+#ifdef CASPER_SANITIZED
+  GTEST_SKIP() << "wall-clock trend not meaningful under sanitizers";
+#endif
+  Rng rng(19);
+  PyramidConfig config;
+  config.height = 8;
+  AdaptiveAnonymizer anon(config);
+  Populate(&anon, 3000, 150, 200, 21);
+  processor::PublicTargetStore store(
+      workload::UniformPublicTargets(3000, config.space, &rng));
+  TransmissionModel channel;
+
+  double processor_us = 0.0, transmission_us = 0.0;
+  Rng pick(23);
+  for (int i = 0; i < 100; ++i) {
+    const UserId uid = pick.UniformInt(0, 2999);
+    auto cloak = anon.Cloak(uid);
+    ASSERT_TRUE(cloak.ok());
+    Stopwatch watch;
+    auto answer = processor::PrivateNearestNeighbor(store, cloak->region);
+    processor_us += watch.ElapsedMicros();
+    ASSERT_TRUE(answer.ok());
+    transmission_us += channel.SecondsFor(answer->size()) * 1e6;
+  }
+  EXPECT_GT(transmission_us, processor_us * 3.0);
+}
+
+TEST(PaperTrendsTest, Fig11aBasicCloakingImprovesWithPopulation) {
+  // More users => profiles satisfied at deeper levels => fewer
+  // recursive steps for the basic anonymizer.
+  PyramidConfig config;
+  config.height = 9;
+  double levels_small = 0, levels_large = 0;
+  for (size_t users : {500u, 8000u}) {
+    BasicAnonymizer anon(config);
+    Populate(&anon, users, 10, 50, 29);
+    Rng pick(31);
+    double total_levels = 0;
+    for (int i = 0; i < 300; ++i) {
+      auto cloak = anon.Cloak(pick.UniformInt(0, users - 1));
+      ASSERT_TRUE(cloak.ok());
+      total_levels += cloak->levels_visited;
+    }
+    (users == 500u ? levels_small : levels_large) = total_levels;
+  }
+  EXPECT_LT(levels_large, levels_small);
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,111 @@
+#include "src/anonymizer/privacy_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/common/rng.h"
+
+namespace casper::anonymizer {
+namespace {
+
+CloakObservation Obs(Rect region, uint64_t users, PrivacyProfile profile,
+                     Point truth) {
+  return CloakObservation{region, users, profile, truth};
+}
+
+TEST(PrivacyAnalysisTest, SingleObservation) {
+  auto report = AnalyzeCloaks(
+      {Obs(Rect(0, 0, 0.5, 0.5), 8, {4, 0.1}, {0.25, 0.25})});
+  EXPECT_DOUBLE_EQ(report.achieved_k.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(report.k_accuracy.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(report.area.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(report.area_accuracy.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(report.identity_entropy_bits.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(report.profile_satisfaction, 1.0);
+  // True position at the center: attack error 0.
+  EXPECT_DOUBLE_EQ(report.center_attack_normalized_error, 0.0);
+}
+
+TEST(PrivacyAnalysisTest, UnsatisfiedProfileDetected) {
+  auto report = AnalyzeCloaks(
+      {Obs(Rect(0, 0, 0.1, 0.1), 3, {10, 0.0}, {0.05, 0.05}),
+       Obs(Rect(0, 0, 0.5, 0.5), 20, {10, 0.0}, {0.2, 0.2})});
+  EXPECT_DOUBLE_EQ(report.profile_satisfaction, 0.5);
+}
+
+TEST(PrivacyAnalysisTest, CornerPositionMaximizesAttackError) {
+  auto report = AnalyzeCloaks(
+      {Obs(Rect(0, 0, 1, 1), 5, {1, 0.0}, {0.0, 0.0})});
+  // True position on a corner: distance = half diagonal, normalized 1.
+  EXPECT_NEAR(report.center_attack_normalized_error, 1.0, 1e-12);
+}
+
+TEST(PrivacyAnalysisTest, UniformTruthGivesExpectedAttackError) {
+  // Users uniform in their cloaks: normalized center error averages to
+  // the analytic constant for squares (~0.3826 * sqrt(2) = 0.541).
+  Rng rng(1);
+  std::vector<CloakObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const Rect region(0.2, 0.2, 0.7, 0.7);
+    obs.push_back(Obs(region, 10, {5, 0.0}, rng.PointIn(region)));
+  }
+  auto report = AnalyzeCloaks(obs);
+  EXPECT_NEAR(report.center_attack_normalized_error, 0.541, 0.01);
+}
+
+TEST(PrivacyAnalysisTest, UniformityDeviationSmallForUniformDraws) {
+  Rng rng(2);
+  std::vector<CloakObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const Rect region(0.1, 0.3, 0.6, 0.8);
+    obs.push_back(Obs(region, 10, {5, 0.0}, rng.PointIn(region)));
+  }
+  EXPECT_LT(UniformityDeviation(obs, 4), 0.1);
+}
+
+TEST(PrivacyAnalysisTest, UniformityDeviationLargeForSkewedDraws) {
+  Rng rng(3);
+  std::vector<CloakObservation> obs;
+  for (int i = 0; i < 5000; ++i) {
+    const Rect region(0, 0, 1, 1);
+    // All users hide in one corner of their cloak: a strong leak.
+    obs.push_back(Obs(region, 10, {5, 0.0},
+                      rng.PointIn(Rect(0, 0, 0.25, 0.25))));
+  }
+  EXPECT_GT(UniformityDeviation(obs, 4), 1.0);
+}
+
+TEST(PrivacyAnalysisTest, EndToEndWithAnonymizer) {
+  // The pyramid anonymizer's cell-aligned cloaks must satisfy every
+  // profile and keep the user position uniform within the region when
+  // users themselves are uniformly distributed.
+  PyramidConfig config;
+  config.height = 7;
+  AdaptiveAnonymizer anon(config);
+  Rng rng(4);
+  std::vector<Point> positions;
+  for (UserId uid = 0; uid < 2000; ++uid) {
+    const Point p = rng.PointIn(config.space);
+    positions.push_back(p);
+    const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 30));
+    ASSERT_TRUE(anon.RegisterUser(uid, {k, 0.0}, p).ok());
+  }
+  std::vector<CloakObservation> obs;
+  for (UserId uid = 0; uid < 2000; ++uid) {
+    auto cloak = anon.Cloak(uid);
+    ASSERT_TRUE(cloak.ok());
+    auto profile = anon.GetProfile(uid);
+    ASSERT_TRUE(profile.ok());
+    obs.push_back(Obs(cloak->region, cloak->users_in_region, *profile,
+                      positions[uid]));
+  }
+  auto report = AnalyzeCloaks(obs);
+  EXPECT_DOUBLE_EQ(report.profile_satisfaction, 1.0);
+  EXPECT_GE(report.k_accuracy.min(), 1.0);
+  // No strong positional bias inside cloaks (coarse check; cell-aligned
+  // regions plus uniform users keep this modest).
+  EXPECT_LT(UniformityDeviation(obs, 2), 0.35);
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

@@ -1,0 +1,153 @@
+#include "src/processor/private_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+std::vector<PublicTarget> UniformTargets(size_t n, Rng* rng) {
+  std::vector<PublicTarget> targets;
+  for (uint64_t i = 0; i < n; ++i) {
+    targets.push_back({i, rng->PointIn(Rect(0, 0, 1, 1))});
+  }
+  return targets;
+}
+
+std::vector<uint64_t> BruteKnnIds(const std::vector<PublicTarget>& targets,
+                                  const Point& q, size_t k) {
+  std::vector<std::pair<double, uint64_t>> dist;
+  for (const auto& t : targets) {
+    dist.emplace_back(SquaredDistance(q, t.position), t.id);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < k; ++i) ids.push_back(dist[i].second);
+  return ids;
+}
+
+TEST(PrivateKnnTest, Validation) {
+  Rng rng(1);
+  PublicTargetStore store(UniformTargets(10, &rng));
+  EXPECT_EQ(PrivateKNearestNeighbors(store, Rect(0, 0, 1, 1), 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivateKNearestNeighbors(store, Rect(), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivateKNearestNeighbors(store, Rect(0, 0, 1, 1), 11)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PrivateKnnTest, KEqualsOneDegeneratesToNN) {
+  Rng rng(2);
+  auto targets = UniformTargets(300, &rng);
+  PublicTargetStore store(targets);
+  const Rect cloak(0.4, 0.4, 0.6, 0.6);
+  auto result = PrivateKNearestNeighbors(store, cloak, 1);
+  ASSERT_TRUE(result.ok());
+  // Inclusiveness for a sampled user.
+  const Point user = rng.PointIn(cloak);
+  const auto truth = BruteKnnIds(targets, user, 1);
+  bool found = false;
+  for (const auto& c : result->candidates) {
+    if (c.id == truth[0]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+/// Inclusiveness sweep: for every sampled user position in the cloak,
+/// ALL of the true k nearest targets must be candidates.
+struct Params {
+  size_t targets;
+  size_t k;
+  double cloak_size;
+  uint64_t seed;
+};
+
+class KnnInclusivenessTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(KnnInclusivenessTest, AllTrueKnnInCandidates) {
+  const Params params = GetParam();
+  Rng rng(params.seed);
+  auto targets = UniformTargets(params.targets, &rng);
+  PublicTargetStore store(targets);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const double s = params.cloak_size;
+    const Point c = rng.PointIn(Rect(0, 0, 1 - s, 1 - s));
+    const Rect cloak(c.x, c.y, c.x + s, c.y + s);
+    auto result = PrivateKNearestNeighbors(store, cloak, params.k);
+    ASSERT_TRUE(result.ok());
+    std::vector<uint64_t> ids;
+    for (const auto& t : result->candidates) ids.push_back(t.id);
+    std::sort(ids.begin(), ids.end());
+    ASSERT_GE(ids.size(), params.k);
+
+    for (int sample = 0; sample < 30; ++sample) {
+      const Point user = rng.PointIn(cloak);
+      for (uint64_t truth : BruteKnnIds(targets, user, params.k)) {
+        EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), truth))
+            << "k=" << params.k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KnnInclusivenessTest,
+                         ::testing::Values(Params{100, 1, 0.2, 1},
+                                           Params{100, 5, 0.2, 2},
+                                           Params{500, 10, 0.1, 3},
+                                           Params{500, 3, 0.4, 4},
+                                           Params{50, 20, 0.3, 5},
+                                           Params{1000, 8, 0.05, 6}));
+
+TEST(PrivateKnnTest, RefineKNearestExactAndOrdered) {
+  Rng rng(7);
+  auto targets = UniformTargets(400, &rng);
+  PublicTargetStore store(targets);
+  const Rect cloak(0.3, 0.3, 0.5, 0.5);
+  auto result = PrivateKNearestNeighbors(store, cloak, 7);
+  ASSERT_TRUE(result.ok());
+
+  const Point user = rng.PointIn(cloak);
+  const auto refined = RefineKNearest(result->candidates, user, 7);
+  ASSERT_EQ(refined.size(), 7u);
+  for (size_t i = 1; i < refined.size(); ++i) {
+    EXPECT_LE(SquaredDistance(user, refined[i - 1].position),
+              SquaredDistance(user, refined[i].position));
+  }
+  const auto truth = BruteKnnIds(targets, user, 7);
+  for (size_t i = 0; i < 7; ++i) {
+    // Compare by distance (ties permitted).
+    EXPECT_NEAR(Distance(user, refined[i].position),
+                Distance(user, targets[truth[i]].position), 1e-12);
+  }
+}
+
+TEST(PrivateKnnTest, LargerKGrowsCandidates) {
+  Rng rng(8);
+  PublicTargetStore store(UniformTargets(1000, &rng));
+  const Rect cloak(0.45, 0.45, 0.55, 0.55);
+  size_t prev = 0;
+  for (size_t k : {1u, 4u, 16u, 64u}) {
+    auto result = PrivateKNearestNeighbors(store, cloak, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->size(), prev);
+    EXPECT_GE(result->size(), k);
+    prev = result->size();
+  }
+}
+
+TEST(PrivateKnnTest, RefineMoreThanCandidatesReturnsAll) {
+  std::vector<PublicTarget> candidates = {{0, {0.1, 0.1}}, {1, {0.2, 0.2}}};
+  EXPECT_EQ(RefineKNearest(candidates, {0, 0}, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace casper::processor

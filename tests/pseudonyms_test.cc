@@ -1,0 +1,81 @@
+#include "src/anonymizer/pseudonyms.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace casper::anonymizer {
+namespace {
+
+TEST(PseudonymsTest, StablePerUserUntilRotation) {
+  PseudonymRegistry registry(1);
+  const Pseudonym p1 = registry.PseudonymFor(42);
+  EXPECT_EQ(registry.PseudonymFor(42), p1);
+  auto resolved = registry.Resolve(p1);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, 42u);
+}
+
+TEST(PseudonymsTest, DistinctUsersGetDistinctPseudonyms) {
+  PseudonymRegistry registry(2);
+  std::set<Pseudonym> seen;
+  for (UserId uid = 0; uid < 1000; ++uid) {
+    seen.insert(registry.PseudonymFor(uid));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(registry.active_count(), 1000u);
+}
+
+TEST(PseudonymsTest, PseudonymNeverEqualsUserId) {
+  // Not a guarantee of the scheme per se, but with 64-bit random draws
+  // the pseudonym leaking the uid directly would indicate a bug.
+  PseudonymRegistry registry(3);
+  int equal = 0;
+  for (UserId uid = 0; uid < 1000; ++uid) {
+    if (registry.PseudonymFor(uid) == uid) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(PseudonymsTest, RotationUnlinksOldPseudonym) {
+  PseudonymRegistry registry(4);
+  const Pseudonym old = registry.PseudonymFor(7);
+  auto fresh = registry.Rotate(7);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, old);
+  // Old pseudonym no longer resolves; the fresh one does.
+  EXPECT_EQ(registry.Resolve(old).status().code(), StatusCode::kNotFound);
+  auto resolved = registry.Resolve(*fresh);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, 7u);
+  EXPECT_EQ(registry.PseudonymFor(7), *fresh);
+}
+
+TEST(PseudonymsTest, RotateUnknownUser) {
+  PseudonymRegistry registry(5);
+  EXPECT_EQ(registry.Rotate(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PseudonymsTest, ForgetRemovesBothDirections) {
+  PseudonymRegistry registry(6);
+  const Pseudonym p = registry.PseudonymFor(11);
+  ASSERT_TRUE(registry.Forget(11).ok());
+  EXPECT_EQ(registry.Resolve(p).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Forget(11).code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.active_count(), 0u);
+  // Re-registration allocates a new identity.
+  EXPECT_NE(registry.PseudonymFor(11), p);
+}
+
+TEST(PseudonymsTest, DifferentSeedsGiveDifferentStreams) {
+  PseudonymRegistry a(7);
+  PseudonymRegistry b(8);
+  int same = 0;
+  for (UserId uid = 0; uid < 100; ++uid) {
+    if (a.PseudonymFor(uid) == b.PseudonymFor(uid)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

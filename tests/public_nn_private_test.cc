@@ -1,0 +1,114 @@
+#include "src/processor/public_nn_private.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+std::vector<PrivateTarget> RandomRegions(size_t n, Rng* rng,
+                                         double max_extent) {
+  std::vector<PrivateTarget> targets;
+  for (uint64_t i = 0; i < n; ++i) {
+    const Point c = rng->PointIn(Rect(0, 0, 1, 1));
+    targets.push_back(
+        {i, Rect(c.x, c.y, std::min(c.x + rng->Uniform(0, max_extent), 1.0),
+                 std::min(c.y + rng->Uniform(0, max_extent), 1.0))});
+  }
+  return targets;
+}
+
+TEST(PublicNNPrivateTest, EmptyStore) {
+  PrivateTargetStore store;
+  EXPECT_EQ(PublicNearestNeighborOverPrivate(store, {0.5, 0.5})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PublicNNPrivateTest, SingleRegionIsTheAnswer) {
+  PrivateTargetStore store;
+  store.Insert({7, Rect(0.4, 0.4, 0.6, 0.6)});
+  auto result = PublicNearestNeighborOverPrivate(store, {0.1, 0.1});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->candidates.size(), 1u);
+  EXPECT_EQ(result->candidates[0].target.id, 7u);
+  EXPECT_NEAR(result->minimax_bound, Distance({0.1, 0.1}, {0.6, 0.6}),
+              1e-12);
+}
+
+TEST(PublicNNPrivateTest, BoundsAndOrdering) {
+  Rng rng(1);
+  PrivateTargetStore store(RandomRegions(200, &rng, 0.1));
+  auto result = PublicNearestNeighborOverPrivate(store, {0.5, 0.5});
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->candidates.size(), 0u);
+  for (size_t i = 0; i < result->candidates.size(); ++i) {
+    const auto& c = result->candidates[i];
+    EXPECT_LE(c.min_dist, result->minimax_bound + 1e-12);
+    EXPECT_LE(c.min_dist, c.max_dist);
+    if (i > 0) {
+      EXPECT_GE(c.min_dist, result->candidates[i - 1].min_dist);
+    }
+  }
+}
+
+TEST(PublicNNPrivateTest, InclusivenessUnderRealization) {
+  // Whatever the true user positions inside their regions, the user
+  // nearest to the query must own a candidate region.
+  Rng rng(2);
+  auto regions = RandomRegions(150, &rng, 0.15);
+  PrivateTargetStore store(regions);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q = rng.PointIn(Rect(0, 0, 1, 1));
+    auto result = PublicNearestNeighborOverPrivate(store, q);
+    ASSERT_TRUE(result.ok());
+    std::vector<uint64_t> ids;
+    for (const auto& c : result->candidates) ids.push_back(c.target.id);
+    std::sort(ids.begin(), ids.end());
+
+    for (int realization = 0; realization < 20; ++realization) {
+      uint64_t best = 0;
+      double best_d = 1e300;
+      for (const auto& r : regions) {
+        const Point actual = rng.PointIn(r.region);
+        const double d = SquaredDistance(q, actual);
+        if (d < best_d) {
+          best_d = d;
+          best = r.id;
+        }
+      }
+      EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), best));
+    }
+  }
+}
+
+TEST(PublicNNPrivateTest, CandidateSetIsExactMinimaxSet) {
+  Rng rng(3);
+  auto regions = RandomRegions(300, &rng, 0.1);
+  PrivateTargetStore store(regions);
+  const Point q{0.3, 0.7};
+  auto result = PublicNearestNeighborOverPrivate(store, q);
+  ASSERT_TRUE(result.ok());
+
+  double bound = 1e300;
+  for (const auto& r : regions) bound = std::min(bound, MaxDist(q, r.region));
+  EXPECT_NEAR(result->minimax_bound, bound, 1e-12);
+
+  std::vector<uint64_t> expect;
+  for (const auto& r : regions) {
+    if (MinDist(q, r.region) <= bound) expect.push_back(r.id);
+  }
+  std::sort(expect.begin(), expect.end());
+  std::vector<uint64_t> got;
+  for (const auto& c : result->candidates) got.push_back(c.target.id);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace casper::processor

@@ -1,0 +1,95 @@
+#include "src/processor/public_range.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::processor {
+namespace {
+
+TEST(PublicRangeTest, CertainExpectedPossibleOrdering) {
+  PrivateTargetStore store(std::vector<PrivateTarget>{
+      {0, Rect(0.1, 0.1, 0.2, 0.2)},  // Fully inside.
+      {1, Rect(0.0, 0.0, 1.0, 1.0)},  // Partially inside.
+      {2, Rect(0.8, 0.8, 0.9, 0.9)},  // Outside.
+  });
+  auto result = PublicRangeCount(store, Rect(0.0, 0.0, 0.5, 0.5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->certain, 1u);
+  EXPECT_EQ(result->possible, 2u);
+  EXPECT_GE(result->expected, static_cast<double>(result->certain));
+  EXPECT_LE(result->expected, static_cast<double>(result->possible));
+  // Fraction of target 1 inside the window: 0.25.
+  EXPECT_NEAR(result->expected, 1.0 + 0.25, 1e-12);
+}
+
+TEST(PublicRangeTest, EmptyQueryRejected) {
+  PrivateTargetStore store;
+  EXPECT_EQ(PublicRangeCount(store, Rect()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PublicRangeTest, EmptyStoreCountsZero) {
+  PrivateTargetStore store;
+  auto result = PublicRangeCount(store, Rect(0, 0, 1, 1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->possible, 0u);
+  EXPECT_DOUBLE_EQ(result->expected, 0.0);
+}
+
+TEST(PublicRangeTest, DegenerateRegionsCountExactly) {
+  // Degenerate (point) regions model public users; they count as 1.
+  PrivateTargetStore store(std::vector<PrivateTarget>{
+      {0, Rect::FromPoint({0.25, 0.25})},
+      {1, Rect::FromPoint({0.75, 0.75})},
+  });
+  auto result = PublicRangeCount(store, Rect(0, 0, 0.5, 0.5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->certain, 1u);
+  EXPECT_EQ(result->possible, 1u);
+  EXPECT_DOUBLE_EQ(result->expected, 1.0);
+}
+
+TEST(PublicRangeTest, ExpectedCountIsUnbiasedEstimator) {
+  // Statistical check of the uniformity semantics: with users uniform in
+  // their cloaks, the expected count should match the mean realized
+  // count over many position draws.
+  Rng rng(3);
+  std::vector<PrivateTarget> regions;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.8, 0.8));
+    regions.push_back({i, Rect(c.x, c.y, c.x + 0.2, c.y + 0.2)});
+  }
+  PrivateTargetStore store(regions);
+  const Rect query(0.2, 0.2, 0.7, 0.6);
+  auto result = PublicRangeCount(store, query);
+  ASSERT_TRUE(result.ok());
+
+  double total = 0.0;
+  constexpr int kDraws = 20000;
+  for (int d = 0; d < kDraws; ++d) {
+    int count = 0;
+    for (const auto& r : regions) {
+      if (query.Contains(rng.PointIn(r.region))) ++count;
+    }
+    total += count;
+  }
+  const double simulated = total / kDraws;
+  EXPECT_NEAR(result->expected, simulated, 0.15);
+}
+
+TEST(PublicRangeTest, OverlappingListMatchesPossible) {
+  Rng rng(5);
+  std::vector<PrivateTarget> regions;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const Point c = rng.PointIn(Rect(0, 0, 0.9, 0.9));
+    regions.push_back({i, Rect(c.x, c.y, c.x + 0.1, c.y + 0.1)});
+  }
+  PrivateTargetStore store(regions);
+  auto result = PublicRangeCount(store, Rect(0.3, 0.3, 0.6, 0.6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->overlapping.size(), result->possible);
+}
+
+}  // namespace
+}  // namespace casper::processor

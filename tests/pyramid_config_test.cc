@@ -1,0 +1,82 @@
+#include "src/anonymizer/pyramid_config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace casper::anonymizer {
+namespace {
+
+TEST(PyramidConfigTest, CellAreaHalvesTwicePerLevel) {
+  PyramidConfig config;
+  config.space = Rect(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(config.CellArea(0), 4.0);
+  EXPECT_DOUBLE_EQ(config.CellArea(1), 1.0);
+  EXPECT_DOUBLE_EQ(config.CellArea(2), 0.25);
+}
+
+TEST(PyramidConfigTest, CellRectTiling) {
+  PyramidConfig config;
+  config.space = Rect(0, 0, 1, 1);
+  EXPECT_EQ(config.CellRect(CellId::Root()), config.space);
+  EXPECT_EQ(config.CellRect(CellId{1, 0, 0}), Rect(0, 0, 0.5, 0.5));
+  EXPECT_EQ(config.CellRect(CellId{1, 1, 1}), Rect(0.5, 0.5, 1, 1));
+  EXPECT_EQ(config.CellRect(CellId{2, 3, 0}), Rect(0.75, 0, 1, 0.25));
+}
+
+TEST(PyramidConfigTest, CellAtInverseOfCellRect) {
+  PyramidConfig config;
+  config.space = Rect(-1, -1, 3, 3);
+  config.height = 6;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Point p = rng.PointIn(config.space);
+    for (int level = 0; level <= config.height; ++level) {
+      const CellId cell = config.CellAt(level, p);
+      EXPECT_TRUE(config.CellRect(cell).Contains(p))
+          << cell.ToString() << " " << p.x << "," << p.y;
+    }
+  }
+}
+
+TEST(PyramidConfigTest, BoundaryPointsLandInLastCell) {
+  PyramidConfig config;
+  config.space = Rect(0, 0, 1, 1);
+  const CellId cell = config.CellAt(3, {1.0, 1.0});
+  EXPECT_EQ(cell, (CellId{3, 7, 7}));
+  EXPECT_EQ(config.CellAt(3, {0.0, 0.0}), (CellId{3, 0, 0}));
+}
+
+TEST(PyramidConfigTest, LeafCellUsesHeight) {
+  PyramidConfig config;
+  config.height = 4;
+  EXPECT_EQ(config.LeafCellAt({0.99, 0.01}).level, 4u);
+}
+
+TEST(PyramidConfigTest, DeepestLevelWithArea) {
+  PyramidConfig config;  // Unit space, height 9.
+  EXPECT_EQ(config.DeepestLevelWithArea(0.0), config.height);
+  EXPECT_EQ(config.DeepestLevelWithArea(1.0), 0);
+  // Area of level 2 cell = 1/16; requirement of 1/16 is satisfied there.
+  EXPECT_EQ(config.DeepestLevelWithArea(1.0 / 16), 2);
+  // Slightly more than 1/16 forces level 1.
+  EXPECT_EQ(config.DeepestLevelWithArea(1.0 / 16 + 1e-9), 1);
+}
+
+TEST(PyramidConfigTest, CellAtParentConsistent) {
+  PyramidConfig config;
+  config.height = 8;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Point p = rng.PointIn(config.space);
+    const CellId leaf = config.LeafCellAt(p);
+    CellId cell = leaf;
+    for (int level = config.height - 1; level >= 0; --level) {
+      cell = cell.Parent();
+      EXPECT_EQ(cell, config.CellAt(level, p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper::anonymizer

@@ -1,0 +1,93 @@
+#include "src/network/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace casper::network {
+namespace {
+
+RoadNetwork Triangle() {
+  RoadNetwork net;
+  const NodeId a = net.AddNode({0, 0});
+  const NodeId b = net.AddNode({1, 0});
+  const NodeId c = net.AddNode({0, 1});
+  EXPECT_TRUE(net.AddEdge(a, b, RoadClass::kHighway).ok());
+  EXPECT_TRUE(net.AddEdge(b, c, RoadClass::kArterial).ok());
+  EXPECT_TRUE(net.AddEdge(c, a, RoadClass::kLocal).ok());
+  return net;
+}
+
+TEST(RoadNetworkTest, AddNodesAndEdges) {
+  RoadNetwork net = Triangle();
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.edge_count(), 3u);
+  EXPECT_EQ(net.node(0).position, (Point{0, 0}));
+  EXPECT_DOUBLE_EQ(net.edge(0).length, 1.0);
+  EXPECT_EQ(net.IncidentEdges(0).size(), 2u);
+}
+
+TEST(RoadNetworkTest, EdgeValidation) {
+  RoadNetwork net;
+  const NodeId a = net.AddNode({0, 0});
+  const NodeId b = net.AddNode({1, 0});
+  EXPECT_EQ(net.AddEdge(a, 99, RoadClass::kLocal).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(net.AddEdge(a, a, RoadClass::kLocal).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(net.AddEdge(a, b, RoadClass::kLocal).ok());
+  EXPECT_EQ(net.AddEdge(b, a, RoadClass::kLocal).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RoadNetworkTest, HasEdgeIsSymmetric) {
+  RoadNetwork net = Triangle();
+  EXPECT_TRUE(net.HasEdge(0, 1));
+  EXPECT_TRUE(net.HasEdge(1, 0));
+  RoadNetwork net2;
+  net2.AddNode({0, 0});
+  net2.AddNode({1, 1});
+  EXPECT_FALSE(net2.HasEdge(0, 1));
+}
+
+TEST(RoadNetworkTest, SpeedOrdering) {
+  EXPECT_GT(SpeedOf(RoadClass::kHighway), SpeedOf(RoadClass::kArterial));
+  EXPECT_GT(SpeedOf(RoadClass::kArterial), SpeedOf(RoadClass::kLocal));
+}
+
+TEST(RoadNetworkTest, TravelTimeUsesClassSpeed) {
+  RoadNetwork net = Triangle();
+  const RoadEdge& highway = net.edge(0);
+  EXPECT_DOUBLE_EQ(highway.TravelTime(),
+                   highway.length / SpeedOf(RoadClass::kHighway));
+}
+
+TEST(RoadNetworkTest, EdgeOther) {
+  RoadNetwork net = Triangle();
+  const RoadEdge& e = net.edge(0);
+  EXPECT_EQ(e.Other(e.from), e.to);
+  EXPECT_EQ(e.Other(e.to), e.from);
+}
+
+TEST(RoadNetworkTest, Bounds) {
+  RoadNetwork net = Triangle();
+  EXPECT_EQ(net.bounds(), Rect(0, 0, 1, 1));
+  EXPECT_TRUE(RoadNetwork().bounds().is_empty());
+}
+
+TEST(RoadNetworkTest, NearestNode) {
+  RoadNetwork net = Triangle();
+  EXPECT_EQ(net.NearestNode({0.1, 0.05}), 0u);
+  EXPECT_EQ(net.NearestNode({0.9, 0.1}), 1u);
+  EXPECT_EQ(RoadNetwork().NearestNode({0, 0}), kInvalidNode);
+}
+
+TEST(RoadNetworkTest, Connectivity) {
+  RoadNetwork net = Triangle();
+  EXPECT_TRUE(net.IsConnected());
+  net.AddNode({5, 5});  // Isolated node.
+  EXPECT_FALSE(net.IsConnected());
+  EXPECT_EQ(net.ConnectedComponents().size(), 2u);
+  EXPECT_TRUE(RoadNetwork().IsConnected());
+}
+
+}  // namespace
+}  // namespace casper::network

@@ -1,0 +1,74 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace casper {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(SummaryStatsTest, QuantilesOnUnsortedInput) {
+  SummaryStats s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 9.0);
+}
+
+TEST(SummaryStatsTest, AddAfterQuantileStillCorrect) {
+  SummaryStats s;
+  s.Add(10.0);
+  s.Add(0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10.0);
+  s.Add(20.0);
+  s.Add(-5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 20.0);
+}
+
+TEST(SummaryStatsTest, StdDevOfConstantIsZero) {
+  SummaryStats s;
+  for (int i = 0; i < 10; ++i) s.Add(4.2);
+  EXPECT_NEAR(s.StdDev(), 0.0, 1e-12);
+}
+
+TEST(SummaryStatsTest, StdDevSample) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  // Sample standard deviation of the classic example set.
+  EXPECT_NEAR(s.StdDev(), 2.138089935299395, 1e-12);
+}
+
+TEST(SummaryStatsTest, Merge) {
+  SummaryStats a;
+  SummaryStats b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace casper

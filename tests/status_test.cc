@@ -1,0 +1,101 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace casper {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("user 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "user 7");
+  EXPECT_EQ(s.ToString(), "NotFound: user 7");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int v) {
+  CASPER_RETURN_IF_ERROR(FailsWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  CASPER_ASSIGN_OR_RETURN(half, HalfOf(v));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  auto ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  EXPECT_FALSE(QuarterOf(7).ok());   // Fails at the first stage.
+  EXPECT_FALSE(QuarterOf(10).ok());  // Fails at the second stage.
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace casper

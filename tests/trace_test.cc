@@ -1,0 +1,148 @@
+#include "src/casper/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/network/network_generator.h"
+
+namespace casper::workload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Trace SmallTrace() {
+  Trace trace;
+  trace.registrations.push_back(
+      TraceRegistration{0, {5, 0.001}, {0.25, 0.75}});
+  trace.registrations.push_back(
+      TraceRegistration{1, {10, 0.0}, {0.5, 0.5}});
+  trace.updates.push_back({0, {0.3, 0.7}, 1});
+  trace.updates.push_back({1, {0.55, 0.5}, 1});
+  trace.updates.push_back({0, {0.35, 0.65}, 2});
+  return trace;
+}
+
+TEST(TraceTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.trace");
+  const Trace original = SmallTrace();
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->registrations.size(), 2u);
+  ASSERT_EQ(loaded->updates.size(), 3u);
+  EXPECT_EQ(loaded->registrations[0].uid, 0u);
+  EXPECT_EQ(loaded->registrations[0].profile.k, 5u);
+  EXPECT_DOUBLE_EQ(loaded->registrations[0].profile.a_min, 0.001);
+  EXPECT_EQ(loaded->registrations[0].position, (Point{0.25, 0.75}));
+  EXPECT_EQ(loaded->updates[2].tick, 2u);
+  EXPECT_EQ(loaded->updates[2].uid, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, DoublesSurviveExactly) {
+  const std::string path = TempPath("exact.trace");
+  Trace trace;
+  trace.registrations.push_back(
+      TraceRegistration{7, {3, 1.0 / 3.0}, {0.1 + 1e-17, 2.0 / 3.0}});
+  ASSERT_TRUE(WriteTrace(trace, path).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->registrations[0].profile.a_min, 1.0 / 3.0);
+  EXPECT_EQ(loaded->registrations[0].position.y, 2.0 / 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFile) {
+  EXPECT_EQ(ReadTrace("/nonexistent/path/x.trace").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceTest, MalformedRecords) {
+  const std::string path = TempPath("bad.trace");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "U,1,5\n");  // Too few fields.
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadTrace(path).status().code(), StatusCode::kInvalidArgument);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "X,1,2,3\n");  // Unknown type.
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadTrace(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.trace");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "# header\n\nU,3,2,0.5,0.1,0.2\n# trailing\n");
+    std::fclose(f);
+  }
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->registrations.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, UpdatesByTickGroups) {
+  const Trace trace = SmallTrace();
+  const auto ticks = trace.UpdatesByTick();
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0].size(), 2u);
+  EXPECT_EQ(ticks[1].size(), 1u);
+}
+
+TEST(TraceTest, RecordAndReplayThroughAnonymizer) {
+  network::NetworkGeneratorOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  auto net = network::NetworkGenerator(opt).Generate(5);
+  ASSERT_TRUE(net.ok());
+  network::SimulatorOptions sopt;
+  sopt.object_count = 40;
+  network::MovingObjectSimulator sim(&*net, sopt, 6);
+
+  Rng rng(7);
+  ProfileDistribution dist;
+  dist.k_min = 1;
+  dist.k_max = 5;
+  const Trace trace = RecordTrace(&sim, 40, dist, 4, &rng);
+  EXPECT_EQ(trace.registrations.size(), 40u);
+  EXPECT_EQ(trace.updates.size(), 160u);
+
+  // Replaying the same trace into two anonymizers yields identical
+  // cloaks (determinism / replayability guarantee).
+  anonymizer::PyramidConfig config;
+  config.space = net->bounds();
+  config.height = 5;
+  anonymizer::BasicAnonymizer a(config);
+  anonymizer::BasicAnonymizer b(config);
+  for (const auto& anon : {&a, &b}) {
+    for (const auto& r : trace.registrations) {
+      ASSERT_TRUE(anon->RegisterUser(r.uid, r.profile,
+                                     ClampToRect(r.position, config.space))
+                      .ok());
+    }
+    for (const auto& batch : trace.UpdatesByTick()) {
+      ASSERT_TRUE(ApplyTick(batch, anon).ok());
+    }
+  }
+  for (anonymizer::UserId uid = 0; uid < 40; ++uid) {
+    auto ca = a.Cloak(uid);
+    auto cb = b.Cloak(uid);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    EXPECT_EQ(ca->region, cb->region);
+  }
+}
+
+}  // namespace
+}  // namespace casper::workload

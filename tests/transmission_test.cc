@@ -1,0 +1,29 @@
+#include "src/casper/transmission.h"
+
+#include <gtest/gtest.h>
+
+namespace casper {
+namespace {
+
+TEST(TransmissionModelTest, PaperDefaults) {
+  TransmissionModel model;
+  EXPECT_EQ(model.record_bytes(), 64u);
+  EXPECT_DOUBLE_EQ(model.bandwidth_bps(), 100e6);
+  // One 64-byte record over 100 Mbps: 512 bits / 1e8 bps.
+  EXPECT_DOUBLE_EQ(model.SecondsFor(1), 512.0 / 100e6);
+  EXPECT_DOUBLE_EQ(model.SecondsFor(0), 0.0);
+}
+
+TEST(TransmissionModelTest, LinearInRecords) {
+  TransmissionModel model;
+  EXPECT_DOUBLE_EQ(model.SecondsFor(1000), 1000 * model.SecondsFor(1));
+  EXPECT_EQ(model.BytesFor(10), 640u);
+}
+
+TEST(TransmissionModelTest, CustomChannel) {
+  TransmissionModel model(128, 1e6);
+  EXPECT_DOUBLE_EQ(model.SecondsFor(1), 1024.0 / 1e6);
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,104 @@
+#include "src/casper/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anonymizer/basic_anonymizer.h"
+#include "src/network/network_generator.h"
+
+namespace casper::workload {
+namespace {
+
+TEST(WorkloadTest, SampleProfileRespectsDistribution) {
+  Rng rng(1);
+  ProfileDistribution dist;
+  dist.k_min = 5;
+  dist.k_max = 10;
+  dist.area_fraction_min = 0.001;
+  dist.area_fraction_max = 0.002;
+  for (int i = 0; i < 500; ++i) {
+    const auto p = SampleProfile(dist, 2.0, &rng);
+    EXPECT_GE(p.k, 5u);
+    EXPECT_LE(p.k, 10u);
+    EXPECT_GE(p.a_min, 0.002);
+    EXPECT_LE(p.a_min, 0.004);
+  }
+}
+
+TEST(WorkloadTest, UniformPublicTargets) {
+  Rng rng(2);
+  const Rect space(0, 0, 1, 1);
+  auto targets = UniformPublicTargets(100, space, &rng);
+  ASSERT_EQ(targets.size(), 100u);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(targets[i].id, i);
+    EXPECT_TRUE(space.Contains(targets[i].position));
+  }
+}
+
+TEST(WorkloadTest, RandomPrivateTargetsRespectCellSizes) {
+  Rng rng(3);
+  anonymizer::PyramidConfig pyramid;
+  pyramid.height = 6;
+  const double cell_w = pyramid.space.width() / (1 << 6);
+  auto targets = RandomPrivateTargets(200, pyramid, 8, &rng);
+  ASSERT_EQ(targets.size(), 200u);
+  for (const auto& t : targets) {
+    EXPECT_TRUE(pyramid.space.Contains(t.region));
+    EXPECT_GE(t.region.width(), 0.0);
+    EXPECT_LE(t.region.width(), 8 * cell_w + 1e-12);
+    EXPECT_LE(t.region.height(), 8 * cell_w + 1e-12);
+    // Area between (almost) 0 and 64 cells (clipping can shrink).
+    EXPECT_LE(t.region.Area(), 64 * cell_w * cell_w + 1e-12);
+  }
+}
+
+TEST(WorkloadTest, RandomCellAlignedRegion) {
+  Rng rng(4);
+  anonymizer::PyramidConfig pyramid;
+  pyramid.height = 5;
+  const double cell = pyramid.space.width() / 32;
+  for (int i = 0; i < 100; ++i) {
+    const Rect r = RandomCellAlignedRegion(pyramid, 4, 2, &rng);
+    EXPECT_TRUE(pyramid.space.Contains(r));
+    EXPECT_NEAR(r.width(), 4 * cell, 1e-12);
+    EXPECT_NEAR(r.height(), 2 * cell, 1e-12);
+    // Aligned to the cell grid.
+    EXPECT_NEAR(std::fmod(r.min.x, cell), 0.0, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, RegisterSimulatedUsersAndTicks) {
+  network::NetworkGeneratorOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  auto net = network::NetworkGenerator(opt).Generate(1);
+  ASSERT_TRUE(net.ok());
+  network::SimulatorOptions sopt;
+  sopt.object_count = 60;
+  network::MovingObjectSimulator sim(&*net, sopt, 2);
+
+  anonymizer::PyramidConfig config;
+  config.height = 5;
+  anonymizer::BasicAnonymizer anon(config);
+  Rng rng(5);
+  ProfileDistribution dist;
+  dist.k_min = 1;
+  dist.k_max = 5;
+  ASSERT_TRUE(RegisterSimulatedUsers(sim, 60, dist, &anon, &rng).ok());
+  EXPECT_EQ(anon.user_count(), 60u);
+
+  for (int t = 0; t < 5; ++t) {
+    const auto updates = sim.Tick();
+    ASSERT_TRUE(ApplyTick(updates, &anon).ok());
+  }
+  EXPECT_TRUE(anon.CheckInvariants());
+  EXPECT_EQ(anon.stats().location_updates, 300u);
+
+  // Requesting more users than objects fails.
+  anonymizer::BasicAnonymizer anon2(config);
+  EXPECT_EQ(RegisterSimulatedUsers(sim, 100, dist, &anon2, &rng).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace casper::workload

@@ -1,0 +1,256 @@
+// casper_cli — an interactive (or scripted) shell around CasperService.
+//
+// Reads one command per line from stdin and prints results to stdout;
+// built for quick exploration, demos, and end-to-end scripting. Run
+// `help` for the command list, or pipe a script:
+//
+//   printf 'targets 100 7\nregister 1 5 0 .5 .5\n...' | casper_cli
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/casper/casper.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+
+namespace casper {
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  register <uid> <k> <a_min> <x> <y>   register a mobile user\n"
+      "  move <uid> <x> <y>                   location update\n"
+      "  profile <uid> <k> <a_min>            change privacy profile\n"
+      "  deregister <uid>                     remove a user\n"
+      "  targets <n> <seed>                   n uniform public targets\n"
+      "  cloak <uid>                          show the cloaked region\n"
+      "  nn <uid>                             private NN over public data\n"
+      "  knn <uid> <k>                        private k-NN\n"
+      "  range <uid> <radius>                 private range query\n"
+      "  sync                                 push cloaks to the server\n"
+      "  count <x0> <y0> <x1> <y1>            public range count\n"
+      "  density <cols> <rows>                expected-density map\n"
+      "  buddy <uid>                          private NN over private data\n"
+      "  stats                                anonymizer statistics\n"
+      "  help                                 this text\n"
+      "  quit                                 exit\n");
+}
+
+int Run() {
+  CasperOptions options;
+  options.pyramid.height = 8;
+  CasperService service(options);
+  Rng rng(1);
+
+  char line[512];
+  std::printf("casper> ");
+  std::fflush(stdout);
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char cmd[32] = {0};
+    if (std::sscanf(line, "%31s", cmd) != 1) {
+      std::printf("casper> ");
+      std::fflush(stdout);
+      continue;
+    }
+    const std::string c = cmd;
+
+    if (c == "quit" || c == "exit") {
+      break;
+    } else if (c == "help") {
+      PrintHelp();
+    } else if (c == "register") {
+      unsigned long long uid;
+      unsigned k;
+      double a_min, x, y;
+      if (std::sscanf(line, "%*s %llu %u %lf %lf %lf", &uid, &k, &a_min, &x,
+                      &y) != 5) {
+        std::printf("usage: register <uid> <k> <a_min> <x> <y>\n");
+      } else {
+        const Status st =
+            service.RegisterUser(uid, {k, a_min}, Point{x, y});
+        std::printf("%s\n", st.ToString().c_str());
+      }
+    } else if (c == "move") {
+      unsigned long long uid;
+      double x, y;
+      if (std::sscanf(line, "%*s %llu %lf %lf", &uid, &x, &y) != 3) {
+        std::printf("usage: move <uid> <x> <y>\n");
+      } else {
+        std::printf("%s\n",
+                    service.UpdateUserLocation(uid, Point{x, y})
+                        .ToString()
+                        .c_str());
+      }
+    } else if (c == "profile") {
+      unsigned long long uid;
+      unsigned k;
+      double a_min;
+      if (std::sscanf(line, "%*s %llu %u %lf", &uid, &k, &a_min) != 3) {
+        std::printf("usage: profile <uid> <k> <a_min>\n");
+      } else {
+        std::printf("%s\n",
+                    service.UpdateUserProfile(uid, {k, a_min})
+                        .ToString()
+                        .c_str());
+      }
+    } else if (c == "deregister") {
+      unsigned long long uid;
+      if (std::sscanf(line, "%*s %llu", &uid) != 1) {
+        std::printf("usage: deregister <uid>\n");
+      } else {
+        std::printf("%s\n", service.DeregisterUser(uid).ToString().c_str());
+      }
+    } else if (c == "targets") {
+      unsigned long long n, seed;
+      if (std::sscanf(line, "%*s %llu %llu", &n, &seed) != 2) {
+        std::printf("usage: targets <n> <seed>\n");
+      } else {
+        Rng target_rng(seed);
+        service.SetPublicTargets(workload::UniformPublicTargets(
+            n, service.options().pyramid.space, &target_rng));
+        std::printf("OK: %llu public targets\n", n);
+      }
+    } else if (c == "cloak") {
+      unsigned long long uid;
+      if (std::sscanf(line, "%*s %llu", &uid) != 1) {
+        std::printf("usage: cloak <uid>\n");
+      } else {
+        auto result = service.anonymizer().Cloak(uid);
+        if (!result.ok()) {
+          std::printf("%s\n", result.status().ToString().c_str());
+        } else {
+          std::printf("region=%s users=%llu levels=%d merged=%d\n",
+                      result->region.ToString().c_str(),
+                      static_cast<unsigned long long>(
+                          result->users_in_region),
+                      result->levels_visited,
+                      result->merged_with_neighbor ? 1 : 0);
+        }
+      }
+    } else if (c == "nn") {
+      unsigned long long uid;
+      if (std::sscanf(line, "%*s %llu", &uid) != 1) {
+        std::printf("usage: nn <uid>\n");
+      } else {
+        auto r = service.QueryNearestPublic(uid);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("cloak=%s candidates=%zu exact=target:%llu at "
+                      "(%g, %g) total_us=%.1f\n",
+                      r->cloak.region.ToString().c_str(),
+                      r->server_answer.size(),
+                      static_cast<unsigned long long>(r->exact.id),
+                      r->exact.position.x, r->exact.position.y,
+                      r->timing.Total() * 1e6);
+        }
+      }
+    } else if (c == "knn") {
+      unsigned long long uid, k;
+      if (std::sscanf(line, "%*s %llu %llu", &uid, &k) != 2) {
+        std::printf("usage: knn <uid> <k>\n");
+      } else {
+        auto r = service.QueryKNearestPublic(uid, k);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("candidates=%zu exact=[", r->server_answer.size());
+          for (size_t i = 0; i < r->exact.size(); ++i) {
+            std::printf("%s%llu", i == 0 ? "" : ",",
+                        static_cast<unsigned long long>(r->exact[i].id));
+          }
+          std::printf("]\n");
+        }
+      }
+    } else if (c == "range") {
+      unsigned long long uid;
+      double radius;
+      if (std::sscanf(line, "%*s %llu %lf", &uid, &radius) != 2) {
+        std::printf("usage: range <uid> <radius>\n");
+      } else {
+        auto r = service.QueryRangePublic(uid, radius);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("candidates=%zu window=%s\n", r->candidates.size(),
+                      r->search_window.ToString().c_str());
+        }
+      }
+    } else if (c == "sync") {
+      std::printf("%s\n", service.SyncPrivateData().ToString().c_str());
+    } else if (c == "count") {
+      double x0, y0, x1, y1;
+      if (std::sscanf(line, "%*s %lf %lf %lf %lf", &x0, &y0, &x1, &y1) != 4) {
+        std::printf("usage: count <x0> <y0> <x1> <y1>\n");
+      } else {
+        auto r = service.QueryPublicRange(Rect(x0, y0, x1, y1));
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("certain=%zu expected=%.2f possible=%zu\n", r->certain,
+                      r->expected, r->possible);
+        }
+      }
+    } else if (c == "density") {
+      int cols, rows;
+      if (std::sscanf(line, "%*s %d %d", &cols, &rows) != 2) {
+        std::printf("usage: density <cols> <rows>\n");
+      } else {
+        auto r = service.QueryDensity(cols, rows);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          for (int row = rows - 1; row >= 0; --row) {
+            for (int col = 0; col < cols; ++col) {
+              std::printf("%8.2f", r->At(col, row));
+            }
+            std::printf("\n");
+          }
+          std::printf("total=%.2f\n", r->Total());
+        }
+      }
+    } else if (c == "buddy") {
+      unsigned long long uid;
+      if (std::sscanf(line, "%*s %llu", &uid) != 1) {
+        std::printf("usage: buddy <uid>\n");
+      } else {
+        auto r = service.QueryNearestPrivate(uid);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          auto resolved = service.ResolvePseudonym(r->best.id);
+          std::printf("candidates=%zu best=pseudonym:%016llx (user %llu) "
+                      "region=%s\n",
+                      r->server_answer.size(),
+                      static_cast<unsigned long long>(r->best.id),
+                      static_cast<unsigned long long>(
+                          resolved.ok() ? *resolved : 0),
+                      r->best.region.ToString().c_str());
+        }
+      }
+    } else if (c == "stats") {
+      const auto& s = service.anonymizer().stats();
+      std::printf("users=%zu location_updates=%llu counter_updates=%llu "
+                  "splits=%llu merges=%llu cloaks=%llu\n",
+                  service.user_count(),
+                  static_cast<unsigned long long>(s.location_updates),
+                  static_cast<unsigned long long>(s.counter_updates),
+                  static_cast<unsigned long long>(s.splits),
+                  static_cast<unsigned long long>(s.merges),
+                  static_cast<unsigned long long>(s.cloak_calls));
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd);
+    }
+    std::printf("casper> ");
+    std::fflush(stdout);
+  }
+  std::printf("bye\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace casper
+
+int main() { return casper::Run(); }
