@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anonymizer_baselines.dir/ablation_anonymizer_baselines.cc.o"
+  "CMakeFiles/ablation_anonymizer_baselines.dir/ablation_anonymizer_baselines.cc.o.d"
+  "ablation_anonymizer_baselines"
+  "ablation_anonymizer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anonymizer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

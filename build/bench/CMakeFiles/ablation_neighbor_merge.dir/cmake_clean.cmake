@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neighbor_merge.dir/ablation_neighbor_merge.cc.o"
+  "CMakeFiles/ablation_neighbor_merge.dir/ablation_neighbor_merge.cc.o.d"
+  "ablation_neighbor_merge"
+  "ablation_neighbor_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neighbor_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

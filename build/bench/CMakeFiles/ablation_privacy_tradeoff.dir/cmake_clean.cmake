@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_privacy_tradeoff.dir/ablation_privacy_tradeoff.cc.o"
+  "CMakeFiles/ablation_privacy_tradeoff.dir/ablation_privacy_tradeoff.cc.o.d"
+  "ablation_privacy_tradeoff"
+  "ablation_privacy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_privacy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

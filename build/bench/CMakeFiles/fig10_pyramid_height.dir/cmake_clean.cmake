@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pyramid_height.dir/fig10_pyramid_height.cc.o"
+  "CMakeFiles/fig10_pyramid_height.dir/fig10_pyramid_height.cc.o.d"
+  "fig10_pyramid_height"
+  "fig10_pyramid_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pyramid_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

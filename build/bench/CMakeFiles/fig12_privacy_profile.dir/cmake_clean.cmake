@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_privacy_profile.dir/fig12_privacy_profile.cc.o"
+  "CMakeFiles/fig12_privacy_profile.dir/fig12_privacy_profile.cc.o.d"
+  "fig12_privacy_profile"
+  "fig12_privacy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_privacy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_public_targets.dir/fig13_public_targets.cc.o"
+  "CMakeFiles/fig13_public_targets.dir/fig13_public_targets.cc.o.d"
+  "fig13_public_targets"
+  "fig13_public_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_public_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

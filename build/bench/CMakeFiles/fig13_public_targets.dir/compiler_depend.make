@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_public_targets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_private_targets.dir/fig14_private_targets.cc.o"
+  "CMakeFiles/fig14_private_targets.dir/fig14_private_targets.cc.o.d"
+  "fig14_private_targets"
+  "fig14_private_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_private_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_query_region.dir/fig15_query_region.cc.o"
+  "CMakeFiles/fig15_query_region.dir/fig15_query_region.cc.o.d"
+  "fig15_query_region"
+  "fig15_query_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_query_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

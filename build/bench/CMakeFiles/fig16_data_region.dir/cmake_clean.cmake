@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_data_region.dir/fig16_data_region.cc.o"
+  "CMakeFiles/fig16_data_region.dir/fig16_data_region.cc.o.d"
+  "fig16_data_region"
+  "fig16_data_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_data_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

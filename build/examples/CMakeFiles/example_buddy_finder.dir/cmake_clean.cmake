@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_buddy_finder.dir/buddy_finder.cpp.o"
+  "CMakeFiles/example_buddy_finder.dir/buddy_finder.cpp.o.d"
+  "example_buddy_finder"
+  "example_buddy_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_buddy_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

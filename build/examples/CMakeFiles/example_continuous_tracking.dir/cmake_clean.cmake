@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_continuous_tracking.dir/continuous_tracking.cpp.o"
+  "CMakeFiles/example_continuous_tracking.dir/continuous_tracking.cpp.o.d"
+  "example_continuous_tracking"
+  "example_continuous_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_continuous_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

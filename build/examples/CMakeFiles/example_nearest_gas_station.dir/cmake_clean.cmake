@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nearest_gas_station.dir/nearest_gas_station.cpp.o"
+  "CMakeFiles/example_nearest_gas_station.dir/nearest_gas_station.cpp.o.d"
+  "example_nearest_gas_station"
+  "example_nearest_gas_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nearest_gas_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_record_and_replay.dir/record_and_replay.cpp.o"
+  "CMakeFiles/example_record_and_replay.dir/record_and_replay.cpp.o.d"
+  "example_record_and_replay"
+  "example_record_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_record_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

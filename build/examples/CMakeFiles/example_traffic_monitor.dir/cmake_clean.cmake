@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_monitor.dir/traffic_monitor.cpp.o"
+  "CMakeFiles/example_traffic_monitor.dir/traffic_monitor.cpp.o.d"
+  "example_traffic_monitor"
+  "example_traffic_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

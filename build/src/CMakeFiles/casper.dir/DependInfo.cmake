@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anonymizer/adaptive_anonymizer.cc" "src/CMakeFiles/casper.dir/anonymizer/adaptive_anonymizer.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/adaptive_anonymizer.cc.o.d"
+  "/root/repo/src/anonymizer/basic_anonymizer.cc" "src/CMakeFiles/casper.dir/anonymizer/basic_anonymizer.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/basic_anonymizer.cc.o.d"
+  "/root/repo/src/anonymizer/cell_id.cc" "src/CMakeFiles/casper.dir/anonymizer/cell_id.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/cell_id.cc.o.d"
+  "/root/repo/src/anonymizer/cloaking.cc" "src/CMakeFiles/casper.dir/anonymizer/cloaking.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/cloaking.cc.o.d"
+  "/root/repo/src/anonymizer/privacy_analysis.cc" "src/CMakeFiles/casper.dir/anonymizer/privacy_analysis.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/privacy_analysis.cc.o.d"
+  "/root/repo/src/anonymizer/pseudonyms.cc" "src/CMakeFiles/casper.dir/anonymizer/pseudonyms.cc.o" "gcc" "src/CMakeFiles/casper.dir/anonymizer/pseudonyms.cc.o.d"
+  "/root/repo/src/baselines/clique_cloak.cc" "src/CMakeFiles/casper.dir/baselines/clique_cloak.cc.o" "gcc" "src/CMakeFiles/casper.dir/baselines/clique_cloak.cc.o.d"
+  "/root/repo/src/baselines/gg_cloak.cc" "src/CMakeFiles/casper.dir/baselines/gg_cloak.cc.o" "gcc" "src/CMakeFiles/casper.dir/baselines/gg_cloak.cc.o.d"
+  "/root/repo/src/casper/casper.cc" "src/CMakeFiles/casper.dir/casper/casper.cc.o" "gcc" "src/CMakeFiles/casper.dir/casper/casper.cc.o.d"
+  "/root/repo/src/casper/trace.cc" "src/CMakeFiles/casper.dir/casper/trace.cc.o" "gcc" "src/CMakeFiles/casper.dir/casper/trace.cc.o.d"
+  "/root/repo/src/casper/workload.cc" "src/CMakeFiles/casper.dir/casper/workload.cc.o" "gcc" "src/CMakeFiles/casper.dir/casper/workload.cc.o.d"
+  "/root/repo/src/common/geometry.cc" "src/CMakeFiles/casper.dir/common/geometry.cc.o" "gcc" "src/CMakeFiles/casper.dir/common/geometry.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/casper.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/casper.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/casper.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/casper.dir/common/stats.cc.o.d"
+  "/root/repo/src/network/moving_objects.cc" "src/CMakeFiles/casper.dir/network/moving_objects.cc.o" "gcc" "src/CMakeFiles/casper.dir/network/moving_objects.cc.o.d"
+  "/root/repo/src/network/network_generator.cc" "src/CMakeFiles/casper.dir/network/network_generator.cc.o" "gcc" "src/CMakeFiles/casper.dir/network/network_generator.cc.o.d"
+  "/root/repo/src/network/road_network.cc" "src/CMakeFiles/casper.dir/network/road_network.cc.o" "gcc" "src/CMakeFiles/casper.dir/network/road_network.cc.o.d"
+  "/root/repo/src/network/shortest_path.cc" "src/CMakeFiles/casper.dir/network/shortest_path.cc.o" "gcc" "src/CMakeFiles/casper.dir/network/shortest_path.cc.o.d"
+  "/root/repo/src/processor/continuous.cc" "src/CMakeFiles/casper.dir/processor/continuous.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/continuous.cc.o.d"
+  "/root/repo/src/processor/density.cc" "src/CMakeFiles/casper.dir/processor/density.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/density.cc.o.d"
+  "/root/repo/src/processor/extended_area.cc" "src/CMakeFiles/casper.dir/processor/extended_area.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/extended_area.cc.o.d"
+  "/root/repo/src/processor/filter_policy.cc" "src/CMakeFiles/casper.dir/processor/filter_policy.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/filter_policy.cc.o.d"
+  "/root/repo/src/processor/naive.cc" "src/CMakeFiles/casper.dir/processor/naive.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/naive.cc.o.d"
+  "/root/repo/src/processor/private_knn.cc" "src/CMakeFiles/casper.dir/processor/private_knn.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/private_knn.cc.o.d"
+  "/root/repo/src/processor/private_nn.cc" "src/CMakeFiles/casper.dir/processor/private_nn.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/private_nn.cc.o.d"
+  "/root/repo/src/processor/private_nn_private.cc" "src/CMakeFiles/casper.dir/processor/private_nn_private.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/private_nn_private.cc.o.d"
+  "/root/repo/src/processor/private_range.cc" "src/CMakeFiles/casper.dir/processor/private_range.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/private_range.cc.o.d"
+  "/root/repo/src/processor/public_nn_private.cc" "src/CMakeFiles/casper.dir/processor/public_nn_private.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/public_nn_private.cc.o.d"
+  "/root/repo/src/processor/public_range.cc" "src/CMakeFiles/casper.dir/processor/public_range.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/public_range.cc.o.d"
+  "/root/repo/src/processor/query_cache.cc" "src/CMakeFiles/casper.dir/processor/query_cache.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/query_cache.cc.o.d"
+  "/root/repo/src/processor/target_store.cc" "src/CMakeFiles/casper.dir/processor/target_store.cc.o" "gcc" "src/CMakeFiles/casper.dir/processor/target_store.cc.o.d"
+  "/root/repo/src/spatial/grid_index.cc" "src/CMakeFiles/casper.dir/spatial/grid_index.cc.o" "gcc" "src/CMakeFiles/casper.dir/spatial/grid_index.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/CMakeFiles/casper.dir/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/casper.dir/spatial/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

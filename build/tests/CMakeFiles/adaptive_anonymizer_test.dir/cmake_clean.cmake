@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_anonymizer_test.dir/adaptive_anonymizer_test.cc.o"
+  "CMakeFiles/adaptive_anonymizer_test.dir/adaptive_anonymizer_test.cc.o.d"
+  "adaptive_anonymizer_test"
+  "adaptive_anonymizer_test.pdb"
+  "adaptive_anonymizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

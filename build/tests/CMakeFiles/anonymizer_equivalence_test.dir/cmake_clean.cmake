@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymizer_equivalence_test.dir/anonymizer_equivalence_test.cc.o"
+  "CMakeFiles/anonymizer_equivalence_test.dir/anonymizer_equivalence_test.cc.o.d"
+  "anonymizer_equivalence_test"
+  "anonymizer_equivalence_test.pdb"
+  "anonymizer_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymizer_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

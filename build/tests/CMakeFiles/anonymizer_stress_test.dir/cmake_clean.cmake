@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymizer_stress_test.dir/anonymizer_stress_test.cc.o"
+  "CMakeFiles/anonymizer_stress_test.dir/anonymizer_stress_test.cc.o.d"
+  "anonymizer_stress_test"
+  "anonymizer_stress_test.pdb"
+  "anonymizer_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymizer_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

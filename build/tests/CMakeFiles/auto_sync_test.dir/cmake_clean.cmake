@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_sync_test.dir/auto_sync_test.cc.o"
+  "CMakeFiles/auto_sync_test.dir/auto_sync_test.cc.o.d"
+  "auto_sync_test"
+  "auto_sync_test.pdb"
+  "auto_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_anonymizer_test.dir/basic_anonymizer_test.cc.o"
+  "CMakeFiles/basic_anonymizer_test.dir/basic_anonymizer_test.cc.o.d"
+  "basic_anonymizer_test"
+  "basic_anonymizer_test.pdb"
+  "basic_anonymizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

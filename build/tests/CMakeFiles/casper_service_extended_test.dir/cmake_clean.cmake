@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_service_extended_test.dir/casper_service_extended_test.cc.o"
+  "CMakeFiles/casper_service_extended_test.dir/casper_service_extended_test.cc.o.d"
+  "casper_service_extended_test"
+  "casper_service_extended_test.pdb"
+  "casper_service_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_service_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

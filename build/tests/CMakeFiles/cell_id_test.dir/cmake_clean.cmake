@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_id_test.dir/cell_id_test.cc.o"
+  "CMakeFiles/cell_id_test.dir/cell_id_test.cc.o.d"
+  "cell_id_test"
+  "cell_id_test.pdb"
+  "cell_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_cloak_test.dir/clique_cloak_test.cc.o"
+  "CMakeFiles/clique_cloak_test.dir/clique_cloak_test.cc.o.d"
+  "clique_cloak_test"
+  "clique_cloak_test.pdb"
+  "clique_cloak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_cloak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

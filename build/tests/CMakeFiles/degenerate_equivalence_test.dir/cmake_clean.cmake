@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degenerate_equivalence_test.dir/degenerate_equivalence_test.cc.o"
+  "CMakeFiles/degenerate_equivalence_test.dir/degenerate_equivalence_test.cc.o.d"
+  "degenerate_equivalence_test"
+  "degenerate_equivalence_test.pdb"
+  "degenerate_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degenerate_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

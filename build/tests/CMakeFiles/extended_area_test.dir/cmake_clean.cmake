@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_area_test.dir/extended_area_test.cc.o"
+  "CMakeFiles/extended_area_test.dir/extended_area_test.cc.o.d"
+  "extended_area_test"
+  "extended_area_test.pdb"
+  "extended_area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_policy_test.dir/filter_policy_test.cc.o"
+  "CMakeFiles/filter_policy_test.dir/filter_policy_test.cc.o.d"
+  "filter_policy_test"
+  "filter_policy_test.pdb"
+  "filter_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

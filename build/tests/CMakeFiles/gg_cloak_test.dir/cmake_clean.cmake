@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_cloak_test.dir/gg_cloak_test.cc.o"
+  "CMakeFiles/gg_cloak_test.dir/gg_cloak_test.cc.o.d"
+  "gg_cloak_test"
+  "gg_cloak_test.pdb"
+  "gg_cloak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_cloak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

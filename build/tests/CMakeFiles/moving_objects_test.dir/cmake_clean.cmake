@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_objects_test.dir/moving_objects_test.cc.o"
+  "CMakeFiles/moving_objects_test.dir/moving_objects_test.cc.o.d"
+  "moving_objects_test"
+  "moving_objects_test.pdb"
+  "moving_objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_generator_test.dir/network_generator_test.cc.o"
+  "CMakeFiles/network_generator_test.dir/network_generator_test.cc.o.d"
+  "network_generator_test"
+  "network_generator_test.pdb"
+  "network_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_trends_test.dir/paper_trends_test.cc.o"
+  "CMakeFiles/paper_trends_test.dir/paper_trends_test.cc.o.d"
+  "paper_trends_test"
+  "paper_trends_test.pdb"
+  "paper_trends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_trends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

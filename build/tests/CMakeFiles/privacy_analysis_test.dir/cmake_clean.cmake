@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_analysis_test.dir/privacy_analysis_test.cc.o"
+  "CMakeFiles/privacy_analysis_test.dir/privacy_analysis_test.cc.o.d"
+  "privacy_analysis_test"
+  "privacy_analysis_test.pdb"
+  "privacy_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_knn_test.dir/private_knn_test.cc.o"
+  "CMakeFiles/private_knn_test.dir/private_knn_test.cc.o.d"
+  "private_knn_test"
+  "private_knn_test.pdb"
+  "private_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

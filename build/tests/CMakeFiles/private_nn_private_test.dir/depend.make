@@ -1,0 +1,2 @@
+# Empty dependencies file for private_nn_private_test.
+# This may be replaced when dependencies are built.

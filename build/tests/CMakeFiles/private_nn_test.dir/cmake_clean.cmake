@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_nn_test.dir/private_nn_test.cc.o"
+  "CMakeFiles/private_nn_test.dir/private_nn_test.cc.o.d"
+  "private_nn_test"
+  "private_nn_test.pdb"
+  "private_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

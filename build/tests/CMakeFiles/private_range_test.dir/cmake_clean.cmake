@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_range_test.dir/private_range_test.cc.o"
+  "CMakeFiles/private_range_test.dir/private_range_test.cc.o.d"
+  "private_range_test"
+  "private_range_test.pdb"
+  "private_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudonyms_test.dir/pseudonyms_test.cc.o"
+  "CMakeFiles/pseudonyms_test.dir/pseudonyms_test.cc.o.d"
+  "pseudonyms_test"
+  "pseudonyms_test.pdb"
+  "pseudonyms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudonyms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

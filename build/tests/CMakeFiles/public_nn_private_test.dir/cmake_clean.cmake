@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_nn_private_test.dir/public_nn_private_test.cc.o"
+  "CMakeFiles/public_nn_private_test.dir/public_nn_private_test.cc.o.d"
+  "public_nn_private_test"
+  "public_nn_private_test.pdb"
+  "public_nn_private_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_nn_private_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for public_nn_private_test.
+# This may be replaced when dependencies are built.

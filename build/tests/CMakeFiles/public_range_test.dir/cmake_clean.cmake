@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_range_test.dir/public_range_test.cc.o"
+  "CMakeFiles/public_range_test.dir/public_range_test.cc.o.d"
+  "public_range_test"
+  "public_range_test.pdb"
+  "public_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyramid_config_test.dir/pyramid_config_test.cc.o"
+  "CMakeFiles/pyramid_config_test.dir/pyramid_config_test.cc.o.d"
+  "pyramid_config_test"
+  "pyramid_config_test.pdb"
+  "pyramid_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyramid_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

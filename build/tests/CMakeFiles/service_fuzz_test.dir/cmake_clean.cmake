@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_fuzz_test.dir/service_fuzz_test.cc.o"
+  "CMakeFiles/service_fuzz_test.dir/service_fuzz_test.cc.o.d"
+  "service_fuzz_test"
+  "service_fuzz_test.pdb"
+  "service_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

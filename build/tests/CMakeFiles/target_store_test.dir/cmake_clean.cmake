@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_store_test.dir/target_store_test.cc.o"
+  "CMakeFiles/target_store_test.dir/target_store_test.cc.o.d"
+  "target_store_test"
+  "target_store_test.pdb"
+  "target_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_cli.dir/casper_cli.cc.o"
+  "CMakeFiles/casper_cli.dir/casper_cli.cc.o.d"
+  "casper_cli"
+  "casper_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
