@@ -1,0 +1,193 @@
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/casper/casper.h"
+#include "src/casper/workload.h"
+#include "src/server/batch_query_engine.h"
+
+/// \file
+/// Batch-query throughput scaling: queries/sec of the parallel
+/// BatchQueryEngine across thread count (1, 2, 4, 8) × batch size, on
+/// the paper's §6.2-scale workload (10K public targets, mixed query
+/// kinds), against the sequential CasperService loop as baseline.
+///
+/// Emits one JSON object per configuration to stdout and writes the
+/// full array to BENCH_throughput.json so the perf trajectory is
+/// tracked PR over PR. Honors CASPER_BENCH_SCALE. Note: speedup over
+/// the baseline requires actual hardware parallelism — the JSON records
+/// `hardware_threads` so single-core CI runs are interpretable.
+
+namespace casper::bench {
+namespace {
+
+CasperService BuildService(size_t users, size_t targets, uint64_t seed) {
+  CasperOptions options;
+  options.pyramid.height = 8;
+  CasperService service(options);
+  Rng rng(seed);
+  const Rect space = service.options().pyramid.space;
+  for (anonymizer::UserId uid = 0; uid < users; ++uid) {
+    anonymizer::PrivacyProfile profile;
+    profile.k = static_cast<uint32_t>(rng.UniformInt(1, 50));
+    const Status st = service.RegisterUser(uid, profile, rng.PointIn(space));
+    CASPER_DCHECK(st.ok());
+  }
+  service.SetPublicTargets(workload::UniformPublicTargets(targets, space,
+                                                          &rng));
+  const Status st = service.SyncPrivateData();
+  CASPER_DCHECK(st.ok());
+  return service;
+}
+
+/// Same kind mix as the batch-engine tests: NN / k-NN / range / buddy.
+std::vector<server::BatchQueryRequest> MixedBatch(size_t count, size_t users,
+                                                  double space_width) {
+  std::vector<server::BatchQueryRequest> requests;
+  requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const anonymizer::UserId uid = i % users;
+    switch (i % 4) {
+      case 0:
+        requests.push_back(server::BatchQueryRequest::NearestPublic(uid));
+        break;
+      case 1:
+        requests.push_back(server::BatchQueryRequest::KNearestPublic(uid, 5));
+        break;
+      case 2:
+        requests.push_back(
+            server::BatchQueryRequest::RangePublic(uid, space_width * 0.01));
+        break;
+      case 3:
+        requests.push_back(server::BatchQueryRequest::NearestPrivate(uid));
+        break;
+    }
+  }
+  return requests;
+}
+
+/// Sequential reference: the plain CasperService loop, no pool, no
+/// cache — the pre-batch-engine serving model.
+double SequentialQps(CasperService* service,
+                     const std::vector<server::BatchQueryRequest>& batch) {
+  Stopwatch watch;
+  for (const server::BatchQueryRequest& request : batch) {
+    switch (request.kind) {
+      case server::QueryKind::kNearestPublic:
+        (void)service->QueryNearestPublic(request.uid);
+        break;
+      case server::QueryKind::kKNearestPublic:
+        (void)service->QueryKNearestPublic(request.uid, request.k);
+        break;
+      case server::QueryKind::kRangePublic:
+        (void)service->QueryRangePublic(request.uid, request.radius);
+        break;
+      case server::QueryKind::kNearestPrivate:
+        (void)service->QueryNearestPrivate(request.uid);
+        break;
+    }
+  }
+  return static_cast<double>(batch.size()) / watch.ElapsedSeconds();
+}
+
+struct Row {
+  std::string label;
+  size_t threads = 0;  ///< 0 = sequential baseline.
+  size_t batch_size = 0;
+  bool cache = false;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double cache_hit_rate = 0.0;
+
+  std::string ToJson() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"mode\": \"%s\", \"threads\": %zu, \"batch_size\": %zu, "
+        "\"cache\": %s, \"wall_seconds\": %.6f, \"qps\": %.1f, "
+        "\"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, "
+        "\"cache_hit_rate\": %.4f}",
+        label.c_str(), threads, batch_size, cache ? "true" : "false",
+        wall_seconds, qps, p50_us, p95_us, p99_us, cache_hit_rate);
+    return buf;
+  }
+};
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() {
+  using namespace casper;
+  using namespace casper::bench;
+
+  const size_t targets = Scaled(10000);
+  const size_t users = Scaled(1000);
+  const std::vector<size_t> batch_sizes = {Scaled(100), Scaled(1000)};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  PrintTitle("Batch query throughput scaling (threads x batch size)");
+  std::printf("targets=%zu users=%zu hardware_threads=%u\n", targets, users,
+              std::thread::hardware_concurrency());
+
+  CasperService service = BuildService(users, targets, 42);
+  const double width = service.options().pyramid.space.width();
+
+  std::vector<Row> rows;
+  for (size_t batch_size : batch_sizes) {
+    const auto batch = MixedBatch(batch_size, users, width);
+
+    Row seq;
+    seq.label = "sequential";
+    seq.batch_size = batch_size;
+    // Warm-up pass (index caches, allocator), then the measured pass.
+    (void)SequentialQps(&service, batch);
+    Stopwatch seq_watch;
+    seq.qps = SequentialQps(&service, batch);
+    seq.wall_seconds = seq_watch.ElapsedSeconds();
+    rows.push_back(seq);
+    std::printf("%s\n", seq.ToJson().c_str());
+
+    for (size_t threads : thread_counts) {
+      for (bool cache : {false, true}) {
+        server::BatchEngineOptions options;
+        options.threads = threads;
+        options.use_cache = cache;
+        server::BatchQueryEngine engine(&service, options);
+        (void)engine.Execute(batch);  // Warm-up (fills the cache too).
+        server::BatchResult result = engine.Execute(batch);
+
+        Row row;
+        row.label = "batch_engine";
+        row.threads = threads;
+        row.batch_size = batch_size;
+        row.cache = cache;
+        row.wall_seconds = result.summary.wall_seconds;
+        row.qps = result.summary.queries_per_second;
+        row.p50_us = result.summary.processor_p50_micros;
+        row.p95_us = result.summary.processor_p95_micros;
+        row.p99_us = result.summary.processor_p99_micros;
+        row.cache_hit_rate = result.summary.cache.HitRate();
+        rows.push_back(row);
+        std::printf("%s\n", row.ToJson().c_str());
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_throughput.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\"hardware_threads\": %u, \"targets\": %zu, "
+                      "\"users\": %zu, \"rows\": [\n",
+                 std::thread::hardware_concurrency(), targets, users);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "  %s%s\n", rows[i].ToJson().c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_throughput.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

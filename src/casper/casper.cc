@@ -1,6 +1,7 @@
 #include "src/casper/casper.h"
 
 #include "src/common/stopwatch.h"
+#include "src/processor/concurrent_query_cache.h"
 
 namespace casper {
 
@@ -162,25 +163,38 @@ Status CasperService::SyncPrivateData() {
 
 Result<PublicNNResponse> CasperService::QueryNearestPublic(
     anonymizer::UserId uid) {
-  PublicNNResponse response;
-  Stopwatch watch;
-
   // 1. The trusted anonymizer blurs the query location.
+  Stopwatch watch;
   CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  response.cloak = cloak;
-  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+  const double anonymizer_seconds = watch.ElapsedSeconds();
 
-  // 2. The privacy-aware processor builds the candidate list.
-  watch.Reset();
-  CASPER_ASSIGN_OR_RETURN(
-      answer, processor::PrivateNearestNeighbor(public_store_, cloak.region,
-                                                options_.filter_policy));
+  // 2+3. Server-side candidate list + client-side refinement.
+  CASPER_ASSIGN_OR_RETURN(response, EvaluateNearestPublic(uid, cloak));
+  response.timing.anonymizer_seconds = anonymizer_seconds;
+  return response;
+}
+
+Result<PublicNNResponse> CasperService::EvaluateNearestPublic(
+    anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+    processor::ConcurrentQueryCache* cache) const {
+  PublicNNResponse response;
+  response.cloak = cloak;
+
+  // The privacy-aware processor builds the candidate list (Algorithm 2,
+  // possibly memoized by cloak rectangle).
+  Stopwatch watch;
+  Result<processor::PublicCandidateList> answer =
+      cache != nullptr
+          ? cache->Query(cloak.region)
+          : processor::PrivateNearestNeighbor(public_store_, cloak.region,
+                                              options_.filter_policy);
+  if (!answer.ok()) return answer.status();
   response.timing.processor_seconds = watch.ElapsedSeconds();
   response.timing.transmission_seconds =
-      options_.transmission.SecondsFor(answer.size());
-  response.server_answer = std::move(answer);
+      options_.transmission.SecondsFor(answer.value().size());
+  response.server_answer = std::move(answer).value();
 
-  // 3. The client refines locally with its exact position.
+  // The client refines locally with its exact position.
   CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
   CASPER_ASSIGN_OR_RETURN(
       exact,
@@ -191,14 +205,22 @@ Result<PublicNNResponse> CasperService::QueryNearestPublic(
 
 Result<PublicKnnResponse> CasperService::QueryKNearestPublic(
     anonymizer::UserId uid, size_t k) {
-  PublicKnnResponse response;
   Stopwatch watch;
-
   CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  response.cloak = cloak;
-  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+  const double anonymizer_seconds = watch.ElapsedSeconds();
 
-  watch.Reset();
+  CASPER_ASSIGN_OR_RETURN(response, EvaluateKNearestPublic(uid, cloak, k));
+  response.timing.anonymizer_seconds = anonymizer_seconds;
+  return response;
+}
+
+Result<PublicKnnResponse> CasperService::EvaluateKNearestPublic(
+    anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+    size_t k) const {
+  PublicKnnResponse response;
+  response.cloak = cloak;
+
+  Stopwatch watch;
   CASPER_ASSIGN_OR_RETURN(
       answer, processor::PrivateKNearestNeighbors(public_store_, cloak.region,
                                                   k));
@@ -238,14 +260,25 @@ Result<PrivateNNResponse> CasperService::QueryNearestPrivate(
     return Status::FailedPrecondition(
         "private data snapshot is stale; call SyncPrivateData() first");
   }
-  PrivateNNResponse response;
   Stopwatch watch;
-
   CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  response.cloak = cloak;
-  response.timing.anonymizer_seconds = watch.ElapsedSeconds();
+  const double anonymizer_seconds = watch.ElapsedSeconds();
 
-  watch.Reset();
+  CASPER_ASSIGN_OR_RETURN(response, EvaluateNearestPrivate(uid, cloak));
+  response.timing.anonymizer_seconds = anonymizer_seconds;
+  return response;
+}
+
+Result<PrivateNNResponse> CasperService::EvaluateNearestPrivate(
+    anonymizer::UserId uid, const anonymizer::CloakingResult& cloak) const {
+  if (private_data_dirty_) {
+    return Status::FailedPrecondition(
+        "private data snapshot is stale; call SyncPrivateData() first");
+  }
+  PrivateNNResponse response;
+  response.cloak = cloak;
+
+  Stopwatch watch;
   processor::PrivateNNOptions nn_options;
   nn_options.policy = options_.filter_policy;
   // The querying user's own region is stored too (under her current
@@ -286,8 +319,28 @@ Result<processor::RangeCountResult> CasperService::QueryPublicRange(
 Result<processor::PublicRangeCandidates> CasperService::QueryRangePublic(
     anonymizer::UserId uid, double radius) {
   CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  return processor::PrivateRangeOverPublic(public_store_, cloak.region,
-                                           radius);
+  CASPER_ASSIGN_OR_RETURN(response, EvaluateRangePublic(uid, cloak, radius));
+  return std::move(response.server_answer);
+}
+
+Result<PublicRangeResponse> CasperService::EvaluateRangePublic(
+    anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+    double radius) const {
+  PublicRangeResponse response;
+  response.cloak = cloak;
+
+  Stopwatch watch;
+  CASPER_ASSIGN_OR_RETURN(answer, processor::PrivateRangeOverPublic(
+                                      public_store_, cloak.region, radius));
+  response.timing.processor_seconds = watch.ElapsedSeconds();
+  response.timing.transmission_seconds =
+      options_.transmission.SecondsFor(answer.candidates.size());
+  response.server_answer = std::move(answer);
+
+  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
+  response.exact = processor::RefineRange(response.server_answer.candidates,
+                                          position, radius);
+  return response;
 }
 
 Result<Point> CasperService::ClientPosition(anonymizer::UserId uid) const {

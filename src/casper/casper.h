@@ -33,6 +33,10 @@
 
 namespace casper {
 
+namespace processor {
+class ConcurrentQueryCache;
+}  // namespace processor
+
 struct CasperOptions {
   anonymizer::PyramidConfig pyramid;
 
@@ -94,10 +98,21 @@ struct PrivateNNResponse {
   TimingBreakdown timing;
 };
 
+/// Response to a private range query over public data, with the
+/// client-side refinement and timing the other response types carry.
+struct PublicRangeResponse {
+  processor::PublicRangeCandidates server_answer;
+  std::vector<processor::PublicTarget> exact;  ///< Truly within radius.
+  anonymizer::CloakingResult cloak;
+  TimingBreakdown timing;
+};
+
 /// The full framework: one anonymizer (trusted middleware), one
 /// privacy-aware database server holding public targets and the cloaked
-/// user regions, plus the client-side refinement logic. Single-threaded
-/// by design, mirroring the paper's single middleware process.
+/// user regions, plus the client-side refinement logic. Mutations are
+/// single-threaded by design, mirroring the paper's single middleware
+/// process; query *evaluation* is read-only and may be fanned across
+/// threads via the Evaluate* methods (see server::BatchQueryEngine).
 class CasperService {
  public:
   explicit CasperService(const CasperOptions& options);
@@ -164,6 +179,35 @@ class CasperService {
   /// Private range query over public data for `uid`.
   Result<processor::PublicRangeCandidates> QueryRangePublic(
       anonymizer::UserId uid, double radius);
+
+  // --- Read-only evaluation over a pre-computed cloak -------------------
+  //
+  // The server + client half of each private query, factored out of the
+  // Query* methods so the sequential path and the parallel
+  // server::BatchQueryEngine execute the *same* code. Each method is
+  // const and reads only the target stores, options, and per-user
+  // bookkeeping: safe to call from many threads concurrently provided
+  // no mutating service call runs during the batch. The cloaking half
+  // stays on the anonymizer (single middleware process, as in the
+  // paper); pass its result in.
+  //
+  // `cache`, when non-null, memoizes the NN candidate list by cloak
+  // rectangle (answers are identical to the direct evaluation).
+
+  Result<PublicNNResponse> EvaluateNearestPublic(
+      anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+      processor::ConcurrentQueryCache* cache = nullptr) const;
+
+  Result<PublicKnnResponse> EvaluateKNearestPublic(
+      anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+      size_t k) const;
+
+  Result<PublicRangeResponse> EvaluateRangePublic(
+      anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
+      double radius) const;
+
+  Result<PrivateNNResponse> EvaluateNearestPrivate(
+      anonymizer::UserId uid, const anonymizer::CloakingResult& cloak) const;
 
   // --- Introspection ----------------------------------------------------
 

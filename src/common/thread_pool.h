@@ -1,0 +1,77 @@
+#ifndef CASPER_COMMON_THREAD_POOL_H_
+#define CASPER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+/// \file
+/// Fixed-size worker pool for the batch query engine. Deliberately
+/// simple — a single locked FIFO, no work stealing: batch queries are
+/// coarse enough (one Algorithm-2 evaluation each) that queue
+/// contention is negligible next to the work items, and a single queue
+/// keeps completion reasoning trivial.
+///
+/// Shutdown is graceful: every task submitted before Shutdown() (or the
+/// destructor) runs to completion before the workers join, so futures
+/// obtained from Submit never dangle.
+
+namespace casper {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers immediately (at least one).
+  explicit ThreadPool(size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a nullary callable; the future resolves to its return
+  /// value once a worker has run it. Submitting after Shutdown() is a
+  /// contract violation.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CASPER_DCHECK(!stopping_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_COMMON_THREAD_POOL_H_

@@ -2,8 +2,7 @@
 
 namespace casper::processor {
 
-size_t CachingQueryProcessor::RectKeyHash::operator()(
-    const RectKey& k) const {
+size_t HashRect(const Rect& rect) {
   auto mix = [](uint64_t h, double v) {
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(v));
@@ -12,10 +11,18 @@ size_t CachingQueryProcessor::RectKeyHash::operator()(
     return h;
   };
   uint64_t h = 0;
-  h = mix(h, k.rect.min.x);
-  h = mix(h, k.rect.min.y);
-  h = mix(h, k.rect.max.x);
-  h = mix(h, k.rect.max.y);
+  h = mix(h, rect.min.x);
+  h = mix(h, rect.min.y);
+  h = mix(h, rect.max.x);
+  h = mix(h, rect.max.y);
+  // Finalizer (murmur3 fmix64): cell-aligned cloaks have highly regular
+  // double bit patterns whose mixed low bits stay correlated — without
+  // avalanching them, `h % shards` piles every cloak onto one shard.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
   return static_cast<size_t>(h);
 }
 
@@ -30,7 +37,7 @@ CachingQueryProcessor::CachingQueryProcessor(const PublicTargetStore* store,
 Result<PublicCandidateList> CachingQueryProcessor::Query(const Rect& cloak) {
   const RectKey key{cloak};
   auto it = map_.find(key);
-  if (it != map_.end()) {
+  if (it != map_.end() && it->second.epoch == epoch_) {
     ++stats_.hits;
     // Refresh LRU position.
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -40,20 +47,25 @@ Result<PublicCandidateList> CachingQueryProcessor::Query(const Rect& cloak) {
   ++stats_.misses;
   CASPER_ASSIGN_OR_RETURN(answer,
                           PrivateNearestNeighbor(*store_, cloak, policy_));
+  if (it != map_.end()) {
+    // Stale entry for this key: refill it in place at the new epoch.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second = Entry{answer, epoch_, lru_.begin()};
+    return answer;
+  }
   if (map_.size() >= capacity_) {
     const RectKey victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
   }
   lru_.push_front(key);
-  map_[key] = Entry{answer, lru_.begin()};
+  map_[key] = Entry{answer, epoch_, lru_.begin()};
   return answer;
 }
 
 void CachingQueryProcessor::InvalidateAll() {
   if (!map_.empty()) ++stats_.invalidations;
-  map_.clear();
-  lru_.clear();
+  ++epoch_;
 }
 
 }  // namespace casper::processor

@@ -17,9 +17,16 @@
 /// outstanding queries" §5 alludes to.
 ///
 /// The cache is invalidated wholesale when the target set changes
-/// (coarse but always safe — the epoch bump is O(1)).
+/// (coarse but always safe — the epoch bump is O(1)): entries are
+/// stamped with the epoch current at insert time, InvalidateAll only
+/// increments the epoch, and a stale entry is discarded lazily when its
+/// key is next looked up (or when LRU eviction reaches it).
 
 namespace casper::processor {
+
+/// Order-insensitive hash of a cloak rectangle; shared by this cache's
+/// key lookup and ConcurrentQueryCache's shard selection.
+size_t HashRect(const Rect& rect);
 
 struct QueryCacheStats {
   uint64_t hits = 0;
@@ -42,13 +49,15 @@ class CachingQueryProcessor {
   /// Cached Algorithm 2: same contract as PrivateNearestNeighbor.
   Result<PublicCandidateList> Query(const Rect& cloak);
 
-  /// Must be called after any mutation of the target store; drops every
-  /// cached entry.
+  /// Must be called after any mutation of the target store. O(1): bumps
+  /// the epoch; stale entries are dropped lazily on their next lookup.
   void InvalidateAll();
 
   const QueryCacheStats& stats() const { return stats_; }
+  /// Resident entries, *including* not-yet-reclaimed stale ones.
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
+  uint64_t epoch() const { return epoch_; }
 
  private:
   struct RectKey {
@@ -58,12 +67,13 @@ class CachingQueryProcessor {
     }
   };
   struct RectKeyHash {
-    size_t operator()(const RectKey& k) const;
+    size_t operator()(const RectKey& k) const { return HashRect(k.rect); }
   };
 
   using LruList = std::list<RectKey>;
   struct Entry {
     PublicCandidateList answer;
+    uint64_t epoch = 0;  ///< Epoch current when the entry was filled.
     LruList::iterator lru_pos;
   };
 
@@ -73,6 +83,7 @@ class CachingQueryProcessor {
   std::unordered_map<RectKey, Entry, RectKeyHash> map_;
   LruList lru_;  ///< Front = most recently used.
   QueryCacheStats stats_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace casper::processor

@@ -1,0 +1,159 @@
+#ifndef CASPER_SERVER_BATCH_QUERY_ENGINE_H_
+#define CASPER_SERVER_BATCH_QUERY_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/casper/casper.h"
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+#include "src/processor/concurrent_query_cache.h"
+
+/// \file
+/// Parallel batch query engine: answers a heterogeneous batch of
+/// private queries (NN / k-NN / range over public data, NN over private
+/// data) by splitting each query along the paper's own architectural
+/// seam. Cloaking runs sequentially on the calling thread — the
+/// anonymizer is the paper's single trusted middleware process and its
+/// structures are not thread-safe — while the expensive server-side
+/// evaluation plus client-side refinement, which are read-only over the
+/// target stores, fan out across a fixed ThreadPool. The only shared
+/// mutable state during the parallel phase is the shard-locked
+/// candidate-list cache.
+///
+/// Responses come back in request order regardless of completion order,
+/// and the engine aggregates the per-query TimingBreakdowns into
+/// throughput and latency percentiles — the axis the scaling
+/// experiments (and the related LBS-performance literature) measure.
+
+namespace casper::server {
+
+enum class QueryKind {
+  kNearestPublic,   ///< Private NN over public data (Algorithm 2).
+  kKNearestPublic,  ///< Private k-NN over public data.
+  kRangePublic,     ///< Private circular range over public data.
+  kNearestPrivate,  ///< Private NN over private data (buddies).
+};
+
+struct BatchQueryRequest {
+  QueryKind kind = QueryKind::kNearestPublic;
+  anonymizer::UserId uid = 0;
+  size_t k = 1;        ///< kKNearestPublic only.
+  double radius = 0.0; ///< kRangePublic only.
+
+  static BatchQueryRequest NearestPublic(anonymizer::UserId uid) {
+    return {QueryKind::kNearestPublic, uid, 1, 0.0};
+  }
+  static BatchQueryRequest KNearestPublic(anonymizer::UserId uid, size_t k) {
+    return {QueryKind::kKNearestPublic, uid, k, 0.0};
+  }
+  static BatchQueryRequest RangePublic(anonymizer::UserId uid,
+                                       double radius) {
+    return {QueryKind::kRangePublic, uid, 1, radius};
+  }
+  static BatchQueryRequest NearestPrivate(anonymizer::UserId uid) {
+    return {QueryKind::kNearestPrivate, uid, 1, 0.0};
+  }
+};
+
+/// One slot per request, in request order. Exactly one payload is set
+/// when `status.ok()`; none otherwise.
+struct BatchQueryResponse {
+  QueryKind kind = QueryKind::kNearestPublic;
+  Status status;
+  std::optional<PublicNNResponse> nearest_public;
+  std::optional<PublicKnnResponse> k_nearest_public;
+  std::optional<PublicRangeResponse> range_public;
+  std::optional<PrivateNNResponse> nearest_private;
+
+  bool ok() const { return status.ok(); }
+
+  /// Timing of whichever payload is set; nullptr on error slots.
+  const TimingBreakdown* timing() const {
+    if (nearest_public) return &nearest_public->timing;
+    if (k_nearest_public) return &k_nearest_public->timing;
+    if (range_public) return &range_public->timing;
+    if (nearest_private) return &nearest_private->timing;
+    return nullptr;
+  }
+};
+
+struct BatchEngineOptions {
+  /// Worker threads evaluating queries (the cloaking phase is always
+  /// sequential).
+  size_t threads = 4;
+
+  /// Memoize NN candidate lists by cloak rectangle across the batch
+  /// (and across batches, until the target set changes).
+  bool use_cache = true;
+  size_t cache_capacity = 1024;
+  size_t cache_shards = processor::ConcurrentQueryCache::kDefaultShards;
+};
+
+/// Aggregate cost of one Execute() call.
+struct BatchSummary {
+  size_t batch_size = 0;
+  size_t ok_count = 0;
+  size_t error_count = 0;
+
+  double wall_seconds = 0.0;        ///< Whole batch, cloaking included.
+  double cloak_seconds = 0.0;       ///< Sequential anonymizer phase.
+  double queries_per_second = 0.0;  ///< batch_size / wall_seconds.
+
+  /// Per-query processor (server evaluation) latency percentiles, in
+  /// microseconds, over the successful slots.
+  double processor_p50_micros = 0.0;
+  double processor_p95_micros = 0.0;
+  double processor_p99_micros = 0.0;
+  double processor_mean_micros = 0.0;
+
+  /// Summed per-query breakdown (Figure 17's decomposition, batch-wide).
+  TimingBreakdown totals;
+
+  /// Cache counters accumulated over this engine's lifetime.
+  processor::QueryCacheStats cache;
+};
+
+struct BatchResult {
+  std::vector<BatchQueryResponse> responses;  ///< Request order.
+  BatchSummary summary;
+};
+
+/// The engine borrows the service; the service must outlive it. One
+/// Execute() call runs at a time per engine (callers serialize), and no
+/// mutating CasperService call may run concurrently with Execute() —
+/// the same external-synchronization contract as the underlying stores.
+class BatchQueryEngine {
+ public:
+  explicit BatchQueryEngine(CasperService* service,
+                            const BatchEngineOptions& options = {});
+
+  /// Answer the whole batch; responses[i] corresponds to requests[i].
+  /// Per-query failures (unknown uid, unsynced private data, ...) land
+  /// in the slot's status and never abort the rest of the batch.
+  BatchResult Execute(const std::vector<BatchQueryRequest>& requests);
+
+  /// Must be called after any public-target mutation when the cache is
+  /// enabled (mirrors CachingQueryProcessor::InvalidateAll).
+  void InvalidatePublicCache();
+
+  const BatchEngineOptions& options() const { return options_; }
+  const processor::ConcurrentQueryCache* cache() const {
+    return cache_.get();
+  }
+
+ private:
+  void EvaluateOne(const BatchQueryRequest& request,
+                   const anonymizer::CloakingResult& cloak,
+                   double anonymizer_seconds, BatchQueryResponse* out) const;
+
+  CasperService* service_;
+  BatchEngineOptions options_;
+  ThreadPool pool_;
+  std::unique_ptr<processor::ConcurrentQueryCache> cache_;
+};
+
+}  // namespace casper::server
+
+#endif  // CASPER_SERVER_BATCH_QUERY_ENGINE_H_

@@ -68,14 +68,47 @@ TEST(QueryCacheTest, InvalidationForcesReevaluation) {
   auto before = cache.Query(cloak);
   ASSERT_TRUE(before.ok());
 
-  // Mutate the store; the stale answer must not be served.
+  // Mutate the store; the stale answer must not be served. The epoch
+  // bump is lazy: the entry stays resident but is refilled on lookup.
   store.Insert({9999, {0.5, 0.5}});
   cache.InvalidateAll();
-  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
   auto after = cache.Query(cloak);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->size(), before->size() + 1);
   EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(QueryCacheTest, EpochBumpIsLazyAndO1) {
+  PublicTargetStore store = MakeStore(200, 8);
+  CachingQueryProcessor cache(&store, 8);
+  std::vector<Rect> cloaks;
+  for (int i = 0; i < 4; ++i) {
+    cloaks.push_back(Rect(i * 0.2, i * 0.2, i * 0.2 + 0.1, i * 0.2 + 0.1));
+  }
+  for (const Rect& c : cloaks) ASSERT_TRUE(cache.Query(c).ok());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.epoch(), 0u);
+
+  cache.InvalidateAll();
+  // Nothing is eagerly dropped; only the epoch moved.
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.size(), 4u);
+
+  // A stale entry counts as a miss and is refilled at the new epoch...
+  ASSERT_TRUE(cache.Query(cloaks[0]).ok());
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.size(), 4u);  // Refilled in place, not duplicated.
+  // ...after which it hits again.
+  ASSERT_TRUE(cache.Query(cloaks[0]).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // The cached answer after invalidation matches direct evaluation.
+  auto cached = cache.Query(cloaks[1]);
+  auto direct = PrivateNearestNeighbor(store, cloaks[1]);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(Ids(*cached), Ids(*direct));
 }
 
 TEST(QueryCacheTest, CellAlignedWorkloadGetsHighHitRate) {
