@@ -6,7 +6,7 @@
 #include "bench/bench_common.h"
 #include "src/casper/casper.h"
 #include "src/casper/workload.h"
-#include "src/server/batch_query_engine.h"
+#include "src/casper/batch_query_engine.h"
 
 /// \file
 /// Batch-query throughput scaling: queries/sec of the parallel
@@ -68,26 +68,14 @@ std::vector<server::BatchQueryRequest> MixedBatch(size_t count, size_t users,
   return requests;
 }
 
-/// Sequential reference: the plain CasperService loop, no pool, no
-/// cache — the pre-batch-engine serving model.
+/// Sequential reference: the plain CasperService loop through the
+/// unified dispatch, no pool, no cache — the pre-batch-engine serving
+/// model.
 double SequentialQps(CasperService* service,
                      const std::vector<server::BatchQueryRequest>& batch) {
   Stopwatch watch;
   for (const server::BatchQueryRequest& request : batch) {
-    switch (request.kind) {
-      case server::QueryKind::kNearestPublic:
-        (void)service->QueryNearestPublic(request.uid);
-        break;
-      case server::QueryKind::kKNearestPublic:
-        (void)service->QueryKNearestPublic(request.uid, request.k);
-        break;
-      case server::QueryKind::kRangePublic:
-        (void)service->QueryRangePublic(request.uid, request.radius);
-        break;
-      case server::QueryKind::kNearestPrivate:
-        (void)service->QueryNearestPrivate(request.uid);
-        break;
-    }
+    (void)service->Execute(request.ToRequest());
   }
   return static_cast<double>(batch.size()) / watch.ElapsedSeconds();
 }

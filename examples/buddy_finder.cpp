@@ -1,8 +1,11 @@
 // Private queries over private data (§5.2): "where is my nearest
 // buddy?" — both the querying user and the buddies are cloaked. The
-// server matches the query's cloaked region against the stored cloaked
-// regions of every other user and returns the candidate buddies; the
-// client ranks them locally under region uncertainty.
+// untrusted server tier (server::QueryServer) matches the query's
+// cloaked region against the stored cloaked regions of every other
+// user — which it knows only under opaque pseudonym handles, thanks to
+// the wire-message boundary of DESIGN.md §1b — and returns the
+// candidate buddies; the trusted side ranks them locally under region
+// uncertainty and resolves the winning pseudonym back to a user id.
 //
 // Run: ./build/examples/example_buddy_finder
 
@@ -38,13 +41,16 @@ int main() {
     }
   }
 
-  // The anonymizer pushes everyone's cloaked regions to the server.
+  // The anonymizer tier builds an identity-stripped SnapshotMsg (fresh
+  // pseudonyms, fresh cloaks) and the server tier bulk-loads it.
   if (auto st = service.SyncPrivateData(); !st.ok()) {
     std::fprintf(stderr, "sync: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  std::printf("1500 users registered; server stores only cloaked regions\n\n");
+  std::printf("1500 users registered; the server tier stores %zu cloaked "
+              "regions and zero identities\n\n",
+              service.private_store().size());
 
   for (anonymizer::UserId uid : {0ull, 1ull, 600ull}) {
     auto response = service.QueryNearestPrivate(uid);
@@ -75,12 +81,15 @@ int main() {
   }
 
   // Administrator view (public query over private data): how many users
-  // are in the north-east quadrant right now?
-  auto count = service.QueryPublicRange(Rect(0.5, 0.5, 1.0, 1.0));
-  if (!count.ok()) return 1;
+  // are in the north-east quadrant right now? Phrased through the
+  // unified dispatch this time — one QueryRequest variant covers all
+  // seven query kinds.
+  auto admin = service.Execute(PublicRangeQ{Rect(0.5, 0.5, 1.0, 1.0)});
+  if (!admin.ok()) return 1;
+  const auto& count = std::get<processor::RangeCountResult>(*admin);
   std::printf("admin range count over NE quadrant: certain %zu, expected "
               "%.1f, possible %zu\n",
-              count->certain, count->expected, count->possible);
+              count.certain, count.expected, count.possible);
   std::printf("(the gap between certain and possible is the privacy the "
               "cloaks buy)\n");
   return 0;

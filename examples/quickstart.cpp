@@ -1,11 +1,12 @@
 // Quickstart: the smallest end-to-end Casper session.
 //
 // A mobile user registers with a privacy profile (k = 20 anonymity,
-// minimum cloak area 0.1% of the city), the trusted location anonymizer
-// blurs her position, the privacy-aware query processor answers "where
+// minimum cloak area 0.1% of the city), the trusted anonymizer tier
+// blurs their position, the untrusted query-server tier answers "where
 // is my nearest gas station?" with a candidate list, and the client
-// refines the exact answer locally — the server never sees the exact
-// location.
+// refines the exact answer locally — the server tier never sees the
+// exact location (or even a user id: the tiers speak only the wire
+// messages of src/casper/messages.h; see DESIGN.md §1b).
 //
 // Build & run:  cmake --build build && ./build/examples/example_quickstart
 
@@ -45,7 +46,10 @@ int main() {
   service.SetPublicTargets(workload::UniformPublicTargets(
       200, options.pyramid.space, &rng));
 
-  // 4. User 42 asks for her nearest gas station.
+  // 4. User 42 asks for their nearest gas station. QueryNearestPublic
+  //    is a thin wrapper over the unified dispatch — the same query can
+  //    be phrased as service.Execute(NearestPublicQ{42}), which is how
+  //    the batch engine, the CLI, and the benches drive every kind.
   auto response = service.QueryNearestPublic(42);
   if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
@@ -72,7 +76,16 @@ int main() {
               r.timing.processor_seconds * 1e6,
               r.timing.transmission_seconds * 1e6);
 
-  // 5. Sanity: the candidate list is *inclusive* — the refined answer
+  // 5. The same query through the unified dispatch: one QueryRequest
+  //    variant covers all seven kinds, and the answers are identical.
+  auto unified = service.Execute(NearestPublicQ{42});
+  if (!unified.ok() ||
+      std::get<PublicNNResponse>(*unified).exact.id != r.exact.id) {
+    std::fprintf(stderr, "BUG: unified dispatch disagrees with wrapper!\n");
+    return 1;
+  }
+
+  // 6. Sanity: the candidate list is *inclusive* — the refined answer
   //    equals the true nearest neighbor computed with full knowledge.
   auto truth = service.public_store().Nearest(position);
   if (truth.ok() && truth->id == r.exact.id) {

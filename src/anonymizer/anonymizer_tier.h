@@ -1,0 +1,142 @@
+#ifndef CASPER_ANONYMIZER_ANONYMIZER_TIER_H_
+#define CASPER_ANONYMIZER_ANONYMIZER_TIER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/anonymizer/anonymizer.h"
+#include "src/anonymizer/pseudonyms.h"
+#include "src/casper/messages.h"
+#include "src/casper/responses.h"
+#include "src/casper/transmission.h"
+
+/// \file
+/// The trusted location-anonymizer tier (Figure 1, middle box): the one
+/// place that holds user identities, exact positions, privacy profiles,
+/// and the pseudonym registry. Everything it emits toward the database
+/// server is a wire message with identity already stripped
+/// (CloakedQueryMsg / RegionUpsertMsg / SnapshotMsg), and everything it
+/// receives back (CandidateListMsg) it refines on the client's behalf
+/// with the client's exact position. The server tier is only ever
+/// reached through the PrivateStoreSink / message interfaces, never as
+/// a concrete type — the seam any multi-process deployment would cut.
+
+namespace casper::anonymizer {
+
+struct AnonymizerTierOptions {
+  PyramidConfig pyramid;
+
+  /// Which anonymizer variant backs the tier (§4.1 vs §4.2).
+  bool use_adaptive_anonymizer = true;
+
+  /// Seed of the pseudonym stream used to strip user identities before
+  /// cloaked regions reach the database server (§3 pseudonymity).
+  uint64_t pseudonym_seed = 0xCA5;
+
+  /// When true, every user event (register / move / profile change)
+  /// immediately publishes a fresh cloaked region into the sink passed
+  /// to the lifecycle calls; otherwise regions only flow on
+  /// BuildSnapshot() (the paper's batch model).
+  bool publish_on_event = false;
+};
+
+/// The trusted middleware process. All calls are single-threaded by
+/// design (one anonymizer instance, as in the paper); the const query
+/// helpers (StripIdentity / RefineForClient / ClientPosition) are
+/// read-only and safe to call concurrently with each other.
+class AnonymizerTier {
+ public:
+  explicit AnonymizerTier(const AnonymizerTierOptions& options);
+
+  // --- User lifecycle (mobile clients -> anonymizer) ------------------
+  //
+  // `sink` receives the region maintenance messages this event implies
+  // (deregistration always retracts; the other events publish only in
+  // publish_on_event mode).
+
+  Status RegisterUser(UserId uid, const PrivacyProfile& profile,
+                      const Point& position, PrivateStoreSink* sink);
+  Status UpdateLocation(UserId uid, const Point& position,
+                        PrivateStoreSink* sink);
+  Status UpdateProfile(UserId uid, const PrivacyProfile& profile,
+                       PrivateStoreSink* sink);
+  Status DeregisterUser(UserId uid, PrivateStoreSink* sink);
+
+  // --- Batch publication ----------------------------------------------
+
+  /// Cloaks every registered user, rotates her pseudonym, and returns
+  /// the identity-stripped snapshot for the server to bulk-load. Users
+  /// whose profile cannot be satisfied yet (k above the population)
+  /// stay out of the snapshot and are retried on later events.
+  Result<SnapshotMsg> BuildSnapshot();
+
+  // --- Query-path helpers ---------------------------------------------
+
+  /// Algorithm 1 for the user's current position.
+  Result<CloakingResult> Cloak(UserId uid) { return anonymizer_->Cloak(uid); }
+
+  /// Turns a client request plus its cloak into the message the server
+  /// is allowed to see: exact position replaced by the cloaked region,
+  /// user id dropped entirely (buddy queries carry the requester's
+  /// current pseudonym handle so the server can exclude her own stored
+  /// region — the handle resolves to nothing outside this tier).
+  Result<CloakedQueryMsg> StripIdentity(const QueryRequest& request,
+                                        const CloakingResult& cloak) const;
+
+  /// Client-side completion of a query: unpacks the server's candidate
+  /// list, prices the downlink (§6.3 model), and refines the exact
+  /// answer with the client's true position.
+  Result<QueryResponse> RefineForClient(const QueryRequest& request,
+                                        const CloakingResult& cloak,
+                                        CandidateListMsg answer,
+                                        const TransmissionModel& model) const;
+
+  // --- Trusted-side knowledge -----------------------------------------
+
+  /// The client's own exact position (known only to the client and this
+  /// tier; used for local refinement and quality checks).
+  Result<Point> ClientPosition(UserId uid) const;
+
+  /// Translate a pseudonym from a query answer back to the user id
+  /// (only this tier can; the database server never).
+  Result<UserId> ResolvePseudonym(Pseudonym pseudonym) const {
+    return pseudonyms_.Resolve(pseudonym);
+  }
+
+  LocationAnonymizer& anonymizer() { return *anonymizer_; }
+  size_t user_count() const { return anonymizer_->user_count(); }
+  const AnonymizerTierOptions& options() const { return options_; }
+
+ private:
+  /// Re-cloak one user and replace her stored region through `sink`,
+  /// rotating the pseudonym (publish_on_event mode).
+  Status PublishRegion(UserId uid, PrivateStoreSink* sink);
+  Status RetractRegion(UserId uid, PrivateStoreSink* sink);
+
+  /// Users whose profiles could not be satisfied yet are retried as the
+  /// population grows.
+  Status RetryPendingPublications(PrivateStoreSink* sink);
+
+  /// Current pseudonym for `uid`: rotated when one exists (so stored
+  /// regions cannot be linked across publications), fresh otherwise.
+  Result<Pseudonym> NextPseudonym(UserId uid);
+
+  AnonymizerTierOptions options_;
+  std::unique_ptr<LocationAnonymizer> anonymizer_;
+  /// Identity stripping for server-side private data.
+  PseudonymRegistry pseudonyms_;
+  /// The querying user's own pseudonym must be excluded from buddy
+  /// answers; track the current one per user.
+  std::unordered_map<UserId, Pseudonym> current_pseudonym_;
+  /// Users whose region is currently stored at the server.
+  std::unordered_set<UserId> published_;
+  /// Users awaiting a satisfiable profile (see RetryPendingPublications).
+  std::unordered_set<UserId> pending_publication_;
+  /// Client-side knowledge: each client knows its own exact position.
+  std::unordered_map<UserId, Point> client_positions_;
+};
+
+}  // namespace casper::anonymizer
+
+#endif  // CASPER_ANONYMIZER_ANONYMIZER_TIER_H_

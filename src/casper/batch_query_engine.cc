@@ -1,8 +1,32 @@
-#include "src/server/batch_query_engine.h"
+#include "src/casper/batch_query_engine.h"
+
+#include <future>
+#include <optional>
+#include <utility>
 
 #include "src/common/stopwatch.h"
 
 namespace casper::server {
+
+QueryRequest BatchQueryRequest::ToRequest() const {
+  switch (kind) {
+    case QueryKind::kNearestPublic:
+      return NearestPublicQ{uid};
+    case QueryKind::kKNearestPublic:
+      return KNearestPublicQ{uid, k};
+    case QueryKind::kRangePublic:
+      return RangePublicQ{uid, radius};
+    case QueryKind::kNearestPrivate:
+      return NearestPrivateQ{uid};
+    case QueryKind::kPublicNearest:
+      return PublicNearestQ{point};
+    case QueryKind::kPublicRange:
+      return PublicRangeQ{region};
+    case QueryKind::kDensity:
+      return DensityQ{cols, rows};
+  }
+  return NearestPublicQ{uid};
+}
 
 BatchQueryEngine::BatchQueryEngine(CasperService* service,
                                    const BatchEngineOptions& options)
@@ -24,48 +48,13 @@ void BatchQueryEngine::EvaluateOne(const BatchQueryRequest& request,
                                    const anonymizer::CloakingResult& cloak,
                                    double anonymizer_seconds,
                                    BatchQueryResponse* out) const {
-  switch (request.kind) {
-    case QueryKind::kNearestPublic: {
-      auto r = service_->EvaluateNearestPublic(request.uid, cloak,
-                                               cache_.get());
-      out->status = r.status();
-      if (r.ok()) {
-        out->nearest_public = std::move(r).value();
-        out->nearest_public->timing.anonymizer_seconds = anonymizer_seconds;
-      }
-      break;
-    }
-    case QueryKind::kKNearestPublic: {
-      auto r = service_->EvaluateKNearestPublic(request.uid, cloak,
-                                                request.k);
-      out->status = r.status();
-      if (r.ok()) {
-        out->k_nearest_public = std::move(r).value();
-        out->k_nearest_public->timing.anonymizer_seconds =
-            anonymizer_seconds;
-      }
-      break;
-    }
-    case QueryKind::kRangePublic: {
-      auto r = service_->EvaluateRangePublic(request.uid, cloak,
-                                             request.radius);
-      out->status = r.status();
-      if (r.ok()) {
-        out->range_public = std::move(r).value();
-        out->range_public->timing.anonymizer_seconds = anonymizer_seconds;
-      }
-      break;
-    }
-    case QueryKind::kNearestPrivate: {
-      auto r = service_->EvaluateNearestPrivate(request.uid, cloak);
-      out->status = r.status();
-      if (r.ok()) {
-        out->nearest_private = std::move(r).value();
-        out->nearest_private->timing.anonymizer_seconds = anonymizer_seconds;
-      }
-      break;
-    }
-  }
+  auto result = service_->Evaluate(request.ToRequest(), cloak, cache_.get());
+  out->status = result.status();
+  if (!result.ok()) return;
+  QueryResponse response = std::move(result).value();
+  SetAnonymizerSeconds(response, anonymizer_seconds);
+  std::visit([out](auto&& payload) { out->payload = std::move(payload); },
+             std::move(response));
 }
 
 BatchResult BatchQueryEngine::Execute(
@@ -76,15 +65,21 @@ BatchResult BatchQueryEngine::Execute(
   result.summary.batch_size = n;
   Stopwatch wall;
 
-  // Phase 1 — sequential cloaking. The anonymizer mutates bookkeeping
-  // (stats, adaptive structure on other entry points), so this phase
-  // stays on the calling thread; it is also the cheap half (Figure 17:
-  // anonymizer time is negligible next to processor time).
+  // Phase 1 — sequential cloaking of the private kinds. The anonymizer
+  // mutates bookkeeping (stats, adaptive structure on other entry
+  // points), so this phase stays on the calling thread; it is also the
+  // cheap half (Figure 17: anonymizer time is negligible next to
+  // processor time). Public kinds carry exact parameters and skip it.
   std::vector<std::optional<anonymizer::CloakingResult>> cloaks(n);
   std::vector<double> anonymizer_seconds(n, 0.0);
+  std::vector<char> ready(n, 0);
   Stopwatch cloak_watch;
   for (size_t i = 0; i < n; ++i) {
     result.responses[i].kind = requests[i].kind;
+    if (!IsCloakedKind(requests[i].kind)) {
+      ready[i] = 1;
+      continue;
+    }
     Stopwatch watch;
     auto cloak = service_->anonymizer().Cloak(requests[i].uid);
     anonymizer_seconds[i] = watch.ElapsedSeconds();
@@ -93,21 +88,24 @@ BatchResult BatchQueryEngine::Execute(
       continue;
     }
     cloaks[i] = std::move(cloak).value();
+    ready[i] = 1;
   }
   result.summary.cloak_seconds = cloak_watch.ElapsedSeconds();
 
-  // Phase 2 — parallel read-only evaluation. Each task owns exactly its
-  // response slot; the futures' completion orders the writes before the
-  // aggregation below, and the shard-locked cache is the only shared
-  // mutable state.
+  // Phase 2 — parallel read-only evaluation through the unified
+  // dispatch. Each task owns exactly its response slot; the futures'
+  // completion orders the writes before the aggregation below, and the
+  // shard-locked cache is the only shared mutable state.
   std::vector<std::future<void>> done;
   done.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (!cloaks[i].has_value()) continue;
+    if (!ready[i]) continue;
     done.push_back(pool_.Submit([this, &requests, &cloaks,
                                  &anonymizer_seconds, &result, i] {
-      EvaluateOne(requests[i], *cloaks[i], anonymizer_seconds[i],
-                  &result.responses[i]);
+      EvaluateOne(requests[i],
+                  cloaks[i].has_value() ? *cloaks[i]
+                                        : anonymizer::CloakingResult{},
+                  anonymizer_seconds[i], &result.responses[i]);
     }));
   }
   for (std::future<void>& f : done) f.get();
@@ -126,7 +124,7 @@ BatchResult BatchQueryEngine::Execute(
     }
     ++result.summary.ok_count;
     const TimingBreakdown* timing = response.timing();
-    CASPER_DCHECK(timing != nullptr);
+    if (timing == nullptr) continue;  // Untimed public-over-private kind.
     processor_micros.Add(timing->processor_seconds * 1e6);
     result.summary.totals.anonymizer_seconds += timing->anonymizer_seconds;
     result.summary.totals.processor_seconds += timing->processor_seconds;

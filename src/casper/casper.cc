@@ -4,349 +4,195 @@
 #include "src/processor/concurrent_query_cache.h"
 
 namespace casper {
+namespace {
+
+server::QueryServerOptions ServerOptionsFrom(const CasperOptions& options) {
+  server::QueryServerOptions server_options;
+  server_options.filter_policy = options.filter_policy;
+  server_options.density_extent = options.pyramid.space;
+  return server_options;
+}
+
+anonymizer::AnonymizerTierOptions TierOptionsFrom(
+    const CasperOptions& options) {
+  anonymizer::AnonymizerTierOptions tier_options;
+  tier_options.pyramid = options.pyramid;
+  tier_options.use_adaptive_anonymizer = options.use_adaptive_anonymizer;
+  tier_options.pseudonym_seed = options.pseudonym_seed;
+  tier_options.publish_on_event = options.auto_sync_private_data;
+  return tier_options;
+}
+
+Status StaleSnapshotError() {
+  return Status::FailedPrecondition(
+      "private data snapshot is stale; call SyncPrivateData() first");
+}
+
+}  // namespace
 
 CasperService::CasperService(const CasperOptions& options)
-    : options_(options), pseudonyms_(options.pseudonym_seed) {
+    : options_(options),
+      server_(ServerOptionsFrom(options)),
+      tier_(TierOptionsFrom(options)) {
   // With auto-sync every mutation maintains the store, so the snapshot
   // is never stale; batch mode starts stale until the first sync.
   private_data_dirty_ = !options_.auto_sync_private_data;
-  if (options_.use_adaptive_anonymizer) {
-    anonymizer_ =
-        std::make_unique<anonymizer::AdaptiveAnonymizer>(options_.pyramid);
-  } else {
-    anonymizer_ =
-        std::make_unique<anonymizer::BasicAnonymizer>(options_.pyramid);
-  }
 }
 
 Status CasperService::RegisterUser(anonymizer::UserId uid,
                                    const anonymizer::PrivacyProfile& profile,
                                    const Point& position) {
-  CASPER_RETURN_IF_ERROR(anonymizer_->RegisterUser(uid, profile, position));
-  client_positions_[uid] = position;
-  if (options_.auto_sync_private_data) {
-    CASPER_RETURN_IF_ERROR(UpsertPrivateRegion(uid));
-    // A larger population can make previously unsatisfiable profiles
-    // publishable.
-    return RetryPendingPublications();
-  }
-  private_data_dirty_ = true;
-  return Status::OK();
-}
-
-Status CasperService::RetryPendingPublications() {
-  if (pending_publication_.empty()) return Status::OK();
-  const std::vector<anonymizer::UserId> pending(pending_publication_.begin(),
-                                                pending_publication_.end());
-  for (anonymizer::UserId uid : pending) {
-    CASPER_RETURN_IF_ERROR(UpsertPrivateRegion(uid));
-  }
+  CASPER_RETURN_IF_ERROR(tier_.RegisterUser(uid, profile, position, &server_));
+  if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::UpdateUserLocation(anonymizer::UserId uid,
                                          const Point& position) {
-  CASPER_RETURN_IF_ERROR(anonymizer_->UpdateLocation(uid, position));
-  client_positions_[uid] = position;
-  if (options_.auto_sync_private_data) {
-    return UpsertPrivateRegion(uid);
-  }
-  private_data_dirty_ = true;
+  CASPER_RETURN_IF_ERROR(tier_.UpdateLocation(uid, position, &server_));
+  if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::UpdateUserProfile(
     anonymizer::UserId uid, const anonymizer::PrivacyProfile& profile) {
-  CASPER_RETURN_IF_ERROR(anonymizer_->UpdateProfile(uid, profile));
-  if (options_.auto_sync_private_data) {
-    return UpsertPrivateRegion(uid);
-  }
-  private_data_dirty_ = true;
+  CASPER_RETURN_IF_ERROR(tier_.UpdateProfile(uid, profile, &server_));
+  if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::DeregisterUser(anonymizer::UserId uid) {
-  CASPER_RETURN_IF_ERROR(anonymizer_->DeregisterUser(uid));
-  client_positions_.erase(uid);
-  pending_publication_.erase(uid);
-  CASPER_RETURN_IF_ERROR(RemovePrivateRegion(uid));
-  if (current_pseudonym_.erase(uid) > 0) {
-    CASPER_RETURN_IF_ERROR(pseudonyms_.Forget(uid));
-  }
+  CASPER_RETURN_IF_ERROR(tier_.DeregisterUser(uid, &server_));
   if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 void CasperService::AddPublicTarget(const processor::PublicTarget& target) {
-  public_store_.Insert(target);
+  server_.AddPublicTarget(target);
 }
 
 void CasperService::SetPublicTargets(
     const std::vector<processor::PublicTarget>& targets) {
-  public_store_ = processor::PublicTargetStore(targets);
-}
-
-Status CasperService::UpsertPrivateRegion(anonymizer::UserId uid) {
-  CASPER_RETURN_IF_ERROR(RemovePrivateRegion(uid));
-  auto cloak = anonymizer_->Cloak(uid);
-  if (cloak.status().code() == StatusCode::kFailedPrecondition) {
-    // The profile cannot be satisfied yet (k exceeds the current
-    // population). Publishing nothing is the only safe choice; the
-    // user is retried once the population grows.
-    pending_publication_.insert(uid);
-    return Status::OK();
-  }
-  if (!cloak.ok()) return cloak.status();
-  pending_publication_.erase(uid);
-  anonymizer::Pseudonym pseudonym;
-  if (current_pseudonym_.count(uid) > 0) {
-    CASPER_ASSIGN_OR_RETURN(rotated, pseudonyms_.Rotate(uid));
-    pseudonym = rotated;
-  } else {
-    pseudonym = pseudonyms_.PseudonymFor(uid);
-  }
-  current_pseudonym_[uid] = pseudonym;
-  stored_regions_[uid] = cloak.value().region;
-  private_store_.Insert(
-      processor::PrivateTarget{pseudonym, cloak.value().region});
-  return Status::OK();
-}
-
-Status CasperService::RemovePrivateRegion(anonymizer::UserId uid) {
-  auto region = stored_regions_.find(uid);
-  auto pseudonym = current_pseudonym_.find(uid);
-  if (region == stored_regions_.end() ||
-      pseudonym == current_pseudonym_.end()) {
-    return Status::OK();  // Nothing stored yet.
-  }
-  if (!private_store_.Remove(processor::PrivateTarget{pseudonym->second,
-                                                      region->second})) {
-    return Status::Internal("stored region missing from private store");
-  }
-  stored_regions_.erase(region);
-  return Status::OK();
+  server_.SetPublicTargets(targets);
 }
 
 Status CasperService::SyncPrivateData() {
-  std::vector<processor::PrivateTarget> regions;
-  regions.reserve(client_positions_.size());
-  stored_regions_.clear();
-  for (const auto& [uid, pos] : client_positions_) {
-    (void)pos;
-    auto cloak = anonymizer_->Cloak(uid);
-    if (cloak.status().code() == StatusCode::kFailedPrecondition) {
-      // Unsatisfiable profile (k above the population): never publish a
-      // weaker region; the user simply stays out of this snapshot.
-      pending_publication_.insert(uid);
-      continue;
-    }
-    if (!cloak.ok()) return cloak.status();
-    pending_publication_.erase(uid);
-    stored_regions_[uid] = cloak.value().region;
-    // Strip the identity: the server sees a fresh pseudonym per
-    // snapshot, so regions cannot be linked across syncs.
-    anonymizer::Pseudonym pseudonym;
-    if (current_pseudonym_.count(uid) > 0) {
-      CASPER_ASSIGN_OR_RETURN(rotated, pseudonyms_.Rotate(uid));
-      pseudonym = rotated;
-    } else {
-      pseudonym = pseudonyms_.PseudonymFor(uid);
-    }
-    current_pseudonym_[uid] = pseudonym;
-    regions.push_back(
-        processor::PrivateTarget{pseudonym, cloak.value().region});
-  }
-  private_store_ = processor::PrivateTargetStore(regions);
+  CASPER_ASSIGN_OR_RETURN(snapshot, tier_.BuildSnapshot());
+  CASPER_RETURN_IF_ERROR(server_.Load(snapshot));
   private_data_dirty_ = false;
   return Status::OK();
 }
 
-Result<PublicNNResponse> CasperService::QueryNearestPublic(
-    anonymizer::UserId uid) {
+Result<QueryResponse> CasperService::Execute(const QueryRequest& request) {
+  const QueryKind kind = KindOf(request);
+  if (UsesPrivateData(kind) && private_data_dirty_) {
+    return StaleSnapshotError();
+  }
+  if (!IsCloakedKind(kind)) {
+    return Evaluate(request, anonymizer::CloakingResult{});
+  }
+
   // 1. The trusted anonymizer blurs the query location.
   Stopwatch watch;
-  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
+  CASPER_ASSIGN_OR_RETURN(cloak, tier_.Cloak(UidOf(request)));
   const double anonymizer_seconds = watch.ElapsedSeconds();
 
   // 2+3. Server-side candidate list + client-side refinement.
-  CASPER_ASSIGN_OR_RETURN(response, EvaluateNearestPublic(uid, cloak));
-  response.timing.anonymizer_seconds = anonymizer_seconds;
+  CASPER_ASSIGN_OR_RETURN(response, Evaluate(request, cloak));
+  SetAnonymizerSeconds(response, anonymizer_seconds);
   return response;
+}
+
+Result<QueryResponse> CasperService::Evaluate(
+    const QueryRequest& request, const anonymizer::CloakingResult& cloak,
+    processor::ConcurrentQueryCache* cache) const {
+  if (UsesPrivateData(KindOf(request)) && private_data_dirty_) {
+    return StaleSnapshotError();
+  }
+  // Anonymizer tier: strip the identity; server tier: evaluate the
+  // candidate list; anonymizer/client tier: refine with the exact
+  // position. The three steps speak only wire messages.
+  CASPER_ASSIGN_OR_RETURN(stripped, tier_.StripIdentity(request, cloak));
+  CASPER_ASSIGN_OR_RETURN(answer, server_.Execute(stripped, cache));
+  return tier_.RefineForClient(request, cloak, std::move(answer),
+                               options_.transmission);
+}
+
+Result<PublicNNResponse> CasperService::QueryNearestPublic(
+    anonymizer::UserId uid) {
+  CASPER_ASSIGN_OR_RETURN(response, Execute(QueryRequest(NearestPublicQ{uid})));
+  return std::get<PublicNNResponse>(std::move(response));
 }
 
 Result<PublicNNResponse> CasperService::EvaluateNearestPublic(
     anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
     processor::ConcurrentQueryCache* cache) const {
-  PublicNNResponse response;
-  response.cloak = cloak;
-
-  // The privacy-aware processor builds the candidate list (Algorithm 2,
-  // possibly memoized by cloak rectangle).
-  Stopwatch watch;
-  Result<processor::PublicCandidateList> answer =
-      cache != nullptr
-          ? cache->Query(cloak.region)
-          : processor::PrivateNearestNeighbor(public_store_, cloak.region,
-                                              options_.filter_policy);
-  if (!answer.ok()) return answer.status();
-  response.timing.processor_seconds = watch.ElapsedSeconds();
-  response.timing.transmission_seconds =
-      options_.transmission.SecondsFor(answer.value().size());
-  response.server_answer = std::move(answer).value();
-
-  // The client refines locally with its exact position.
-  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
   CASPER_ASSIGN_OR_RETURN(
-      exact,
-      processor::RefineNearest(response.server_answer.candidates, position));
-  response.exact = exact;
-  return response;
+      response, Evaluate(QueryRequest(NearestPublicQ{uid}), cloak, cache));
+  return std::get<PublicNNResponse>(std::move(response));
 }
 
 Result<PublicKnnResponse> CasperService::QueryKNearestPublic(
     anonymizer::UserId uid, size_t k) {
-  Stopwatch watch;
-  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  const double anonymizer_seconds = watch.ElapsedSeconds();
-
-  CASPER_ASSIGN_OR_RETURN(response, EvaluateKNearestPublic(uid, cloak, k));
-  response.timing.anonymizer_seconds = anonymizer_seconds;
-  return response;
+  CASPER_ASSIGN_OR_RETURN(response,
+                          Execute(QueryRequest(KNearestPublicQ{uid, k})));
+  return std::get<PublicKnnResponse>(std::move(response));
 }
 
 Result<PublicKnnResponse> CasperService::EvaluateKNearestPublic(
     anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
     size_t k) const {
-  PublicKnnResponse response;
-  response.cloak = cloak;
-
-  Stopwatch watch;
   CASPER_ASSIGN_OR_RETURN(
-      answer, processor::PrivateKNearestNeighbors(public_store_, cloak.region,
-                                                  k));
-  response.timing.processor_seconds = watch.ElapsedSeconds();
-  response.timing.transmission_seconds =
-      options_.transmission.SecondsFor(answer.size());
-  response.server_answer = std::move(answer);
-
-  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
-  response.exact = processor::RefineKNearest(
-      response.server_answer.candidates, position, k);
-  return response;
+      response, Evaluate(QueryRequest(KNearestPublicQ{uid, k}), cloak));
+  return std::get<PublicKnnResponse>(std::move(response));
 }
 
 Result<processor::PublicNNCandidates> CasperService::QueryPublicNearest(
     const Point& q) {
-  if (private_data_dirty_) {
-    return Status::FailedPrecondition(
-        "private data snapshot is stale; call SyncPrivateData() first");
-  }
-  return processor::PublicNearestNeighborOverPrivate(private_store_, q);
+  CASPER_ASSIGN_OR_RETURN(response, Execute(QueryRequest(PublicNearestQ{q})));
+  return std::get<processor::PublicNNCandidates>(std::move(response));
 }
 
 Result<processor::DensityMap> CasperService::QueryDensity(int cols,
                                                           int rows) {
-  if (private_data_dirty_) {
-    return Status::FailedPrecondition(
-        "private data snapshot is stale; call SyncPrivateData() first");
-  }
-  return processor::ExpectedDensity(private_store_, options_.pyramid.space,
-                                    cols, rows);
+  CASPER_ASSIGN_OR_RETURN(response,
+                          Execute(QueryRequest(DensityQ{cols, rows})));
+  return std::get<processor::DensityMap>(std::move(response));
 }
 
 Result<PrivateNNResponse> CasperService::QueryNearestPrivate(
     anonymizer::UserId uid) {
-  if (private_data_dirty_) {
-    return Status::FailedPrecondition(
-        "private data snapshot is stale; call SyncPrivateData() first");
-  }
-  Stopwatch watch;
-  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  const double anonymizer_seconds = watch.ElapsedSeconds();
-
-  CASPER_ASSIGN_OR_RETURN(response, EvaluateNearestPrivate(uid, cloak));
-  response.timing.anonymizer_seconds = anonymizer_seconds;
-  return response;
+  CASPER_ASSIGN_OR_RETURN(response,
+                          Execute(QueryRequest(NearestPrivateQ{uid})));
+  return std::get<PrivateNNResponse>(std::move(response));
 }
 
 Result<PrivateNNResponse> CasperService::EvaluateNearestPrivate(
     anonymizer::UserId uid, const anonymizer::CloakingResult& cloak) const {
-  if (private_data_dirty_) {
-    return Status::FailedPrecondition(
-        "private data snapshot is stale; call SyncPrivateData() first");
-  }
-  PrivateNNResponse response;
-  response.cloak = cloak;
-
-  Stopwatch watch;
-  processor::PrivateNNOptions nn_options;
-  nn_options.policy = options_.filter_policy;
-  // The querying user's own region is stored too (under her current
-  // pseudonym); exclude it from the whole computation — left eligible
-  // it would win every filter probe and starve the actual buddies.
-  const auto self = current_pseudonym_.find(uid);
-  if (self != current_pseudonym_.end()) {
-    nn_options.exclude_id = self->second;
-  }
-  CASPER_ASSIGN_OR_RETURN(answer,
-                          processor::PrivateNearestNeighborOverPrivate(
-                              private_store_, cloak.region, nn_options));
-  response.timing.processor_seconds = watch.ElapsedSeconds();
-  response.timing.transmission_seconds =
-      options_.transmission.SecondsFor(answer.size());
-  response.server_answer = std::move(answer);
-
-  if (response.server_answer.candidates.empty()) {
-    return Status::NotFound("no other users available as buddies");
-  }
-  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
-  CASPER_ASSIGN_OR_RETURN(
-      best, processor::RefineNearestRegion(response.server_answer.candidates,
-                                           position));
-  response.best = best;
-  return response;
+  CASPER_ASSIGN_OR_RETURN(response,
+                          Evaluate(QueryRequest(NearestPrivateQ{uid}), cloak));
+  return std::get<PrivateNNResponse>(std::move(response));
 }
 
 Result<processor::RangeCountResult> CasperService::QueryPublicRange(
     const Rect& region) {
-  if (private_data_dirty_) {
-    return Status::FailedPrecondition(
-        "private data snapshot is stale; call SyncPrivateData() first");
-  }
-  return processor::PublicRangeCount(private_store_, region);
+  CASPER_ASSIGN_OR_RETURN(response, Execute(QueryRequest(PublicRangeQ{region})));
+  return std::get<processor::RangeCountResult>(std::move(response));
 }
 
 Result<processor::PublicRangeCandidates> CasperService::QueryRangePublic(
     anonymizer::UserId uid, double radius) {
-  CASPER_ASSIGN_OR_RETURN(cloak, anonymizer_->Cloak(uid));
-  CASPER_ASSIGN_OR_RETURN(response, EvaluateRangePublic(uid, cloak, radius));
-  return std::move(response.server_answer);
+  CASPER_ASSIGN_OR_RETURN(response,
+                          Execute(QueryRequest(RangePublicQ{uid, radius})));
+  return std::move(std::get<PublicRangeResponse>(response).server_answer);
 }
 
 Result<PublicRangeResponse> CasperService::EvaluateRangePublic(
     anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
     double radius) const {
-  PublicRangeResponse response;
-  response.cloak = cloak;
-
-  Stopwatch watch;
-  CASPER_ASSIGN_OR_RETURN(answer, processor::PrivateRangeOverPublic(
-                                      public_store_, cloak.region, radius));
-  response.timing.processor_seconds = watch.ElapsedSeconds();
-  response.timing.transmission_seconds =
-      options_.transmission.SecondsFor(answer.candidates.size());
-  response.server_answer = std::move(answer);
-
-  CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
-  response.exact = processor::RefineRange(response.server_answer.candidates,
-                                          position, radius);
-  return response;
-}
-
-Result<Point> CasperService::ClientPosition(anonymizer::UserId uid) const {
-  auto it = client_positions_.find(uid);
-  if (it == client_positions_.end()) return Status::NotFound("unknown user");
-  return it->second;
+  CASPER_ASSIGN_OR_RETURN(
+      response, Evaluate(QueryRequest(RangePublicQ{uid, radius}), cloak));
+  return std::get<PublicRangeResponse>(std::move(response));
 }
 
 }  // namespace casper

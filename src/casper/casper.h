@@ -7,8 +7,11 @@
 #include <vector>
 
 #include "src/anonymizer/adaptive_anonymizer.h"
+#include "src/anonymizer/anonymizer_tier.h"
 #include "src/anonymizer/basic_anonymizer.h"
 #include "src/anonymizer/pseudonyms.h"
+#include "src/casper/messages.h"
+#include "src/casper/responses.h"
 #include "src/casper/transmission.h"
 #include "src/processor/density.h"
 #include "src/processor/naive.h"
@@ -18,6 +21,7 @@
 #include "src/processor/private_range.h"
 #include "src/processor/public_nn_private.h"
 #include "src/processor/public_range.h"
+#include "src/server/query_server.h"
 
 /// \file
 /// The end-to-end Casper framework (Figure 1): mobile users register
@@ -26,16 +30,17 @@
 /// queries over those regions with candidate lists that the client
 /// refines locally.
 ///
-/// `CasperService` wires the pieces together and keeps the per-query
+/// `CasperService` is a thin facade over the two tier objects that now
+/// implement the paper's trust domains — `anonymizer::AnonymizerTier`
+/// (identities, exact positions, pseudonyms) and `server::QueryServer`
+/// (target stores, cloaked regions, query evaluation) — wired together
+/// through the wire-message protocol of src/casper/messages.h. The
+/// facade preserves the original single-object API and the per-query
 /// timing breakdown the paper's end-to-end experiment reports (§6.3):
 /// anonymizer time + query-processing time + candidate-list
 /// transmission time.
 
 namespace casper {
-
-namespace processor {
-class ConcurrentQueryCache;
-}  // namespace processor
 
 struct CasperOptions {
   anonymizer::PyramidConfig pyramid;
@@ -61,63 +66,16 @@ struct CasperOptions {
   bool auto_sync_private_data = false;
 };
 
-/// Per-query cost decomposition (Figure 17).
-struct TimingBreakdown {
-  double anonymizer_seconds = 0.0;
-  double processor_seconds = 0.0;
-  double transmission_seconds = 0.0;
-
-  double Total() const {
-    return anonymizer_seconds + processor_seconds + transmission_seconds;
-  }
-};
-
-/// Response to a private NN query over public data, as seen by the
-/// mobile client: candidate list plus the exact answer after local
-/// refinement.
-struct PublicNNResponse {
-  processor::PublicCandidateList server_answer;
-  processor::PublicTarget exact;  ///< After client-side refinement.
-  anonymizer::CloakingResult cloak;
-  TimingBreakdown timing;
-};
-
-/// Response to a private k-NN query over public data.
-struct PublicKnnResponse {
-  processor::KnnCandidateList server_answer;
-  std::vector<processor::PublicTarget> exact;  ///< k refined answers.
-  anonymizer::CloakingResult cloak;
-  TimingBreakdown timing;
-};
-
-/// Response to a private NN query over private data (buddies).
-struct PrivateNNResponse {
-  processor::PrivateCandidateList server_answer;
-  processor::PrivateTarget best;  ///< Client-side minimax refinement.
-  anonymizer::CloakingResult cloak;
-  TimingBreakdown timing;
-};
-
-/// Response to a private range query over public data, with the
-/// client-side refinement and timing the other response types carry.
-struct PublicRangeResponse {
-  processor::PublicRangeCandidates server_answer;
-  std::vector<processor::PublicTarget> exact;  ///< Truly within radius.
-  anonymizer::CloakingResult cloak;
-  TimingBreakdown timing;
-};
-
-/// The full framework: one anonymizer (trusted middleware), one
-/// privacy-aware database server holding public targets and the cloaked
-/// user regions, plus the client-side refinement logic. Mutations are
+/// The full framework behind the original one-object API. Mutations are
 /// single-threaded by design, mirroring the paper's single middleware
 /// process; query *evaluation* is read-only and may be fanned across
-/// threads via the Evaluate* methods (see server::BatchQueryEngine).
+/// threads via Evaluate() / the Evaluate* wrappers (see
+/// server::BatchQueryEngine).
 class CasperService {
  public:
   explicit CasperService(const CasperOptions& options);
 
-  // --- User lifecycle (mobile clients -> anonymizer) ------------------
+  // --- User lifecycle (mobile clients -> anonymizer tier) -------------
 
   Status RegisterUser(anonymizer::UserId uid,
                       const anonymizer::PrivacyProfile& profile,
@@ -127,19 +85,18 @@ class CasperService {
                            const anonymizer::PrivacyProfile& profile);
   Status DeregisterUser(anonymizer::UserId uid);
 
-  // --- Public data (stored directly at the server) --------------------
+  // --- Public data (stored directly at the server tier) ---------------
 
   void AddPublicTarget(const processor::PublicTarget& target);
   void SetPublicTargets(const std::vector<processor::PublicTarget>& targets);
 
   // --- Private-data snapshot ------------------------------------------
   //
-  // The anonymizer pushes cloaked regions to the server. This facade
-  // refreshes the snapshot on demand: each registered user is cloaked,
-  // her identity is replaced by a *fresh pseudonym* (§3: the anonymizer
-  // "removes any user identity to ensure pseudonymity"; rotation makes
-  // snapshots unlinkable), and the regions are bulk-loaded into the
-  // server's private store. Call after a batch of movement.
+  // The anonymizer tier builds an identity-stripped SnapshotMsg (each
+  // user freshly cloaked under a *rotated* pseudonym — §3: the
+  // anonymizer "removes any user identity to ensure pseudonymity";
+  // rotation makes snapshots unlinkable) and the server tier bulk-loads
+  // it. Call after a batch of movement.
 
   Status SyncPrivateData();
 
@@ -148,10 +105,32 @@ class CasperService {
   /// server never can).
   Result<anonymizer::UserId> ResolvePseudonym(
       anonymizer::Pseudonym pseudonym) const {
-    return pseudonyms_.Resolve(pseudonym);
+    return tier_.ResolvePseudonym(pseudonym);
   }
 
-  // --- Queries ----------------------------------------------------------
+  // --- Unified query dispatch -------------------------------------------
+  //
+  // One entry point for every query kind: build a QueryRequest (the
+  // variant in src/casper/messages.h) and Execute() it. The sequential
+  // path, server::BatchQueryEngine, the CLI, and the benches all funnel
+  // through this dispatch; the legacy Query*/Evaluate* methods below
+  // are thin wrappers that unwrap the matching response alternative.
+
+  /// Cloak (for the private kinds) and answer one request end to end.
+  Result<QueryResponse> Execute(const QueryRequest& request);
+
+  /// The read-only half: identity stripping, server evaluation, and
+  /// client-side refinement over a pre-computed cloak. Const and safe
+  /// to call from many threads concurrently provided no mutating
+  /// service call runs during the batch (the cloaking half stays on the
+  /// single-threaded anonymizer, as in the paper). `cache`, when
+  /// non-null, memoizes kNearestPublic candidate lists by cloak
+  /// rectangle (answers identical to the direct evaluation).
+  Result<QueryResponse> Evaluate(
+      const QueryRequest& request, const anonymizer::CloakingResult& cloak,
+      processor::ConcurrentQueryCache* cache = nullptr) const;
+
+  // --- Queries (legacy wrappers) ----------------------------------------
 
   /// Private NN over public data: "my nearest gas station" for `uid`.
   Result<PublicNNResponse> QueryNearestPublic(anonymizer::UserId uid);
@@ -180,19 +159,7 @@ class CasperService {
   Result<processor::PublicRangeCandidates> QueryRangePublic(
       anonymizer::UserId uid, double radius);
 
-  // --- Read-only evaluation over a pre-computed cloak -------------------
-  //
-  // The server + client half of each private query, factored out of the
-  // Query* methods so the sequential path and the parallel
-  // server::BatchQueryEngine execute the *same* code. Each method is
-  // const and reads only the target stores, options, and per-user
-  // bookkeeping: safe to call from many threads concurrently provided
-  // no mutating service call runs during the batch. The cloaking half
-  // stays on the anonymizer (single middleware process, as in the
-  // paper); pass its result in.
-  //
-  // `cache`, when non-null, memoizes the NN candidate list by cloak
-  // rectangle (answers are identical to the direct evaluation).
+  // --- Read-only evaluation over a pre-computed cloak (legacy) ----------
 
   Result<PublicNNResponse> EvaluateNearestPublic(
       anonymizer::UserId uid, const anonymizer::CloakingResult& cloak,
@@ -211,48 +178,33 @@ class CasperService {
 
   // --- Introspection ----------------------------------------------------
 
-  anonymizer::LocationAnonymizer& anonymizer() { return *anonymizer_; }
+  anonymizer::LocationAnonymizer& anonymizer() { return tier_.anonymizer(); }
   const processor::PublicTargetStore& public_store() const {
-    return public_store_;
+    return server_.public_store();
   }
   const processor::PrivateTargetStore& private_store() const {
-    return private_store_;
+    return server_.private_store();
   }
   const CasperOptions& options() const { return options_; }
-  size_t user_count() const { return anonymizer_->user_count(); }
+  size_t user_count() const { return tier_.user_count(); }
 
   /// The client's own exact position (known only to the client and the
   /// trusted anonymizer; used for local refinement and quality checks).
-  Result<Point> ClientPosition(anonymizer::UserId uid) const;
+  Result<Point> ClientPosition(anonymizer::UserId uid) const {
+    return tier_.ClientPosition(uid);
+  }
+
+  /// Direct access to the tier objects, for callers that work at the
+  /// wire-message level.
+  anonymizer::AnonymizerTier& anonymizer_tier() { return tier_; }
+  const anonymizer::AnonymizerTier& anonymizer_tier() const { return tier_; }
+  server::QueryServer& query_server() { return server_; }
+  const server::QueryServer& query_server() const { return server_; }
 
  private:
-  /// Incremental private-store maintenance for auto-sync mode: re-cloak
-  /// one user and replace her stored region (rotating the pseudonym).
-  Status UpsertPrivateRegion(anonymizer::UserId uid);
-  Status RemovePrivateRegion(anonymizer::UserId uid);
-
-  /// Users whose profiles could not be satisfied yet (k above the
-  /// population at their last event) are retried as the population
-  /// grows.
-  Status RetryPendingPublications();
-
   CasperOptions options_;
-  std::unique_ptr<anonymizer::LocationAnonymizer> anonymizer_;
-  processor::PublicTargetStore public_store_;
-  processor::PrivateTargetStore private_store_;
-  /// uid -> cloaked region currently stored at the server.
-  std::unordered_map<anonymizer::UserId, Rect> stored_regions_;
-  /// Identity stripping for server-side private data.
-  anonymizer::PseudonymRegistry pseudonyms_;
-  /// The querying user's own pseudonym must be excluded from buddy
-  /// answers; track the current one per user.
-  std::unordered_map<anonymizer::UserId, anonymizer::Pseudonym>
-      current_pseudonym_;
-  /// Auto-sync users awaiting a satisfiable profile (see
-  /// RetryPendingPublications).
-  std::unordered_set<anonymizer::UserId> pending_publication_;
-  /// Client-side knowledge: each client knows its own exact position.
-  std::unordered_map<anonymizer::UserId, Point> client_positions_;
+  server::QueryServer server_;
+  anonymizer::AnonymizerTier tier_;
   bool private_data_dirty_ = true;
 };
 

@@ -1,0 +1,484 @@
+#include "src/casper/messages.h"
+
+#include <cstring>
+
+namespace casper {
+namespace {
+
+// Leading message tags: a decoder handed the wrong message type (or
+// arbitrary bytes) fails fast instead of misinterpreting the payload.
+constexpr uint8_t kTagCloakedQuery = 0xC1;
+constexpr uint8_t kTagRegionUpsert = 0xC2;
+constexpr uint8_t kTagRegionRemove = 0xC3;
+constexpr uint8_t kTagSnapshot = 0xC4;
+constexpr uint8_t kTagCandidateList = 0xC5;
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void P(const Point& p) {
+    F64(p.x);
+    F64(p.y);
+  }
+  void R(const Rect& r) {
+    P(r.min);
+    P(r.max);
+  }
+  void Count(size_t n) { U64(static_cast<uint64_t>(n)); }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    if (pos_ + 1 > bytes_.size()) return Fail<uint8_t>();
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Bool() {
+    const uint8_t v = U8();
+    if (v > 1) failed_ = true;
+    return v != 0;
+  }
+  Point P() {
+    Point p;
+    p.x = F64();
+    p.y = F64();
+    return p;
+  }
+  Rect R() {
+    Rect r;
+    r.min = P();
+    r.max = P();
+    return r;
+  }
+
+  /// Length prefix for a container whose records occupy at least
+  /// `min_record_bytes` each — a hostile length cannot force an
+  /// allocation larger than the buffer itself.
+  size_t Count(size_t min_record_bytes) {
+    const uint64_t n = U64();
+    if (failed_ || n > Remaining() / min_record_bytes) {
+      failed_ = true;
+      return 0;
+    }
+    return static_cast<size_t>(n);
+  }
+
+  bool Tag(uint8_t expected) { return U8() == expected && !failed_; }
+
+  size_t Remaining() const { return bytes_.size() - pos_; }
+  bool failed() const { return failed_; }
+
+  Status Finish(const char* what) {
+    if (failed_ || pos_ != bytes_.size()) {
+      return Status::InvalidArgument(std::string("malformed ") + what +
+                                     " message");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  T Fail() {
+    failed_ = true;
+    return T{};
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool ValidKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(QueryKind::kDensity);
+}
+
+bool ValidPolicy(uint8_t policy) {
+  return policy == 1 || policy == 2 || policy == 4;
+}
+
+void Put(Writer& w, const processor::PublicTarget& t) {
+  w.U64(t.id);
+  w.P(t.position);
+}
+
+void Put(Writer& w, const processor::PrivateTarget& t) {
+  w.U64(t.id);
+  w.R(t.region);
+}
+
+processor::PublicTarget GetPublicTarget(Reader& r) {
+  processor::PublicTarget t;
+  t.id = r.U64();
+  t.position = r.P();
+  return t;
+}
+
+processor::PrivateTarget GetPrivateTarget(Reader& r) {
+  processor::PrivateTarget t;
+  t.id = r.U64();
+  t.region = r.R();
+  return t;
+}
+
+void Put(Writer& w, const processor::ExtendedArea& area) {
+  w.R(area.a_ext);
+  for (const processor::EdgeExtension& e : area.edges) {
+    w.F64(e.max_d);
+    w.Bool(e.has_middle);
+    w.P(e.middle);
+  }
+}
+
+processor::ExtendedArea GetExtendedArea(Reader& r) {
+  processor::ExtendedArea area;
+  area.a_ext = r.R();
+  for (processor::EdgeExtension& e : area.edges) {
+    e.max_d = r.F64();
+    e.has_middle = r.Bool();
+    e.middle = r.P();
+  }
+  return area;
+}
+
+constexpr size_t kPublicTargetBytes = 8 + 16;
+constexpr size_t kPrivateTargetBytes = 8 + 32;
+
+void PutPayload(Writer& w, const ServerPayload& payload) {
+  w.U8(static_cast<uint8_t>(payload.index()));
+  if (const auto* p = std::get_if<processor::PublicCandidateList>(&payload)) {
+    w.Count(p->candidates.size());
+    for (const auto& t : p->candidates) Put(w, t);
+    Put(w, p->area);
+    w.U8(static_cast<uint8_t>(p->policy));
+  } else if (const auto* p =
+                 std::get_if<processor::KnnCandidateList>(&payload)) {
+    w.Count(p->candidates.size());
+    for (const auto& t : p->candidates) Put(w, t);
+    w.R(p->a_ext);
+    w.U64(p->k);
+  } else if (const auto* p =
+                 std::get_if<processor::PublicRangeCandidates>(&payload)) {
+    w.Count(p->candidates.size());
+    for (const auto& t : p->candidates) Put(w, t);
+    w.R(p->search_window);
+  } else if (const auto* p =
+                 std::get_if<processor::PrivateCandidateList>(&payload)) {
+    w.Count(p->candidates.size());
+    for (const auto& t : p->candidates) Put(w, t);
+    Put(w, p->area);
+    w.U8(static_cast<uint8_t>(p->policy));
+  } else if (const auto* p =
+                 std::get_if<processor::PublicNNCandidates>(&payload)) {
+    w.Count(p->candidates.size());
+    for (const auto& c : p->candidates) {
+      Put(w, c.target);
+      w.F64(c.min_dist);
+      w.F64(c.max_dist);
+    }
+    w.F64(p->minimax_bound);
+  } else if (const auto* p =
+                 std::get_if<processor::RangeCountResult>(&payload)) {
+    w.U64(p->certain);
+    w.U64(p->possible);
+    w.F64(p->expected);
+    w.Count(p->overlapping.size());
+    for (const auto& t : p->overlapping) Put(w, t);
+  } else if (const auto* p = std::get_if<processor::DensityMap>(&payload)) {
+    w.R(p->extent());
+    w.I32(p->cols());
+    w.I32(p->rows());
+    for (int row = 0; row < p->rows(); ++row) {
+      for (int col = 0; col < p->cols(); ++col) {
+        w.F64(p->At(col, row));
+      }
+    }
+  }
+}
+
+Result<ServerPayload> GetPayload(Reader& r) {
+  const uint8_t index = r.U8();
+  if (r.failed()) return Status::InvalidArgument("truncated payload");
+  switch (index) {
+    case 0: {
+      processor::PublicCandidateList list;
+      const size_t n = r.Count(kPublicTargetBytes);
+      list.candidates.reserve(n);
+      for (size_t i = 0; i < n; ++i) list.candidates.push_back(GetPublicTarget(r));
+      list.area = GetExtendedArea(r);
+      const uint8_t policy = r.U8();
+      if (!ValidPolicy(policy)) {
+        return Status::InvalidArgument("bad filter policy");
+      }
+      list.policy = static_cast<processor::FilterPolicy>(policy);
+      return ServerPayload(std::move(list));
+    }
+    case 1: {
+      processor::KnnCandidateList list;
+      const size_t n = r.Count(kPublicTargetBytes);
+      list.candidates.reserve(n);
+      for (size_t i = 0; i < n; ++i) list.candidates.push_back(GetPublicTarget(r));
+      list.a_ext = r.R();
+      list.k = static_cast<size_t>(r.U64());
+      return ServerPayload(std::move(list));
+    }
+    case 2: {
+      processor::PublicRangeCandidates list;
+      const size_t n = r.Count(kPublicTargetBytes);
+      list.candidates.reserve(n);
+      for (size_t i = 0; i < n; ++i) list.candidates.push_back(GetPublicTarget(r));
+      list.search_window = r.R();
+      return ServerPayload(std::move(list));
+    }
+    case 3: {
+      processor::PrivateCandidateList list;
+      const size_t n = r.Count(kPrivateTargetBytes);
+      list.candidates.reserve(n);
+      for (size_t i = 0; i < n; ++i) list.candidates.push_back(GetPrivateTarget(r));
+      list.area = GetExtendedArea(r);
+      const uint8_t policy = r.U8();
+      if (!ValidPolicy(policy)) {
+        return Status::InvalidArgument("bad filter policy");
+      }
+      list.policy = static_cast<processor::FilterPolicy>(policy);
+      return ServerPayload(std::move(list));
+    }
+    case 4: {
+      processor::PublicNNCandidates list;
+      const size_t n = r.Count(kPrivateTargetBytes + 16);
+      list.candidates.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        processor::PublicNNCandidates::Candidate c;
+        c.target = GetPrivateTarget(r);
+        c.min_dist = r.F64();
+        c.max_dist = r.F64();
+        list.candidates.push_back(c);
+      }
+      list.minimax_bound = r.F64();
+      return ServerPayload(std::move(list));
+    }
+    case 5: {
+      processor::RangeCountResult result;
+      result.certain = static_cast<size_t>(r.U64());
+      result.possible = static_cast<size_t>(r.U64());
+      result.expected = r.F64();
+      const size_t n = r.Count(kPrivateTargetBytes);
+      result.overlapping.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        result.overlapping.push_back(GetPrivateTarget(r));
+      }
+      return ServerPayload(std::move(result));
+    }
+    case 6: {
+      const Rect extent = r.R();
+      const int32_t cols = r.I32();
+      const int32_t rows = r.I32();
+      if (r.failed() || cols < 1 || rows < 1 ||
+          static_cast<uint64_t>(cols) * static_cast<uint64_t>(rows) >
+              r.Remaining() / 8) {
+        return Status::InvalidArgument("bad density grid");
+      }
+      std::vector<double> cells;
+      cells.reserve(static_cast<size_t>(cols) * static_cast<size_t>(rows));
+      for (int64_t i = 0; i < int64_t{cols} * rows; ++i) cells.push_back(r.F64());
+      CASPER_ASSIGN_OR_RETURN(
+          map, processor::DensityMap::FromCells(extent, cols, rows,
+                                                std::move(cells)));
+      return ServerPayload(std::move(map));
+    }
+    default:
+      return Status::InvalidArgument("unknown payload kind");
+  }
+}
+
+}  // namespace
+
+size_t RecordCount(const ServerPayload& payload) {
+  return std::visit(
+      [](const auto& p) -> size_t {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, processor::PublicRangeCandidates>) {
+          return p.candidates.size();
+        } else if constexpr (std::is_same_v<T,
+                                            processor::PublicNNCandidates>) {
+          return p.candidates.size();
+        } else if constexpr (std::is_same_v<T, processor::RangeCountResult>) {
+          return p.overlapping.size();
+        } else if constexpr (std::is_same_v<T, processor::DensityMap>) {
+          return static_cast<size_t>(p.cols()) * static_cast<size_t>(p.rows());
+        } else {
+          return p.size();
+        }
+      },
+      payload);
+}
+
+std::string Encode(const CloakedQueryMsg& msg) {
+  Writer w;
+  w.U8(kTagCloakedQuery);
+  w.U8(static_cast<uint8_t>(msg.kind));
+  w.R(msg.cloak);
+  w.U64(msg.k);
+  w.F64(msg.radius);
+  w.Bool(msg.has_exclude);
+  w.U64(msg.exclude_handle);
+  w.P(msg.point);
+  w.R(msg.region);
+  w.I32(msg.cols);
+  w.I32(msg.rows);
+  return w.Take();
+}
+
+Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes) {
+  Reader r(bytes);
+  if (!r.Tag(kTagCloakedQuery)) {
+    return Status::InvalidArgument("not a CloakedQueryMsg");
+  }
+  CloakedQueryMsg msg;
+  const uint8_t kind = r.U8();
+  if (r.failed() || !ValidKind(kind)) {
+    return Status::InvalidArgument("bad query kind");
+  }
+  msg.kind = static_cast<QueryKind>(kind);
+  msg.cloak = r.R();
+  msg.k = r.U64();
+  msg.radius = r.F64();
+  msg.has_exclude = r.Bool();
+  msg.exclude_handle = r.U64();
+  msg.point = r.P();
+  msg.region = r.R();
+  msg.cols = r.I32();
+  msg.rows = r.I32();
+  CASPER_RETURN_IF_ERROR(r.Finish("CloakedQuery"));
+  return msg;
+}
+
+std::string Encode(const RegionUpsertMsg& msg) {
+  Writer w;
+  w.U8(kTagRegionUpsert);
+  w.U64(msg.handle);
+  w.Bool(msg.has_replaces);
+  w.U64(msg.replaces);
+  w.R(msg.region);
+  return w.Take();
+}
+
+Result<RegionUpsertMsg> DecodeRegionUpsert(std::string_view bytes) {
+  Reader r(bytes);
+  if (!r.Tag(kTagRegionUpsert)) {
+    return Status::InvalidArgument("not a RegionUpsertMsg");
+  }
+  RegionUpsertMsg msg;
+  msg.handle = r.U64();
+  msg.has_replaces = r.Bool();
+  msg.replaces = r.U64();
+  msg.region = r.R();
+  CASPER_RETURN_IF_ERROR(r.Finish("RegionUpsert"));
+  return msg;
+}
+
+std::string Encode(const RegionRemoveMsg& msg) {
+  Writer w;
+  w.U8(kTagRegionRemove);
+  w.U64(msg.handle);
+  return w.Take();
+}
+
+Result<RegionRemoveMsg> DecodeRegionRemove(std::string_view bytes) {
+  Reader r(bytes);
+  if (!r.Tag(kTagRegionRemove)) {
+    return Status::InvalidArgument("not a RegionRemoveMsg");
+  }
+  RegionRemoveMsg msg;
+  msg.handle = r.U64();
+  CASPER_RETURN_IF_ERROR(r.Finish("RegionRemove"));
+  return msg;
+}
+
+std::string Encode(const SnapshotMsg& msg) {
+  Writer w;
+  w.U8(kTagSnapshot);
+  w.Count(msg.regions.size());
+  for (const auto& t : msg.regions) Put(w, t);
+  return w.Take();
+}
+
+Result<SnapshotMsg> DecodeSnapshot(std::string_view bytes) {
+  Reader r(bytes);
+  if (!r.Tag(kTagSnapshot)) {
+    return Status::InvalidArgument("not a SnapshotMsg");
+  }
+  SnapshotMsg msg;
+  const size_t n = r.Count(kPrivateTargetBytes);
+  msg.regions.reserve(n);
+  for (size_t i = 0; i < n; ++i) msg.regions.push_back(GetPrivateTarget(r));
+  CASPER_RETURN_IF_ERROR(r.Finish("Snapshot"));
+  return msg;
+}
+
+std::string Encode(const CandidateListMsg& msg) {
+  Writer w;
+  w.U8(kTagCandidateList);
+  w.U8(static_cast<uint8_t>(msg.kind));
+  w.F64(msg.processor_seconds);
+  PutPayload(w, msg.payload);
+  return w.Take();
+}
+
+Result<CandidateListMsg> DecodeCandidateList(std::string_view bytes) {
+  Reader r(bytes);
+  if (!r.Tag(kTagCandidateList)) {
+    return Status::InvalidArgument("not a CandidateListMsg");
+  }
+  const uint8_t kind = r.U8();
+  if (r.failed() || !ValidKind(kind)) {
+    return Status::InvalidArgument("bad query kind");
+  }
+  const double processor_seconds = r.F64();
+  CASPER_ASSIGN_OR_RETURN(payload, GetPayload(r));
+  CASPER_RETURN_IF_ERROR(r.Finish("CandidateList"));
+  CandidateListMsg msg;
+  msg.kind = static_cast<QueryKind>(kind);
+  msg.processor_seconds = processor_seconds;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+}  // namespace casper

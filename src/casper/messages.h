@@ -1,0 +1,257 @@
+#ifndef CASPER_CASPER_MESSAGES_H_
+#define CASPER_CASPER_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+#include "src/processor/density.h"
+#include "src/processor/private_knn.h"
+#include "src/processor/private_nn.h"
+#include "src/processor/private_nn_private.h"
+#include "src/processor/private_range.h"
+#include "src/processor/public_nn_private.h"
+#include "src/processor/public_range.h"
+#include "src/processor/target_store.h"
+
+/// \file
+/// The wire-message protocol between the paper's three trust domains
+/// (Figure 1): mobile clients, the trusted location anonymizer, and the
+/// privacy-aware database server. Everything that crosses the
+/// anonymizer/server boundary is one of the message types below — the
+/// server tier never receives a user id, an exact position, or a
+/// privacy profile; only cloaked regions and opaque pseudonym handles.
+///
+/// Every message has a lossless binary encoding (little-endian,
+/// length-prefixed containers, leading type tag), so an in-process
+/// deployment and a future multi-process/multi-shard deployment speak
+/// the same protocol. In-process, the tiers hand the decoded structs to
+/// each other directly; the byte codec is exercised by a round-trip
+/// property test and by the facade parity test.
+
+namespace casper {
+
+// ---------------------------------------------------------------------------
+// Query taxonomy
+// ---------------------------------------------------------------------------
+
+/// Every query kind the framework answers. The first four are *private*
+/// queries (the querying user is cloaked); the last three are *public*
+/// queries over the private (cloaked-region) data.
+enum class QueryKind : uint8_t {
+  kNearestPublic = 0,   ///< Private NN over public data (Algorithm 2).
+  kKNearestPublic = 1,  ///< Private k-NN over public data.
+  kRangePublic = 2,     ///< Private circular range over public data.
+  kNearestPrivate = 3,  ///< Private NN over private data (buddies).
+  kPublicNearest = 4,   ///< Public NN over private data (known point).
+  kPublicRange = 5,     ///< Public range count over private data.
+  kDensity = 6,         ///< Expected-density map over private data.
+};
+
+// --- Client -> anonymizer: one query, any kind -----------------------------
+//
+// The per-kind parameter structs make "exactly the parameters this kind
+// needs" hold by construction; the eight former Query*/Evaluate* entry
+// points all collapse into this one variant plus a single dispatch.
+
+struct NearestPublicQ {
+  uint64_t uid = 0;
+};
+struct KNearestPublicQ {
+  uint64_t uid = 0;
+  uint64_t k = 1;
+};
+struct RangePublicQ {
+  uint64_t uid = 0;
+  double radius = 0.0;
+};
+struct NearestPrivateQ {
+  uint64_t uid = 0;
+};
+struct PublicNearestQ {
+  Point q;
+};
+struct PublicRangeQ {
+  Rect region;
+};
+struct DensityQ {
+  int32_t cols = 0;
+  int32_t rows = 0;
+};
+
+/// The unified query request. Alternative order matches QueryKind.
+using QueryRequest =
+    std::variant<NearestPublicQ, KNearestPublicQ, RangePublicQ,
+                 NearestPrivateQ, PublicNearestQ, PublicRangeQ, DensityQ>;
+
+inline QueryKind KindOf(const QueryRequest& request) {
+  return static_cast<QueryKind>(request.index());
+}
+
+/// True for the kinds that cloak a querying user (and therefore carry a
+/// uid that must never leave the trusted tier).
+inline bool IsCloakedKind(QueryKind kind) {
+  return kind == QueryKind::kNearestPublic ||
+         kind == QueryKind::kKNearestPublic ||
+         kind == QueryKind::kRangePublic ||
+         kind == QueryKind::kNearestPrivate;
+}
+
+/// True for the kinds evaluated against the private-data snapshot
+/// (which the facade guards with its staleness precondition).
+inline bool UsesPrivateData(QueryKind kind) {
+  return kind == QueryKind::kNearestPrivate ||
+         kind == QueryKind::kPublicNearest ||
+         kind == QueryKind::kPublicRange || kind == QueryKind::kDensity;
+}
+
+/// The querying user of a private-kind request; 0 for public kinds.
+inline uint64_t UidOf(const QueryRequest& request) {
+  if (const auto* q = std::get_if<NearestPublicQ>(&request)) return q->uid;
+  if (const auto* q = std::get_if<KNearestPublicQ>(&request)) return q->uid;
+  if (const auto* q = std::get_if<RangePublicQ>(&request)) return q->uid;
+  if (const auto* q = std::get_if<NearestPrivateQ>(&request)) return q->uid;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Anonymizer -> server: queries with identity stripped
+// ---------------------------------------------------------------------------
+
+/// A query as the database server sees it: for private kinds the exact
+/// location is replaced by the cloaked region and the user id by
+/// nothing at all — only for buddy queries does the requester's
+/// *current pseudonym handle* ride along, so the server can exclude the
+/// requester's own stored region from the answer (it can still not link
+/// the handle to any identity). Public kinds carry their exact
+/// parameters unchanged.
+struct CloakedQueryMsg {
+  QueryKind kind = QueryKind::kNearestPublic;
+
+  Rect cloak;                   ///< Private kinds: the cloaked region.
+  uint64_t k = 1;               ///< kKNearestPublic.
+  double radius = 0.0;          ///< kRangePublic.
+  bool has_exclude = false;     ///< kNearestPrivate: exclude handle set?
+  uint64_t exclude_handle = 0;  ///< Requester's stored-region handle.
+
+  Point point;       ///< kPublicNearest.
+  Rect region;       ///< kPublicRange.
+  int32_t cols = 0;  ///< kDensity.
+  int32_t rows = 0;  ///< kDensity.
+
+  friend bool operator==(const CloakedQueryMsg& a, const CloakedQueryMsg& b) {
+    return a.kind == b.kind && a.cloak == b.cloak && a.k == b.k &&
+           a.radius == b.radius && a.has_exclude == b.has_exclude &&
+           a.exclude_handle == b.exclude_handle && a.point == b.point &&
+           a.region == b.region && a.cols == b.cols && a.rows == b.rows;
+  }
+};
+
+/// Private-store maintenance: store `region` under the opaque handle
+/// `handle` (a pseudonym — the server cannot resolve it). When
+/// `has_replaces` is set, the region previously stored under `replaces`
+/// is dropped first (pseudonyms rotate on every re-publication, so the
+/// new handle is always fresh).
+struct RegionUpsertMsg {
+  uint64_t handle = 0;
+  bool has_replaces = false;
+  uint64_t replaces = 0;
+  Rect region;
+
+  friend bool operator==(const RegionUpsertMsg& a, const RegionUpsertMsg& b) {
+    return a.handle == b.handle && a.has_replaces == b.has_replaces &&
+           a.replaces == b.replaces && a.region == b.region;
+  }
+};
+
+/// Drop the region stored under `handle` (deregistration).
+struct RegionRemoveMsg {
+  uint64_t handle = 0;
+
+  friend bool operator==(const RegionRemoveMsg& a, const RegionRemoveMsg& b) {
+    return a.handle == b.handle;
+  }
+};
+
+/// Bulk snapshot replacing the server's whole private store (the batch
+/// SyncPrivateData model): (handle, region) pairs, identities already
+/// stripped and rotated by the anonymizer.
+struct SnapshotMsg {
+  std::vector<processor::PrivateTarget> regions;
+
+  friend bool operator==(const SnapshotMsg& a, const SnapshotMsg& b) {
+    return a.regions == b.regions;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Server -> client (via the anonymizer): candidate lists
+// ---------------------------------------------------------------------------
+
+/// The server-side answer payload, one alternative per QueryKind (same
+/// order).
+using ServerPayload =
+    std::variant<processor::PublicCandidateList, processor::KnnCandidateList,
+                 processor::PublicRangeCandidates,
+                 processor::PrivateCandidateList, processor::PublicNNCandidates,
+                 processor::RangeCountResult, processor::DensityMap>;
+
+/// The candidate list (or aggregate answer) for one CloakedQueryMsg,
+/// plus the server-side processing cost for the Figure-17 breakdown.
+struct CandidateListMsg {
+  QueryKind kind = QueryKind::kNearestPublic;
+  ServerPayload payload;
+  double processor_seconds = 0.0;
+
+  friend bool operator==(const CandidateListMsg& a, const CandidateListMsg& b) {
+    return a.kind == b.kind && a.processor_seconds == b.processor_seconds &&
+           a.payload == b.payload;
+  }
+};
+
+/// Number of candidate-list records shipped to the client — the input
+/// of the §6.3 transmission-cost model.
+size_t RecordCount(const ServerPayload& payload);
+
+// ---------------------------------------------------------------------------
+// Tier plumbing
+// ---------------------------------------------------------------------------
+
+/// Receiving end of the anonymizer's private-store maintenance stream.
+/// The server tier implements this; the anonymizer tier publishes into
+/// it without ever knowing the concrete server type.
+class PrivateStoreSink {
+ public:
+  virtual ~PrivateStoreSink() = default;
+  virtual Status Apply(const RegionUpsertMsg& msg) = 0;
+  virtual Status Apply(const RegionRemoveMsg& msg) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+//
+// Each Encode() emits a self-describing byte string (leading message
+// tag); each Decode*() validates the tag, every length prefix, and that
+// the buffer is fully consumed, so truncated or mistyped buffers fail
+// with InvalidArgument instead of crashing.
+
+std::string Encode(const CloakedQueryMsg& msg);
+std::string Encode(const RegionUpsertMsg& msg);
+std::string Encode(const RegionRemoveMsg& msg);
+std::string Encode(const SnapshotMsg& msg);
+std::string Encode(const CandidateListMsg& msg);
+
+Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes);
+Result<RegionUpsertMsg> DecodeRegionUpsert(std::string_view bytes);
+Result<RegionRemoveMsg> DecodeRegionRemove(std::string_view bytes);
+Result<SnapshotMsg> DecodeSnapshot(std::string_view bytes);
+Result<CandidateListMsg> DecodeCandidateList(std::string_view bytes);
+
+}  // namespace casper
+
+#endif  // CASPER_CASPER_MESSAGES_H_

@@ -10,6 +10,19 @@ DensityMap::DensityMap(const Rect& extent, int cols, int rows)
   cells_.assign(static_cast<size_t>(cols) * static_cast<size_t>(rows), 0.0);
 }
 
+Result<DensityMap> DensityMap::FromCells(const Rect& extent, int cols,
+                                         int rows, std::vector<double> cells) {
+  if (cols < 1 || rows < 1) {
+    return Status::InvalidArgument("grid must be at least 1x1");
+  }
+  if (cells.size() != static_cast<size_t>(cols) * static_cast<size_t>(rows)) {
+    return Status::InvalidArgument("cell count does not match grid");
+  }
+  DensityMap map(extent, cols, rows);
+  map.cells_ = std::move(cells);
+  return map;
+}
+
 double DensityMap::Total() const {
   double total = 0.0;
   for (double c : cells_) total += c;

@@ -21,6 +21,12 @@ class DensityMap {
  public:
   DensityMap(const Rect& extent, int cols, int rows);
 
+  /// Rebuild a map from its serialized parts (wire-message decode).
+  /// InvalidArgument when the grid is non-positive or `cells` has the
+  /// wrong length.
+  static Result<DensityMap> FromCells(const Rect& extent, int cols, int rows,
+                                      std::vector<double> cells);
+
   double At(int col, int row) const {
     CASPER_DCHECK(col >= 0 && col < cols_ && row >= 0 && row < rows_);
     return cells_[static_cast<size_t>(row) * cols_ + col];
@@ -36,6 +42,11 @@ class DensityMap {
 
   /// The rectangle covered by a cell.
   Rect CellRect(int col, int row) const;
+
+  friend bool operator==(const DensityMap& a, const DensityMap& b) {
+    return a.extent_ == b.extent_ && a.cols_ == b.cols_ && a.rows_ == b.rows_ &&
+           a.cells_ == b.cells_;
+  }
 
  private:
   friend Result<DensityMap> ExpectedDensity(const PrivateTargetStore&,

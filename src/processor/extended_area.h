@@ -24,6 +24,11 @@ struct EdgeExtension {
   /// perpendicular bisector of their anchor segment crosses the edge.
   bool has_middle = false;
   Point middle;
+
+  friend bool operator==(const EdgeExtension& a, const EdgeExtension& b) {
+    return a.max_d == b.max_d && a.has_middle == b.has_middle &&
+           a.middle == b.middle;
+  }
 };
 
 /// The extended search region A_EXT plus per-edge detail. Edge order
@@ -32,6 +37,10 @@ struct EdgeExtension {
 struct ExtendedArea {
   Rect a_ext;
   std::array<EdgeExtension, 4> edges;
+
+  friend bool operator==(const ExtendedArea& a, const ExtendedArea& b) {
+    return a.a_ext == b.a_ext && a.edges == b.edges;
+  }
 };
 
 /// Builds A_EXT for `cloak` given the per-vertex filters of

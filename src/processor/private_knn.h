@@ -30,6 +30,11 @@ struct KnnCandidateList {
   size_t k = 1;
 
   size_t size() const { return candidates.size(); }
+
+  friend bool operator==(const KnnCandidateList& a,
+                         const KnnCandidateList& b) {
+    return a.candidates == b.candidates && a.a_ext == b.a_ext && a.k == b.k;
+  }
 };
 
 /// Candidate list for a private k-NN query over public data.

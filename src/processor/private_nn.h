@@ -24,6 +24,12 @@ struct PublicCandidateList {
   FilterPolicy policy = FilterPolicy::kFourFilters;
 
   size_t size() const { return candidates.size(); }
+
+  friend bool operator==(const PublicCandidateList& a,
+                         const PublicCandidateList& b) {
+    return a.candidates == b.candidates && a.area == b.area &&
+           a.policy == b.policy;
+  }
 };
 
 /// Executes Algorithm 2 against `store` for the cloaked region `cloak`.

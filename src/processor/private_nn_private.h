@@ -23,6 +23,12 @@ struct PrivateCandidateList {
   FilterPolicy policy = FilterPolicy::kFourFilters;
 
   size_t size() const { return candidates.size(); }
+
+  friend bool operator==(const PrivateCandidateList& a,
+                         const PrivateCandidateList& b) {
+    return a.candidates == b.candidates && a.area == b.area &&
+           a.policy == b.policy;
+  }
 };
 
 struct PrivateNNOptions {

@@ -21,11 +21,21 @@ struct PublicRangeCandidates {
   std::vector<PublicTarget> candidates;
   /// The expanded server-side search window.
   Rect search_window;
+
+  friend bool operator==(const PublicRangeCandidates& a,
+                         const PublicRangeCandidates& b) {
+    return a.candidates == b.candidates && a.search_window == b.search_window;
+  }
 };
 
 struct PrivateRangeCandidates {
   std::vector<PrivateTarget> candidates;
   Rect search_window;
+
+  friend bool operator==(const PrivateRangeCandidates& a,
+                         const PrivateRangeCandidates& b) {
+    return a.candidates == b.candidates && a.search_window == b.search_window;
+  }
 };
 
 /// Candidates for a private circular range query (radius `r`) over

@@ -31,11 +31,21 @@ struct PublicNNCandidates {
     PrivateTarget target;
     double min_dist = 0.0;
     double max_dist = 0.0;
+
+    friend bool operator==(const Candidate& a, const Candidate& b) {
+      return a.target == b.target && a.min_dist == b.min_dist &&
+             a.max_dist == b.max_dist;
+    }
   };
   std::vector<Candidate> candidates;
 
   /// The minimax bound B: the true NN distance is certainly <= B.
   double minimax_bound = 0.0;
+
+  friend bool operator==(const PublicNNCandidates& a,
+                         const PublicNNCandidates& b) {
+    return a.candidates == b.candidates && a.minimax_bound == b.minimax_bound;
+  }
 };
 
 /// Computes the candidate set. NotFound on an empty store.

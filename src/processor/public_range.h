@@ -30,6 +30,11 @@ struct RangeCountResult {
 
   /// The overlapping targets, for callers that need the identities.
   std::vector<PrivateTarget> overlapping;
+
+  friend bool operator==(const RangeCountResult& a, const RangeCountResult& b) {
+    return a.certain == b.certain && a.possible == b.possible &&
+           a.expected == b.expected && a.overlapping == b.overlapping;
+  }
 };
 
 /// Evaluates a public range-count query over cloaked regions.

@@ -24,12 +24,20 @@ using TargetId = uint64_t;
 struct PublicTarget {
   TargetId id = 0;
   Point position;
+
+  friend bool operator==(const PublicTarget& a, const PublicTarget& b) {
+    return a.id == b.id && a.position == b.position;
+  }
 };
 
 /// A private target: a cloaked region.
 struct PrivateTarget {
   TargetId id = 0;
   Rect region;
+
+  friend bool operator==(const PrivateTarget& a, const PrivateTarget& b) {
+    return a.id == b.id && a.region == b.region;
+  }
 };
 
 /// Point targets indexed by an R-tree.

@@ -1,0 +1,135 @@
+#include "src/server/query_server.h"
+
+#include "src/common/stopwatch.h"
+#include "src/processor/density.h"
+#include "src/processor/private_knn.h"
+#include "src/processor/private_nn.h"
+#include "src/processor/private_nn_private.h"
+#include "src/processor/private_range.h"
+#include "src/processor/public_nn_private.h"
+#include "src/processor/public_range.h"
+
+namespace casper::server {
+
+QueryServer::QueryServer(const QueryServerOptions& options)
+    : options_(options) {}
+
+void QueryServer::AddPublicTarget(const processor::PublicTarget& target) {
+  public_store_.Insert(target);
+}
+
+void QueryServer::SetPublicTargets(
+    const std::vector<processor::PublicTarget>& targets) {
+  public_store_ = processor::PublicTargetStore(targets);
+}
+
+Status QueryServer::Apply(const RegionUpsertMsg& msg) {
+  if (msg.has_replaces) {
+    CASPER_RETURN_IF_ERROR(Apply(RegionRemoveMsg{msg.replaces}));
+  }
+  if (stored_regions_.count(msg.handle) > 0) {
+    return Status::Internal("region handle already stored");
+  }
+  stored_regions_[msg.handle] = msg.region;
+  private_store_.Insert(processor::PrivateTarget{msg.handle, msg.region});
+  return Status::OK();
+}
+
+Status QueryServer::Apply(const RegionRemoveMsg& msg) {
+  auto it = stored_regions_.find(msg.handle);
+  if (it == stored_regions_.end() ||
+      !private_store_.Remove(
+          processor::PrivateTarget{msg.handle, it->second})) {
+    return Status::Internal("stored region missing from private store");
+  }
+  stored_regions_.erase(it);
+  return Status::OK();
+}
+
+Status QueryServer::Load(const SnapshotMsg& snapshot) {
+  stored_regions_.clear();
+  stored_regions_.reserve(snapshot.regions.size());
+  for (const processor::PrivateTarget& target : snapshot.regions) {
+    stored_regions_[target.id] = target.region;
+  }
+  private_store_ = processor::PrivateTargetStore(snapshot.regions);
+  return Status::OK();
+}
+
+Result<CandidateListMsg> QueryServer::Execute(
+    const CloakedQueryMsg& query,
+    processor::ConcurrentQueryCache* cache) const {
+  CandidateListMsg response;
+  response.kind = query.kind;
+  Stopwatch watch;
+  switch (query.kind) {
+    case QueryKind::kNearestPublic: {
+      Result<processor::PublicCandidateList> answer =
+          cache != nullptr
+              ? cache->Query(query.cloak)
+              : processor::PrivateNearestNeighbor(public_store_, query.cloak,
+                                                  options_.filter_policy);
+      if (!answer.ok()) return answer.status();
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer).value();
+      return response;
+    }
+    case QueryKind::kKNearestPublic: {
+      CASPER_ASSIGN_OR_RETURN(
+          answer, processor::PrivateKNearestNeighbors(
+                      public_store_, query.cloak, query.k));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+    case QueryKind::kRangePublic: {
+      CASPER_ASSIGN_OR_RETURN(
+          answer, processor::PrivateRangeOverPublic(public_store_, query.cloak,
+                                                    query.radius));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+    case QueryKind::kNearestPrivate: {
+      processor::PrivateNNOptions nn_options;
+      nn_options.policy = options_.filter_policy;
+      // The requester's own stored region rides along as an opaque
+      // handle; left eligible it would win every filter probe and
+      // starve the actual buddies.
+      if (query.has_exclude) nn_options.exclude_id = query.exclude_handle;
+      CASPER_ASSIGN_OR_RETURN(answer,
+                              processor::PrivateNearestNeighborOverPrivate(
+                                  private_store_, query.cloak, nn_options));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+    case QueryKind::kPublicNearest: {
+      CASPER_ASSIGN_OR_RETURN(answer,
+                              processor::PublicNearestNeighborOverPrivate(
+                                  private_store_, query.point));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+    case QueryKind::kPublicRange: {
+      CASPER_ASSIGN_OR_RETURN(
+          answer, processor::PublicRangeCount(private_store_, query.region));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+    case QueryKind::kDensity: {
+      CASPER_ASSIGN_OR_RETURN(
+          answer, processor::ExpectedDensity(private_store_,
+                                             options_.density_extent,
+                                             query.cols, query.rows));
+      response.processor_seconds = watch.ElapsedSeconds();
+      response.payload = std::move(answer);
+      return response;
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+}  // namespace casper::server

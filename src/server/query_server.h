@@ -1,0 +1,88 @@
+#ifndef CASPER_SERVER_QUERY_SERVER_H_
+#define CASPER_SERVER_QUERY_SERVER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/processor/concurrent_query_cache.h"
+#include "src/processor/target_store.h"
+
+/// \file
+/// The privacy-aware database server tier (Figure 1, right box). It
+/// stores the public targets and the cloaked user regions, and answers
+/// every query kind of the framework — but it speaks only the wire
+/// protocol of src/casper/messages.h: cloaked queries in, candidate
+/// lists out, region maintenance through opaque pseudonym handles. By
+/// construction (and enforced by tests/tier_boundary_test.cc) nothing
+/// in this tier can name a user id or the pseudonym registry; the §3
+/// pseudonymity claim holds at compile time, not by convention.
+
+namespace casper::server {
+
+struct QueryServerOptions {
+  processor::FilterPolicy filter_policy =
+      processor::FilterPolicy::kFourFilters;
+
+  /// Extent of density maps (the managed space; public configuration,
+  /// not user data).
+  Rect density_extent = Rect(0.0, 0.0, 1.0, 1.0);
+};
+
+/// The server tier. Mutations (target edits, region maintenance,
+/// snapshot loads) are single-threaded by design; Execute() is const
+/// and read-only over the stores, so it may be fanned across threads
+/// provided no mutation runs concurrently — the same contract as the
+/// underlying stores.
+class QueryServer : public PrivateStoreSink {
+ public:
+  explicit QueryServer(const QueryServerOptions& options);
+
+  // --- Public data (stored exactly) -----------------------------------
+
+  void AddPublicTarget(const processor::PublicTarget& target);
+  void SetPublicTargets(const std::vector<processor::PublicTarget>& targets);
+
+  // --- Private data (cloaked regions under pseudonym handles) ---------
+
+  /// Incremental maintenance stream from the anonymizer.
+  Status Apply(const RegionUpsertMsg& msg) override;
+  Status Apply(const RegionRemoveMsg& msg) override;
+
+  /// Bulk snapshot replacing the whole private store (the batch
+  /// SyncPrivateData model; regions are STR bulk-loaded).
+  Status Load(const SnapshotMsg& snapshot);
+
+  // --- Query evaluation -----------------------------------------------
+
+  /// Answers one identity-stripped query: runs the privacy-aware
+  /// processor for the message's kind and returns the candidate list
+  /// plus the server-side processing cost (Figure 17's processor
+  /// share). `cache`, when non-null, memoizes kNearestPublic candidate
+  /// lists by cloak rectangle (answers identical to the direct path).
+  Result<CandidateListMsg> Execute(
+      const CloakedQueryMsg& query,
+      processor::ConcurrentQueryCache* cache = nullptr) const;
+
+  // --- Introspection ----------------------------------------------------
+
+  const processor::PublicTargetStore& public_store() const {
+    return public_store_;
+  }
+  const processor::PrivateTargetStore& private_store() const {
+    return private_store_;
+  }
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  QueryServerOptions options_;
+  processor::PublicTargetStore public_store_;
+  processor::PrivateTargetStore private_store_;
+  /// handle -> stored region, so maintenance messages can address
+  /// regions by pseudonym handle alone.
+  std::unordered_map<uint64_t, Rect> stored_regions_;
+};
+
+}  // namespace casper::server
+
+#endif  // CASPER_SERVER_QUERY_SERVER_H_

@@ -1,4 +1,4 @@
-#include "src/server/batch_query_engine.h"
+#include "src/casper/batch_query_engine.h"
 
 #include <gtest/gtest.h>
 
@@ -82,8 +82,8 @@ void ExpectParityWithSequential(CasperService* service,
         auto expected = service->QueryNearestPublic(request.uid);
         ASSERT_EQ(response.status.code(), expected.status().code());
         if (!expected.ok()) break;
-        ASSERT_TRUE(response.nearest_public.has_value());
-        const auto& got = *response.nearest_public;
+        ASSERT_NE(response.nearest_public(), nullptr);
+        const auto& got = *response.nearest_public();
         EXPECT_EQ(Ids(got.server_answer.candidates),
                   Ids(expected->server_answer.candidates));
         EXPECT_EQ(got.server_answer.area.a_ext, expected->server_answer.area.a_ext);
@@ -95,8 +95,8 @@ void ExpectParityWithSequential(CasperService* service,
         auto expected = service->QueryKNearestPublic(request.uid, request.k);
         ASSERT_EQ(response.status.code(), expected.status().code());
         if (!expected.ok()) break;
-        ASSERT_TRUE(response.k_nearest_public.has_value());
-        const auto& got = *response.k_nearest_public;
+        ASSERT_NE(response.k_nearest_public(), nullptr);
+        const auto& got = *response.k_nearest_public();
         EXPECT_EQ(Ids(got.server_answer.candidates),
                   Ids(expected->server_answer.candidates));
         EXPECT_EQ(Ids(got.exact), Ids(expected->exact));
@@ -106,8 +106,8 @@ void ExpectParityWithSequential(CasperService* service,
         auto expected = service->QueryRangePublic(request.uid, request.radius);
         ASSERT_EQ(response.status.code(), expected.status().code());
         if (!expected.ok()) break;
-        ASSERT_TRUE(response.range_public.has_value());
-        const auto& got = *response.range_public;
+        ASSERT_NE(response.range_public(), nullptr);
+        const auto& got = *response.range_public();
         EXPECT_EQ(Ids(got.server_answer.candidates),
                   Ids(expected->candidates));
         EXPECT_EQ(got.server_answer.search_window, expected->search_window);
@@ -117,13 +117,15 @@ void ExpectParityWithSequential(CasperService* service,
         auto expected = service->QueryNearestPrivate(request.uid);
         ASSERT_EQ(response.status.code(), expected.status().code());
         if (!expected.ok()) break;
-        ASSERT_TRUE(response.nearest_private.has_value());
-        const auto& got = *response.nearest_private;
+        ASSERT_NE(response.nearest_private(), nullptr);
+        const auto& got = *response.nearest_private();
         EXPECT_EQ(Ids(got.server_answer.candidates),
                   Ids(expected->server_answer.candidates));
         EXPECT_EQ(got.best.id, expected->best.id);
         break;
       }
+      default:
+        break;
     }
   }
 }
@@ -193,20 +195,20 @@ TEST(BatchQueryEngineTest, ResponsesInRequestOrder) {
     // The payload present must match the kind — a k-NN response in an
     // NN slot would mean slots were shuffled.
     if (batch[i].kind == QueryKind::kKNearestPublic) {
-      EXPECT_TRUE(result.responses[i].k_nearest_public.has_value());
-      EXPECT_FALSE(result.responses[i].nearest_public.has_value());
+      EXPECT_NE(result.responses[i].k_nearest_public(), nullptr);
+      EXPECT_EQ(result.responses[i].nearest_public(), nullptr);
       // Refined list is user-specific: verify against the sequential
       // answer for exactly this slot's uid.
       auto expected = service.QueryKNearestPublic(batch[i].uid, 40);
       ASSERT_TRUE(expected.ok());
-      EXPECT_EQ(Ids(result.responses[i].k_nearest_public->exact),
+      EXPECT_EQ(Ids(result.responses[i].k_nearest_public()->exact),
                 Ids(expected->exact));
     } else {
-      EXPECT_TRUE(result.responses[i].nearest_public.has_value());
-      EXPECT_FALSE(result.responses[i].k_nearest_public.has_value());
+      EXPECT_NE(result.responses[i].nearest_public(), nullptr);
+      EXPECT_EQ(result.responses[i].k_nearest_public(), nullptr);
       auto expected = service.QueryNearestPublic(batch[i].uid);
       ASSERT_TRUE(expected.ok());
-      EXPECT_EQ(result.responses[i].nearest_public->exact.id,
+      EXPECT_EQ(result.responses[i].nearest_public()->exact.id,
                 expected->exact.id);
     }
   }

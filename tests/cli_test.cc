@@ -79,11 +79,42 @@ TEST(CliTest, ErrorsAreReportedNotFatal) {
   EXPECT_NE(output.find("bye"), std::string::npos) << output;
 }
 
+TEST(CliTest, BatchSubcommand) {
+  const std::string output = RunCli(
+      "targets 50 7\\n"
+      "register 1 2 0 0.5 0.5\\n"
+      "register 2 2 0 0.52 0.5\\n"
+      "register 3 2 0 0.48 0.52\\n"
+      "sync\\n"
+      "batch 14 2\\n"
+      "quit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  // Every slot succeeds: the mixed batch cycles through all seven query
+  // kinds over the three registered users after a sync.
+  EXPECT_NE(output.find("batch=14 ok=14 errors=0 threads=2"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("qps="), std::string::npos) << output;
+  EXPECT_NE(output.find("processor_us p50="), std::string::npos) << output;
+  EXPECT_NE(output.find("totals_s anonymizer="), std::string::npos) << output;
+  EXPECT_NE(output.find("cache hits="), std::string::npos) << output;
+}
+
+TEST(CliTest, BatchWithoutUsersIsAnError) {
+  const std::string output = RunCli("batch 4 2\\nbatch\\nquit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  EXPECT_NE(output.find("batch needs at least one registered user"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("usage: batch <count> <threads>"), std::string::npos)
+      << output;
+}
+
 TEST(CliTest, HelpListsCommands) {
   const std::string output = RunCli("help\\nquit\\n");
   ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
   for (const char* cmd : {"register", "move", "nn", "knn", "density",
-                          "buddy", "sync"}) {
+                          "buddy", "batch", "sync"}) {
     EXPECT_NE(output.find(cmd), std::string::npos) << cmd;
   }
 }

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/casper/casper.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+
+/// Parity tests for the three-tier split: the facade's unified
+/// Execute() dispatch, the legacy Query* wrappers (the pre-refactor
+/// sequential API, pinned by the unchanged casper_service tests), and a
+/// hand-driven tier pipeline that pushes every message through the
+/// binary wire codec must all produce identical answers.
+
+namespace casper {
+namespace {
+
+CasperService MakeService(size_t users, size_t targets, uint64_t seed) {
+  CasperOptions options;
+  options.pyramid.height = 6;
+  CasperService service(options);
+  Rng rng(seed);
+  const Rect space = service.options().pyramid.space;
+  for (anonymizer::UserId uid = 0; uid < users; ++uid) {
+    anonymizer::PrivacyProfile profile;
+    profile.k = static_cast<uint32_t>(rng.UniformInt(1, 10));
+    EXPECT_TRUE(service.RegisterUser(uid, profile, rng.PointIn(space)).ok());
+  }
+  Rng target_rng(seed + 1);
+  service.SetPublicTargets(
+      workload::UniformPublicTargets(targets, space, &target_rng));
+  EXPECT_TRUE(service.SyncPrivateData().ok());
+  return service;
+}
+
+/// The facade path, re-built by hand at the wire-message level: strip
+/// identity, serialize the query across the anonymizer/server boundary,
+/// evaluate, serialize the candidate list back, refine client-side.
+Result<QueryResponse> ManualTierPath(CasperService& service,
+                                     const QueryRequest& request,
+                                     const anonymizer::CloakingResult& cloak) {
+  auto& tier = service.anonymizer_tier();
+  auto& server = service.query_server();
+
+  CASPER_ASSIGN_OR_RETURN(stripped, tier.StripIdentity(request, cloak));
+  CASPER_ASSIGN_OR_RETURN(query_on_server,
+                          DecodeCloakedQuery(Encode(stripped)));
+  CASPER_ASSIGN_OR_RETURN(answer, server.Execute(query_on_server));
+  CASPER_ASSIGN_OR_RETURN(answer_on_client,
+                          DecodeCandidateList(Encode(answer)));
+  return tier.RefineForClient(request, cloak, std::move(answer_on_client),
+                              service.options().transmission);
+}
+
+void ExpectSameAnswer(const QueryResponse& a, const QueryResponse& b) {
+  ASSERT_EQ(a.index(), b.index());
+  if (const auto* ra = std::get_if<PublicNNResponse>(&a)) {
+    const auto& rb = std::get<PublicNNResponse>(b);
+    EXPECT_TRUE(ra->server_answer == rb.server_answer);
+    EXPECT_TRUE(ra->exact == rb.exact);
+    EXPECT_EQ(ra->cloak.region, rb.cloak.region);
+  } else if (const auto* ra = std::get_if<PublicKnnResponse>(&a)) {
+    const auto& rb = std::get<PublicKnnResponse>(b);
+    EXPECT_TRUE(ra->server_answer == rb.server_answer);
+    EXPECT_TRUE(ra->exact == rb.exact);
+  } else if (const auto* ra = std::get_if<PublicRangeResponse>(&a)) {
+    const auto& rb = std::get<PublicRangeResponse>(b);
+    EXPECT_TRUE(ra->server_answer == rb.server_answer);
+    EXPECT_TRUE(ra->exact == rb.exact);
+  } else if (const auto* ra = std::get_if<PrivateNNResponse>(&a)) {
+    const auto& rb = std::get<PrivateNNResponse>(b);
+    EXPECT_TRUE(ra->server_answer == rb.server_answer);
+    EXPECT_TRUE(ra->best == rb.best);
+  } else if (const auto* ra = std::get_if<processor::PublicNNCandidates>(&a)) {
+    EXPECT_TRUE(*ra == std::get<processor::PublicNNCandidates>(b));
+  } else if (const auto* ra = std::get_if<processor::RangeCountResult>(&a)) {
+    EXPECT_TRUE(*ra == std::get<processor::RangeCountResult>(b));
+  } else if (const auto* ra = std::get_if<processor::DensityMap>(&a)) {
+    EXPECT_TRUE(*ra == std::get<processor::DensityMap>(b));
+  } else {
+    FAIL() << "unhandled response alternative";
+  }
+}
+
+std::vector<QueryRequest> SampleRequests(const CasperService& service,
+                                         size_t users) {
+  const Rect space = service.options().pyramid.space;
+  const double radius = space.width() * 0.05;
+  std::vector<QueryRequest> requests;
+  for (uint64_t uid = 0; uid < users; uid += 3) {
+    requests.push_back(NearestPublicQ{uid});
+    requests.push_back(KNearestPublicQ{uid, 1 + uid % 5});
+    requests.push_back(RangePublicQ{uid, radius});
+    requests.push_back(NearestPrivateQ{uid});
+  }
+  requests.push_back(PublicNearestQ{Point{0.3, 0.7}});
+  requests.push_back(PublicNearestQ{Point{0.9, 0.1}});
+  requests.push_back(
+      PublicRangeQ{Rect(0.2, 0.2, 0.6, 0.6)});
+  requests.push_back(PublicRangeQ{space});
+  requests.push_back(DensityQ{4, 4});
+  requests.push_back(DensityQ{8, 2});
+  return requests;
+}
+
+TEST(TierParityTest, WireCodecPathMatchesFacadeEvaluate) {
+  CasperService service = MakeService(30, 300, 11);
+  for (const QueryRequest& request : SampleRequests(service, 30)) {
+    anonymizer::CloakingResult cloak;
+    if (IsCloakedKind(KindOf(request))) {
+      auto cloak_result = service.anonymizer_tier().Cloak(UidOf(request));
+      ASSERT_TRUE(cloak_result.ok()) << cloak_result.status().ToString();
+      cloak = std::move(cloak_result).value();
+    }
+    auto facade = service.Evaluate(request, cloak);
+    auto manual = ManualTierPath(service, request, cloak);
+    ASSERT_EQ(facade.ok(), manual.ok());
+    ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+    ExpectSameAnswer(*facade, *manual);
+  }
+}
+
+TEST(TierParityTest, UnifiedDispatchMatchesLegacyWrappers) {
+  // Twin services built with the identical event sequence: one driven
+  // through the legacy wrappers (the pre-refactor API), one through the
+  // unified Execute() dispatch. Every answer — pseudonyms included,
+  // since both consume the same registry stream — must match.
+  CasperService legacy = MakeService(30, 300, 23);
+  CasperService unified = MakeService(30, 300, 23);
+  const Rect space = legacy.options().pyramid.space;
+  const double radius = space.width() * 0.05;
+
+  for (uint64_t uid = 0; uid < 30; uid += 4) {
+    auto a = legacy.QueryNearestPublic(uid);
+    auto b = unified.Execute(NearestPublicQ{uid});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSameAnswer(QueryResponse(*a), *b);
+
+    auto ka = legacy.QueryKNearestPublic(uid, 3);
+    auto kb = unified.Execute(KNearestPublicQ{uid, 3});
+    ASSERT_TRUE(ka.ok() && kb.ok());
+    ExpectSameAnswer(QueryResponse(*ka), *kb);
+
+    auto ra = legacy.QueryRangePublic(uid, radius);
+    auto rb = unified.Execute(RangePublicQ{uid, radius});
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_TRUE(*ra == std::get<PublicRangeResponse>(*rb).server_answer);
+
+    auto ba = legacy.QueryNearestPrivate(uid);
+    auto bb = unified.Execute(NearestPrivateQ{uid});
+    ASSERT_TRUE(ba.ok() && bb.ok());
+    ExpectSameAnswer(QueryResponse(*ba), *bb);
+  }
+
+  auto na = legacy.QueryPublicNearest(Point{0.4, 0.4});
+  auto nb = unified.Execute(PublicNearestQ{Point{0.4, 0.4}});
+  ASSERT_TRUE(na.ok() && nb.ok());
+  ExpectSameAnswer(QueryResponse(*na), *nb);
+
+  auto ca = legacy.QueryPublicRange(space);
+  auto cb = unified.Execute(PublicRangeQ{space});
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  ExpectSameAnswer(QueryResponse(*ca), *cb);
+
+  auto da = legacy.QueryDensity(5, 5);
+  auto db = unified.Execute(DensityQ{5, 5});
+  ASSERT_TRUE(da.ok() && db.ok());
+  ExpectSameAnswer(QueryResponse(*da), *db);
+}
+
+TEST(TierParityTest, ErrorsMatchThePreRefactorContract) {
+  CasperOptions options;
+  options.pyramid.height = 6;
+  CasperService service(options);
+
+  // Unknown user.
+  auto nn = service.Execute(NearestPublicQ{99});
+  EXPECT_FALSE(nn.ok());
+  EXPECT_EQ(nn.status().code(), StatusCode::kNotFound);
+
+  // Stale private snapshot: checked before anything else, exact
+  // pre-refactor message.
+  auto buddy = service.Execute(NearestPrivateQ{0});
+  EXPECT_FALSE(buddy.ok());
+  EXPECT_EQ(buddy.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(buddy.status().ToString().find(
+                "private data snapshot is stale; call SyncPrivateData()"),
+            std::string::npos)
+      << buddy.status().ToString();
+
+  // Lone user has no buddies.
+  anonymizer::PrivacyProfile profile;
+  profile.k = 1;
+  ASSERT_TRUE(service.RegisterUser(0, profile, Point{0.5, 0.5}).ok());
+  ASSERT_TRUE(service.SyncPrivateData().ok());
+  auto lone = service.Execute(NearestPrivateQ{0});
+  EXPECT_FALSE(lone.ok());
+  EXPECT_EQ(lone.status().code(), StatusCode::kNotFound);
+  // The processor's own error (the lone user's region is excluded, and
+  // the store holds nothing else) — exactly what the monolith returned.
+  EXPECT_NE(lone.status().ToString().find("no eligible target in store"),
+            std::string::npos)
+      << lone.status().ToString();
+}
+
+TEST(TierParityTest, ServerTierNeverSeesTheUserId) {
+  // Structural parity check at the message level: for every cloaked
+  // kind, the CloakedQueryMsg that crosses the boundary carries no
+  // field recoverable as the querying uid.
+  CasperService service = MakeService(20, 100, 31);
+  auto& tier = service.anonymizer_tier();
+  const Rect space = service.options().pyramid.space;
+  for (uint64_t uid = 0; uid < 20; ++uid) {
+    auto cloak = tier.Cloak(uid);
+    ASSERT_TRUE(cloak.ok());
+    for (const QueryRequest& request :
+         {QueryRequest(NearestPublicQ{uid}), QueryRequest(KNearestPublicQ{uid, 4}),
+          QueryRequest(RangePublicQ{uid, space.width() * 0.03}),
+          QueryRequest(NearestPrivateQ{uid})}) {
+      auto stripped = tier.StripIdentity(request, *cloak);
+      ASSERT_TRUE(stripped.ok());
+      // The cloak strictly contains more than the user's point, and the
+      // only id-shaped field is the pseudonym handle, never the uid.
+      EXPECT_TRUE(stripped->cloak.Contains(
+          *service.ClientPosition(uid)));
+      if (stripped->has_exclude) {
+        EXPECT_NE(stripped->exclude_handle, uid);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper

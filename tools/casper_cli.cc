@@ -6,10 +6,13 @@
 //
 //   printf 'targets 100 7\nregister 1 5 0 .5 .5\n...' | casper_cli
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/casper/batch_query_engine.h"
 #include "src/casper/casper.h"
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
@@ -33,6 +36,7 @@ void PrintHelp() {
       "  count <x0> <y0> <x1> <y1>            public range count\n"
       "  density <cols> <rows>                expected-density map\n"
       "  buddy <uid>                          private NN over private data\n"
+      "  batch <count> <threads>              mixed parallel batch + summary\n"
       "  stats                                anonymizer statistics\n"
       "  help                                 this text\n"
       "  quit                                 exit\n");
@@ -43,6 +47,9 @@ int Run() {
   options.pyramid.height = 8;
   CasperService service(options);
   Rng rng(1);
+  // Registered uids, in registration order — the batch command cycles
+  // through them (the service itself never exposes an id roster).
+  std::vector<unsigned long long> uids;
 
   char line[512];
   std::printf("casper> ");
@@ -70,6 +77,7 @@ int Run() {
       } else {
         const Status st =
             service.RegisterUser(uid, {k, a_min}, Point{x, y});
+        if (st.ok()) uids.push_back(uid);
         std::printf("%s\n", st.ToString().c_str());
       }
     } else if (c == "move") {
@@ -100,7 +108,9 @@ int Run() {
       if (std::sscanf(line, "%*s %llu", &uid) != 1) {
         std::printf("usage: deregister <uid>\n");
       } else {
-        std::printf("%s\n", service.DeregisterUser(uid).ToString().c_str());
+        const Status st = service.DeregisterUser(uid);
+        if (st.ok()) std::erase(uids, uid);
+        std::printf("%s\n", st.ToString().c_str());
       }
     } else if (c == "targets") {
       unsigned long long n, seed;
@@ -229,6 +239,77 @@ int Run() {
                           resolved.ok() ? *resolved : 0),
                       r->best.region.ToString().c_str());
         }
+      }
+    } else if (c == "batch") {
+      unsigned long long count, threads;
+      if (std::sscanf(line, "%*s %llu %llu", &count, &threads) != 2 ||
+          count == 0 || threads == 0) {
+        std::printf("usage: batch <count> <threads>\n");
+      } else if (uids.empty()) {
+        std::printf("batch needs at least one registered user\n");
+      } else {
+        // A mixed workload cycling through every query kind, funneled
+        // through the unified QueryRequest dispatch by the engine.
+        const Rect space = service.options().pyramid.space;
+        const double radius = space.width() * 0.01;
+        std::vector<server::BatchQueryRequest> requests;
+        requests.reserve(count);
+        for (unsigned long long i = 0; i < count; ++i) {
+          const unsigned long long uid = uids[i % uids.size()];
+          switch (i % 7) {
+            case 0:
+              requests.push_back(
+                  server::BatchQueryRequest::NearestPublic(uid));
+              break;
+            case 1:
+              requests.push_back(
+                  server::BatchQueryRequest::KNearestPublic(uid, 5));
+              break;
+            case 2:
+              requests.push_back(
+                  server::BatchQueryRequest::RangePublic(uid, radius));
+              break;
+            case 3:
+              requests.push_back(
+                  server::BatchQueryRequest::NearestPrivate(uid));
+              break;
+            case 4:
+              requests.push_back(
+                  server::BatchQueryRequest::PublicNearest(rng.PointIn(space)));
+              break;
+            case 5: {
+              const Point corner = rng.PointIn(space);
+              requests.push_back(server::BatchQueryRequest::PublicRange(
+                  Rect(corner.x, corner.y,
+                       std::min(space.max.x, corner.x + radius),
+                       std::min(space.max.y, corner.y + radius))));
+              break;
+            }
+            case 6:
+              requests.push_back(server::BatchQueryRequest::Density(4, 4));
+              break;
+          }
+        }
+        server::BatchEngineOptions engine_options;
+        engine_options.threads = threads;
+        server::BatchQueryEngine engine(&service, engine_options);
+        const server::BatchResult result = engine.Execute(requests);
+        const server::BatchSummary& s = result.summary;
+        std::printf("batch=%zu ok=%zu errors=%zu threads=%llu\n",
+                    s.batch_size, s.ok_count, s.error_count, threads);
+        std::printf("wall_s=%.6f cloak_s=%.6f qps=%.1f\n", s.wall_seconds,
+                    s.cloak_seconds, s.queries_per_second);
+        std::printf("processor_us p50=%.2f p95=%.2f p99=%.2f mean=%.2f\n",
+                    s.processor_p50_micros, s.processor_p95_micros,
+                    s.processor_p99_micros, s.processor_mean_micros);
+        std::printf("totals_s anonymizer=%.6f processor=%.6f "
+                    "transmission=%.6f\n",
+                    s.totals.anonymizer_seconds, s.totals.processor_seconds,
+                    s.totals.transmission_seconds);
+        std::printf("cache hits=%llu misses=%llu hit_rate=%.4f\n",
+                    static_cast<unsigned long long>(s.cache.hits),
+                    static_cast<unsigned long long>(s.cache.misses),
+                    s.cache.HitRate());
       }
     } else if (c == "stats") {
       const auto& s = service.anonymizer().stats();
