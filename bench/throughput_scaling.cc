@@ -7,6 +7,7 @@
 #include "src/casper/casper.h"
 #include "src/casper/workload.h"
 #include "src/casper/batch_query_engine.h"
+#include "src/obs/exporters.h"
 
 /// \file
 /// Batch-query throughput scaling: queries/sec of the parallel
@@ -176,6 +177,17 @@ int main() {
     std::fprintf(out, "]}\n");
     std::fclose(out);
     std::printf("wrote BENCH_throughput.json (%zu rows)\n", rows.size());
+  }
+
+  // The run's full observability snapshot (every service above shares
+  // the process-default registry) rides along as a CI artifact.
+  const std::string metrics =
+      obs::ExportJson(obs::MetricsRegistry::Default()->Scrape());
+  std::FILE* metrics_out = std::fopen("BENCH_metrics.json", "w");
+  if (metrics_out != nullptr) {
+    std::fwrite(metrics.data(), 1, metrics.size(), metrics_out);
+    std::fclose(metrics_out);
+    std::printf("wrote BENCH_metrics.json\n");
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "src/anonymizer/adaptive_anonymizer.h"
 #include "src/anonymizer/basic_anonymizer.h"
+#include "src/common/stopwatch.h"
 #include "src/processor/private_knn.h"
 #include "src/processor/private_nn.h"
 #include "src/processor/private_nn_private.h"
@@ -13,7 +14,10 @@
 namespace casper::anonymizer {
 
 AnonymizerTier::AnonymizerTier(const AnonymizerTierOptions& options)
-    : options_(options), pseudonyms_(options.pseudonym_seed) {
+    : options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::CasperMetrics::Default()),
+      pseudonyms_(options.pseudonym_seed) {
   if (options_.use_adaptive_anonymizer) {
     anonymizer_ = std::make_unique<AdaptiveAnonymizer>(options_.pyramid);
   } else {
@@ -21,47 +25,101 @@ AnonymizerTier::AnonymizerTier(const AnonymizerTierOptions& options)
   }
 }
 
+void AnonymizerTier::SyncPyramidMetrics() {
+  const MaintenanceStats& stats = anonymizer_->stats();
+  auto bump = [](obs::Counter* counter, uint64_t current, uint64_t* last) {
+    // ResetStats() (bench harnesses) shrinks the source counters; the
+    // diff simply re-bases without decrementing the monotonic metric.
+    if (current > *last) counter->Increment(current - *last);
+    *last = current;
+  };
+  bump(metrics_->pyramid_splits_total, stats.splits, &last_splits_);
+  bump(metrics_->pyramid_merges_total, stats.merges, &last_merges_);
+  bump(metrics_->pyramid_counter_updates_total, stats.counter_updates,
+       &last_counter_updates_);
+}
+
+void AnonymizerTier::SyncGauges() {
+  metrics_->users->Set(static_cast<double>(anonymizer_->user_count()));
+  metrics_->pending_publications->Set(
+      static_cast<double>(pending_publication_.size()));
+}
+
+Result<CloakingResult> AnonymizerTier::Cloak(UserId uid) {
+  Stopwatch watch;
+  Result<CloakingResult> result = anonymizer_->Cloak(uid);
+  if (!result.ok()) {
+    metrics_->cloak_failures_total->Increment();
+    return result;
+  }
+  metrics_->cloaks_total->Increment();
+  metrics_->cloak_seconds->Observe(watch.ElapsedSeconds());
+  metrics_->cloak_area->Observe(result->region.Area());
+  metrics_->cloak_k_achieved->Observe(
+      static_cast<double>(result->users_in_region));
+  return result;
+}
+
 Status AnonymizerTier::RegisterUser(UserId uid, const PrivacyProfile& profile,
                                     const Point& position,
                                     PrivateStoreSink* sink) {
   CASPER_RETURN_IF_ERROR(anonymizer_->RegisterUser(uid, profile, position));
+  metrics_->user_events_total[static_cast<size_t>(obs::UserEvent::kRegister)]
+      ->Increment();
   client_positions_[uid] = position;
+  Status status = Status::OK();
   if (options_.publish_on_event) {
-    CASPER_RETURN_IF_ERROR(PublishRegion(uid, sink));
+    status = PublishRegion(uid, sink);
     // A larger population can make previously unsatisfiable profiles
     // publishable.
-    return RetryPendingPublications(sink);
+    if (status.ok()) status = RetryPendingPublications(sink);
   }
-  return Status::OK();
+  SyncPyramidMetrics();
+  SyncGauges();
+  return status;
 }
 
 Status AnonymizerTier::UpdateLocation(UserId uid, const Point& position,
                                       PrivateStoreSink* sink) {
   CASPER_RETURN_IF_ERROR(anonymizer_->UpdateLocation(uid, position));
+  metrics_->user_events_total[static_cast<size_t>(obs::UserEvent::kMove)]
+      ->Increment();
   client_positions_[uid] = position;
+  Status status = Status::OK();
   if (options_.publish_on_event) {
-    return PublishRegion(uid, sink);
+    status = PublishRegion(uid, sink);
   }
-  return Status::OK();
+  SyncPyramidMetrics();
+  SyncGauges();
+  return status;
 }
 
 Status AnonymizerTier::UpdateProfile(UserId uid, const PrivacyProfile& profile,
                                      PrivateStoreSink* sink) {
   CASPER_RETURN_IF_ERROR(anonymizer_->UpdateProfile(uid, profile));
+  metrics_->user_events_total[static_cast<size_t>(obs::UserEvent::kProfile)]
+      ->Increment();
+  Status status = Status::OK();
   if (options_.publish_on_event) {
-    return PublishRegion(uid, sink);
+    status = PublishRegion(uid, sink);
   }
-  return Status::OK();
+  SyncPyramidMetrics();
+  SyncGauges();
+  return status;
 }
 
 Status AnonymizerTier::DeregisterUser(UserId uid, PrivateStoreSink* sink) {
   CASPER_RETURN_IF_ERROR(anonymizer_->DeregisterUser(uid));
+  metrics_->user_events_total[static_cast<size_t>(obs::UserEvent::kDeregister)]
+      ->Increment();
   client_positions_.erase(uid);
   pending_publication_.erase(uid);
   CASPER_RETURN_IF_ERROR(RetractRegion(uid, sink));
   if (current_pseudonym_.erase(uid) > 0) {
     CASPER_RETURN_IF_ERROR(pseudonyms_.Forget(uid));
   }
+  SyncPyramidMetrics();
+  SyncGauges();
   return Status::OK();
 }
 
@@ -84,7 +142,7 @@ Result<Pseudonym> AnonymizerTier::NextPseudonym(UserId uid) {
 
 Status AnonymizerTier::PublishRegion(UserId uid, PrivateStoreSink* sink) {
   CASPER_RETURN_IF_ERROR(RetractRegion(uid, sink));
-  auto cloak = anonymizer_->Cloak(uid);
+  auto cloak = Cloak(uid);
   if (cloak.status().code() == StatusCode::kFailedPrecondition) {
     // The profile cannot be satisfied yet (k exceeds the current
     // population). Publishing nothing is the only safe choice; the
@@ -97,8 +155,10 @@ Status AnonymizerTier::PublishRegion(UserId uid, PrivateStoreSink* sink) {
   CASPER_ASSIGN_OR_RETURN(pseudonym, NextPseudonym(uid));
   current_pseudonym_[uid] = pseudonym;
   published_.insert(uid);
-  return sink->Apply(
-      RegionUpsertMsg{pseudonym, false, 0, cloak.value().region});
+  CASPER_RETURN_IF_ERROR(sink->Apply(
+      RegionUpsertMsg{pseudonym, false, 0, cloak.value().region}));
+  metrics_->regions_published_total->Increment();
+  return Status::OK();
 }
 
 Status AnonymizerTier::RetractRegion(UserId uid, PrivateStoreSink* sink) {
@@ -108,6 +168,7 @@ Status AnonymizerTier::RetractRegion(UserId uid, PrivateStoreSink* sink) {
   }
   CASPER_RETURN_IF_ERROR(sink->Apply(RegionRemoveMsg{pseudonym->second}));
   published_.erase(uid);
+  metrics_->regions_retracted_total->Increment();
   return Status::OK();
 }
 
@@ -117,7 +178,7 @@ Result<SnapshotMsg> AnonymizerTier::BuildSnapshot() {
   published_.clear();
   for (const auto& [uid, pos] : client_positions_) {
     (void)pos;
-    auto cloak = anonymizer_->Cloak(uid);
+    auto cloak = Cloak(uid);
     if (cloak.status().code() == StatusCode::kFailedPrecondition) {
       // Unsatisfiable profile (k above the population): never publish a
       // weaker region; the user simply stays out of this snapshot.
@@ -134,6 +195,10 @@ Result<SnapshotMsg> AnonymizerTier::BuildSnapshot() {
     snapshot.regions.push_back(
         processor::PrivateTarget{pseudonym, cloak.value().region});
   }
+  metrics_->snapshots_total->Increment();
+  metrics_->regions_published_total->Increment(snapshot.regions.size());
+  SyncPyramidMetrics();
+  SyncGauges();
   return snapshot;
 }
 

@@ -10,6 +10,7 @@
 #include "src/casper/messages.h"
 #include "src/casper/responses.h"
 #include "src/casper/transmission.h"
+#include "src/obs/casper_metrics.h"
 
 /// \file
 /// The trusted location-anonymizer tier (Figure 1, middle box): the one
@@ -39,6 +40,9 @@ struct AnonymizerTierOptions {
   /// to the lifecycle calls; otherwise regions only flow on
   /// BuildSnapshot() (the paper's batch model).
   bool publish_on_event = false;
+
+  /// Instrument bundle; null resolves to obs::CasperMetrics::Default().
+  obs::CasperMetrics* metrics = nullptr;
 };
 
 /// The trusted middleware process. All calls are single-threaded by
@@ -73,8 +77,10 @@ class AnonymizerTier {
 
   // --- Query-path helpers ---------------------------------------------
 
-  /// Algorithm 1 for the user's current position.
-  Result<CloakingResult> Cloak(UserId uid) { return anonymizer_->Cloak(uid); }
+  /// Algorithm 1 for the user's current position. Records the cloak
+  /// latency / area / k-achieved distributions; both the query path and
+  /// region publication funnel through it.
+  Result<CloakingResult> Cloak(UserId uid);
 
   /// Turns a client request plus its cloak into the message the server
   /// is allowed to see: exact position replaced by the cloaked region,
@@ -122,7 +128,21 @@ class AnonymizerTier {
   /// regions cannot be linked across publications), fresh otherwise.
   Result<Pseudonym> NextPseudonym(UserId uid);
 
+  /// Mirrors the anonymizer's pyramid maintenance counters (splits,
+  /// merges, counter updates) into the registry by diffing against the
+  /// last sync — callers may ResetStats() underneath us, which simply
+  /// re-bases the diff. Called after every mutating entry point.
+  void SyncPyramidMetrics();
+
+  /// Gauge refresh (population, pending publications).
+  void SyncGauges();
+
   AnonymizerTierOptions options_;
+  obs::CasperMetrics* metrics_;
+  /// Last MaintenanceStats values mirrored into counters.
+  uint64_t last_splits_ = 0;
+  uint64_t last_merges_ = 0;
+  uint64_t last_counter_updates_ = 0;
   std::unique_ptr<LocationAnonymizer> anonymizer_;
   /// Identity stripping for server-side private data.
   PseudonymRegistry pseudonyms_;

@@ -31,12 +31,18 @@ QueryRequest BatchQueryRequest::ToRequest() const {
 BatchQueryEngine::BatchQueryEngine(CasperService* service,
                                    const BatchEngineOptions& options)
     : service_(service), options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::CasperMetrics::Default()),
       pool_(options.threads > 0 ? options.threads : 1) {
   CASPER_DCHECK(service != nullptr);
+  metrics_->pool_threads->Set(
+      static_cast<double>(options_.threads > 0 ? options_.threads : 1));
   if (options_.use_cache) {
     cache_ = std::make_unique<processor::ConcurrentQueryCache>(
         &service_->public_store(), options_.cache_capacity,
         service_->options().filter_policy, options_.cache_shards);
+    cache_->AttachMetrics(metrics_->cache_hits_total,
+                          metrics_->cache_misses_total);
   }
 }
 
@@ -48,7 +54,8 @@ void BatchQueryEngine::EvaluateOne(const BatchQueryRequest& request,
                                    const anonymizer::CloakingResult& cloak,
                                    double anonymizer_seconds,
                                    BatchQueryResponse* out) const {
-  auto result = service_->Evaluate(request.ToRequest(), cloak, cache_.get());
+  auto result = service_->Evaluate(request.ToRequest(), cloak, cache_.get(),
+                                   anonymizer_seconds);
   out->status = result.status();
   if (!result.ok()) return;
   QueryResponse response = std::move(result).value();
@@ -63,6 +70,7 @@ BatchResult BatchQueryEngine::Execute(
   BatchResult result;
   result.responses.resize(n);
   result.summary.batch_size = n;
+  const double busy_before = pool_.busy_seconds();
   Stopwatch wall;
 
   // Phase 1 — sequential cloaking of the private kinds. The anonymizer
@@ -81,7 +89,7 @@ BatchResult BatchQueryEngine::Execute(
       continue;
     }
     Stopwatch watch;
-    auto cloak = service_->anonymizer().Cloak(requests[i].uid);
+    auto cloak = service_->anonymizer_tier().Cloak(requests[i].uid);
     anonymizer_seconds[i] = watch.ElapsedSeconds();
     if (!cloak.ok()) {
       result.responses[i].status = cloak.status();
@@ -108,7 +116,11 @@ BatchResult BatchQueryEngine::Execute(
                   anonymizer_seconds[i], &result.responses[i]);
     }));
   }
+  // High-water queue depth of this batch: everything is enqueued before
+  // the first join, so the submitted count is the depth the pool saw.
+  metrics_->batch_queue_depth->Set(static_cast<double>(done.size()));
   for (std::future<void>& f : done) f.get();
+  metrics_->batch_queue_depth->Set(0.0);
 
   // Aggregate: throughput, latency percentiles, Figure-17 totals.
   result.summary.wall_seconds = wall.ElapsedSeconds();
@@ -137,6 +149,17 @@ BatchResult BatchQueryEngine::Execute(
   result.summary.processor_mean_micros =
       processor_micros.count() > 0 ? processor_micros.mean() : 0.0;
   if (cache_) result.summary.cache = cache_->stats();
+
+  metrics_->batches_total->Increment();
+  metrics_->batch_queries_total->Increment(n);
+  metrics_->batch_errors_total->Increment(result.summary.error_count);
+  metrics_->batch_wall_seconds->Observe(result.summary.wall_seconds);
+  const size_t threads = options_.threads > 0 ? options_.threads : 1;
+  if (result.summary.wall_seconds > 0.0) {
+    metrics_->pool_utilization->Set(
+        (pool_.busy_seconds() - busy_before) /
+        (result.summary.wall_seconds * static_cast<double>(threads)));
+  }
   return result;
 }
 

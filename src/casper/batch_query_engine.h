@@ -159,6 +159,11 @@ struct BatchEngineOptions {
   bool use_cache = true;
   size_t cache_capacity = 1024;
   size_t cache_shards = processor::ConcurrentQueryCache::kDefaultShards;
+
+  /// Instrument bundle; null resolves to obs::CasperMetrics::Default().
+  /// Feeds the batch gauges (queue depth, pool utilization) and routes
+  /// the cache's hit/miss counts into the registry.
+  obs::CasperMetrics* metrics = nullptr;
 };
 
 /// Aggregate cost of one Execute() call.
@@ -220,6 +225,7 @@ class BatchQueryEngine {
 
   CasperService* service_;
   BatchEngineOptions options_;
+  obs::CasperMetrics* metrics_;
   ThreadPool pool_;
   std::unique_ptr<processor::ConcurrentQueryCache> cache_;
 };

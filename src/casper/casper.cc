@@ -4,22 +4,41 @@
 #include "src/processor/concurrent_query_cache.h"
 
 namespace casper {
+
+// src/obs/ duplicates the kind labels as strings so it can stay on both
+// sides of the trust boundary without seeing the protocol headers; this
+// is the one place that sees both, so pin the wire order here.
+static_assert(obs::kQueryKindCount ==
+                  static_cast<size_t>(QueryKind::kDensity) + 1,
+              "obs::kQueryKindLabels must cover every QueryKind");
+static_assert(static_cast<size_t>(QueryKind::kNearestPublic) == 0 &&
+                  static_cast<size_t>(QueryKind::kKNearestPublic) == 1 &&
+                  static_cast<size_t>(QueryKind::kRangePublic) == 2 &&
+                  static_cast<size_t>(QueryKind::kNearestPrivate) == 3 &&
+                  static_cast<size_t>(QueryKind::kPublicNearest) == 4 &&
+                  static_cast<size_t>(QueryKind::kPublicRange) == 5 &&
+                  static_cast<size_t>(QueryKind::kDensity) == 6,
+              "obs::kQueryKindLabels is indexed by QueryKind wire value");
+
 namespace {
 
-server::QueryServerOptions ServerOptionsFrom(const CasperOptions& options) {
+server::QueryServerOptions ServerOptionsFrom(const CasperOptions& options,
+                                             obs::CasperMetrics* metrics) {
   server::QueryServerOptions server_options;
   server_options.filter_policy = options.filter_policy;
   server_options.density_extent = options.pyramid.space;
+  server_options.metrics = metrics;
   return server_options;
 }
 
 anonymizer::AnonymizerTierOptions TierOptionsFrom(
-    const CasperOptions& options) {
+    const CasperOptions& options, obs::CasperMetrics* metrics) {
   anonymizer::AnonymizerTierOptions tier_options;
   tier_options.pyramid = options.pyramid;
   tier_options.use_adaptive_anonymizer = options.use_adaptive_anonymizer;
   tier_options.pseudonym_seed = options.pseudonym_seed;
   tier_options.publish_on_event = options.auto_sync_private_data;
+  tier_options.metrics = metrics;
   return tier_options;
 }
 
@@ -32,8 +51,10 @@ Status StaleSnapshotError() {
 
 CasperService::CasperService(const CasperOptions& options)
     : options_(options),
-      server_(ServerOptionsFrom(options)),
-      tier_(TierOptionsFrom(options)) {
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::CasperMetrics::Default()),
+      server_(ServerOptionsFrom(options, metrics_)),
+      tier_(TierOptionsFrom(options, metrics_)) {
   // With auto-sync every mutation maintains the store, so the snapshot
   // is never stale; batch mode starts stale until the first sync.
   private_data_dirty_ = !options_.auto_sync_private_data;
@@ -98,23 +119,44 @@ Result<QueryResponse> CasperService::Execute(const QueryRequest& request) {
   const double anonymizer_seconds = watch.ElapsedSeconds();
 
   // 2+3. Server-side candidate list + client-side refinement.
-  CASPER_ASSIGN_OR_RETURN(response, Evaluate(request, cloak));
+  CASPER_ASSIGN_OR_RETURN(
+      response, Evaluate(request, cloak, nullptr, anonymizer_seconds));
   SetAnonymizerSeconds(response, anonymizer_seconds);
   return response;
 }
 
 Result<QueryResponse> CasperService::Evaluate(
     const QueryRequest& request, const anonymizer::CloakingResult& cloak,
-    processor::ConcurrentQueryCache* cache) const {
+    processor::ConcurrentQueryCache* cache, double cloak_seconds) const {
   if (UsesPrivateData(KindOf(request)) && private_data_dirty_) {
     return StaleSnapshotError();
   }
+  obs::QuerySpan span = metrics_->tracer.Start(
+      obs::kQueryKindLabels[static_cast<size_t>(KindOf(request))]);
+  span.phase_seconds[static_cast<size_t>(obs::Phase::kCloak)] = cloak_seconds;
+  Result<QueryResponse> result = EvaluateTraced(request, cloak, cache, &span);
+  metrics_->tracer.Finish(span);
+  return result;
+}
+
+Result<QueryResponse> CasperService::EvaluateTraced(
+    const QueryRequest& request, const anonymizer::CloakingResult& cloak,
+    processor::ConcurrentQueryCache* cache, obs::QuerySpan* span) const {
   // Anonymizer tier: strip the identity; server tier: evaluate the
   // candidate list; anonymizer/client tier: refine with the exact
   // position. The three steps speak only wire messages.
-  CASPER_ASSIGN_OR_RETURN(stripped, tier_.StripIdentity(request, cloak));
-  CASPER_ASSIGN_OR_RETURN(answer, server_.Execute(stripped, cache));
-  return tier_.RefineForClient(request, cloak, std::move(answer),
+  Result<CloakedQueryMsg> stripped = [&] {
+    obs::ScopedPhase phase(span, obs::Phase::kWireEncode);
+    return tier_.StripIdentity(request, cloak);
+  }();
+  if (!stripped.ok()) return stripped.status();
+  Result<CandidateListMsg> answer = [&] {
+    obs::ScopedPhase phase(span, obs::Phase::kEvaluate);
+    return server_.Execute(stripped.value(), cache);
+  }();
+  if (!answer.ok()) return answer.status();
+  obs::ScopedPhase phase(span, obs::Phase::kRefine);
+  return tier_.RefineForClient(request, cloak, std::move(answer).value(),
                                options_.transmission);
 }
 

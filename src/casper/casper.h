@@ -13,6 +13,7 @@
 #include "src/casper/messages.h"
 #include "src/casper/responses.h"
 #include "src/casper/transmission.h"
+#include "src/obs/casper_metrics.h"
 #include "src/processor/density.h"
 #include "src/processor/naive.h"
 #include "src/processor/private_knn.h"
@@ -64,6 +65,12 @@ struct CasperOptions {
   /// event — the same snapshot semantics as periodic syncing, at a
   /// finer grain. Off by default (the paper's batch model).
   bool auto_sync_private_data = false;
+
+  /// Instrument bundle shared by both tiers and the facade's query
+  /// spans; null resolves to obs::CasperMetrics::Default() (the
+  /// registry `casper_cli metrics` scrapes). Tests inject a fresh
+  /// bundle to observe a single service in isolation.
+  obs::CasperMetrics* metrics = nullptr;
 };
 
 /// The full framework behind the original one-object API. Mutations are
@@ -126,9 +133,13 @@ class CasperService {
   /// single-threaded anonymizer, as in the paper). `cache`, when
   /// non-null, memoizes kNearestPublic candidate lists by cloak
   /// rectangle (answers identical to the direct evaluation).
-  Result<QueryResponse> Evaluate(
-      const QueryRequest& request, const anonymizer::CloakingResult& cloak,
-      processor::ConcurrentQueryCache* cache = nullptr) const;
+  /// `cloak_seconds`, when the caller timed the cloak itself (Execute,
+  /// the batch engine's phase 1), lands on the span's cloak phase so
+  /// the trace covers all four pipeline phases.
+  Result<QueryResponse> Evaluate(const QueryRequest& request,
+                                 const anonymizer::CloakingResult& cloak,
+                                 processor::ConcurrentQueryCache* cache = nullptr,
+                                 double cloak_seconds = 0.0) const;
 
   // --- Queries (legacy wrappers) ----------------------------------------
 
@@ -202,7 +213,15 @@ class CasperService {
   const server::QueryServer& query_server() const { return server_; }
 
  private:
+  /// Evaluate() body with the span threaded through, structured so the
+  /// span is always Finish()ed regardless of which step fails.
+  Result<QueryResponse> EvaluateTraced(const QueryRequest& request,
+                                       const anonymizer::CloakingResult& cloak,
+                                       processor::ConcurrentQueryCache* cache,
+                                       obs::QuerySpan* span) const;
+
   CasperOptions options_;
+  obs::CasperMetrics* metrics_;
   server::QueryServer server_;
   anonymizer::AnonymizerTier tier_;
   bool private_data_dirty_ = true;

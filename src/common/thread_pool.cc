@@ -1,5 +1,7 @@
 #include "src/common/thread_pool.h"
 
+#include "src/common/stopwatch.h"
+
 namespace casper {
 
 ThreadPool::ThreadPool(size_t thread_count) {
@@ -23,7 +25,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    Stopwatch watch;
     task();
+    busy_seconds_.fetch_add(watch.ElapsedSeconds(),
+                            std::memory_order_relaxed);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef CASPER_COMMON_THREAD_POOL_H_
 #define CASPER_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -62,6 +63,13 @@ class ThreadPool {
   /// Tasks enqueued but not yet picked up by a worker.
   size_t pending() const;
 
+  /// Cumulative wall time workers have spent inside tasks (relaxed
+  /// reads; exact once the pool is idle). The utilization input of the
+  /// batch engine's pool gauge.
+  double busy_seconds() const {
+    return busy_seconds_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -70,6 +78,7 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<double> busy_seconds_{0.0};
 };
 
 }  // namespace casper

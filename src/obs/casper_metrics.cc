@@ -1,0 +1,127 @@
+#include "src/obs/casper_metrics.h"
+
+namespace casper::obs {
+namespace {
+
+/// Latency bounds shared by cloak / query-processing histograms:
+/// 1µs .. 1s, roughly logarithmic.
+std::vector<double> LatencyBounds() {
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+          5e-4, 1e-3,   5e-3, 1e-2, 5e-2,   0.1,  0.5,  1.0};
+}
+
+/// Candidate-list size / k-achieved bounds (counts).
+std::vector<double> CountBounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096};
+}
+
+/// Cloak-area bounds as absolute area in space units² (the managed
+/// space is 1×1 by default, so these read as fractions of it).
+std::vector<double> AreaBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
+}
+
+std::vector<double> BatchWallBounds() {
+  return {1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0};
+}
+
+constexpr const char* kEventLabels[4] = {"register", "move", "profile",
+                                         "deregister"};
+
+}  // namespace
+
+CasperMetrics::CasperMetrics(MetricsRegistry* r)
+    : registry(r),
+      cloaks_total(r->GetCounter("casper_anonymizer_cloaks_total",
+                                 "Successful Algorithm-1 cloaks.")),
+      cloak_failures_total(
+          r->GetCounter("casper_anonymizer_cloak_failures_total",
+                        "Cloak attempts that failed (unknown user, "
+                        "unsatisfiable profile, ...).")),
+      cloak_seconds(r->GetHistogram("casper_anonymizer_cloak_seconds",
+                                    "Algorithm-1 cloaking latency.",
+                                    LatencyBounds())),
+      cloak_area(r->GetHistogram(
+          "casper_anonymizer_cloak_area",
+          "Cloaked-region area in space units squared.", AreaBounds())),
+      cloak_k_achieved(r->GetHistogram(
+          "casper_anonymizer_cloak_k_achieved",
+          "Users inside the returned cloaked region (k').", CountBounds())),
+      pyramid_splits_total(r->GetCounter(
+          "casper_anonymizer_pyramid_splits_total",
+          "Adaptive-pyramid cell splits during maintenance.")),
+      pyramid_merges_total(r->GetCounter(
+          "casper_anonymizer_pyramid_merges_total",
+          "Adaptive-pyramid cell merges during maintenance.")),
+      pyramid_counter_updates_total(r->GetCounter(
+          "casper_anonymizer_pyramid_counter_updates_total",
+          "Pyramid cell-counter mutations (the paper's update-cost "
+          "metric).")),
+      users(r->GetGauge("casper_anonymizer_users",
+                        "Currently registered users.")),
+      pending_publications(r->GetGauge(
+          "casper_anonymizer_pending_publications",
+          "Users whose profile cannot be satisfied yet (awaiting "
+          "re-publication).")),
+      snapshots_total(r->GetCounter("casper_anonymizer_snapshots_total",
+                                    "Identity-stripped snapshots built.")),
+      regions_published_total(r->GetCounter(
+          "casper_anonymizer_regions_published_total",
+          "Cloaked regions published to the server tier.")),
+      regions_retracted_total(r->GetCounter(
+          "casper_anonymizer_regions_retracted_total",
+          "Stored regions retracted from the server tier.")),
+      cache_hits_total(r->GetCounter(
+          "casper_server_cache_hits_total",
+          "Candidate-list cache hits (shared cloak evaluations).")),
+      cache_misses_total(r->GetCounter("casper_server_cache_misses_total",
+                                       "Candidate-list cache misses.")),
+      batches_total(r->GetCounter("casper_batch_batches_total",
+                                  "BatchQueryEngine::Execute calls.")),
+      batch_queries_total(r->GetCounter("casper_batch_queries_total",
+                                        "Queries submitted in batches.")),
+      batch_errors_total(r->GetCounter(
+          "casper_batch_errors_total", "Batch slots that ended in error.")),
+      batch_queue_depth(r->GetGauge(
+          "casper_batch_queue_depth",
+          "Tasks waiting in the engine's pool after fan-out.")),
+      pool_utilization(r->GetGauge(
+          "casper_batch_pool_utilization",
+          "Worker busy-time share of the last batch (busy / threads x "
+          "wall).")),
+      pool_threads(r->GetGauge("casper_batch_pool_threads",
+                               "Worker threads in the engine's pool.")),
+      batch_wall_seconds(r->GetHistogram("casper_batch_wall_seconds",
+                                         "Whole-batch wall time.",
+                                         BatchWallBounds())),
+      tracer(r) {
+  for (size_t i = 0; i < 4; ++i) {
+    user_events_total[i] =
+        r->GetCounter("casper_anonymizer_events_total",
+                      "User lifecycle events by type.",
+                      {{"event", kEventLabels[i]}});
+  }
+  for (size_t k = 0; k < kQueryKindCount; ++k) {
+    const LabelSet labels = {{"kind", kQueryKindLabels[k]}};
+    queries_total[k] =
+        r->GetCounter("casper_server_queries_total",
+                      "Queries answered by the server tier.", labels);
+    query_errors_total[k] =
+        r->GetCounter("casper_server_query_errors_total",
+                      "Server-tier evaluations that failed.", labels);
+    query_seconds[k] = r->GetHistogram(
+        "casper_server_query_seconds",
+        "Server-side processing latency per query.", LatencyBounds(), labels);
+    candidates[k] = r->GetHistogram(
+        "casper_server_candidates",
+        "Candidate-list records returned per query.", CountBounds(), labels);
+  }
+}
+
+CasperMetrics* CasperMetrics::Default() {
+  static CasperMetrics* const metrics =
+      new CasperMetrics(MetricsRegistry::Default());
+  return metrics;
+}
+
+}  // namespace casper::obs

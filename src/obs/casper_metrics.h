@@ -1,0 +1,85 @@
+#ifndef CASPER_OBS_CASPER_METRICS_H_
+#define CASPER_OBS_CASPER_METRICS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+/// \file
+/// The named instruments of the serving path, registered once and
+/// shared by the three tiers. Naming scheme (see DESIGN.md §2c):
+/// `casper_<tier>_<what>[_<unit>][_total]` with `kind=`, `event=`, and
+/// `phase=` labels; the seven `kind` label values follow the QueryKind
+/// wire order, mirrored here as strings so this directory stays
+/// dependency-free of the protocol headers (and therefore usable from
+/// both sides of the trust boundary).
+///
+/// Components resolve a null options pointer to Default(), which hangs
+/// off MetricsRegistry::Default() — the registry `casper_cli metrics`
+/// scrapes. Tests inject a fresh registry instead.
+
+namespace casper::obs {
+
+/// Mirror of the QueryKind count/order (static_assert'd at the one
+/// include site that sees both, src/casper/casper.cc).
+inline constexpr size_t kQueryKindCount = 7;
+inline constexpr const char* kQueryKindLabels[kQueryKindCount] = {
+    "nearest_public", "k_nearest_public", "range_public", "nearest_private",
+    "public_nearest", "public_range",     "density",
+};
+
+struct CasperMetrics {
+  explicit CasperMetrics(MetricsRegistry* registry);
+
+  /// The process-wide bundle over MetricsRegistry::Default().
+  static CasperMetrics* Default();
+
+  MetricsRegistry* registry;
+
+  // --- Anonymizer tier (trusted) --------------------------------------
+  Counter* cloaks_total;
+  Counter* cloak_failures_total;
+  Histogram* cloak_seconds;     ///< Algorithm-1 latency.
+  Histogram* cloak_area;        ///< Cloaked-region area (space units²).
+  Histogram* cloak_k_achieved;  ///< Users inside the region (k').
+  Counter* pyramid_splits_total;
+  Counter* pyramid_merges_total;
+  Counter* pyramid_counter_updates_total;
+  Counter* user_events_total[4];  ///< register / move / profile / deregister.
+  Gauge* users;
+  Gauge* pending_publications;
+  Counter* snapshots_total;
+  Counter* regions_published_total;
+  Counter* regions_retracted_total;
+
+  // --- Server tier (untrusted), per query kind ------------------------
+  Counter* queries_total[kQueryKindCount];
+  Counter* query_errors_total[kQueryKindCount];
+  Histogram* query_seconds[kQueryKindCount];  ///< Processor latency.
+  Histogram* candidates[kQueryKindCount];     ///< Candidate-list size.
+  Counter* cache_hits_total;
+  Counter* cache_misses_total;
+
+  // --- Batch engine ----------------------------------------------------
+  Counter* batches_total;
+  Counter* batch_queries_total;
+  Counter* batch_errors_total;
+  Gauge* batch_queue_depth;
+  Gauge* pool_utilization;  ///< Busy-time share of the last batch.
+  Gauge* pool_threads;
+  Histogram* batch_wall_seconds;
+
+  // --- Query-path spans -------------------------------------------------
+  QueryTracer tracer;
+};
+
+/// Index of a lifecycle event in `user_events_total`.
+enum class UserEvent : size_t {
+  kRegister = 0,
+  kMove = 1,
+  kProfile = 2,
+  kDeregister = 3
+};
+
+}  // namespace casper::obs
+
+#endif  // CASPER_OBS_CASPER_METRICS_H_

@@ -1,0 +1,188 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace casper::obs {
+namespace {
+
+/// Renders labels as `k1="v1",k2="v2"` — the sample sort key, so scrape
+/// order (and therefore exporter output) is deterministic.
+std::string LabelKey(const LabelSet& labels) {
+  std::string key;
+  for (const auto& [name, value] : labels) {
+    key += name;
+    key += "=\"";
+    key += value;
+    key += "\",";
+  }
+  return key;
+}
+
+/// Labels are part of a series' identity irrespective of the order the
+/// caller listed them in; sorting by key makes the identity canonical.
+LabelSet Normalized(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+size_t CurrentShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), cells_(kMetricShards) {
+  CASPER_DCHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (Cell& cell : cells_) {
+    cell.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value — Prometheus `le` buckets are inclusive; past
+  // the last bound the observation lands in the overflow (+Inf) bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Cell& cell = cells_[CurrentShard()];
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.buckets.assign(bounds_.size() + 1, 0);
+  for (const Cell& cell : cells_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      data.buckets[i] += cell.buckets[i].load(std::memory_order_relaxed);
+    }
+    data.count += cell.count.load(std::memory_order_relaxed);
+    data.sum += cell.sum.load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+MetricType MetricsRegistry::TypeOf(std::string_view name) const {
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) return MetricType::kGauge;
+  }
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return MetricType::kHistogram;
+  }
+  return MetricType::kCounter;  // Also the "unused name" default.
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     LabelSet labels) {
+  labels = Normalized(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) {
+    if (entry.name == name && entry.labels == labels) return &entry.metric;
+  }
+  CASPER_DCHECK(TypeOf(name) == MetricType::kCounter);
+  return &counters_
+              .emplace_back(std::string(name), std::string(help),
+                            std::move(labels))
+              .metric;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help, LabelSet labels) {
+  labels = Normalized(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : gauges_) {
+    if (entry.name == name && entry.labels == labels) return &entry.metric;
+  }
+  return &gauges_
+              .emplace_back(std::string(name), std::string(help),
+                            std::move(labels))
+              .metric;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds,
+                                         LabelSet labels) {
+  labels = Normalized(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name && entry.labels == labels) return &entry.metric;
+  }
+  return &histograms_
+              .emplace_back(std::string(name), std::string(help),
+                            std::move(labels), std::move(bounds))
+              .metric;
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  auto family_for = [&snapshot](const std::string& name,
+                                const std::string& help,
+                                MetricType type) -> MetricFamily& {
+    for (MetricFamily& family : snapshot.families) {
+      if (family.name == name) return family;
+    }
+    snapshot.families.push_back(MetricFamily{name, help, type, {}});
+    return snapshot.families.back();
+  };
+  for (const auto& entry : counters_) {
+    MetricSample sample;
+    sample.labels = entry.labels;
+    sample.value = static_cast<double>(entry.metric.Value());
+    family_for(entry.name, entry.help, MetricType::kCounter)
+        .samples.push_back(std::move(sample));
+  }
+  for (const auto& entry : gauges_) {
+    MetricSample sample;
+    sample.labels = entry.labels;
+    sample.value = entry.metric.Value();
+    family_for(entry.name, entry.help, MetricType::kGauge)
+        .samples.push_back(std::move(sample));
+  }
+  for (const auto& entry : histograms_) {
+    MetricSample sample;
+    sample.labels = entry.labels;
+    sample.histogram = entry.metric.Snapshot();
+    family_for(entry.name, entry.help, MetricType::kHistogram)
+        .samples.push_back(std::move(sample));
+  }
+  std::sort(snapshot.families.begin(), snapshot.families.end(),
+            [](const MetricFamily& a, const MetricFamily& b) {
+              return a.name < b.name;
+            });
+  for (MetricFamily& family : snapshot.families) {
+    std::sort(family.samples.begin(), family.samples.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                return LabelKey(a.labels) < LabelKey(b.labels);
+              });
+  }
+  return snapshot;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace casper::obs

@@ -1,0 +1,190 @@
+#ifndef CASPER_OBS_METRICS_H_
+#define CASPER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Lock-cheap metrics registry for the three-tier serving path:
+/// counters, gauges, and fixed-bucket histograms. The hot operations
+/// (Increment / Observe / Set) touch only relaxed atomics — the same
+/// pattern ConcurrentQueryCache uses for its hit/miss accounting — and
+/// counters/histograms are additionally striped across a fixed number
+/// of cache-line-padded shards selected by thread id, so concurrent
+/// writers on different cores almost never share a line. Scrape()
+/// merges the shards into a point-in-time snapshot that is exact once
+/// all in-flight updates have completed (the ConcurrentQueryCache
+/// stats() contract).
+///
+/// Registration (GetCounter / GetGauge / GetHistogram) takes a mutex
+/// and is idempotent on (name, labels): callers register once at
+/// construction and keep the returned pointer, which stays valid for
+/// the registry's lifetime. Instruments live outside the trusted
+/// perimeter's concern — this directory depends only on the standard
+/// library, so both tiers may use it without widening any include
+/// closure.
+
+namespace casper::obs {
+
+/// Ordered (key, value) label pairs; part of a metric's identity.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Write-side striping factor for counters and histograms.
+inline constexpr size_t kMetricShards = 16;
+
+/// Stable shard index for the calling thread.
+size_t CurrentShard();
+
+/// Monotonic event counter (export name should end in `_total`).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    cells_[CurrentShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards (relaxed reads).
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization, ...).
+/// A single atomic: Set() has no meaningful sharded merge.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged read-side view of one histogram (see Histogram::Snapshot).
+struct HistogramData {
+  std::vector<double> bounds;     ///< Ascending inclusive upper bounds.
+  std::vector<uint64_t> buckets;  ///< Per-bucket counts; last = overflow.
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-bucket histogram. Observe() is lock-free: a binary search over
+/// the (immutable) bounds plus three relaxed atomic adds on the calling
+/// thread's shard.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds (Prometheus `le` semantics),
+  /// strictly ascending; an implicit +Inf bucket is always appended.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged snapshot across shards (relaxed reads).
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  ///< bounds + overflow.
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Cell> cells_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One labeled series within a family.
+struct MetricSample {
+  LabelSet labels;
+  double value = 0.0;       ///< Counter / gauge.
+  HistogramData histogram;  ///< Histogram only.
+};
+
+/// All series sharing one metric name.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<MetricSample> samples;  ///< Sorted by rendered label set.
+};
+
+/// Point-in-time scrape, sorted by family name — the exporters' input.
+struct MetricsSnapshot {
+  std::vector<MetricFamily> families;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent on (name, labels): a second registration returns the
+  /// same instrument. Registering an existing name as a different type
+  /// is a programming error (checked). Returned pointers stay valid for
+  /// the registry's lifetime.
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      LabelSet labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  LabelSet labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds, LabelSet labels = {});
+
+  /// Merged snapshot of every registered instrument, deterministically
+  /// ordered (families by name, samples by label set).
+  MetricsSnapshot Scrape() const;
+
+  /// The process-wide registry (what `casper_cli metrics` scrapes).
+  static MetricsRegistry* Default();
+
+ private:
+  template <typename M>
+  struct Entry {
+    Entry(std::string n, std::string h, LabelSet l)
+        : name(std::move(n)), help(std::move(h)), labels(std::move(l)) {}
+    Entry(std::string n, std::string h, LabelSet l, std::vector<double> b)
+        : name(std::move(n)), help(std::move(h)), labels(std::move(l)),
+          metric(std::move(b)) {}
+    std::string name;
+    std::string help;
+    LabelSet labels;
+    M metric;
+  };
+
+  MetricType TypeOf(std::string_view name) const;
+
+  mutable std::mutex mu_;  ///< Guards registration and family assembly.
+  // Deques: growth never relocates handed-out instrument pointers.
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+};
+
+}  // namespace casper::obs
+
+#endif  // CASPER_OBS_METRICS_H_

@@ -34,8 +34,14 @@ Result<PublicCandidateList> ConcurrentQueryCache::Query(const Rect& cloak) {
     d_misses = after.misses - before.misses;
     return r;
   }();
-  if (d_hits != 0) hits_.fetch_add(d_hits, std::memory_order_relaxed);
-  if (d_misses != 0) misses_.fetch_add(d_misses, std::memory_order_relaxed);
+  if (d_hits != 0) {
+    hits_.fetch_add(d_hits, std::memory_order_relaxed);
+    if (metric_hits_ != nullptr) metric_hits_->Increment(d_hits);
+  }
+  if (d_misses != 0) {
+    misses_.fetch_add(d_misses, std::memory_order_relaxed);
+    if (metric_misses_ != nullptr) metric_misses_->Increment(d_misses);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/processor/query_cache.h"
 
 /// \file
@@ -41,6 +42,14 @@ class ConcurrentQueryCache {
   /// (O(shards), each bump O(1)); stale entries are reclaimed lazily.
   void InvalidateAll();
 
+  /// Mirrors hit/miss accounting into registry counters. Call before
+  /// the first concurrent Query() (the pointers are read unguarded on
+  /// the hot path); pass nullptrs to detach.
+  void AttachMetrics(obs::Counter* hits, obs::Counter* misses) {
+    metric_hits_ = hits;
+    metric_misses_ = misses;
+  }
+
   /// Merged snapshot across shards (relaxed reads).
   QueryCacheStats stats() const;
 
@@ -65,6 +74,8 @@ class ConcurrentQueryCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
 };
 
 }  // namespace casper::processor

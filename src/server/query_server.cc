@@ -12,7 +12,9 @@
 namespace casper::server {
 
 QueryServer::QueryServer(const QueryServerOptions& options)
-    : options_(options) {}
+    : options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::CasperMetrics::Default()) {}
 
 void QueryServer::AddPublicTarget(const processor::PublicTarget& target) {
   public_store_.Insert(target);
@@ -57,6 +59,24 @@ Status QueryServer::Load(const SnapshotMsg& snapshot) {
 }
 
 Result<CandidateListMsg> QueryServer::Execute(
+    const CloakedQueryMsg& query,
+    processor::ConcurrentQueryCache* cache) const {
+  Result<CandidateListMsg> result = ExecuteImpl(query, cache);
+  const auto kind = static_cast<size_t>(query.kind);
+  if (kind < obs::kQueryKindCount) {
+    if (!result.ok()) {
+      metrics_->query_errors_total[kind]->Increment();
+    } else {
+      metrics_->queries_total[kind]->Increment();
+      metrics_->query_seconds[kind]->Observe(result->processor_seconds);
+      metrics_->candidates[kind]->Observe(
+          static_cast<double>(RecordCount(result->payload)));
+    }
+  }
+  return result;
+}
+
+Result<CandidateListMsg> QueryServer::ExecuteImpl(
     const CloakedQueryMsg& query,
     processor::ConcurrentQueryCache* cache) const {
   CandidateListMsg response;

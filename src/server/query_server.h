@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/casper/messages.h"
+#include "src/obs/casper_metrics.h"
 #include "src/processor/concurrent_query_cache.h"
 #include "src/processor/target_store.h"
 
@@ -27,6 +28,11 @@ struct QueryServerOptions {
   /// Extent of density maps (the managed space; public configuration,
   /// not user data).
   Rect density_extent = Rect(0.0, 0.0, 1.0, 1.0);
+
+  /// Instrument bundle; null resolves to obs::CasperMetrics::Default().
+  /// The server tier records only aggregate latencies, counts, and
+  /// candidate-list sizes — nothing identity-shaped crosses into it.
+  obs::CasperMetrics* metrics = nullptr;
 };
 
 /// The server tier. Mutations (target edits, region maintenance,
@@ -75,7 +81,12 @@ class QueryServer : public PrivateStoreSink {
   const QueryServerOptions& options() const { return options_; }
 
  private:
+  Result<CandidateListMsg> ExecuteImpl(
+      const CloakedQueryMsg& query,
+      processor::ConcurrentQueryCache* cache) const;
+
   QueryServerOptions options_;
+  obs::CasperMetrics* metrics_;
   processor::PublicTargetStore public_store_;
   processor::PrivateTargetStore private_store_;
   /// handle -> stored region, so maintenance messages can address

@@ -100,6 +100,48 @@ TEST(CliTest, BatchSubcommand) {
   EXPECT_NE(output.find("cache hits="), std::string::npos) << output;
 }
 
+TEST(CliTest, MetricsAfterBatchShowsAllSevenKinds) {
+  const std::string output = RunCli(
+      "targets 50 7\\n"
+      "register 1 2 0 0.5 0.5\\n"
+      "register 2 2 0 0.52 0.5\\n"
+      "register 3 2 0 0.48 0.52\\n"
+      "sync\\n"
+      "batch 14 2\\n"
+      "metrics\\n"
+      "quit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  // Non-zero tier counters after the batch...
+  EXPECT_NE(output.find("# TYPE casper_anonymizer_cloaks_total counter"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("casper_batch_queries_total 14"), std::string::npos)
+      << output;
+  // ...and a populated per-kind latency histogram for every query kind.
+  for (const char* kind :
+       {"nearest_public", "k_nearest_public", "range_public",
+        "nearest_private", "public_nearest", "public_range", "density"}) {
+    const std::string series =
+        std::string("casper_server_query_seconds_count{kind=\"") + kind +
+        "\"} 2";
+    EXPECT_NE(output.find(series), std::string::npos) << series;
+  }
+}
+
+TEST(CliTest, MetricsJsonVariant) {
+  const std::string output = RunCli(
+      "targets 20 7\\n"
+      "register 1 1 0 0.5 0.5\\n"
+      "nn 1\\n"
+      "metrics json\\n"
+      "quit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  EXPECT_NE(output.find("{\"metrics\": ["), std::string::npos) << output;
+  EXPECT_NE(output.find("\"name\": \"casper_anonymizer_cloaks_total\""),
+            std::string::npos)
+      << output;
+}
+
 TEST(CliTest, BatchWithoutUsersIsAnError) {
   const std::string output = RunCli("batch 4 2\\nbatch\\nquit\\n");
   ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";

@@ -1,0 +1,88 @@
+#include "src/obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+/// Golden-file tests of the two exporters: a fixed registry is rendered
+/// and compared byte-for-byte against checked-in expectations, so any
+/// format drift (spacing, ordering, escaping, float rendering) shows up
+/// as a reviewable diff. Regenerate with:
+///
+///   CASPER_REGEN_GOLDEN=1 ./tests/exporters_golden_test
+
+namespace casper::obs {
+namespace {
+
+std::string GoldenPath(const std::string& file) {
+  return std::string(CASPER_SOURCE_DIR) + "/tests/golden/" + file;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A registry with every exporter-visible feature: all three instrument
+/// types, labeled series, escaping-sensitive values, and an empty
+/// histogram.
+MetricsSnapshot FixtureSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("casper_requests_total", "Requests served.")
+      ->Increment(42);
+  registry
+      .GetCounter("casper_requests_by_kind_total", "Requests by kind.",
+                  {{"kind", "nearest_public"}})
+      ->Increment(7);
+  registry
+      .GetCounter("casper_requests_by_kind_total", "Requests by kind.",
+                  {{"kind", "density"}})
+      ->Increment(3);
+  registry.GetGauge("casper_queue_depth", "Tasks in flight.")->Set(2.5);
+  registry
+      .GetGauge("casper_quoted", "Help with \"quotes\" and a \\ backslash.",
+                {{"path", "a\\b\"c"}})
+      ->Set(-1.0);
+  Histogram* latency = registry.GetHistogram(
+      "casper_latency_seconds", "Request latency.", {0.001, 0.01, 0.1});
+  latency->Observe(0.0005);
+  latency->Observe(0.005);
+  latency->Observe(0.005);
+  latency->Observe(5.0);
+  registry.GetHistogram("casper_unused_seconds", "Never observed.",
+                        {1.0, 2.0});
+  return registry.Scrape();
+}
+
+void CompareOrRegen(const std::string& rendered, const std::string& file) {
+  const std::string path = GoldenPath(file);
+  if (std::getenv("CASPER_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = ReadFile(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path;
+  EXPECT_EQ(rendered, expected) << "exporter output drifted from " << path
+                                << " (CASPER_REGEN_GOLDEN=1 to update)";
+}
+
+TEST(ExportersGoldenTest, PrometheusText) {
+  CompareOrRegen(ExportPrometheus(FixtureSnapshot()), "metrics.prom");
+}
+
+TEST(ExportersGoldenTest, JsonSnapshot) {
+  CompareOrRegen(ExportJson(FixtureSnapshot()), "metrics.json");
+}
+
+}  // namespace
+}  // namespace casper::obs

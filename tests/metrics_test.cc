@@ -1,0 +1,109 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+/// Unit tests of the MetricsRegistry core: instrument semantics,
+/// idempotent registration, and deterministic scrape ordering.
+
+namespace casper::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.0);
+  gauge.Set(7.0);  // Last write wins regardless of prior Adds.
+  EXPECT_DOUBLE_EQ(gauge.Value(), 7.0);
+}
+
+TEST(HistogramTest, BucketsUseInclusiveUpperBounds) {
+  Histogram hist({1.0, 2.0, 4.0});
+  hist.Observe(0.5);  // -> le=1
+  hist.Observe(1.0);  // -> le=1 (inclusive, Prometheus semantics)
+  hist.Observe(1.5);  // -> le=2
+  hist.Observe(4.0);  // -> le=4
+  hist.Observe(9.0);  // -> overflow (+Inf)
+
+  const HistogramData data = hist.Snapshot();
+  ASSERT_EQ(data.bounds.size(), 3u);
+  ASSERT_EQ(data.buckets.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(data.buckets[0], 2u);
+  EXPECT_EQ(data.buckets[1], 1u);
+  EXPECT_EQ(data.buckets[2], 1u);
+  EXPECT_EQ(data.buckets[3], 1u);
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentOnNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "help");
+  Counter* b = registry.GetCounter("x_total", "help");
+  EXPECT_EQ(a, b);
+
+  // Different labels are a different series of the same family.
+  Counter* labeled = registry.GetCounter("x_total", "help", {{"kind", "nn"}});
+  EXPECT_NE(a, labeled);
+  Counter* labeled_again =
+      registry.GetCounter("x_total", "help", {{"kind", "nn"}});
+  EXPECT_EQ(labeled, labeled_again);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("y_total", "help",
+                                   {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("y_total", "help",
+                                   {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, ScrapeIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra_total", "last")->Increment(3);
+  registry.GetGauge("alpha", "first")->Set(1.5);
+  registry.GetHistogram("mid_seconds", "middle", {0.1, 1.0})->Observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.families.size(), 3u);
+  EXPECT_EQ(snapshot.families[0].name, "alpha");
+  EXPECT_EQ(snapshot.families[1].name, "mid_seconds");
+  EXPECT_EQ(snapshot.families[2].name, "zebra_total");
+
+  EXPECT_EQ(snapshot.families[0].type, MetricType::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot.families[0].samples[0].value, 1.5);
+  EXPECT_EQ(snapshot.families[1].type, MetricType::kHistogram);
+  EXPECT_EQ(snapshot.families[1].samples[0].histogram.count, 1u);
+  EXPECT_EQ(snapshot.families[2].type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot.families[2].samples[0].value, 3.0);
+}
+
+TEST(MetricsRegistryTest, SamplesWithinFamilyAreSortedByLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("k_total", "h", {{"kind", "zeta"}})->Increment(1);
+  registry.GetCounter("k_total", "h", {{"kind", "alpha"}})->Increment(2);
+
+  const MetricsSnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.families.size(), 1u);
+  ASSERT_EQ(snapshot.families[0].samples.size(), 2u);
+  EXPECT_EQ(snapshot.families[0].samples[0].labels[0].second, "alpha");
+  EXPECT_EQ(snapshot.families[0].samples[1].labels[0].second, "zeta");
+}
+
+TEST(MetricsRegistryTest, DefaultRegistryIsAProcessSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace casper::obs

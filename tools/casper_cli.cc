@@ -16,6 +16,7 @@
 #include "src/casper/casper.h"
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
+#include "src/obs/exporters.h"
 
 namespace casper {
 namespace {
@@ -38,6 +39,8 @@ void PrintHelp() {
       "  buddy <uid>                          private NN over private data\n"
       "  batch <count> <threads>              mixed parallel batch + summary\n"
       "  stats                                anonymizer statistics\n"
+      "  metrics [json]                       scrape the metrics registry\n"
+      "                                       (Prometheus text, or JSON)\n"
       "  help                                 this text\n"
       "  quit                                 exit\n");
 }
@@ -127,7 +130,7 @@ int Run() {
       if (std::sscanf(line, "%*s %llu", &uid) != 1) {
         std::printf("usage: cloak <uid>\n");
       } else {
-        auto result = service.anonymizer().Cloak(uid);
+        auto result = service.anonymizer_tier().Cloak(uid);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
         } else {
@@ -311,6 +314,19 @@ int Run() {
                     static_cast<unsigned long long>(s.cache.misses),
                     s.cache.HitRate());
       }
+    } else if (c == "metrics") {
+      // The service registers its instruments on the process-default
+      // registry (CasperOptions.metrics == nullptr), so one scrape
+      // covers all three tiers plus any batch engines.
+      char format[32] = {0};
+      const bool json =
+          std::sscanf(line, "%*s %31s", format) == 1 &&
+          std::strcmp(format, "json") == 0;
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Default()->Scrape();
+      const std::string text = json ? obs::ExportJson(snapshot)
+                                    : obs::ExportPrometheus(snapshot);
+      std::fwrite(text.data(), 1, text.size(), stdout);
     } else if (c == "stats") {
       const auto& s = service.anonymizer().stats();
       std::printf("users=%zu location_updates=%llu counter_updates=%llu "

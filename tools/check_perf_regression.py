@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over throughput_scaling output.
+
+Compares a fresh BENCH_throughput.json against the checked-in baseline
+(bench/BENCH_baseline.json, recorded on the same small fixed workload:
+CASPER_BENCH_SCALE=0.05). Rows are matched by configuration (mode,
+threads, batch_size, cache); the gate fails when the geometric mean of
+the per-row qps ratios (current / baseline) drops by more than
+--max-drop (default 25%).
+
+The geometric mean keeps one noisy row from tripping the gate while a
+uniform slowdown — e.g. an accidental O(n^2) in the query path — still
+fails decisively: a synthetic 2x slowdown yields a ratio of ~0.5
+everywhere and a geomean far below the 0.75 floor.
+
+Usage:
+  check_perf_regression.py --current BENCH_throughput.json \
+      --baseline bench/BENCH_baseline.json [--max-drop 0.25]
+
+Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def row_key(row):
+    return (row["mode"], row["threads"], row["batch_size"], row["cache"])
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {row_key(r): r for r in data.get("rows", [])}
+    if not rows:
+        print(f"error: no rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return data, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--max-drop", type=float, default=0.25,
+                        help="maximum tolerated fractional qps drop")
+    args = parser.parse_args()
+
+    base_meta, base = load_rows(args.baseline)
+    cur_meta, cur = load_rows(args.current)
+
+    for meta in ("targets", "users"):
+        if base_meta.get(meta) != cur_meta.get(meta):
+            print(f"error: workload mismatch: {meta} "
+                  f"baseline={base_meta.get(meta)} "
+                  f"current={cur_meta.get(meta)} "
+                  "(regenerate the baseline at the same CASPER_BENCH_SCALE)",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("error: no comparable rows between baseline and current",
+              file=sys.stderr)
+        sys.exit(2)
+
+    log_sum = 0.0
+    worst = (None, float("inf"))
+    print(f"{'configuration':<44} {'base qps':>12} {'cur qps':>12} "
+          f"{'ratio':>7}")
+    for key in common:
+        base_qps = base[key]["qps"]
+        cur_qps = cur[key]["qps"]
+        if base_qps <= 0.0 or cur_qps <= 0.0:
+            print(f"error: non-positive qps for {key}", file=sys.stderr)
+            sys.exit(2)
+        ratio = cur_qps / base_qps
+        log_sum += math.log(ratio)
+        if ratio < worst[1]:
+            worst = (key, ratio)
+        mode, threads, batch, cache = key
+        label = f"{mode} threads={threads} batch={batch} cache={cache}"
+        print(f"{label:<44} {base_qps:>12.1f} {cur_qps:>12.1f} {ratio:>7.3f}")
+
+    geomean = math.exp(log_sum / len(common))
+    floor = 1.0 - args.max_drop
+    print(f"\nrows={len(common)} geomean_ratio={geomean:.3f} "
+          f"floor={floor:.3f} worst={worst[0]} ({worst[1]:.3f})")
+    if geomean < floor:
+        print(f"FAIL: throughput dropped "
+              f"{(1.0 - geomean) * 100.0:.1f}% (> {args.max_drop * 100:.0f}% "
+              "budget)", file=sys.stderr)
+        return 1
+    print("OK: throughput within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
