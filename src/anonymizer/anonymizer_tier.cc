@@ -155,8 +155,10 @@ Status AnonymizerTier::PublishRegion(UserId uid, PrivateStoreSink* sink) {
   CASPER_ASSIGN_OR_RETURN(pseudonym, NextPseudonym(uid));
   current_pseudonym_[uid] = pseudonym;
   published_.insert(uid);
-  CASPER_RETURN_IF_ERROR(sink->Apply(
-      RegionUpsertMsg{pseudonym, false, 0, cloak.value().region}));
+  RegionUpsertMsg upsert;
+  upsert.handle = pseudonym;
+  upsert.region = cloak.value().region;
+  CASPER_RETURN_IF_ERROR(sink->Apply(upsert));
   metrics_->regions_published_total->Increment();
   return Status::OK();
 }
@@ -166,7 +168,9 @@ Status AnonymizerTier::RetractRegion(UserId uid, PrivateStoreSink* sink) {
   if (published_.count(uid) == 0 || pseudonym == current_pseudonym_.end()) {
     return Status::OK();  // Nothing stored yet.
   }
-  CASPER_RETURN_IF_ERROR(sink->Apply(RegionRemoveMsg{pseudonym->second}));
+  RegionRemoveMsg remove;
+  remove.handle = pseudonym->second;
+  CASPER_RETURN_IF_ERROR(sink->Apply(remove));
   published_.erase(uid);
   metrics_->regions_retracted_total->Increment();
   return Status::OK();
@@ -244,6 +248,7 @@ Result<QueryResponse> AnonymizerTier::RefineForClient(
       PublicNNResponse response;
       response.cloak = cloak;
       response.timing = timing;
+      response.degraded = answer.degraded;
       response.server_answer =
           std::get<processor::PublicCandidateList>(std::move(answer.payload));
       // The client refines locally with its exact position.
@@ -258,6 +263,7 @@ Result<QueryResponse> AnonymizerTier::RefineForClient(
       PublicKnnResponse response;
       response.cloak = cloak;
       response.timing = timing;
+      response.degraded = answer.degraded;
       response.server_answer =
           std::get<processor::KnnCandidateList>(std::move(answer.payload));
       CASPER_ASSIGN_OR_RETURN(position, ClientPosition(uid));
@@ -270,6 +276,7 @@ Result<QueryResponse> AnonymizerTier::RefineForClient(
       PublicRangeResponse response;
       response.cloak = cloak;
       response.timing = timing;
+      response.degraded = answer.degraded;
       response.server_answer =
           std::get<processor::PublicRangeCandidates>(std::move(answer.payload));
       const auto* q = std::get_if<RangePublicQ>(&request);
@@ -283,6 +290,7 @@ Result<QueryResponse> AnonymizerTier::RefineForClient(
       PrivateNNResponse response;
       response.cloak = cloak;
       response.timing = timing;
+      response.degraded = answer.degraded;
       response.server_answer =
           std::get<processor::PrivateCandidateList>(std::move(answer.payload));
       if (response.server_answer.candidates.empty()) {

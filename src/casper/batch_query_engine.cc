@@ -108,13 +108,27 @@ BatchResult BatchQueryEngine::Execute(
   done.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (!ready[i]) continue;
-    done.push_back(pool_.Submit([this, &requests, &cloaks,
-                                 &anonymizer_seconds, &result, i] {
+    if (options_.shed_queue_depth > 0 &&
+        pool_.pending() >= options_.shed_queue_depth) {
+      // Overload degradation: fail the slot fast instead of letting the
+      // queue (and every queued query's latency) grow without bound.
+      result.responses[i].status =
+          Status::Unavailable("batch engine overloaded; query shed");
+      metrics_->batch_shed_total->Increment();
+      continue;
+    }
+    auto submitted = pool_.Submit([this, &requests, &cloaks,
+                                   &anonymizer_seconds, &result, i] {
       EvaluateOne(requests[i],
                   cloaks[i].has_value() ? *cloaks[i]
                                         : anonymizer::CloakingResult{},
                   anonymizer_seconds[i], &result.responses[i]);
-    }));
+    });
+    if (!submitted.ok()) {
+      result.responses[i].status = submitted.status();
+      continue;
+    }
+    done.push_back(std::move(submitted).value());
   }
   // High-water queue depth of this batch: everything is enqueued before
   // the first join, so the submitted count is the depth the pool saw.

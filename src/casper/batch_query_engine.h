@@ -164,6 +164,13 @@ struct BatchEngineOptions {
   /// Feeds the batch gauges (queue depth, pool utilization) and routes
   /// the cache's hit/miss counts into the registry.
   obs::CasperMetrics* metrics = nullptr;
+
+  /// Load-shedding watermark: when the pool's pending-task queue is at
+  /// least this deep, further slots of the batch fail fast with
+  /// kUnavailable instead of queueing (counted in
+  /// `casper_batch_shed_total`). 0 disables shedding (the default —
+  /// batches are admitted whole).
+  size_t shed_queue_depth = 0;
 };
 
 /// Aggregate cost of one Execute() call.

@@ -54,7 +54,17 @@ CasperService::CasperService(const CasperOptions& options)
       metrics_(options.metrics != nullptr ? options.metrics
                                           : obs::CasperMetrics::Default()),
       server_(ServerOptionsFrom(options, metrics_)),
+      endpoint_(&server_),
+      direct_channel_(&endpoint_),
       tier_(TierOptionsFrom(options, metrics_)) {
+  transport::Channel* channel = &direct_channel_;
+  if (options_.channel_decorator) {
+    decorated_ = options_.channel_decorator(&direct_channel_);
+    if (decorated_) channel = decorated_.get();
+  }
+  transport::ResilienceOptions resilience = options_.resilience;
+  if (resilience.metrics == nullptr) resilience.metrics = metrics_;
+  client_ = std::make_unique<transport::ResilientClient>(channel, resilience);
   // With auto-sync every mutation maintains the store, so the snapshot
   // is never stale; batch mode starts stale until the first sync.
   private_data_dirty_ = !options_.auto_sync_private_data;
@@ -63,27 +73,28 @@ CasperService::CasperService(const CasperOptions& options)
 Status CasperService::RegisterUser(anonymizer::UserId uid,
                                    const anonymizer::PrivacyProfile& profile,
                                    const Point& position) {
-  CASPER_RETURN_IF_ERROR(tier_.RegisterUser(uid, profile, position, &server_));
+  CASPER_RETURN_IF_ERROR(
+      tier_.RegisterUser(uid, profile, position, client_.get()));
   if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::UpdateUserLocation(anonymizer::UserId uid,
                                          const Point& position) {
-  CASPER_RETURN_IF_ERROR(tier_.UpdateLocation(uid, position, &server_));
+  CASPER_RETURN_IF_ERROR(tier_.UpdateLocation(uid, position, client_.get()));
   if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::UpdateUserProfile(
     anonymizer::UserId uid, const anonymizer::PrivacyProfile& profile) {
-  CASPER_RETURN_IF_ERROR(tier_.UpdateProfile(uid, profile, &server_));
+  CASPER_RETURN_IF_ERROR(tier_.UpdateProfile(uid, profile, client_.get()));
   if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
 
 Status CasperService::DeregisterUser(anonymizer::UserId uid) {
-  CASPER_RETURN_IF_ERROR(tier_.DeregisterUser(uid, &server_));
+  CASPER_RETURN_IF_ERROR(tier_.DeregisterUser(uid, client_.get()));
   if (!options_.auto_sync_private_data) private_data_dirty_ = true;
   return Status::OK();
 }
@@ -99,7 +110,7 @@ void CasperService::SetPublicTargets(
 
 Status CasperService::SyncPrivateData() {
   CASPER_ASSIGN_OR_RETURN(snapshot, tier_.BuildSnapshot());
-  CASPER_RETURN_IF_ERROR(server_.Load(snapshot));
+  CASPER_RETURN_IF_ERROR(client_->Load(snapshot));
   private_data_dirty_ = false;
   return Status::OK();
 }
@@ -152,7 +163,7 @@ Result<QueryResponse> CasperService::EvaluateTraced(
   if (!stripped.ok()) return stripped.status();
   Result<CandidateListMsg> answer = [&] {
     obs::ScopedPhase phase(span, obs::Phase::kEvaluate);
-    return server_.Execute(stripped.value(), cache);
+    return client_->Execute(stripped.value(), cache);
   }();
   if (!answer.ok()) return answer.status();
   obs::ScopedPhase phase(span, obs::Phase::kRefine);

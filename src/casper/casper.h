@@ -1,6 +1,7 @@
 #ifndef CASPER_CASPER_CASPER_H_
 #define CASPER_CASPER_CASPER_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +24,9 @@
 #include "src/processor/public_nn_private.h"
 #include "src/processor/public_range.h"
 #include "src/server/query_server.h"
+#include "src/transport/channel.h"
+#include "src/transport/resilient_client.h"
+#include "src/transport/server_endpoint.h"
 
 /// \file
 /// The end-to-end Casper framework (Figure 1): mobile users register
@@ -71,6 +75,20 @@ struct CasperOptions {
   /// registry `casper_cli metrics` scrapes). Tests inject a fresh
   /// bundle to observe a single service in isolation.
   obs::CasperMetrics* metrics = nullptr;
+
+  /// Decorates the anonymizer->server channel, e.g. wrapping the direct
+  /// channel in a transport::FaultInjectingChannel for chaos runs.
+  /// Receives the in-process DirectChannel (which the service keeps
+  /// alive); the returned channel carries all tier traffic. Null leaves
+  /// the direct channel in place.
+  std::function<std::unique_ptr<transport::Channel>(transport::Channel*)>
+      channel_decorator;
+
+  /// Deadlines, retries, circuit breaking, and degradation for the tier
+  /// channel (see transport::ResilientClient). The defaults are
+  /// invisible on the lossless direct channel — every call succeeds on
+  /// the first attempt.
+  transport::ResilienceOptions resilience;
 };
 
 /// The full framework behind the original one-object API. Mutations are
@@ -212,6 +230,13 @@ class CasperService {
   server::QueryServer& query_server() { return server_; }
   const server::QueryServer& query_server() const { return server_; }
 
+  /// The resilient client all anonymizer->server traffic flows through
+  /// (breaker state, replay depth, Flush() for tests and the CLI).
+  transport::ResilientClient& transport_client() { return *client_; }
+  const transport::ResilientClient& transport_client() const {
+    return *client_;
+  }
+
  private:
   /// Evaluate() body with the span threaded through, structured so the
   /// span is always Finish()ed regardless of which step fails.
@@ -223,6 +248,16 @@ class CasperService {
   CasperOptions options_;
   obs::CasperMetrics* metrics_;
   server::QueryServer server_;
+  // The transport stack between the tiers, bottom-up: the endpoint
+  // decodes bytes into server_, the direct channel delivers bytes
+  // in-process, an optional decorator (chaos, future remoting) wraps
+  // it, and the resilient client — the only thing the facade and the
+  // anonymizer's publications ever talk to — adds deadlines, retries,
+  // circuit breaking, and degradation on top.
+  transport::ServerEndpoint endpoint_;
+  transport::DirectChannel direct_channel_;
+  std::unique_ptr<transport::Channel> decorated_;
+  std::unique_ptr<transport::ResilientClient> client_;
   anonymizer::AnonymizerTier tier_;
   bool private_data_dirty_ = true;
 };

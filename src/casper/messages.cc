@@ -12,6 +12,59 @@ constexpr uint8_t kTagRegionUpsert = 0xC2;
 constexpr uint8_t kTagRegionRemove = 0xC3;
 constexpr uint8_t kTagSnapshot = 0xC4;
 constexpr uint8_t kTagCandidateList = 0xC5;
+constexpr uint8_t kTagAck = 0xC6;
+
+// --- Frame integrity -------------------------------------------------------
+//
+// Every encoded message carries a trailing FNV-1a-64 checksum of the
+// frame body. Without it, a transport-corrupted byte inside a raw
+// double (a coordinate, a distance) is indistinguishable from a
+// different valid measurement and would decode as a *different valid
+// message* — the one class of corruption field validation cannot catch.
+// With it, a corrupted frame fails decode, the endpoint acks kDataLoss,
+// and the resilient client re-sends: corruption is converted into a
+// retryable transport failure instead of a silent wrong answer.
+
+constexpr size_t kChecksumBytes = 8;
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Append the body's checksum, little-endian.
+std::string Seal(std::string body) {
+  const uint64_t sum = Fnv1a64(body);
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    body.push_back(static_cast<char>(static_cast<uint8_t>(sum >> (8 * i))));
+  }
+  return body;
+}
+
+/// Verify and strip the trailing checksum, returning the frame body.
+Result<std::string_view> Unseal(std::string_view frame, const char* what) {
+  if (frame.size() < kChecksumBytes + 1) {
+    return Status::InvalidArgument(std::string("truncated ") + what +
+                                   " frame");
+  }
+  const std::string_view body =
+      frame.substr(0, frame.size() - kChecksumBytes);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    sum |= static_cast<uint64_t>(
+               static_cast<uint8_t>(frame[body.size() + i]))
+           << (8 * i);
+  }
+  if (sum != Fnv1a64(body)) {
+    return Status::InvalidArgument(std::string("checksum mismatch in ") +
+                                   what + " frame");
+  }
+  return body;
+}
 
 class Writer {
  public:
@@ -39,6 +92,10 @@ class Writer {
     P(r.max);
   }
   void Count(size_t n) { U64(static_cast<uint64_t>(n)); }
+  void Str(std::string_view s) {
+    Count(s.size());
+    out_.append(s);
+  }
 
   std::string Take() { return std::move(out_); }
 
@@ -101,6 +158,14 @@ class Reader {
     return static_cast<size_t>(n);
   }
 
+  std::string Str() {
+    const size_t n = Count(1);
+    if (failed_) return std::string();
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
   bool Tag(uint8_t expected) { return U8() == expected && !failed_; }
 
   size_t Remaining() const { return bytes_.size() - pos_; }
@@ -128,6 +193,10 @@ class Reader {
 
 bool ValidKind(uint8_t kind) {
   return kind <= static_cast<uint8_t>(QueryKind::kDensity);
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kDataLoss);
 }
 
 bool ValidPolicy(uint8_t policy) {
@@ -354,6 +423,7 @@ std::string Encode(const CloakedQueryMsg& msg) {
   Writer w;
   w.U8(kTagCloakedQuery);
   w.U8(static_cast<uint8_t>(msg.kind));
+  w.U64(msg.request_id);
   w.R(msg.cloak);
   w.U64(msg.k);
   w.F64(msg.radius);
@@ -363,11 +433,12 @@ std::string Encode(const CloakedQueryMsg& msg) {
   w.R(msg.region);
   w.I32(msg.cols);
   w.I32(msg.rows);
-  return w.Take();
+  return Seal(w.Take());
 }
 
 Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes) {
-  Reader r(bytes);
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "CloakedQuery"));
+  Reader r(body);
   if (!r.Tag(kTagCloakedQuery)) {
     return Status::InvalidArgument("not a CloakedQueryMsg");
   }
@@ -377,6 +448,7 @@ Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes) {
     return Status::InvalidArgument("bad query kind");
   }
   msg.kind = static_cast<QueryKind>(kind);
+  msg.request_id = r.U64();
   msg.cloak = r.R();
   msg.k = r.U64();
   msg.radius = r.F64();
@@ -393,19 +465,22 @@ Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes) {
 std::string Encode(const RegionUpsertMsg& msg) {
   Writer w;
   w.U8(kTagRegionUpsert);
+  w.U64(msg.request_id);
   w.U64(msg.handle);
   w.Bool(msg.has_replaces);
   w.U64(msg.replaces);
   w.R(msg.region);
-  return w.Take();
+  return Seal(w.Take());
 }
 
 Result<RegionUpsertMsg> DecodeRegionUpsert(std::string_view bytes) {
-  Reader r(bytes);
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "RegionUpsert"));
+  Reader r(body);
   if (!r.Tag(kTagRegionUpsert)) {
     return Status::InvalidArgument("not a RegionUpsertMsg");
   }
   RegionUpsertMsg msg;
+  msg.request_id = r.U64();
   msg.handle = r.U64();
   msg.has_replaces = r.Bool();
   msg.replaces = r.U64();
@@ -417,16 +492,19 @@ Result<RegionUpsertMsg> DecodeRegionUpsert(std::string_view bytes) {
 std::string Encode(const RegionRemoveMsg& msg) {
   Writer w;
   w.U8(kTagRegionRemove);
+  w.U64(msg.request_id);
   w.U64(msg.handle);
-  return w.Take();
+  return Seal(w.Take());
 }
 
 Result<RegionRemoveMsg> DecodeRegionRemove(std::string_view bytes) {
-  Reader r(bytes);
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "RegionRemove"));
+  Reader r(body);
   if (!r.Tag(kTagRegionRemove)) {
     return Status::InvalidArgument("not a RegionRemoveMsg");
   }
   RegionRemoveMsg msg;
+  msg.request_id = r.U64();
   msg.handle = r.U64();
   CASPER_RETURN_IF_ERROR(r.Finish("RegionRemove"));
   return msg;
@@ -437,11 +515,12 @@ std::string Encode(const SnapshotMsg& msg) {
   w.U8(kTagSnapshot);
   w.Count(msg.regions.size());
   for (const auto& t : msg.regions) Put(w, t);
-  return w.Take();
+  return Seal(w.Take());
 }
 
 Result<SnapshotMsg> DecodeSnapshot(std::string_view bytes) {
-  Reader r(bytes);
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "Snapshot"));
+  Reader r(body);
   if (!r.Tag(kTagSnapshot)) {
     return Status::InvalidArgument("not a SnapshotMsg");
   }
@@ -457,13 +536,16 @@ std::string Encode(const CandidateListMsg& msg) {
   Writer w;
   w.U8(kTagCandidateList);
   w.U8(static_cast<uint8_t>(msg.kind));
+  w.U64(msg.request_id);
+  w.Bool(msg.degraded);
   w.F64(msg.processor_seconds);
   PutPayload(w, msg.payload);
-  return w.Take();
+  return Seal(w.Take());
 }
 
 Result<CandidateListMsg> DecodeCandidateList(std::string_view bytes) {
-  Reader r(bytes);
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "CandidateList"));
+  Reader r(body);
   if (!r.Tag(kTagCandidateList)) {
     return Status::InvalidArgument("not a CandidateListMsg");
   }
@@ -471,14 +553,85 @@ Result<CandidateListMsg> DecodeCandidateList(std::string_view bytes) {
   if (r.failed() || !ValidKind(kind)) {
     return Status::InvalidArgument("bad query kind");
   }
+  const uint64_t request_id = r.U64();
+  const bool degraded = r.Bool();
   const double processor_seconds = r.F64();
   CASPER_ASSIGN_OR_RETURN(payload, GetPayload(r));
   CASPER_RETURN_IF_ERROR(r.Finish("CandidateList"));
   CandidateListMsg msg;
   msg.kind = static_cast<QueryKind>(kind);
+  msg.request_id = request_id;
+  msg.degraded = degraded;
   msg.processor_seconds = processor_seconds;
   msg.payload = std::move(payload);
   return msg;
+}
+
+Status AckMsg::ToStatus() const {
+  switch (code) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(message);
+    case StatusCode::kNotFound: return Status::NotFound(message);
+    case StatusCode::kAlreadyExists: return Status::AlreadyExists(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kOutOfRange: return Status::OutOfRange(message);
+    case StatusCode::kInternal: return Status::Internal(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kUnavailable: return Status::Unavailable(message);
+    case StatusCode::kDataLoss: return Status::DataLoss(message);
+  }
+  return Status::Internal("unknown status code in ack");
+}
+
+AckMsg AckMsg::For(uint64_t request_id, const Status& status) {
+  AckMsg ack;
+  ack.request_id = request_id;
+  ack.code = status.code();
+  ack.message = status.message();
+  return ack;
+}
+
+std::string Encode(const AckMsg& msg) {
+  Writer w;
+  w.U8(kTagAck);
+  w.U64(msg.request_id);
+  w.U8(static_cast<uint8_t>(msg.code));
+  w.Str(msg.message);
+  return Seal(w.Take());
+}
+
+Result<AckMsg> DecodeAck(std::string_view bytes) {
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(bytes, "Ack"));
+  Reader r(body);
+  if (!r.Tag(kTagAck)) {
+    return Status::InvalidArgument("not an AckMsg");
+  }
+  AckMsg msg;
+  msg.request_id = r.U64();
+  const uint8_t code = r.U8();
+  if (r.failed() || !ValidStatusCode(code)) {
+    return Status::InvalidArgument("bad status code");
+  }
+  msg.code = static_cast<StatusCode>(code);
+  msg.message = r.Str();
+  CASPER_RETURN_IF_ERROR(r.Finish("Ack"));
+  return msg;
+}
+
+Result<MessageTag> TagOf(std::string_view bytes) {
+  if (bytes.empty()) return Status::InvalidArgument("empty message");
+  const auto tag = static_cast<uint8_t>(bytes[0]);
+  switch (tag) {
+    case kTagCloakedQuery: return MessageTag::kCloakedQuery;
+    case kTagRegionUpsert: return MessageTag::kRegionUpsert;
+    case kTagRegionRemove: return MessageTag::kRegionRemove;
+    case kTagSnapshot: return MessageTag::kSnapshot;
+    case kTagCandidateList: return MessageTag::kCandidateList;
+    case kTagAck: return MessageTag::kAck;
+  }
+  return Status::InvalidArgument("unknown message tag");
 }
 
 }  // namespace casper

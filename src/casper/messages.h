@@ -132,6 +132,12 @@ inline uint64_t UidOf(const QueryRequest& request) {
 struct CloakedQueryMsg {
   QueryKind kind = QueryKind::kNearestPublic;
 
+  /// Transport-level idempotency key (0 = unkeyed). A retry re-sends the
+  /// same id; the server echoes it in the CandidateListMsg so a client
+  /// can reject responses that belong to a different request. Carries no
+  /// identity: ids are per-connection sequence numbers, not user data.
+  uint64_t request_id = 0;
+
   Rect cloak;                   ///< Private kinds: the cloaked region.
   uint64_t k = 1;               ///< kKNearestPublic.
   double radius = 0.0;          ///< kRangePublic.
@@ -144,7 +150,8 @@ struct CloakedQueryMsg {
   int32_t rows = 0;  ///< kDensity.
 
   friend bool operator==(const CloakedQueryMsg& a, const CloakedQueryMsg& b) {
-    return a.kind == b.kind && a.cloak == b.cloak && a.k == b.k &&
+    return a.kind == b.kind && a.request_id == b.request_id &&
+           a.cloak == b.cloak && a.k == b.k &&
            a.radius == b.radius && a.has_exclude == b.has_exclude &&
            a.exclude_handle == b.exclude_handle && a.point == b.point &&
            a.region == b.region && a.cols == b.cols && a.rows == b.rows;
@@ -157,23 +164,29 @@ struct CloakedQueryMsg {
 /// is dropped first (pseudonyms rotate on every re-publication, so the
 /// new handle is always fresh).
 struct RegionUpsertMsg {
+  /// Idempotency key (0 = unkeyed): a duplicated delivery with the same
+  /// id replays the original outcome instead of double-applying.
+  uint64_t request_id = 0;
   uint64_t handle = 0;
   bool has_replaces = false;
   uint64_t replaces = 0;
   Rect region;
 
   friend bool operator==(const RegionUpsertMsg& a, const RegionUpsertMsg& b) {
-    return a.handle == b.handle && a.has_replaces == b.has_replaces &&
+    return a.request_id == b.request_id && a.handle == b.handle &&
+           a.has_replaces == b.has_replaces &&
            a.replaces == b.replaces && a.region == b.region;
   }
 };
 
 /// Drop the region stored under `handle` (deregistration).
 struct RegionRemoveMsg {
+  /// Idempotency key (0 = unkeyed); see RegionUpsertMsg::request_id.
+  uint64_t request_id = 0;
   uint64_t handle = 0;
 
   friend bool operator==(const RegionRemoveMsg& a, const RegionRemoveMsg& b) {
-    return a.handle == b.handle;
+    return a.request_id == b.request_id && a.handle == b.handle;
   }
 };
 
@@ -204,11 +217,21 @@ using ServerPayload =
 /// plus the server-side processing cost for the Figure-17 breakdown.
 struct CandidateListMsg {
   QueryKind kind = QueryKind::kNearestPublic;
+  /// Echo of CloakedQueryMsg::request_id (0 = unkeyed), so a resilient
+  /// client can reject a response that answers a different request.
+  uint64_t request_id = 0;
+  /// Served from a possibly-stale cache while the server tier was
+  /// unreachable: inclusiveness still holds (the candidate list was
+  /// computed for the same cloak under the same privacy profile), but
+  /// minimality may not. Never set on the healthy path.
+  bool degraded = false;
   ServerPayload payload;
   double processor_seconds = 0.0;
 
   friend bool operator==(const CandidateListMsg& a, const CandidateListMsg& b) {
-    return a.kind == b.kind && a.processor_seconds == b.processor_seconds &&
+    return a.kind == b.kind && a.request_id == b.request_id &&
+           a.degraded == b.degraded &&
+           a.processor_seconds == b.processor_seconds &&
            a.payload == b.payload;
   }
 };
@@ -216,6 +239,31 @@ struct CandidateListMsg {
 /// Number of candidate-list records shipped to the client — the input
 /// of the §6.3 transmission-cost model.
 size_t RecordCount(const ServerPayload& payload);
+
+// --- Server -> anonymizer: maintenance acknowledgements --------------------
+
+/// Outcome of a maintenance message (RegionUpsert / RegionRemove /
+/// Snapshot) or a failed query, echoed back over the channel so errors
+/// travel the wire as typed statuses instead of being implied by
+/// silence. `request_id` echoes the request's idempotency key.
+struct AckMsg {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  /// The Status this ack transports (OK when `code` is kOk).
+  Status ToStatus() const;
+
+  /// Build the ack for `status` (any code, including kOk).
+  static AckMsg For(uint64_t request_id, const Status& status);
+
+  friend bool operator==(const AckMsg& a, const AckMsg& b) {
+    return a.request_id == b.request_id && a.code == b.code &&
+           a.message == b.message;
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Tier plumbing
@@ -245,12 +293,27 @@ std::string Encode(const RegionUpsertMsg& msg);
 std::string Encode(const RegionRemoveMsg& msg);
 std::string Encode(const SnapshotMsg& msg);
 std::string Encode(const CandidateListMsg& msg);
+std::string Encode(const AckMsg& msg);
 
 Result<CloakedQueryMsg> DecodeCloakedQuery(std::string_view bytes);
 Result<RegionUpsertMsg> DecodeRegionUpsert(std::string_view bytes);
 Result<RegionRemoveMsg> DecodeRegionRemove(std::string_view bytes);
 Result<SnapshotMsg> DecodeSnapshot(std::string_view bytes);
 Result<CandidateListMsg> DecodeCandidateList(std::string_view bytes);
+Result<AckMsg> DecodeAck(std::string_view bytes);
+
+/// Leading type tag of an encoded message, or kInvalidArgument for an
+/// empty/unknown buffer — the transport's dispatch key.
+enum class MessageTag : uint8_t {
+  kCloakedQuery = 0xC1,
+  kRegionUpsert = 0xC2,
+  kRegionRemove = 0xC3,
+  kSnapshot = 0xC4,
+  kCandidateList = 0xC5,
+  kAck = 0xC6,
+};
+
+Result<MessageTag> TagOf(std::string_view bytes);
 
 }  // namespace casper
 

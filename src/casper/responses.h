@@ -44,6 +44,10 @@ struct PublicNNResponse {
   processor::PublicTarget exact;  ///< After client-side refinement.
   anonymizer::CloakingResult cloak;
   TimingBreakdown timing;
+  /// Served from a possibly-stale cache during a server outage:
+  /// inclusiveness still holds, minimality may not (see
+  /// CandidateListMsg::degraded).
+  bool degraded = false;
 };
 
 /// Response to a private k-NN query over public data.
@@ -52,6 +56,7 @@ struct PublicKnnResponse {
   std::vector<processor::PublicTarget> exact;  ///< k refined answers.
   anonymizer::CloakingResult cloak;
   TimingBreakdown timing;
+  bool degraded = false;  ///< See PublicNNResponse::degraded.
 };
 
 /// Response to a private NN query over private data (buddies).
@@ -60,6 +65,7 @@ struct PrivateNNResponse {
   processor::PrivateTarget best;  ///< Client-side minimax refinement.
   anonymizer::CloakingResult cloak;
   TimingBreakdown timing;
+  bool degraded = false;  ///< See PublicNNResponse::degraded.
 };
 
 /// Response to a private range query over public data, with the
@@ -69,6 +75,7 @@ struct PublicRangeResponse {
   std::vector<processor::PublicTarget> exact;  ///< Truly within radius.
   anonymizer::CloakingResult cloak;
   TimingBreakdown timing;
+  bool degraded = false;  ///< See PublicNNResponse::degraded.
 };
 
 /// The one response type of the unified query dispatch: every Query*
@@ -90,6 +97,20 @@ inline const TimingBreakdown* TimingOf(const QueryResponse& response) {
   if (const auto* r = std::get_if<PrivateNNResponse>(&response))
     return &r->timing;
   return nullptr;
+}
+
+/// Whether the response was served degraded (always false for the
+/// public-over-private alternatives, which are never cache-served).
+inline bool IsDegraded(const QueryResponse& response) {
+  if (const auto* r = std::get_if<PublicNNResponse>(&response))
+    return r->degraded;
+  if (const auto* r = std::get_if<PublicKnnResponse>(&response))
+    return r->degraded;
+  if (const auto* r = std::get_if<PublicRangeResponse>(&response))
+    return r->degraded;
+  if (const auto* r = std::get_if<PrivateNNResponse>(&response))
+    return r->degraded;
+  return false;
 }
 
 inline void SetAnonymizerSeconds(QueryResponse& response, double seconds) {

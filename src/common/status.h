@@ -35,7 +35,19 @@ enum class StatusCode {
   kFailedPrecondition,///< Operation not valid in the current state.
   kOutOfRange,        ///< Index/coordinate outside the managed space.
   kInternal,          ///< Invariant violation that should never happen.
+  kDeadlineExceeded,  ///< The per-request time budget ran out.
+  kUnavailable,       ///< Transient transport/service failure; retryable.
+  kDataLoss,          ///< Payload corrupted or lost in transit; retryable.
 };
+
+/// True for the codes that describe *transient* transport conditions a
+/// caller may retry verbatim (the request never took effect, or taking
+/// effect twice is harmless under the request-id idempotency contract).
+/// kDeadlineExceeded is deliberately not retryable: the time budget is
+/// already spent, and retrying would only stretch tail latency.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+}
 
 /// Lightweight status object: a code plus an optional human-readable
 /// message. `Status::OK()` carries no allocation.
@@ -62,9 +74,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// Whether a transport-level caller may safely retry the operation.
+  bool IsRetryable() const { return ::casper::IsRetryable(code_); }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<code>: <message>"; for logs and test failure output.
@@ -90,6 +113,9 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

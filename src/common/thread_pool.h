@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/status.h"
 
 /// \file
@@ -23,7 +24,12 @@
 ///
 /// Shutdown is graceful: every task submitted before Shutdown() (or the
 /// destructor) runs to completion before the workers join, so futures
-/// obtained from Submit never dangle.
+/// obtained from Submit never dangle. Submitting *after* shutdown has
+/// begun is not a crash: Submit returns kUnavailable and the callable is
+/// never run, so racing producers degrade cleanly instead of aborting
+/// the process. A task that throws delivers its exception through the
+/// future (std::packaged_task semantics) rather than terminating a
+/// worker.
 
 namespace casper {
 
@@ -37,17 +43,22 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a nullary callable; the future resolves to its return
-  /// value once a worker has run it. Submitting after Shutdown() is a
-  /// contract violation.
+  /// value once a worker has run it (or rethrows the task's exception).
+  /// Returns kUnavailable — and never runs `fn` — once Shutdown() has
+  /// begun, so late producers see a typed error instead of an abort or
+  /// a future that never resolves.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto Submit(F&& fn)
+      -> Result<std::future<std::invoke_result_t<std::decay_t<F>>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      CASPER_DCHECK(!stopping_);
+      if (stopping_) {
+        return Status::Unavailable("thread pool is shutting down");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -25,6 +25,12 @@ std::vector<double> BatchWallBounds() {
   return {1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0};
 }
 
+/// Retries-per-request bounds (small integers; the retry cap is single
+/// digits in any sane policy).
+std::vector<double> RetryBounds() {
+  return {0, 1, 2, 3, 4, 6, 8, 16};
+}
+
 constexpr const char* kEventLabels[4] = {"register", "move", "profile",
                                          "deregister"};
 
@@ -82,6 +88,10 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
                                         "Queries submitted in batches.")),
       batch_errors_total(r->GetCounter(
           "casper_batch_errors_total", "Batch slots that ended in error.")),
+      batch_shed_total(r->GetCounter(
+          "casper_batch_shed_total",
+          "Batch slots shed with kUnavailable at the queue-depth "
+          "watermark.")),
       batch_queue_depth(r->GetGauge(
           "casper_batch_queue_depth",
           "Tasks waiting in the engine's pool after fan-out.")),
@@ -94,7 +104,53 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
       batch_wall_seconds(r->GetHistogram("casper_batch_wall_seconds",
                                          "Whole-batch wall time.",
                                          BatchWallBounds())),
+      breaker_state(r->GetGauge(
+          "casper_transport_breaker_state",
+          "Circuit-breaker state: 0 closed, 1 open, 2 half-open.")),
+      transport_requests_total(r->GetCounter(
+          "casper_transport_requests_total",
+          "Requests entering the resilient client.")),
+      transport_retries_total(r->GetCounter(
+          "casper_transport_retries_total",
+          "Attempts re-sent after a retryable transport failure.")),
+      transport_failures_total(r->GetCounter(
+          "casper_transport_failures_total",
+          "Channel attempts that failed (dropped, corrupted, rejected).")),
+      transport_deadline_exceeded_total(r->GetCounter(
+          "casper_transport_deadline_exceeded_total",
+          "Requests abandoned at their deadline.")),
+      transport_unavailable_total(r->GetCounter(
+          "casper_transport_unavailable_total",
+          "Requests that ultimately failed kUnavailable.")),
+      transport_degraded_total(r->GetCounter(
+          "casper_transport_degraded_total",
+          "Private queries answered degraded from the candidate-list "
+          "cache during an outage.")),
+      transport_retries_per_request(r->GetHistogram(
+          "casper_transport_retries_per_request",
+          "Retries spent per request (0 = first attempt succeeded).",
+          RetryBounds())),
+      replay_enqueued_total(r->GetCounter(
+          "casper_transport_replay_enqueued_total",
+          "Maintenance messages queued while the server was "
+          "unreachable.")),
+      replay_drained_total(r->GetCounter(
+          "casper_transport_replay_drained_total",
+          "Queued maintenance messages applied on recovery.")),
+      replay_dropped_total(r->GetCounter(
+          "casper_transport_replay_dropped_total",
+          "Maintenance messages rejected because the replay buffer was "
+          "full.")),
+      replay_depth(r->GetGauge(
+          "casper_transport_replay_depth",
+          "Maintenance messages currently queued for replay.")),
       tracer(r) {
+  for (size_t i = 0; i < kBreakerStateCount; ++i) {
+    breaker_transitions_total[i] =
+        r->GetCounter("casper_transport_breaker_transitions_total",
+                      "Circuit-breaker transitions by target state.",
+                      {{"to", kBreakerStateLabels[i]}});
+  }
   for (size_t i = 0; i < 4; ++i) {
     user_events_total[i] =
         r->GetCounter("casper_anonymizer_events_total",

@@ -63,10 +63,27 @@ struct CasperMetrics {
   Counter* batches_total;
   Counter* batch_queries_total;
   Counter* batch_errors_total;
+  Counter* batch_shed_total;  ///< Slots shed at the queue-depth watermark.
   Gauge* batch_queue_depth;
   Gauge* pool_utilization;  ///< Busy-time share of the last batch.
   Gauge* pool_threads;
   Histogram* batch_wall_seconds;
+
+  // --- Transport (anonymizer <-> server channel) ------------------------
+  Gauge* breaker_state;  ///< BreakerState wire value: 0 closed, 1 open,
+                         ///< 2 half-open.
+  Counter* breaker_transitions_total[3];  ///< By target state (`to=`).
+  Counter* transport_requests_total;      ///< Calls entering the client.
+  Counter* transport_retries_total;       ///< Re-sent attempts.
+  Counter* transport_failures_total;      ///< Failed channel attempts.
+  Counter* transport_deadline_exceeded_total;
+  Counter* transport_unavailable_total;   ///< Calls failed kUnavailable.
+  Counter* transport_degraded_total;      ///< Cache-served answers.
+  Histogram* transport_retries_per_request;
+  Counter* replay_enqueued_total;  ///< Upserts queued during an outage.
+  Counter* replay_drained_total;   ///< Queued upserts applied on recovery.
+  Counter* replay_dropped_total;   ///< Queued upserts lost to the bound.
+  Gauge* replay_depth;
 
   // --- Query-path spans -------------------------------------------------
   QueryTracer tracer;
@@ -79,6 +96,13 @@ enum class UserEvent : size_t {
   kProfile = 2,
   kDeregister = 3
 };
+
+/// Circuit-breaker states, in `breaker_state` gauge / transition-label
+/// order (mirrors transport::BreakerState without a header dependency —
+/// obs stays includable from both sides of the trust boundary).
+inline constexpr size_t kBreakerStateCount = 3;
+inline constexpr const char* kBreakerStateLabels[kBreakerStateCount] = {
+    "closed", "open", "half_open"};
 
 }  // namespace casper::obs
 

@@ -45,6 +45,13 @@ Result<PublicCandidateList> ConcurrentQueryCache::Query(const Rect& cloak) {
   return result;
 }
 
+std::optional<PublicCandidateList> ConcurrentQueryCache::Peek(
+    const Rect& cloak) {
+  Shard& shard = ShardFor(cloak);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache.Peek(cloak);
+}
+
 void ConcurrentQueryCache::InvalidateAll() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

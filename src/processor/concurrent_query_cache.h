@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -37,6 +38,12 @@ class ConcurrentQueryCache {
   /// Thread-safe cached Algorithm 2; same contract (and byte-identical
   /// answers) as PrivateNearestNeighbor on an unchanged store.
   Result<PublicCandidateList> Query(const Rect& cloak);
+
+  /// Thread-safe hit-only lookup (current-epoch entries only; never
+  /// computes). The degraded-serving path of the resilient transport:
+  /// when the server tier is unreachable, a peeked answer is still
+  /// inclusive for its cloak. See CachingQueryProcessor::Peek.
+  std::optional<PublicCandidateList> Peek(const Rect& cloak);
 
   /// Thread-safe wholesale invalidation: bumps every shard's epoch
   /// (O(shards), each bump O(1)); stale entries are reclaimed lazily.

@@ -63,6 +63,13 @@ Result<PublicCandidateList> CachingQueryProcessor::Query(const Rect& cloak) {
   return answer;
 }
 
+std::optional<PublicCandidateList> CachingQueryProcessor::Peek(
+    const Rect& cloak) const {
+  auto it = map_.find(RectKey{cloak});
+  if (it == map_.end() || it->second.epoch != epoch_) return std::nullopt;
+  return it->second.answer;
+}
+
 void CachingQueryProcessor::InvalidateAll() {
   if (!map_.empty()) ++stats_.invalidations;
   ++epoch_;

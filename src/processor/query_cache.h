@@ -2,6 +2,7 @@
 #define CASPER_PROCESSOR_QUERY_CACHE_H_
 
 #include <list>
+#include <optional>
 #include <unordered_map>
 
 #include "src/processor/private_nn.h"
@@ -48,6 +49,14 @@ class CachingQueryProcessor {
 
   /// Cached Algorithm 2: same contract as PrivateNearestNeighbor.
   Result<PublicCandidateList> Query(const Rect& cloak);
+
+  /// Hit-only lookup for degraded serving during a server outage:
+  /// returns the cached answer when a *current-epoch* entry exists for
+  /// `cloak`, nullopt otherwise. Restricting to the current epoch keeps
+  /// candidate-list inclusiveness intact — a pre-invalidation entry
+  /// could be missing a target added since. Never computes, never
+  /// evicts, and leaves LRU order and hit/miss stats untouched.
+  std::optional<PublicCandidateList> Peek(const Rect& cloak) const;
 
   /// Must be called after any mutation of the target store. O(1): bumps
   /// the epoch; stale entries are dropped lazily on their next lookup.

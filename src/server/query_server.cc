@@ -25,9 +25,35 @@ void QueryServer::SetPublicTargets(
   public_store_ = processor::PublicTargetStore(targets);
 }
 
+const Status* QueryServer::ReplayOutcome(uint64_t request_id) const {
+  if (request_id == 0) return nullptr;
+  auto it = applied_.find(request_id);
+  return it != applied_.end() ? &it->second : nullptr;
+}
+
+void QueryServer::RecordOutcome(uint64_t request_id, const Status& outcome) {
+  if (request_id == 0) return;
+  if (applied_.emplace(request_id, outcome).second) {
+    applied_order_.push_back(request_id);
+    if (applied_order_.size() > kAppliedWindow) {
+      applied_.erase(applied_order_.front());
+      applied_order_.pop_front();
+    }
+  }
+}
+
 Status QueryServer::Apply(const RegionUpsertMsg& msg) {
+  if (const Status* replay = ReplayOutcome(msg.request_id)) return *replay;
+  const Status outcome = ApplyUpsert(msg);
+  RecordOutcome(msg.request_id, outcome);
+  return outcome;
+}
+
+Status QueryServer::ApplyUpsert(const RegionUpsertMsg& msg) {
   if (msg.has_replaces) {
-    CASPER_RETURN_IF_ERROR(Apply(RegionRemoveMsg{msg.replaces}));
+    RegionRemoveMsg remove;
+    remove.handle = msg.replaces;
+    CASPER_RETURN_IF_ERROR(ApplyRemove(remove));
   }
   if (stored_regions_.count(msg.handle) > 0) {
     return Status::Internal("region handle already stored");
@@ -38,6 +64,13 @@ Status QueryServer::Apply(const RegionUpsertMsg& msg) {
 }
 
 Status QueryServer::Apply(const RegionRemoveMsg& msg) {
+  if (const Status* replay = ReplayOutcome(msg.request_id)) return *replay;
+  const Status outcome = ApplyRemove(msg);
+  RecordOutcome(msg.request_id, outcome);
+  return outcome;
+}
+
+Status QueryServer::ApplyRemove(const RegionRemoveMsg& msg) {
   auto it = stored_regions_.find(msg.handle);
   if (it == stored_regions_.end() ||
       !private_store_.Remove(
@@ -55,6 +88,11 @@ Status QueryServer::Load(const SnapshotMsg& snapshot) {
     stored_regions_[target.id] = target.region;
   }
   private_store_ = processor::PrivateTargetStore(snapshot.regions);
+  // A snapshot replaces the whole store, so outcomes recorded for the
+  // incremental stream no longer describe current state; retries of
+  // pre-snapshot maintenance must re-apply against the new store.
+  applied_.clear();
+  applied_order_.clear();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef CASPER_SERVER_QUERY_SERVER_H_
 #define CASPER_SERVER_QUERY_SERVER_H_
 
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +52,11 @@ class QueryServer : public PrivateStoreSink {
 
   // --- Private data (cloaked regions under pseudonym handles) ---------
 
-  /// Incremental maintenance stream from the anonymizer.
+  /// Incremental maintenance stream from the anonymizer. Messages that
+  /// carry a non-zero request_id are idempotent: a duplicated delivery
+  /// (an at-least-once transport retrying a request whose response was
+  /// lost) replays the originally recorded outcome instead of
+  /// double-applying the mutation.
   Status Apply(const RegionUpsertMsg& msg) override;
   Status Apply(const RegionRemoveMsg& msg) override;
 
@@ -80,10 +85,26 @@ class QueryServer : public PrivateStoreSink {
   }
   const QueryServerOptions& options() const { return options_; }
 
+  /// Maintenance request ids whose outcome is remembered for replay.
+  size_t applied_request_count() const { return applied_.size(); }
+
  private:
   Result<CandidateListMsg> ExecuteImpl(
       const CloakedQueryMsg& query,
       processor::ConcurrentQueryCache* cache) const;
+
+  Status ApplyUpsert(const RegionUpsertMsg& msg);
+  Status ApplyRemove(const RegionRemoveMsg& msg);
+
+  /// Outcome previously recorded for `request_id`, or nullptr when the
+  /// id is unkeyed (0) or unseen.
+  const Status* ReplayOutcome(uint64_t request_id) const;
+  void RecordOutcome(uint64_t request_id, const Status& outcome);
+
+  /// Bound of the idempotency window (FIFO eviction). Sized so that a
+  /// client retrying within any sane backoff horizon always hits the
+  /// window, while memory stays O(window).
+  static constexpr size_t kAppliedWindow = 8192;
 
   QueryServerOptions options_;
   obs::CasperMetrics* metrics_;
@@ -92,6 +113,9 @@ class QueryServer : public PrivateStoreSink {
   /// handle -> stored region, so maintenance messages can address
   /// regions by pseudonym handle alone.
   std::unordered_map<uint64_t, Rect> stored_regions_;
+  /// request_id -> recorded outcome, FIFO-bounded by kAppliedWindow.
+  std::unordered_map<uint64_t, Status> applied_;
+  std::deque<uint64_t> applied_order_;
 };
 
 }  // namespace casper::server

@@ -1,0 +1,67 @@
+#ifndef CASPER_TRANSPORT_CHANNEL_H_
+#define CASPER_TRANSPORT_CHANNEL_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/processor/concurrent_query_cache.h"
+
+/// \file
+/// The byte-level seam between the trusted anonymizer tier and the
+/// untrusted query server (Figure 1's middle arrow). Everything that
+/// crosses it is an *encoded* wire message from src/casper/messages.h;
+/// a Channel moves request bytes one way and response bytes back, and
+/// knows nothing about what they mean. DirectChannel is today's
+/// in-process deployment (lossless, synchronous); FaultInjectingChannel
+/// (fault_injection.h) wraps any channel with deterministic drops,
+/// delays, duplication, reordering, and corruption so the resilience
+/// machinery above it (resilient_client.h) can be tested — and so the
+/// failure modes of a real two-process deployment are representable at
+/// all.
+
+namespace casper::transport {
+
+/// Per-call context that travels *next to* the wire bytes, not on them.
+/// The candidate-list cache is a co-located-deployment optimization: in
+/// process, the batch engine's shard-locked cache sits on the server
+/// side of the seam and must reach QueryServer::Execute by pointer. A
+/// multi-process deployment would hold the cache inside the server
+/// process and this struct would be empty.
+struct CallContext {
+  processor::ConcurrentQueryCache* cache = nullptr;
+};
+
+/// One round trip: encoded request bytes in, encoded response bytes
+/// out. Implementations may fail with kUnavailable (delivery failed,
+/// nothing reached the server — or the response was lost after the
+/// server acted; the caller cannot tell, which is exactly why requests
+/// carry idempotency keys). Thread safety is implementation-defined;
+/// every channel in this subsystem is safe for concurrent Call().
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual Result<std::string> Call(std::string_view request,
+                                   const CallContext& context) = 0;
+};
+
+class ServerEndpoint;
+
+/// The in-process deployment: hands the bytes straight to the server
+/// endpoint, perfectly and synchronously (today's pre-transport
+/// behavior, now explicit).
+class DirectChannel : public Channel {
+ public:
+  /// The endpoint must outlive the channel.
+  explicit DirectChannel(ServerEndpoint* endpoint);
+
+  Result<std::string> Call(std::string_view request,
+                           const CallContext& context) override;
+
+ private:
+  ServerEndpoint* endpoint_;
+};
+
+}  // namespace casper::transport
+
+#endif  // CASPER_TRANSPORT_CHANNEL_H_

@@ -1,0 +1,147 @@
+#include "src/transport/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/casper/messages.h"
+
+namespace casper::transport {
+namespace {
+
+/// Late delivery applies to queries only: a deferred *maintenance*
+/// message would be flushed from whichever call comes next — possibly a
+/// query running on a batch worker thread, where a store mutation would
+/// race the read-only fan-out. Real transports reorder queries just as
+/// readily, and the maintenance path exercises its own out-of-order
+/// machinery (idempotent retries + the replay buffer).
+bool LateDeliverable(std::string_view request) {
+  Result<MessageTag> tag = TagOf(request);
+  return tag.ok() && tag.value() == MessageTag::kCloakedQuery;
+}
+
+}  // namespace
+
+FaultInjectingChannel::FaultInjectingChannel(Channel* inner,
+                                             const FaultProfile& profile,
+                                             uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed) {
+  CASPER_DCHECK(inner != nullptr);
+}
+
+void FaultInjectingChannel::FailRequests(uint64_t first, uint64_t last) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_windows_.emplace_back(first, last);
+}
+
+void FaultInjectingChannel::BlackoutForMillis(double millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackout_until_seconds_ = clock_.ElapsedSeconds() + millis / 1e3;
+}
+
+void FaultInjectingChannel::SetProfile(const FaultProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profile_ = profile;
+}
+
+FaultStats FaultInjectingChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t FaultInjectingChannel::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return call_index_;
+}
+
+std::string FaultInjectingChannel::Corrupt(std::string bytes) {
+  // Caller holds mu_ (rng_ access).
+  if (bytes.size() < 2) return bytes;
+  const size_t pos = 1 + static_cast<size_t>(
+                             rng_.UniformInt(0, bytes.size() - 2));
+  const auto flip =
+      static_cast<uint8_t>(rng_.UniformInt(1, 255));  // Never a no-op.
+  bytes[pos] = static_cast<char>(static_cast<uint8_t>(bytes[pos]) ^ flip);
+  return bytes;
+}
+
+Result<std::string> FaultInjectingChannel::Call(std::string_view request,
+                                                const CallContext& context) {
+  // Phase 1 (under the lock): draw this call's fate from the seeded
+  // stream and snapshot everything the delivery phase needs, so the
+  // inner call itself can run lock-free and concurrent.
+  std::string to_send(request);
+  std::optional<std::string> flush_first;
+  uint64_t delay_micros = 0;
+  bool duplicate = false;
+  bool drop_response = false;
+  bool corrupt_response = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t index = ++call_index_;
+    ++stats_.calls;
+    flush_first = std::move(late_request_);
+    late_request_.reset();
+
+    for (const auto& [first, last] : fail_windows_) {
+      if (index >= first && index <= last) {
+        ++stats_.scripted_failures;
+        return Status::Unavailable("scripted fault window");
+      }
+    }
+    if (blackout_until_seconds_ >= 0.0 &&
+        clock_.ElapsedSeconds() < blackout_until_seconds_) {
+      ++stats_.blackout_failures;
+      return Status::Unavailable("channel blackout");
+    }
+    if (rng_.Bernoulli(profile_.late_delivery_rate) &&
+        LateDeliverable(to_send)) {
+      ++stats_.late_deliveries;
+      late_request_ = std::move(to_send);
+      return Status::Unavailable("delivery deferred (reordered)");
+    }
+    if (rng_.Bernoulli(profile_.drop_request_rate)) {
+      ++stats_.dropped_requests;
+      return Status::Unavailable("request dropped");
+    }
+    if (rng_.Bernoulli(profile_.corrupt_request_rate)) {
+      ++stats_.corrupted_requests;
+      to_send = Corrupt(std::move(to_send));
+    }
+    if (rng_.Bernoulli(profile_.delay_rate)) {
+      ++stats_.delayed;
+      delay_micros = profile_.delay_micros;
+    }
+    duplicate = rng_.Bernoulli(profile_.duplicate_rate);
+    if (duplicate) ++stats_.duplicated;
+    drop_response = rng_.Bernoulli(profile_.drop_response_rate);
+    if (drop_response) ++stats_.dropped_responses;
+    corrupt_response = rng_.Bernoulli(profile_.corrupt_response_rate);
+    if (corrupt_response) ++stats_.corrupted_responses;
+  }
+
+  // Phase 2 (lock-free): deliver. A request deferred by an earlier
+  // late-delivery fault lands now, *before* this call's own request —
+  // its response is long since unclaimed, so it is discarded.
+  if (flush_first.has_value()) {
+    (void)inner_->Call(*flush_first, context);
+  }
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  if (duplicate) {
+    (void)inner_->Call(to_send, context);
+  }
+  Result<std::string> response = inner_->Call(to_send, context);
+  if (!response.ok()) return response;
+  if (drop_response) {
+    return Status::Unavailable("response dropped");
+  }
+  if (corrupt_response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Corrupt(std::move(response).value());
+  }
+  return response;
+}
+
+}  // namespace casper::transport

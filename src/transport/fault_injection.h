@@ -1,0 +1,131 @@
+#ifndef CASPER_TRANSPORT_FAULT_INJECTION_H_
+#define CASPER_TRANSPORT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/transport/channel.h"
+
+/// \file
+/// Deterministic chaos for the tier transport: wraps any Channel and
+/// injects the failure modes a real network has — dropped requests,
+/// dropped responses, duplicated deliveries, byte corruption in either
+/// direction, added latency, and "late delivery" reordering — each at a
+/// configurable rate drawn from a seeded common::Rng, so every chaos run
+/// is reproducible bit for bit. On top of the random profile sit
+/// scripted faults for targeted tests: fail exactly requests [m, n], or
+/// black out the channel for a wall-clock window.
+///
+/// Semantics of each fault (all surfaced as kUnavailable to the caller,
+/// matching what a real client could observe):
+///  - drop_request:   the server never sees the call.
+///  - drop_response:  the server *acts*, then the reply is lost — the
+///    case that makes idempotency keys necessary.
+///  - duplicate:      the request reaches the server twice (an
+///    at-least-once transport re-sending on a timeout it misjudged).
+///  - corrupt_*:      one byte of the request/response is flipped; the
+///    codecs must reject it, the client must treat it as data loss.
+///  - delay:          the call succeeds after `delay_micros` of added
+///    latency (drives deadline-exceeded paths).
+///  - late_delivery:  the request is buffered and delivered to the
+///    server just *before* the next call — the closest a synchronous
+///    seam gets to reordering, and a second road to duplicates when the
+///    caller retries the "failed" original.
+
+namespace casper::transport {
+
+/// Independent per-call fault probabilities (each in [0, 1]).
+struct FaultProfile {
+  double drop_request_rate = 0.0;
+  double drop_response_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double corrupt_request_rate = 0.0;
+  double corrupt_response_rate = 0.0;
+  double delay_rate = 0.0;
+  double late_delivery_rate = 0.0;
+
+  /// Added latency when a delay fires.
+  uint64_t delay_micros = 200;
+
+  /// Probability that a call is disturbed at all (union bound; the
+  /// chaos acceptance test asserts this is >= 10%).
+  double CombinedRate() const {
+    return drop_request_rate + drop_response_rate + duplicate_rate +
+           corrupt_request_rate + corrupt_response_rate + delay_rate +
+           late_delivery_rate;
+  }
+};
+
+/// What the channel actually did, for test assertions and debugging.
+struct FaultStats {
+  uint64_t calls = 0;
+  uint64_t dropped_requests = 0;
+  uint64_t dropped_responses = 0;
+  uint64_t duplicated = 0;
+  uint64_t corrupted_requests = 0;
+  uint64_t corrupted_responses = 0;
+  uint64_t delayed = 0;
+  uint64_t late_deliveries = 0;
+  uint64_t scripted_failures = 0;
+  uint64_t blackout_failures = 0;
+
+  uint64_t TotalInjected() const {
+    return dropped_requests + dropped_responses + duplicated +
+           corrupted_requests + corrupted_responses + delayed +
+           late_deliveries + scripted_failures + blackout_failures;
+  }
+};
+
+/// Thread-safe (one internal mutex; the inner call runs outside it so
+/// concurrent healthy calls still overlap).
+class FaultInjectingChannel : public Channel {
+ public:
+  /// The inner channel must outlive this one.
+  FaultInjectingChannel(Channel* inner, const FaultProfile& profile,
+                        uint64_t seed);
+
+  Result<std::string> Call(std::string_view request,
+                           const CallContext& context) override;
+
+  /// Scripted schedule: fail every call whose 1-based arrival index
+  /// falls in [first, last] (inclusive), regardless of the profile.
+  void FailRequests(uint64_t first, uint64_t last);
+
+  /// Fail every call for the next `millis` of wall time.
+  void BlackoutForMillis(double millis);
+
+  /// Swap the random profile (e.g. to end the chaos phase of a test).
+  void SetProfile(const FaultProfile& profile);
+
+  FaultStats stats() const;
+
+  /// Calls observed so far (the index FailRequests() schedules against).
+  uint64_t calls() const;
+
+ private:
+  /// Flip one random byte (never the leading type tag — a wrong tag is
+  /// rejected trivially and would under-test the field codecs).
+  std::string Corrupt(std::string bytes);
+
+  Channel* inner_;
+  mutable std::mutex mu_;
+  FaultProfile profile_;
+  Rng rng_;
+  FaultStats stats_;
+  uint64_t call_index_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> fail_windows_;
+  double blackout_until_seconds_ = -1.0;
+  Stopwatch clock_;
+  /// Request buffered by a late-delivery fault, flushed to the inner
+  /// channel at the head of the next call.
+  std::optional<std::string> late_request_;
+};
+
+}  // namespace casper::transport
+
+#endif  // CASPER_TRANSPORT_FAULT_INJECTION_H_

@@ -1,0 +1,43 @@
+#ifndef CASPER_TRANSPORT_SERVER_ENDPOINT_H_
+#define CASPER_TRANSPORT_SERVER_ENDPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/casper/messages.h"
+#include "src/server/query_server.h"
+#include "src/transport/channel.h"
+
+/// \file
+/// The server side of the transport seam: decodes whatever bytes arrive,
+/// dispatches to the QueryServer, and encodes the reply. Queries answer
+/// with a CandidateListMsg (request id echoed so the client can match
+/// responses to requests); maintenance messages and *every* failure
+/// answer with an AckMsg, so errors travel the wire as typed statuses
+/// instead of being implied by silence. Bytes that do not decode are
+/// acknowledged kDataLoss — the one status that tells the client "resend
+/// the same request" rather than "your request is wrong".
+
+namespace casper::transport {
+
+class ServerEndpoint {
+ public:
+  /// The server must outlive the endpoint. Concurrent Handle() calls are
+  /// safe exactly when the underlying server call is: queries are
+  /// read-only and fan out; maintenance is single-threaded by contract.
+  explicit ServerEndpoint(server::QueryServer* server);
+
+  /// Decode, dispatch, encode. Always returns response bytes — failures
+  /// become encoded AckMsgs, not error statuses; a non-OK return means
+  /// the *endpoint* could not even form a reply (never happens today,
+  /// but the seam allows it for a future remote deployment).
+  Result<std::string> Handle(std::string_view request,
+                             const CallContext& context);
+
+ private:
+  server::QueryServer* server_;
+};
+
+}  // namespace casper::transport
+
+#endif  // CASPER_TRANSPORT_SERVER_ENDPOINT_H_

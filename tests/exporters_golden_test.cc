@@ -59,6 +59,36 @@ MetricsSnapshot FixtureSnapshot() {
   latency->Observe(5.0);
   registry.GetHistogram("casper_unused_seconds", "Never observed.",
                         {1.0, 2.0});
+  // The transport resilience instruments (mirrors obs::CasperMetrics):
+  // the breaker gauge, the per-target-state transition counters, and
+  // the retry counter/histogram the chaos tests scrape.
+  registry
+      .GetGauge("casper_transport_breaker_state",
+                "Circuit-breaker state (0 closed, 1 open, 2 half-open).")
+      ->Set(1.0);
+  registry
+      .GetCounter("casper_transport_breaker_transitions_total",
+                  "Breaker transitions by target state.", {{"to", "open"}})
+      ->Increment(2);
+  registry
+      .GetCounter("casper_transport_breaker_transitions_total",
+                  "Breaker transitions by target state.",
+                  {{"to", "half_open"}})
+      ->Increment(2);
+  registry
+      .GetCounter("casper_transport_breaker_transitions_total",
+                  "Breaker transitions by target state.", {{"to", "closed"}})
+      ->Increment(1);
+  registry
+      .GetCounter("casper_transport_retries_total",
+                  "Transport attempts re-sent after a retryable failure.")
+      ->Increment(5);
+  Histogram* retries = registry.GetHistogram(
+      "casper_transport_retries_per_request",
+      "Retries needed per logical request.", {0.0, 1.0, 2.0});
+  retries->Observe(0.0);
+  retries->Observe(0.0);
+  retries->Observe(2.0);
   return registry.Scrape();
 }
 

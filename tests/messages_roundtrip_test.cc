@@ -67,6 +67,7 @@ std::vector<processor::PrivateTarget> RandomPrivateTargets(Rng* rng,
 CloakedQueryMsg RandomCloakedQuery(Rng* rng) {
   CloakedQueryMsg msg;
   msg.kind = static_cast<QueryKind>(rng->UniformInt(0, 6));
+  msg.request_id = rng->Bernoulli(0.5) ? rng->Next() : 0;
   switch (msg.kind) {
     case QueryKind::kNearestPublic:
       msg.cloak = RandomRect(rng);
@@ -176,6 +177,7 @@ TEST(MessagesRoundtripTest, RegionUpsert) {
   Rng rng(0xBEEF);
   for (int i = 0; i < kRounds; ++i) {
     RegionUpsertMsg msg;
+    msg.request_id = rng.Bernoulli(0.5) ? rng.Next() : 0;
     msg.handle = rng.Next();
     msg.has_replaces = rng.Bernoulli(0.5);
     if (msg.has_replaces) msg.replaces = rng.Next();
@@ -190,6 +192,7 @@ TEST(MessagesRoundtripTest, RegionRemove) {
   Rng rng(0xF00D);
   for (int i = 0; i < kRounds; ++i) {
     RegionRemoveMsg msg;
+    msg.request_id = rng.Bernoulli(0.5) ? rng.Next() : 0;
     msg.handle = rng.Next();
     auto decoded = DecodeRegionRemove(Encode(msg));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -213,12 +216,70 @@ TEST(MessagesRoundtripTest, CandidateList) {
   for (int i = 0; i < kRounds; ++i) {
     CandidateListMsg msg;
     msg.kind = static_cast<QueryKind>(rng.UniformInt(0, 6));
+    msg.request_id = rng.Bernoulli(0.5) ? rng.Next() : 0;
+    msg.degraded = rng.Bernoulli(0.25);
     msg.payload = RandomPayload(&rng, msg.kind);
     msg.processor_seconds = rng.NextDouble();
     auto decoded = DecodeCandidateList(Encode(msg));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_TRUE(*decoded == msg) << "round " << i;
   }
+}
+
+TEST(MessagesRoundtripTest, Ack) {
+  Rng rng(0xACC);
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kInternal,     StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,  StatusCode::kDataLoss,
+  };
+  for (int i = 0; i < kRounds; ++i) {
+    AckMsg msg;
+    msg.request_id = rng.Bernoulli(0.5) ? rng.Next() : 0;
+    msg.code = codes[rng.UniformInt(0, 9)];
+    if (msg.code != StatusCode::kOk && rng.Bernoulli(0.7)) {
+      msg.message = "error detail " + std::to_string(i);
+    }
+    auto decoded = DecodeAck(Encode(msg));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == msg) << "round " << i;
+    EXPECT_EQ(decoded->ToStatus().code(), msg.code);
+  }
+}
+
+TEST(MessagesRoundtripTest, AckForStatusCarriesCodeAndMessage) {
+  const AckMsg ack = AckMsg::For(42, Status::NotFound("no such handle"));
+  EXPECT_EQ(ack.request_id, 42u);
+  EXPECT_EQ(ack.code, StatusCode::kNotFound);
+  EXPECT_EQ(ack.message, "no such handle");
+  EXPECT_FALSE(ack.ok());
+  EXPECT_TRUE(AckMsg::For(7, Status::OK()).ok());
+}
+
+TEST(MessagesRoundtripTest, AckRejectsUnknownStatusCode) {
+  AckMsg msg;
+  msg.request_id = 1;
+  msg.code = StatusCode::kUnavailable;
+  std::string bytes = Encode(msg);
+  // The code byte sits after the tag and the 8-byte request id; an
+  // out-of-range enum value must be rejected, not cast blindly.
+  bytes[9] = '\x7f';
+  EXPECT_FALSE(DecodeAck(bytes).ok());
+}
+
+TEST(MessagesRoundtripTest, TagOfIdentifiesEveryMessage) {
+  EXPECT_EQ(TagOf(Encode(CloakedQueryMsg{})).value(),
+            MessageTag::kCloakedQuery);
+  EXPECT_EQ(TagOf(Encode(RegionUpsertMsg{})).value(),
+            MessageTag::kRegionUpsert);
+  EXPECT_EQ(TagOf(Encode(RegionRemoveMsg{})).value(),
+            MessageTag::kRegionRemove);
+  EXPECT_EQ(TagOf(Encode(SnapshotMsg{})).value(), MessageTag::kSnapshot);
+  EXPECT_EQ(TagOf(Encode(AckMsg{})).value(), MessageTag::kAck);
+  EXPECT_FALSE(TagOf("").ok());
+  EXPECT_FALSE(TagOf(std::string_view("\x00", 1)).ok());
 }
 
 TEST(MessagesRoundtripTest, RecordCountSurvivesTheWire) {
@@ -265,6 +326,7 @@ TEST(MessagesRoundtripTest, MistypedBufferRejected) {
   EXPECT_FALSE(DecodeRegionUpsert(bytes).ok());
   EXPECT_FALSE(DecodeSnapshot(bytes).ok());
   EXPECT_FALSE(DecodeCandidateList(bytes).ok());
+  EXPECT_FALSE(DecodeAck(bytes).ok());
 }
 
 TEST(MessagesRoundtripTest, CorruptLengthPrefixRejected) {
@@ -290,6 +352,7 @@ TEST(MessagesRoundtripTest, EmptyBufferRejected) {
   EXPECT_FALSE(DecodeRegionRemove("").ok());
   EXPECT_FALSE(DecodeSnapshot("").ok());
   EXPECT_FALSE(DecodeCandidateList("").ok());
+  EXPECT_FALSE(DecodeAck("").ok());
 }
 
 }  // namespace

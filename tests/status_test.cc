@@ -35,6 +35,39 @@ TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, TransportCodesFormatAndCarryMessages) {
+  EXPECT_EQ(Status::DeadlineExceeded("50ms budget spent").ToString(),
+            "DeadlineExceeded: 50ms budget spent");
+  EXPECT_EQ(Status::Unavailable("breaker open").ToString(),
+            "Unavailable: breaker open");
+  EXPECT_EQ(Status::DataLoss("corrupt frame").ToString(),
+            "DataLoss: corrupt frame");
+}
+
+TEST(StatusTest, RetryabilityPartitionsTheCodes) {
+  // Exactly kUnavailable and kDataLoss are retryable: the request never
+  // took effect, or re-applying is safe under request-id idempotency.
+  EXPECT_TRUE(Status::Unavailable("").IsRetryable());
+  EXPECT_TRUE(Status::DataLoss("").IsRetryable());
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDataLoss));
+
+  // kDeadlineExceeded is deliberately terminal — the budget is spent.
+  EXPECT_FALSE(Status::DeadlineExceeded("").IsRetryable());
+
+  EXPECT_FALSE(Status().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("").IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists("").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("").IsRetryable());
+  EXPECT_FALSE(Status::OutOfRange("").IsRetryable());
+  EXPECT_FALSE(Status::Internal("").IsRetryable());
 }
 
 Status FailsWhenNegative(int v) {
@@ -95,6 +128,47 @@ TEST(ResultTest, AssignOrReturnChains) {
 TEST(ResultTest, ArrowOperator) {
   Result<std::string> r(std::string("abc"));
   EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, HoldsTransportErrorCodes) {
+  Result<int> unavailable(Status::Unavailable("request dropped"));
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(unavailable.status().IsRetryable());
+
+  Result<int> deadline(Status::DeadlineExceeded("too slow"));
+  EXPECT_EQ(deadline.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(deadline.status().IsRetryable());
+
+  Result<int> loss(Status::DataLoss("bad frame"));
+  EXPECT_EQ(loss.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(loss.status().IsRetryable());
+}
+
+Result<int> FailsWith(StatusCode code, int depth) {
+  if (depth == 0) {
+    switch (code) {
+      case StatusCode::kUnavailable: return Status::Unavailable("leaf");
+      case StatusCode::kDataLoss: return Status::DataLoss("leaf");
+      default: return Status::DeadlineExceeded("leaf");
+    }
+  }
+  CASPER_ASSIGN_OR_RETURN(inner, FailsWith(code, depth - 1));
+  return inner + 1;
+}
+
+TEST(ResultTest, TransportCodesPropagateThroughAssignOrReturn) {
+  // The new codes must survive N levels of CASPER_ASSIGN_OR_RETURN
+  // unchanged — the same path a status takes from a Channel through
+  // ResilientClient, EvaluateTraced, and Execute.
+  for (const StatusCode code :
+       {StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kDeadlineExceeded}) {
+    auto propagated = FailsWith(code, 3);
+    ASSERT_FALSE(propagated.ok());
+    EXPECT_EQ(propagated.status().code(), code);
+    EXPECT_EQ(propagated.status().message(), "leaf");
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace casper {
@@ -14,7 +15,8 @@ namespace {
 TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
   ThreadPool pool(2);
   auto future = pool.Submit([] { return 41 + 1; });
-  EXPECT_EQ(future.get(), 42);
+  ASSERT_TRUE(future.ok());
+  EXPECT_EQ(future.value().get(), 42);
 }
 
 TEST(ThreadPoolTest, RunsEveryTask) {
@@ -22,8 +24,10 @@ TEST(ThreadPoolTest, RunsEveryTask) {
   std::atomic<int> counter{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 1000; ++i) {
-    futures.push_back(pool.Submit(
-        [&counter] { counter.fetch_add(1, std::memory_order_relaxed); }));
+    auto submitted = pool.Submit(
+        [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(counter.load(), 1000);
@@ -40,8 +44,9 @@ TEST(ThreadPoolTest, ConcurrentSubmitters) {
       for (int i = 0; i < 100; ++i) {
         auto f = pool.Submit(
             [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+        ASSERT_TRUE(f.ok());
         std::lock_guard<std::mutex> lock(mu);
-        futures.push_back(std::move(f));
+        futures.push_back(std::move(f).value());
       }
     });
   }
@@ -57,13 +62,38 @@ TEST(ThreadPoolTest, GracefulShutdownDrainsQueue) {
     // destructor runs, and all must still execute.
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-        counter.fetch_add(1, std::memory_order_relaxed);
-      });
+      ASSERT_TRUE(pool.Submit([&counter] {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(100));
+                        counter.fetch_add(1, std::memory_order_relaxed);
+                      })
+                      .ok());
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsUnavailable) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  bool ran = false;
+  auto submitted = pool.Submit([&ran] { ran = true; });
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(submitted.status().IsRetryable());
+  EXPECT_FALSE(ran);  // The callable must never run.
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto submitted = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_THROW(submitted.value().get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving.
+  auto next = pool.Submit([] { return 7; });
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().get(), 7);
 }
 
 TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
@@ -71,7 +101,9 @@ TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
   std::vector<int> order;
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 20; ++i) {
-    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+    auto submitted = pool.Submit([&order, i] { order.push_back(i); });
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
   }
   for (auto& f : futures) f.get();
   std::vector<int> expected(20);
@@ -82,14 +114,16 @@ TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.thread_count(), 1u);
-  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+  EXPECT_EQ(pool.Submit([] { return 7; }).value().get(), 7);
 }
 
 TEST(ThreadPoolTest, FuturesCarryDistinctResults) {
   ThreadPool pool(3);
   std::vector<std::future<int>> futures;
   for (int i = 0; i < 64; ++i) {
-    futures.push_back(pool.Submit([i] { return i * i; }));
+    auto submitted = pool.Submit([i] { return i * i; });
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
   }
   for (int i = 0; i < 64; ++i) {
     EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);

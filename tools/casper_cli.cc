@@ -17,9 +17,78 @@
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
 #include "src/obs/exporters.h"
+#include "src/transport/fault_injection.h"
 
 namespace casper {
 namespace {
+
+/// Chaos knobs, all off by default. `--chaos-drop` and
+/// `--chaos-corrupt` are split evenly between the request and response
+/// directions; any non-zero knob wraps the tier channel in a seeded
+/// transport::FaultInjectingChannel, so a whole interactive session
+/// (or scripted pipe) runs against a misbehaving transport.
+struct ChaosFlags {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  unsigned long long delay_micros = 200;
+  unsigned long long seed = 0xC4A05;
+
+  bool enabled() const {
+    return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0;
+  }
+
+  transport::FaultProfile ToProfile() const {
+    transport::FaultProfile profile;
+    profile.drop_request_rate = drop / 2.0;
+    profile.drop_response_rate = drop / 2.0;
+    profile.corrupt_request_rate = corrupt / 2.0;
+    profile.corrupt_response_rate = corrupt / 2.0;
+    profile.duplicate_rate = duplicate;
+    profile.delay_rate = delay;
+    profile.delay_micros = delay_micros;
+    return profile;
+  }
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [--chaos-drop=R] [--chaos-corrupt=R] [--chaos-dup=R]\n"
+      "          [--chaos-delay=R] [--chaos-delay-micros=N] "
+      "[--chaos-seed=N]\n"
+      "  R are per-call fault probabilities in [0, 1]; any non-zero rate\n"
+      "  injects deterministic faults (seeded by --chaos-seed) into the\n"
+      "  anonymizer<->server channel. The `transport` command shows the\n"
+      "  breaker state and what was injected.\n",
+      argv0);
+}
+
+/// Parse one --chaos-* flag; returns false on an unknown flag or an
+/// out-of-range value.
+bool ParseFlag(const char* arg, ChaosFlags* chaos) {
+  double* rate = nullptr;
+  if (std::strncmp(arg, "--chaos-drop=", 13) == 0) {
+    rate = &chaos->drop;
+    arg += 13;
+  } else if (std::strncmp(arg, "--chaos-corrupt=", 16) == 0) {
+    rate = &chaos->corrupt;
+    arg += 16;
+  } else if (std::strncmp(arg, "--chaos-dup=", 12) == 0) {
+    rate = &chaos->duplicate;
+    arg += 12;
+  } else if (std::strncmp(arg, "--chaos-delay=", 14) == 0) {
+    rate = &chaos->delay;
+    arg += 14;
+  } else if (std::strncmp(arg, "--chaos-delay-micros=", 21) == 0) {
+    return std::sscanf(arg + 21, "%llu", &chaos->delay_micros) == 1;
+  } else if (std::strncmp(arg, "--chaos-seed=", 13) == 0) {
+    return std::sscanf(arg + 13, "%llu", &chaos->seed) == 1;
+  } else {
+    return false;
+  }
+  return std::sscanf(arg, "%lf", rate) == 1 && *rate >= 0.0 && *rate <= 1.0;
+}
 
 void PrintHelp() {
   std::printf(
@@ -39,16 +108,61 @@ void PrintHelp() {
       "  buddy <uid>                          private NN over private data\n"
       "  batch <count> <threads>              mixed parallel batch + summary\n"
       "  stats                                anonymizer statistics\n"
+      "  transport                            breaker state, replay depth,\n"
+      "                                       injected-fault stats\n"
+      "  flush                                drain the upsert replay buffer\n"
       "  metrics [json]                       scrape the metrics registry\n"
       "                                       (Prometheus text, or JSON)\n"
       "  help                                 this text\n"
       "  quit                                 exit\n");
 }
 
-int Run() {
+const char* BreakerStateName(transport::BreakerState state) {
+  switch (state) {
+    case transport::BreakerState::kClosed:
+      return "closed";
+    case transport::BreakerState::kOpen:
+      return "open";
+    case transport::BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+int Run(int argc, char** argv) {
+  ChaosFlags chaos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0]);
+      return 0;
+    }
+    if (!ParseFlag(argv[i], &chaos)) {
+      std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
   CasperOptions options;
   options.pyramid.height = 8;
+  transport::FaultInjectingChannel* fault = nullptr;
+  const transport::FaultProfile profile = chaos.ToProfile();
+  if (chaos.enabled()) {
+    options.channel_decorator =
+        [&fault, &profile, &chaos](
+            transport::Channel* inner) -> std::unique_ptr<transport::Channel> {
+      auto owned = std::make_unique<transport::FaultInjectingChannel>(
+          inner, profile, chaos.seed);
+      fault = owned.get();
+      return owned;
+    };
+  }
   CasperService service(options);
+  if (chaos.enabled()) {
+    std::printf("chaos: combined fault rate %.3f, seed %llu\n",
+                profile.CombinedRate(), chaos.seed);
+  }
   Rng rng(1);
   // Registered uids, in registration order — the batch command cycles
   // through them (the service itself never exposes an id roster).
@@ -327,6 +441,31 @@ int Run() {
       const std::string text = json ? obs::ExportJson(snapshot)
                                     : obs::ExportPrometheus(snapshot);
       std::fwrite(text.data(), 1, text.size(), stdout);
+    } else if (c == "transport") {
+      const transport::ResilientClient& client = service.transport_client();
+      std::printf("breaker=%s replay_depth=%zu\n",
+                  BreakerStateName(client.breaker_state()),
+                  client.replay_depth());
+      if (fault != nullptr) {
+        const transport::FaultStats s = fault->stats();
+        std::printf("calls=%llu injected=%llu dropped_req=%llu "
+                    "dropped_resp=%llu dup=%llu corrupt_req=%llu "
+                    "corrupt_resp=%llu delayed=%llu late=%llu\n",
+                    static_cast<unsigned long long>(s.calls),
+                    static_cast<unsigned long long>(s.TotalInjected()),
+                    static_cast<unsigned long long>(s.dropped_requests),
+                    static_cast<unsigned long long>(s.dropped_responses),
+                    static_cast<unsigned long long>(s.duplicated),
+                    static_cast<unsigned long long>(s.corrupted_requests),
+                    static_cast<unsigned long long>(s.corrupted_responses),
+                    static_cast<unsigned long long>(s.delayed),
+                    static_cast<unsigned long long>(s.late_deliveries));
+      } else {
+        std::printf("chaos off (see casper_cli --help)\n");
+      }
+    } else if (c == "flush") {
+      std::printf("%s\n",
+                  service.transport_client().Flush().ToString().c_str());
     } else if (c == "stats") {
       const auto& s = service.anonymizer().stats();
       std::printf("users=%zu location_updates=%llu counter_updates=%llu "
@@ -350,4 +489,4 @@ int Run() {
 }  // namespace
 }  // namespace casper
 
-int main() { return casper::Run(); }
+int main(int argc, char** argv) { return casper::Run(argc, argv); }

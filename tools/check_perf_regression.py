@@ -27,18 +27,51 @@ import math
 import sys
 
 
+KEY_FIELDS = ("mode", "threads", "batch_size", "cache")
+
+
 def row_key(row):
-    return (row["mode"], row["threads"], row["batch_size"], row["cache"])
+    return tuple(row[f] for f in KEY_FIELDS)
 
 
 def load_rows(path):
+    """Load and validate one bench JSON; exits 2 on anything malformed.
+
+    A degenerate baseline (truncated file, rows missing their config
+    keys or qps, zero/negative qps from a benchmark that crashed
+    mid-run) must fail the gate *legibly*, not with a traceback — CI
+    surfaces only the last few lines.
+    """
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    rows = {row_key(r): r for r in data.get("rows", [])}
+    if not isinstance(data, dict) or not isinstance(data.get("rows"), list):
+        print(f"error: {path}: expected a JSON object with a 'rows' list",
+              file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for i, r in enumerate(data["rows"]):
+        if not isinstance(r, dict):
+            print(f"error: {path}: row {i} is not an object", file=sys.stderr)
+            sys.exit(2)
+        missing = [f for f in KEY_FIELDS + ("qps",) if f not in r]
+        if missing:
+            print(f"error: {path}: row {i} missing {', '.join(missing)}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not isinstance(r["qps"], (int, float)) or isinstance(r["qps"], bool):
+            print(f"error: {path}: row {i} qps is not a number: {r['qps']!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        key = row_key(r)
+        if key in rows:
+            print(f"error: {path}: duplicate configuration {key}",
+                  file=sys.stderr)
+            sys.exit(2)
+        rows[key] = r
     if not rows:
         print(f"error: no rows in {path}", file=sys.stderr)
         sys.exit(2)
@@ -67,9 +100,19 @@ def main():
 
     common = sorted(set(base) & set(cur))
     if not common:
-        print("error: no comparable rows between baseline and current",
+        print("error: no comparable rows between baseline and current "
+              f"(baseline configs: {sorted(base)[:4]}..., "
+              f"current configs: {sorted(cur)[:4]}...)",
               file=sys.stderr)
         sys.exit(2)
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for key in only_base:
+        print(f"warning: baseline-only configuration skipped: {key}",
+              file=sys.stderr)
+    for key in only_cur:
+        print(f"warning: current-only configuration skipped: {key}",
+              file=sys.stderr)
 
     log_sum = 0.0
     worst = (None, float("inf"))

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_regression.py (stdlib only).
+
+Runs the gate as a subprocess against synthetic bench JSON and asserts
+on the (exit status, output) contract CI depends on:
+  0 = within budget, 1 = regression, 2 = unusable input.
+Degenerate inputs — truncated JSON, rows missing their config keys or
+qps, zero qps, mismatched bench configurations — must exit 2 with a
+one-line diagnostic, never a traceback.
+
+Run directly:  python3 tools/test_check_perf_regression.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_perf_regression.py")
+
+
+def bench(rows, targets=1000, users=100):
+    return {"targets": targets, "users": users, "rows": rows}
+
+
+def row(mode="batch", threads=4, batch_size=64, cache=True, qps=1000.0):
+    return {"mode": mode, "threads": threads, "batch_size": batch_size,
+            "cache": cache, "qps": qps}
+
+
+class GateTest(unittest.TestCase):
+    def run_gate(self, baseline, current, extra_args=()):
+        """Write both payloads to temp files and run the gate."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            for path, payload in ((base_path, baseline), (cur_path, current)):
+                with open(path, "w") as f:
+                    if isinstance(payload, str):
+                        f.write(payload)
+                    else:
+                        json.dump(payload, f)
+            return subprocess.run(
+                [sys.executable, GATE, "--baseline", base_path,
+                 "--current", cur_path, *extra_args],
+                capture_output=True, text=True)
+
+    def assert_clean_exit(self, proc, code):
+        self.assertEqual(proc.returncode, code,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        self.assertNotIn("Traceback", proc.stderr)
+
+    # --- Healthy paths ---------------------------------------------------
+
+    def test_identical_benches_pass(self):
+        b = bench([row(threads=t) for t in (1, 2, 4)])
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("OK: throughput within budget", proc.stdout)
+
+    def test_uniform_slowdown_fails(self):
+        base = bench([row(threads=t, qps=1000.0) for t in (1, 2, 4)])
+        cur = bench([row(threads=t, qps=500.0) for t in (1, 2, 4)])
+        proc = self.run_gate(base, cur)
+        self.assert_clean_exit(proc, 1)
+        self.assertIn("FAIL", proc.stderr)
+
+    def test_one_noisy_row_does_not_trip_the_geomean(self):
+        base = bench([row(threads=t, qps=1000.0) for t in (1, 2, 4, 8)])
+        cur = bench([row(threads=1, qps=700.0)] +
+                    [row(threads=t, qps=1000.0) for t in (2, 4, 8)])
+        proc = self.run_gate(base, cur)
+        self.assert_clean_exit(proc, 0)
+
+    def test_max_drop_is_respected(self):
+        base = bench([row(qps=1000.0)])
+        cur = bench([row(qps=900.0)])
+        self.assert_clean_exit(self.run_gate(base, cur), 0)
+        self.assert_clean_exit(
+            self.run_gate(base, cur, extra_args=("--max-drop", "0.05")), 1)
+
+    # --- Degenerate inputs ----------------------------------------------
+
+    def test_missing_file_exits_2(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            proc = subprocess.run(
+                [sys.executable, GATE,
+                 "--baseline", os.path.join(tmp, "nope.json"),
+                 "--current", os.path.join(tmp, "nope.json")],
+                capture_output=True, text=True)
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_truncated_json_exits_2(self):
+        proc = self.run_gate('{"rows": [', bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_non_object_payload_exits_2(self):
+        proc = self.run_gate([1, 2, 3], bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("expected a JSON object", proc.stderr)
+
+    def test_empty_rows_exits_2(self):
+        proc = self.run_gate(bench([]), bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("no rows", proc.stderr)
+
+    def test_row_missing_qps_exits_2(self):
+        bad = row()
+        del bad["qps"]
+        proc = self.run_gate(bench([bad]), bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("missing qps", proc.stderr)
+
+    def test_row_missing_config_key_exits_2(self):
+        bad = row()
+        del bad["threads"]
+        proc = self.run_gate(bench([bad]), bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("missing threads", proc.stderr)
+
+    def test_non_numeric_qps_exits_2(self):
+        proc = self.run_gate(bench([row(qps="fast")]), bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("qps is not a number", proc.stderr)
+
+    def test_zero_qps_exits_2(self):
+        proc = self.run_gate(bench([row(qps=0.0)]), bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("non-positive qps", proc.stderr)
+
+    def test_duplicate_configuration_exits_2(self):
+        proc = self.run_gate(bench([row(), row(qps=2000.0)]),
+                             bench([row()]))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("duplicate configuration", proc.stderr)
+
+    def test_disjoint_configurations_exit_2(self):
+        base = bench([row(mode="batch")])
+        cur = bench([row(mode="sequential")])
+        proc = self.run_gate(base, cur)
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("no comparable rows", proc.stderr)
+
+    def test_partially_mismatched_rows_warn_but_compare(self):
+        base = bench([row(threads=1), row(threads=2)])
+        cur = bench([row(threads=1), row(threads=4)])
+        proc = self.run_gate(base, cur)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("baseline-only configuration skipped", proc.stderr)
+        self.assertIn("current-only configuration skipped", proc.stderr)
+
+    def test_workload_mismatch_exits_2(self):
+        proc = self.run_gate(bench([row()], targets=1000),
+                             bench([row()], targets=5000))
+        self.assert_clean_exit(proc, 2)
+        self.assertIn("workload mismatch", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
