@@ -1,9 +1,9 @@
 #include "src/casper/batch_query_engine.h"
 
-#include <future>
 #include <optional>
 #include <utility>
 
+#include "src/common/chunked_dispatch.h"
 #include "src/common/stopwatch.h"
 
 namespace casper::server {
@@ -101,39 +101,45 @@ BatchResult BatchQueryEngine::Execute(
   result.summary.cloak_seconds = cloak_watch.ElapsedSeconds();
 
   // Phase 2 — parallel read-only evaluation through the unified
-  // dispatch. Each task owns exactly its response slot; the futures'
-  // completion orders the writes before the aggregation below, and the
+  // dispatch, fanned out in ~64-query work-stealing chunks (one role
+  // task per worker instead of one future per query; see
+  // common/chunked_dispatch.h). Each chunk owns exactly its response
+  // slots, so request order is preserved by construction, and the
   // shard-locked cache is the only shared mutable state.
-  std::vector<std::future<void>> done;
-  done.reserve(n);
+  std::vector<size_t> ready_idx;
+  ready_idx.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (!ready[i]) continue;
-    if (options_.shed_queue_depth > 0 &&
-        pool_.pending() >= options_.shed_queue_depth) {
-      // Overload degradation: fail the slot fast instead of letting the
-      // queue (and every queued query's latency) grow without bound.
-      result.responses[i].status =
+    if (ready[i]) ready_idx.push_back(i);
+  }
+  const size_t threads = options_.threads > 0 ? options_.threads : 1;
+  if (options_.shed_queue_depth > 0) {
+    // Overload degradation: bound every worker's queue at the watermark
+    // and fail the overflow fast instead of letting queued latency grow
+    // without bound.
+    const size_t admit_cap = options_.shed_queue_depth * threads;
+    for (size_t j = admit_cap; j < ready_idx.size(); ++j) {
+      result.responses[ready_idx[j]].status =
           Status::Unavailable("batch engine overloaded; query shed");
       metrics_->batch_shed_total->Increment();
-      continue;
     }
-    auto submitted = pool_.Submit([this, &requests, &cloaks,
-                                   &anonymizer_seconds, &result, i] {
-      EvaluateOne(requests[i],
-                  cloaks[i].has_value() ? *cloaks[i]
-                                        : anonymizer::CloakingResult{},
-                  anonymizer_seconds[i], &result.responses[i]);
-    });
-    if (!submitted.ok()) {
-      result.responses[i].status = submitted.status();
-      continue;
-    }
-    done.push_back(std::move(submitted).value());
+    if (ready_idx.size() > admit_cap) ready_idx.resize(admit_cap);
   }
-  // High-water queue depth of this batch: everything is enqueued before
-  // the first join, so the submitted count is the depth the pool saw.
-  metrics_->batch_queue_depth->Set(static_cast<double>(done.size()));
-  for (std::future<void>& f : done) f.get();
+  // High-water queue depth of this batch: everything admitted is
+  // distributed across the worker deques before execution starts.
+  metrics_->batch_queue_depth->Set(static_cast<double>(ready_idx.size()));
+  ParallelForChunked(
+      pool_, ready_idx.size(),
+      [this, &requests, &cloaks, &anonymizer_seconds, &result,
+       &ready_idx](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) {
+          const size_t i = ready_idx[j];
+          EvaluateOne(requests[i],
+                      cloaks[i].has_value() ? *cloaks[i]
+                                            : anonymizer::CloakingResult{},
+                      anonymizer_seconds[i], &result.responses[i]);
+        }
+      },
+      options_.dispatch_chunk);
   metrics_->batch_queue_depth->Set(0.0);
 
   // Aggregate: throughput, latency percentiles, Figure-17 totals.
@@ -168,7 +174,6 @@ BatchResult BatchQueryEngine::Execute(
   metrics_->batch_queries_total->Increment(n);
   metrics_->batch_errors_total->Increment(result.summary.error_count);
   metrics_->batch_wall_seconds->Observe(result.summary.wall_seconds);
-  const size_t threads = options_.threads > 0 ? options_.threads : 1;
   if (result.summary.wall_seconds > 0.0) {
     metrics_->pool_utilization->Set(
         (pool_.busy_seconds() - busy_before) /

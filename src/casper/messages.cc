@@ -168,6 +168,19 @@ class Reader {
 
   bool Tag(uint8_t expected) { return U8() == expected && !failed_; }
 
+  /// Advance past `n` bytes and return their start — the zero-copy
+  /// decoders' window onto a record block. Null (and failed) when fewer
+  /// than `n` bytes remain.
+  const char* Skip(size_t n) {
+    if (n > Remaining()) {
+      failed_ = true;
+      return nullptr;
+    }
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
   size_t Remaining() const { return bytes_.size() - pos_; }
   bool failed() const { return failed_; }
 
@@ -397,6 +410,99 @@ Result<ServerPayload> GetPayload(Reader& r) {
   }
 }
 
+/// Zero-copy mirror of GetPayload: identical validation order and
+/// identical failure conditions (the codec fuzz test asserts acceptance
+/// parity between the two), but the record blocks are skipped in place
+/// and wrapped in WireSpans instead of being copied out.
+Result<ServerPayloadView> GetPayloadView(Reader& r) {
+  const uint8_t index = r.U8();
+  if (r.failed()) return Status::InvalidArgument("truncated payload");
+  switch (index) {
+    case 0: {
+      PublicCandidateListView view;
+      const size_t n = r.Count(kPublicTargetBytes);
+      const char* data = r.Skip(n * kPublicTargetBytes);
+      view.candidates = WireSpan<processor::PublicTarget>(data, n);
+      view.area = GetExtendedArea(r);
+      const uint8_t policy = r.U8();
+      if (r.failed()) return Status::InvalidArgument("truncated payload");
+      if (!ValidPolicy(policy)) {
+        return Status::InvalidArgument("bad filter policy");
+      }
+      view.policy = static_cast<processor::FilterPolicy>(policy);
+      return ServerPayloadView(view);
+    }
+    case 1: {
+      KnnCandidateListView view;
+      const size_t n = r.Count(kPublicTargetBytes);
+      const char* data = r.Skip(n * kPublicTargetBytes);
+      view.candidates = WireSpan<processor::PublicTarget>(data, n);
+      view.a_ext = r.R();
+      view.k = r.U64();
+      return ServerPayloadView(view);
+    }
+    case 2: {
+      PublicRangeCandidatesView view;
+      const size_t n = r.Count(kPublicTargetBytes);
+      const char* data = r.Skip(n * kPublicTargetBytes);
+      view.candidates = WireSpan<processor::PublicTarget>(data, n);
+      view.search_window = r.R();
+      return ServerPayloadView(view);
+    }
+    case 3: {
+      PrivateCandidateListView view;
+      const size_t n = r.Count(kPrivateTargetBytes);
+      const char* data = r.Skip(n * kPrivateTargetBytes);
+      view.candidates = WireSpan<processor::PrivateTarget>(data, n);
+      view.area = GetExtendedArea(r);
+      const uint8_t policy = r.U8();
+      if (r.failed()) return Status::InvalidArgument("truncated payload");
+      if (!ValidPolicy(policy)) {
+        return Status::InvalidArgument("bad filter policy");
+      }
+      view.policy = static_cast<processor::FilterPolicy>(policy);
+      return ServerPayloadView(view);
+    }
+    case 4: {
+      PublicNNCandidatesView view;
+      const size_t n = r.Count(kPrivateTargetBytes + 16);
+      const char* data = r.Skip(n * (kPrivateTargetBytes + 16));
+      view.candidates =
+          WireSpan<processor::PublicNNCandidates::Candidate>(data, n);
+      view.minimax_bound = r.F64();
+      return ServerPayloadView(view);
+    }
+    case 5: {
+      RangeCountResultView view;
+      view.certain = r.U64();
+      view.possible = r.U64();
+      view.expected = r.F64();
+      const size_t n = r.Count(kPrivateTargetBytes);
+      const char* data = r.Skip(n * kPrivateTargetBytes);
+      view.overlapping = WireSpan<processor::PrivateTarget>(data, n);
+      return ServerPayloadView(view);
+    }
+    case 6: {
+      DensityMapView view;
+      view.extent = r.R();
+      view.cols = r.I32();
+      view.rows = r.I32();
+      if (r.failed() || view.cols < 1 || view.rows < 1 ||
+          static_cast<uint64_t>(view.cols) * static_cast<uint64_t>(view.rows) >
+              r.Remaining() / 8) {
+        return Status::InvalidArgument("bad density grid");
+      }
+      const size_t n =
+          static_cast<size_t>(view.cols) * static_cast<size_t>(view.rows);
+      const char* data = r.Skip(n * 8);
+      view.cells = WireSpan<double>(data, n);
+      return ServerPayloadView(view);
+    }
+    default:
+      return Status::InvalidArgument("unknown payload kind");
+  }
+}
+
 }  // namespace
 
 size_t RecordCount(const ServerPayload& payload) {
@@ -618,6 +724,108 @@ Result<AckMsg> DecodeAck(std::string_view bytes) {
   msg.message = r.Str();
   CASPER_RETURN_IF_ERROR(r.Finish("Ack"));
   return msg;
+}
+
+size_t RecordCount(const ServerPayloadView& payload) {
+  return std::visit(
+      [](const auto& p) -> size_t {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, RangeCountResultView>) {
+          return p.overlapping.size();
+        } else if constexpr (std::is_same_v<T, DensityMapView>) {
+          return static_cast<size_t>(p.cols) * static_cast<size_t>(p.rows);
+        } else {
+          return p.candidates.size();
+        }
+      },
+      payload);
+}
+
+processor::PublicCandidateList PublicCandidateListView::Materialize() const {
+  return {candidates.Materialize(), area, policy};
+}
+
+processor::KnnCandidateList KnnCandidateListView::Materialize() const {
+  return {candidates.Materialize(), a_ext, static_cast<size_t>(k)};
+}
+
+processor::PublicRangeCandidates PublicRangeCandidatesView::Materialize()
+    const {
+  return {candidates.Materialize(), search_window};
+}
+
+processor::PrivateCandidateList PrivateCandidateListView::Materialize() const {
+  return {candidates.Materialize(), area, policy};
+}
+
+processor::PublicNNCandidates PublicNNCandidatesView::Materialize() const {
+  return {candidates.Materialize(), minimax_bound};
+}
+
+processor::RangeCountResult RangeCountResultView::Materialize() const {
+  return {static_cast<size_t>(certain), static_cast<size_t>(possible),
+          expected, overlapping.Materialize()};
+}
+
+processor::DensityMap DensityMapView::Materialize() const {
+  // The view decoder already enforced FromCells' preconditions
+  // (cols >= 1, rows >= 1, cells.size() == cols * rows), so this
+  // cannot fail.
+  return processor::DensityMap::FromCells(extent, cols, rows,
+                                          cells.Materialize())
+      .value();
+}
+
+CandidateListMsg CandidateListView::Materialize() const {
+  CandidateListMsg msg;
+  msg.kind = kind;
+  msg.request_id = request_id;
+  msg.degraded = degraded;
+  msg.processor_seconds = processor_seconds;
+  msg.payload = std::visit(
+      [](const auto& p) -> ServerPayload { return p.Materialize(); }, payload);
+  return msg;
+}
+
+SnapshotMsg SnapshotView::Materialize() const {
+  SnapshotMsg msg;
+  msg.regions = regions.Materialize();
+  return msg;
+}
+
+Result<CandidateListView> DecodeCandidateListView(std::string_view frame) {
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(frame, "CandidateList"));
+  Reader r(body);
+  if (!r.Tag(kTagCandidateList)) {
+    return Status::InvalidArgument("not a CandidateListMsg");
+  }
+  const uint8_t kind = r.U8();
+  if (r.failed() || !ValidKind(kind)) {
+    return Status::InvalidArgument("bad query kind");
+  }
+  CandidateListView view;
+  view.kind = static_cast<QueryKind>(kind);
+  view.request_id = r.U64();
+  view.degraded = r.Bool();
+  view.processor_seconds = r.F64();
+  CASPER_ASSIGN_OR_RETURN(payload, GetPayloadView(r));
+  CASPER_RETURN_IF_ERROR(r.Finish("CandidateList"));
+  view.payload = payload;
+  return view;
+}
+
+Result<SnapshotView> DecodeSnapshotView(std::string_view frame) {
+  CASPER_ASSIGN_OR_RETURN(body, Unseal(frame, "Snapshot"));
+  Reader r(body);
+  if (!r.Tag(kTagSnapshot)) {
+    return Status::InvalidArgument("not a SnapshotMsg");
+  }
+  SnapshotView view;
+  const size_t n = r.Count(kPrivateTargetBytes);
+  const char* data = r.Skip(n * kPrivateTargetBytes);
+  view.regions = WireSpan<processor::PrivateTarget>(data, n);
+  CASPER_RETURN_IF_ERROR(r.Finish("Snapshot"));
+  return view;
 }
 
 Result<MessageTag> TagOf(std::string_view bytes) {

@@ -2,6 +2,7 @@
 #define CASPER_CASPER_MESSAGES_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -314,6 +315,216 @@ enum class MessageTag : uint8_t {
 };
 
 Result<MessageTag> TagOf(std::string_view bytes);
+
+// ---------------------------------------------------------------------------
+// Zero-copy decode views
+// ---------------------------------------------------------------------------
+//
+// The owning Decode*() functions above copy every repeated record into
+// std::vectors. On the query hot path that is wasted work: the
+// resilient client validates each response frame before using it, and
+// the server endpoint re-materializes snapshot regions it immediately
+// bulk-loads into the store. The *View decoders below validate a frame
+// exactly as strictly as the owning decoders (checksum, tag, length
+// prefixes, enum ranges, full consumption — the codec fuzz test asserts
+// acceptance parity) but materialize no vectors: a WireSpan addresses
+// the repeated records inside the caller's frame buffer and decodes one
+// record per access. Views borrow the frame — the frame must outlive
+// the view — while any value read *out* of a view is an independent
+// copy that survives later frame mutation or destruction.
+
+namespace wire {
+
+/// Little-endian loads assembled byte by byte (never reinterpret_cast:
+/// record offsets inside a frame carry no alignment guarantee, and an
+/// unaligned typed load would be UB).
+inline uint64_t LoadU64LE(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline double LoadF64LE(const char* p) {
+  const uint64_t bits = LoadU64LE(p);
+  double v;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace wire
+
+/// Wire layout of one repeated record type: fixed stride plus the
+/// per-field decode. Specialized for every record that appears inside a
+/// length-prefixed container.
+template <typename T>
+struct WireRecord;
+
+template <>
+struct WireRecord<double> {
+  static constexpr size_t kBytes = 8;
+  static double Read(const char* p) { return wire::LoadF64LE(p); }
+};
+
+template <>
+struct WireRecord<processor::PublicTarget> {
+  static constexpr size_t kBytes = 24;
+  static processor::PublicTarget Read(const char* p) {
+    processor::PublicTarget t;
+    t.id = wire::LoadU64LE(p);
+    t.position = Point{wire::LoadF64LE(p + 8), wire::LoadF64LE(p + 16)};
+    return t;
+  }
+};
+
+template <>
+struct WireRecord<processor::PrivateTarget> {
+  static constexpr size_t kBytes = 40;
+  static processor::PrivateTarget Read(const char* p) {
+    processor::PrivateTarget t;
+    t.id = wire::LoadU64LE(p);
+    t.region = Rect(wire::LoadF64LE(p + 8), wire::LoadF64LE(p + 16),
+                    wire::LoadF64LE(p + 24), wire::LoadF64LE(p + 32));
+    return t;
+  }
+};
+
+template <>
+struct WireRecord<processor::PublicNNCandidates::Candidate> {
+  static constexpr size_t kBytes = WireRecord<processor::PrivateTarget>::kBytes + 16;
+  static processor::PublicNNCandidates::Candidate Read(const char* p) {
+    processor::PublicNNCandidates::Candidate c;
+    c.target = WireRecord<processor::PrivateTarget>::Read(p);
+    c.min_dist = wire::LoadF64LE(p + 40);
+    c.max_dist = wire::LoadF64LE(p + 48);
+    return c;
+  }
+};
+
+/// Lazily-decoded span of fixed-stride records inside a validated
+/// frame. Indexing decodes record i on the fly; nothing is copied until
+/// the caller asks for it.
+template <typename T>
+class WireSpan {
+ public:
+  WireSpan() = default;
+  WireSpan(const char* data, size_t count) : data_(data), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Decode record i out of the frame (an independent copy).
+  T operator[](size_t i) const {
+    return WireRecord<T>::Read(data_ + i * WireRecord<T>::kBytes);
+  }
+
+  /// Copy every record into an owning vector.
+  std::vector<T> Materialize() const {
+    std::vector<T> out;
+    out.reserve(count_);
+    for (size_t i = 0; i < count_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  const char* data_ = nullptr;
+  size_t count_ = 0;
+};
+
+// One view per ServerPayload alternative (same order). The small
+// fixed-size trailers (extended area, policy, bounds) are decoded
+// eagerly — they are a few dozen bytes; only the repeated records stay
+// lazy.
+
+struct PublicCandidateListView {
+  WireSpan<processor::PublicTarget> candidates;
+  processor::ExtendedArea area;
+  processor::FilterPolicy policy = processor::FilterPolicy::kFourFilters;
+  processor::PublicCandidateList Materialize() const;
+};
+
+struct KnnCandidateListView {
+  WireSpan<processor::PublicTarget> candidates;
+  Rect a_ext;
+  uint64_t k = 1;
+  processor::KnnCandidateList Materialize() const;
+};
+
+struct PublicRangeCandidatesView {
+  WireSpan<processor::PublicTarget> candidates;
+  Rect search_window;
+  processor::PublicRangeCandidates Materialize() const;
+};
+
+struct PrivateCandidateListView {
+  WireSpan<processor::PrivateTarget> candidates;
+  processor::ExtendedArea area;
+  processor::FilterPolicy policy = processor::FilterPolicy::kFourFilters;
+  processor::PrivateCandidateList Materialize() const;
+};
+
+struct PublicNNCandidatesView {
+  WireSpan<processor::PublicNNCandidates::Candidate> candidates;
+  double minimax_bound = 0.0;
+  processor::PublicNNCandidates Materialize() const;
+};
+
+struct RangeCountResultView {
+  uint64_t certain = 0;
+  uint64_t possible = 0;
+  double expected = 0.0;
+  WireSpan<processor::PrivateTarget> overlapping;
+  processor::RangeCountResult Materialize() const;
+};
+
+struct DensityMapView {
+  Rect extent;
+  int32_t cols = 0;
+  int32_t rows = 0;
+  WireSpan<double> cells;  ///< Row-major, rows * cols records.
+  processor::DensityMap Materialize() const;
+};
+
+using ServerPayloadView =
+    std::variant<PublicCandidateListView, KnnCandidateListView,
+                 PublicRangeCandidatesView, PrivateCandidateListView,
+                 PublicNNCandidatesView, RangeCountResultView, DensityMapView>;
+
+/// Shipped record count of a payload view — identical to RecordCount on
+/// the materialized payload, without materializing it.
+size_t RecordCount(const ServerPayloadView& payload);
+
+/// Zero-copy counterpart of CandidateListMsg. Scalar header fields are
+/// decoded eagerly; the payload's candidate records stay in the frame.
+struct CandidateListView {
+  QueryKind kind = QueryKind::kNearestPublic;
+  uint64_t request_id = 0;
+  bool degraded = false;
+  double processor_seconds = 0.0;
+  ServerPayloadView payload;
+  CandidateListMsg Materialize() const;
+};
+
+/// Zero-copy counterpart of SnapshotMsg: the (handle, region) records
+/// stay in the frame until consumed (the server bulk-loads them straight
+/// into the store without an intermediate vector).
+struct SnapshotView {
+  WireSpan<processor::PrivateTarget> regions;
+  SnapshotMsg Materialize() const;
+};
+
+/// CloakedQueryMsg is all fixed-width scalars, so its eager decode
+/// already allocates nothing: the message doubles as its own view.
+using CloakedQueryView = CloakedQueryMsg;
+
+Result<CandidateListView> DecodeCandidateListView(std::string_view frame);
+Result<SnapshotView> DecodeSnapshotView(std::string_view frame);
+inline Result<CloakedQueryView> DecodeCloakedQueryView(
+    std::string_view frame) {
+  return DecodeCloakedQuery(frame);
+}
 
 }  // namespace casper
 

@@ -1,0 +1,105 @@
+#include "src/common/chunked_dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace casper {
+
+namespace {
+
+constexpr size_t kMaxChunk = 64;
+
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<std::pair<size_t, size_t>> chunks;
+};
+
+}  // namespace
+
+ChunkedDispatchStats ParallelForChunked(
+    ThreadPool& pool, size_t n,
+    const std::function<void(size_t begin, size_t end)>& body,
+    size_t chunk_size) {
+  ChunkedDispatchStats stats;
+  if (n == 0) return stats;
+
+  const size_t workers = std::max<size_t>(pool.thread_count(), 1);
+  size_t chunk = chunk_size;
+  if (chunk == 0) {
+    chunk = std::clamp<size_t>(n / (workers * 4), 1, kMaxChunk);
+  }
+
+  // Worker w owns the contiguous span [n*w/W, n*(w+1)/W), chopped into
+  // chunks front-to-back. Contiguous spans keep each worker walking
+  // neighboring response slots (and neighboring cloaks) instead of
+  // striding across the batch.
+  std::vector<WorkerDeque> deques(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t span_begin = n * w / workers;
+    const size_t span_end = n * (w + 1) / workers;
+    for (size_t b = span_begin; b < span_end; b += chunk) {
+      deques[w].chunks.emplace_back(b, std::min(b + chunk, span_end));
+      ++stats.chunks;
+    }
+  }
+
+  std::atomic<size_t> steals{0};
+  auto drain = [&deques, &body, &steals, workers](size_t self) {
+    for (;;) {
+      std::pair<size_t, size_t> range;
+      bool got = false;
+      {
+        std::lock_guard<std::mutex> lock(deques[self].mu);
+        if (!deques[self].chunks.empty()) {
+          range = deques[self].chunks.front();
+          deques[self].chunks.pop_front();
+          got = true;
+        }
+      }
+      if (!got) {
+        // Own deque dry: steal from the tail of a neighbor's (the far
+        // end of the victim's span, minimizing contention with the
+        // victim's front pops). One full scan finding nothing means no
+        // chunk is left unstarted anywhere — started chunks finish in
+        // whichever worker holds them — so the drain is done.
+        for (size_t offset = 1; offset < workers && !got; ++offset) {
+          WorkerDeque& victim = deques[(self + offset) % workers];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.chunks.empty()) {
+            range = victim.chunks.back();
+            victim.chunks.pop_back();
+            got = true;
+          }
+        }
+        if (!got) return;
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      body(range.first, range.second);
+    }
+  };
+
+  // One role task per worker. A failed Submit (pool shutting down under
+  // us) is survivable: live workers steal the dead worker's span, and
+  // if nothing was submitted at all the caller drains every deque
+  // inline.
+  std::vector<std::future<void>> joined;
+  joined.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    auto submitted = pool.Submit([&drain, w] { drain(w); });
+    if (submitted.ok()) joined.push_back(std::move(submitted).value());
+  }
+  if (joined.empty()) {
+    stats.inline_fallback = true;
+    for (size_t w = 0; w < workers; ++w) drain(w);
+  }
+  for (std::future<void>& f : joined) f.get();
+  stats.steals = steals.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace casper

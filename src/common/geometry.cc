@@ -48,6 +48,32 @@ double MaxDist(const Point& p, const Rect& r) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+void BatchedMinDist(const Point& p, const RectSoA& rects, size_t count,
+                    double* out) {
+  const double px = p.x;
+  const double py = p.y;
+  for (size_t i = 0; i < count; ++i) {
+    const double dx =
+        std::max(std::max(rects.xlo[i] - px, 0.0), px - rects.xhi[i]);
+    const double dy =
+        std::max(std::max(rects.ylo[i] - py, 0.0), py - rects.yhi[i]);
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+void BatchedMaxDist(const Point& p, const RectSoA& rects, size_t count,
+                    double* out) {
+  const double px = p.x;
+  const double py = p.y;
+  for (size_t i = 0; i < count; ++i) {
+    const double dx =
+        std::max(std::abs(px - rects.xlo[i]), std::abs(px - rects.xhi[i]));
+    const double dy =
+        std::max(std::abs(py - rects.ylo[i]), std::abs(py - rects.yhi[i]));
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
 Point FurthestCorner(const Point& p, const Rect& r) {
   Point best = r.min;
   double best_d = -1.0;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstddef>
 #include <string>
 
 /// \file
@@ -118,6 +119,28 @@ double MinDist(const Point& p, const Rect& r);
 
 /// Distance from `p` to the farthest point of `r` (a corner).
 double MaxDist(const Point& p, const Rect& r);
+
+/// Struct-of-arrays view over a block of `count` rectangles: rectangle i
+/// is [(xlo[i], ylo[i]), (xhi[i], yhi[i])]. The flat R-tree stores node
+/// and entry MBRs in this layout so the batched kernels below can score
+/// a whole node block in one contiguous pass (auto-vectorizable: no
+/// branches, no pointer chasing).
+struct RectSoA {
+  const double* xlo = nullptr;
+  const double* ylo = nullptr;
+  const double* xhi = nullptr;
+  const double* yhi = nullptr;
+};
+
+/// out[i] = MinDist(p, rect i) for i in [0, count). Bit-identical to the
+/// scalar MinDist above — differential tests rely on exact agreement.
+void BatchedMinDist(const Point& p, const RectSoA& rects, size_t count,
+                    double* out);
+
+/// out[i] = MaxDist(p, rect i) for i in [0, count). Bit-identical to the
+/// scalar MaxDist above.
+void BatchedMaxDist(const Point& p, const RectSoA& rects, size_t count,
+                    double* out);
 
 /// The corner of `r` farthest from `p` (ties broken toward the corner
 /// ordering of Rect::Corners()). Used by the private-data filter step.

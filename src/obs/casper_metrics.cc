@@ -157,6 +157,24 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
                       "User lifecycle events by type.",
                       {{"event", kEventLabels[i]}});
   }
+  for (size_t s = 0; s < kStoreCount; ++s) {
+    const LabelSet labels = {{"store", kStoreLabels[s]}};
+    store_epoch[s] = r->GetGauge(
+        "casper_server_store_epoch",
+        "Read snapshots published by the epoch index so far.", labels);
+    store_snapshots_reclaimed[s] = r->GetGauge(
+        "casper_server_store_snapshots_reclaimed",
+        "Retired read snapshots whose memory was reclaimed.", labels);
+    store_rebuilds[s] = r->GetGauge(
+        "casper_server_store_rebuilds",
+        "Flat-base STR rebuilds triggered by the delta threshold.", labels);
+    store_delta_entries[s] = r->GetGauge(
+        "casper_server_store_delta_entries",
+        "Entries in the published snapshot's unmerged delta.", labels);
+    store_tombstones[s] = r->GetGauge(
+        "casper_server_store_tombstones",
+        "Tombstones in the published snapshot's unmerged delta.", labels);
+  }
   for (size_t k = 0; k < kQueryKindCount; ++k) {
     const LabelSet labels = {{"kind", kQueryKindLabels[k]}};
     queries_total[k] =

@@ -59,6 +59,16 @@ struct CasperMetrics {
   Counter* cache_hits_total;
   Counter* cache_misses_total;
 
+  /// Epoch-published store snapshots (spatial::EpochIndex), per store
+  /// population (`store=` label, kStoreLabels order). Absolute values
+  /// mirrored from the index's own counters after every mutation, so
+  /// they are gauges: scrape-to-scrape deltas recover the rates.
+  Gauge* store_epoch[2];                ///< Snapshots published so far.
+  Gauge* store_snapshots_reclaimed[2];  ///< Retired snapshots freed.
+  Gauge* store_rebuilds[2];             ///< Flat-base STR rebuilds.
+  Gauge* store_delta_entries[2];        ///< Entries in the current delta.
+  Gauge* store_tombstones[2];           ///< Tombstones in the current delta.
+
   // --- Batch engine ----------------------------------------------------
   Counter* batches_total;
   Counter* batch_queries_total;
@@ -96,6 +106,11 @@ enum class UserEvent : size_t {
   kProfile = 2,
   kDeregister = 3
 };
+
+/// Store populations, in `store_*` instrument label order.
+inline constexpr size_t kStoreCount = 2;
+inline constexpr const char* kStoreLabels[kStoreCount] = {"public",
+                                                          "private"};
 
 /// Circuit-breaker states, in `breaker_state` gauge / transition-label
 /// order (mirrors transport::BreakerState without a header dependency —

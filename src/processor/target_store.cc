@@ -28,26 +28,29 @@ std::vector<spatial::RTree::Entry> ToEntries(
 }  // namespace
 
 PublicTargetStore::PublicTargetStore(const std::vector<PublicTarget>& targets)
-    : tree_(spatial::RTree::BulkLoad(ToEntries(targets))) {}
+    : index_(spatial::EpochIndex::BulkLoad(ToEntries(targets))) {}
 
 void PublicTargetStore::Insert(const PublicTarget& target) {
-  tree_.Insert(Rect::FromPoint(target.position), target.id);
+  index_.Insert(Rect::FromPoint(target.position), target.id);
 }
 
 bool PublicTargetStore::Remove(const PublicTarget& target) {
-  return tree_.Remove(Rect::FromPoint(target.position), target.id);
+  return index_.Remove(Rect::FromPoint(target.position), target.id);
 }
 
 Result<PublicTarget> PublicTargetStore::Nearest(const Point& q) const {
-  const auto nn = tree_.Nearest(q, spatial::RTree::Metric::kMinDist);
+  const auto snapshot = index_.Acquire();
+  const auto nn = snapshot->Nearest(q, spatial::RTree::Metric::kMinDist);
   if (!nn.found) return Status::NotFound("target store is empty");
   return PublicTarget{nn.neighbor.id, nn.neighbor.box.min};
 }
 
 std::vector<PublicTarget> PublicTargetStore::KNearest(const Point& q,
                                                       size_t k) const {
+  const auto snapshot = index_.Acquire();
   std::vector<PublicTarget> out;
-  for (const auto& n : tree_.KNearest(q, k, spatial::RTree::Metric::kMinDist)) {
+  for (const auto& n :
+       snapshot->KNearest(q, k, spatial::RTree::Metric::kMinDist)) {
     out.push_back(PublicTarget{n.id, n.box.min});
   }
   return out;
@@ -55,8 +58,9 @@ std::vector<PublicTarget> PublicTargetStore::KNearest(const Point& q,
 
 std::vector<PublicTarget> PublicTargetStore::RangeQuery(
     const Rect& window) const {
+  const auto snapshot = index_.Acquire();
   std::vector<PublicTarget> out;
-  tree_.RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
+  snapshot->RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
     out.push_back(PublicTarget{e.id, e.box.min});
     return true;
   });
@@ -64,27 +68,28 @@ std::vector<PublicTarget> PublicTargetStore::RangeQuery(
 }
 
 size_t PublicTargetStore::RangeCount(const Rect& window) const {
-  return tree_.RangeCount(window);
+  return index_.Acquire()->RangeCount(window);
 }
 
 PrivateTargetStore::PrivateTargetStore(
     const std::vector<PrivateTarget>& targets)
-    : tree_(spatial::RTree::BulkLoad(ToEntries(targets))) {}
+    : index_(spatial::EpochIndex::BulkLoad(ToEntries(targets))) {}
 
 void PrivateTargetStore::Insert(const PrivateTarget& target) {
   CASPER_DCHECK(!target.region.is_empty());
-  tree_.Insert(target.region, target.id);
+  index_.Insert(target.region, target.id);
 }
 
 bool PrivateTargetStore::Remove(const PrivateTarget& target) {
-  return tree_.Remove(target.region, target.id);
+  return index_.Remove(target.region, target.id);
 }
 
 Result<PrivateTarget> PrivateTargetStore::NearestByMaxDist(
     const Point& q, std::optional<TargetId> exclude) const {
+  const auto snapshot = index_.Acquire();
   const size_t want = exclude.has_value() ? 2 : 1;
   for (const auto& n :
-       tree_.KNearest(q, want, spatial::RTree::Metric::kMaxDist)) {
+       snapshot->KNearest(q, want, spatial::RTree::Metric::kMaxDist)) {
     if (exclude.has_value() && n.id == *exclude) continue;
     return PrivateTarget{n.id, n.box};
   }
@@ -93,8 +98,9 @@ Result<PrivateTarget> PrivateTargetStore::NearestByMaxDist(
 
 std::vector<PrivateTarget> PrivateTargetStore::Overlapping(
     const Rect& window) const {
+  const auto snapshot = index_.Acquire();
   std::vector<PrivateTarget> out;
-  tree_.RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
+  snapshot->RangeQuery(window, [&out](const spatial::RTree::Entry& e) {
     out.push_back(PrivateTarget{e.id, e.box});
     return true;
   });
@@ -104,8 +110,9 @@ std::vector<PrivateTarget> PrivateTargetStore::Overlapping(
 std::vector<PrivateTarget> PrivateTargetStore::OverlappingAtLeast(
     const Rect& window, double min_overlap_fraction) const {
   CASPER_DCHECK(min_overlap_fraction >= 0.0 && min_overlap_fraction <= 1.0);
+  const auto snapshot = index_.Acquire();
   std::vector<PrivateTarget> out;
-  tree_.RangeQuery(window, [&](const spatial::RTree::Entry& e) {
+  snapshot->RangeQuery(window, [&](const spatial::RTree::Entry& e) {
     const double area = e.box.Area();
     const double overlap = e.box.IntersectionArea(window);
     // Degenerate (zero-area) regions count as fully overlapped.
@@ -119,7 +126,7 @@ std::vector<PrivateTarget> PrivateTargetStore::OverlappingAtLeast(
 }
 
 size_t PrivateTargetStore::OverlapCount(const Rect& window) const {
-  return tree_.RangeCount(window);
+  return index_.Acquire()->RangeCount(window);
 }
 
 }  // namespace casper::processor

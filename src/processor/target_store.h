@@ -7,7 +7,7 @@
 
 #include "src/common/geometry.h"
 #include "src/common/result.h"
-#include "src/spatial/rtree.h"
+#include "src/spatial/epoch_index.h"
 
 /// \file
 /// The two data populations of the privacy-aware database server (§5):
@@ -15,6 +15,12 @@
 ///    police cars) stored as-is;
 ///  * private data — users' cloaked rectangular regions received from
 ///    the location anonymizer; the server never sees exact positions.
+///
+/// Both stores are backed by spatial::EpochIndex: mutations go to the
+/// authoritative Guttman R-tree and publish a new epoch; every read
+/// acquires the current immutable snapshot (packed FlatRTree base plus
+/// a small delta) with one atomic load, so the query hot path walks
+/// cache-friendly flat arrays and never takes a lock.
 
 namespace casper::processor {
 
@@ -40,7 +46,7 @@ struct PrivateTarget {
   }
 };
 
-/// Point targets indexed by an R-tree.
+/// Point targets indexed by an epoch-published R-tree.
 class PublicTargetStore {
  public:
   PublicTargetStore() = default;
@@ -63,18 +69,22 @@ class PublicTargetStore {
 
   size_t RangeCount(const Rect& window) const;
 
-  size_t size() const { return tree_.size(); }
-  bool empty() const { return tree_.empty(); }
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Epoch/reclamation counters of the backing index (exported through
+  /// obs by the server tier).
+  spatial::EpochIndex::Stats epoch_stats() const { return index_.stats(); }
 
  private:
-  spatial::RTree tree_;
+  spatial::EpochIndex index_;
 };
 
-/// Region targets indexed by an R-tree. Nearest-neighbor ranking uses
-/// the MaxDist metric (distance to the region's furthest corner), which
-/// is what the private-data filter step requires (§5.2.1: "the exact
-/// location of a target object within its cloaked area is the furthest
-/// corner").
+/// Region targets indexed by an epoch-published R-tree. Nearest-neighbor
+/// ranking uses the MaxDist metric (distance to the region's furthest
+/// corner), which is what the private-data filter step requires (§5.2.1:
+/// "the exact location of a target object within its cloaked area is the
+/// furthest corner").
 class PrivateTargetStore {
  public:
   PrivateTargetStore() = default;
@@ -100,11 +110,14 @@ class PrivateTargetStore {
 
   size_t OverlapCount(const Rect& window) const;
 
-  size_t size() const { return tree_.size(); }
-  bool empty() const { return tree_.empty(); }
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// See PublicTargetStore::epoch_stats().
+  spatial::EpochIndex::Stats epoch_stats() const { return index_.stats(); }
 
  private:
-  spatial::RTree tree_;
+  spatial::EpochIndex index_;
 };
 
 }  // namespace casper::processor

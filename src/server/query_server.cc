@@ -18,11 +18,28 @@ QueryServer::QueryServer(const QueryServerOptions& options)
 
 void QueryServer::AddPublicTarget(const processor::PublicTarget& target) {
   public_store_.Insert(target);
+  ExportEpochStats();
 }
 
 void QueryServer::SetPublicTargets(
     const std::vector<processor::PublicTarget>& targets) {
   public_store_ = processor::PublicTargetStore(targets);
+  ExportEpochStats();
+}
+
+void QueryServer::ExportEpochStats() const {
+  const spatial::EpochIndex::Stats stats[obs::kStoreCount] = {
+      public_store_.epoch_stats(), private_store_.epoch_stats()};
+  for (size_t s = 0; s < obs::kStoreCount; ++s) {
+    metrics_->store_epoch[s]->Set(static_cast<double>(stats[s].published));
+    metrics_->store_snapshots_reclaimed[s]->Set(
+        static_cast<double>(stats[s].reclaimed));
+    metrics_->store_rebuilds[s]->Set(static_cast<double>(stats[s].rebuilds));
+    metrics_->store_delta_entries[s]->Set(
+        static_cast<double>(stats[s].delta_entries));
+    metrics_->store_tombstones[s]->Set(
+        static_cast<double>(stats[s].tombstones));
+  }
 }
 
 const Status* QueryServer::ReplayOutcome(uint64_t request_id) const {
@@ -46,6 +63,7 @@ Status QueryServer::Apply(const RegionUpsertMsg& msg) {
   if (const Status* replay = ReplayOutcome(msg.request_id)) return *replay;
   const Status outcome = ApplyUpsert(msg);
   RecordOutcome(msg.request_id, outcome);
+  ExportEpochStats();
   return outcome;
 }
 
@@ -67,6 +85,7 @@ Status QueryServer::Apply(const RegionRemoveMsg& msg) {
   if (const Status* replay = ReplayOutcome(msg.request_id)) return *replay;
   const Status outcome = ApplyRemove(msg);
   RecordOutcome(msg.request_id, outcome);
+  ExportEpochStats();
   return outcome;
 }
 
@@ -82,17 +101,27 @@ Status QueryServer::ApplyRemove(const RegionRemoveMsg& msg) {
 }
 
 Status QueryServer::Load(const SnapshotMsg& snapshot) {
+  return LoadRegions(snapshot.regions);
+}
+
+Status QueryServer::Load(const SnapshotView& snapshot) {
+  return LoadRegions(snapshot.regions.Materialize());
+}
+
+Status QueryServer::LoadRegions(
+    const std::vector<processor::PrivateTarget>& regions) {
   stored_regions_.clear();
-  stored_regions_.reserve(snapshot.regions.size());
-  for (const processor::PrivateTarget& target : snapshot.regions) {
+  stored_regions_.reserve(regions.size());
+  for (const processor::PrivateTarget& target : regions) {
     stored_regions_[target.id] = target.region;
   }
-  private_store_ = processor::PrivateTargetStore(snapshot.regions);
+  private_store_ = processor::PrivateTargetStore(regions);
   // A snapshot replaces the whole store, so outcomes recorded for the
   // incremental stream no longer describe current state; retries of
   // pre-snapshot maintenance must re-apply against the new store.
   applied_.clear();
   applied_order_.clear();
+  ExportEpochStats();
   return Status::OK();
 }
 

@@ -64,6 +64,11 @@ class QueryServer : public PrivateStoreSink {
   /// SyncPrivateData model; regions are STR bulk-loaded).
   Status Load(const SnapshotMsg& snapshot);
 
+  /// Zero-copy variant: decodes each (handle, region) record exactly
+  /// once, straight from the wire frame into the bulk-load vector —
+  /// no intermediate SnapshotMsg.
+  Status Load(const SnapshotView& snapshot);
+
   // --- Query evaluation -----------------------------------------------
 
   /// Answers one identity-stripped query: runs the privacy-aware
@@ -95,6 +100,13 @@ class QueryServer : public PrivateStoreSink {
 
   Status ApplyUpsert(const RegionUpsertMsg& msg);
   Status ApplyRemove(const RegionRemoveMsg& msg);
+
+  Status LoadRegions(const std::vector<processor::PrivateTarget>& regions);
+
+  /// Mirror both stores' epoch/reclamation counters into the obs
+  /// gauges. Called after every mutation (the read path never touches
+  /// metrics state, keeping Execute() lock-free end to end).
+  void ExportEpochStats() const;
 
   /// Outcome previously recorded for `request_id`, or nullptr when the
   /// id is unkeyed (0) or unseen.

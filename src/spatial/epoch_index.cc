@@ -1,0 +1,231 @@
+#include "src/spatial/epoch_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace casper::spatial {
+
+namespace {
+
+bool SameEntry(const RTree::Entry& a, const Rect& box, uint64_t id) {
+  return a.id == id && a.box == box;
+}
+
+}  // namespace
+
+// --- Snapshot ---------------------------------------------------------
+
+EpochIndex::Snapshot::~Snapshot() {
+  if (reclaimed_) reclaimed_->fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochIndex::Snapshot::RangeQuery(const Rect& window,
+                                      std::vector<Entry>* out) const {
+  RangeQuery(window, [out](const Entry& e) {
+    out->push_back(e);
+    return true;
+  });
+}
+
+void EpochIndex::Snapshot::RangeQuery(
+    const Rect& window, const std::function<bool(const Entry&)>& visit) const {
+  // Tombstones form a multiset: a base entry is hidden once per matching
+  // tombstone, so a duplicate (box, id) pair removed once still shows
+  // its surviving twin. `used` is query-local — snapshots are shared
+  // across reader threads and never mutated.
+  std::vector<bool> used(dead_.size(), false);
+  bool stopped = false;
+  if (base_) {
+    base_->RangeQuery(window, [&](const Entry& e) {
+      for (size_t i = 0; i < dead_.size(); ++i) {
+        if (!used[i] && SameEntry(dead_[i], e.box, e.id)) {
+          used[i] = true;
+          return true;  // Hidden; keep scanning.
+        }
+      }
+      if (!visit(e)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+  }
+  if (stopped) return;
+  for (const Entry& e : delta_) {
+    if (e.box.Intersects(window)) {
+      if (!visit(e)) return;
+    }
+  }
+}
+
+size_t EpochIndex::Snapshot::RangeCount(const Rect& window) const {
+  size_t count = 0;
+  RangeQuery(window, [&count](const Entry&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<EpochIndex::Neighbor> EpochIndex::Snapshot::KNearest(
+    const Point& q, size_t k, Metric metric) const {
+  std::vector<Neighbor> merged;
+  if (k == 0 || size_ == 0) return merged;
+
+  if (base_ && !base_->empty()) {
+    std::vector<bool> used(dead_.size(), false);
+    std::function<bool(const Entry&)> keep;
+    if (!dead_.empty()) {
+      keep = [&](const Entry& e) {
+        for (size_t i = 0; i < dead_.size(); ++i) {
+          if (!used[i] && SameEntry(dead_[i], e.box, e.id)) {
+            used[i] = true;
+            return false;
+          }
+        }
+        return true;
+      };
+    }
+    merged = base_->KNearestFiltered(q, k, metric, keep);
+  }
+  for (const Entry& e : delta_) {
+    const double d =
+        metric == Metric::kMinDist ? MinDist(q, e.box) : MaxDist(q, e.box);
+    merged.push_back(Neighbor{e.box, e.id, d});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;  // Deterministic tie-break.
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+EpochIndex::NNResult EpochIndex::Snapshot::Nearest(const Point& q,
+                                                   Metric metric) const {
+  NNResult r;
+  auto knn = KNearest(q, 1, metric);
+  if (!knn.empty()) {
+    r.found = true;
+    r.neighbor = knn.front();
+  }
+  return r;
+}
+
+Rect EpochIndex::Snapshot::bounds() const {
+  Rect box = base_ ? base_->bounds() : Rect();
+  for (const Entry& e : delta_) box = box.Union(e.box);
+  return box;  // May over-cover after removals, like an R-tree root MBR
+               // before condensation; callers treat bounds as a hint.
+}
+
+// --- EpochIndex -------------------------------------------------------
+
+EpochIndex::EpochIndex(int max_entries, size_t rebuild_threshold)
+    : tree_(max_entries),
+      max_entries_(max_entries),
+      rebuild_threshold_(std::max<size_t>(rebuild_threshold, 1)),
+      reclaimed_(std::make_shared<std::atomic<uint64_t>>(0)) {
+  Publish();
+}
+
+EpochIndex EpochIndex::BulkLoad(std::vector<Entry> entries, int max_entries,
+                                size_t rebuild_threshold) {
+  EpochIndex index(max_entries, rebuild_threshold);
+  index.base_ = std::make_shared<const FlatRTree>(
+      FlatRTree::Build(entries, max_entries));
+  index.tree_ = RTree::BulkLoad(std::move(entries), max_entries);
+  ++index.rebuilds_;
+  index.Publish();
+  return index;
+}
+
+EpochIndex::EpochIndex(EpochIndex&& other) noexcept
+    : tree_(std::move(other.tree_)),
+      max_entries_(other.max_entries_),
+      rebuild_threshold_(other.rebuild_threshold_),
+      base_(std::move(other.base_)),
+      delta_(std::move(other.delta_)),
+      dead_(std::move(other.dead_)),
+      published_(other.published_.Load()),
+      reclaimed_(std::move(other.reclaimed_)),
+      published_count_(other.published_count_),
+      rebuilds_(other.rebuilds_) {}
+
+EpochIndex& EpochIndex::operator=(EpochIndex&& other) noexcept {
+  if (this != &other) {
+    tree_ = std::move(other.tree_);
+    max_entries_ = other.max_entries_;
+    rebuild_threshold_ = other.rebuild_threshold_;
+    base_ = std::move(other.base_);
+    delta_ = std::move(other.delta_);
+    dead_ = std::move(other.dead_);
+    published_.Store(other.published_.Load());
+    reclaimed_ = std::move(other.reclaimed_);
+    published_count_ = other.published_count_;
+    rebuilds_ = other.rebuilds_;
+  }
+  return *this;
+}
+
+void EpochIndex::Insert(const Rect& box, uint64_t id) {
+  tree_.Insert(box, id);
+  delta_.push_back(Entry{box, id});
+  if (delta_.size() + dead_.size() >= rebuild_threshold_) RebuildBase();
+  Publish();
+}
+
+bool EpochIndex::Remove(const Rect& box, uint64_t id) {
+  if (!tree_.Remove(box, id)) return false;
+  // Prefer cancelling a pending delta insert; only entries already in
+  // the packed base need a tombstone.
+  auto it = std::find_if(delta_.rbegin(), delta_.rend(), [&](const Entry& e) {
+    return SameEntry(e, box, id);
+  });
+  if (it != delta_.rend()) {
+    delta_.erase(std::next(it).base());
+  } else {
+    dead_.push_back(Entry{box, id});
+  }
+  if (delta_.size() + dead_.size() >= rebuild_threshold_) RebuildBase();
+  Publish();
+  return true;
+}
+
+void EpochIndex::RebuildBase() {
+  base_ = std::make_shared<const FlatRTree>(
+      FlatRTree::Build(tree_.AllEntries(), max_entries_));
+  delta_.clear();
+  dead_.clear();
+  ++rebuilds_;
+}
+
+void EpochIndex::Publish() {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->base_ = base_;
+  snapshot->delta_ = delta_;
+  snapshot->dead_ = dead_;
+  snapshot->size_ = tree_.size();
+  snapshot->epoch_ = ++published_count_;
+  snapshot->reclaimed_ = reclaimed_;
+  published_.Store(std::shared_ptr<const Snapshot>(std::move(snapshot)));
+}
+
+std::shared_ptr<const EpochIndex::Snapshot> EpochIndex::Acquire() const {
+  return published_.Load();
+}
+
+EpochIndex::Stats EpochIndex::stats() const {
+  Stats s;
+  s.published = published_count_;
+  s.reclaimed = reclaimed_->load(std::memory_order_relaxed);
+  s.rebuilds = rebuilds_;
+  s.delta_entries = delta_.size();
+  s.tombstones = dead_.size();
+  return s;
+}
+
+}  // namespace casper::spatial

@@ -1,0 +1,171 @@
+#ifndef CASPER_SPATIAL_EPOCH_INDEX_H_
+#define CASPER_SPATIAL_EPOCH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/spatial/flat_rtree.h"
+#include "src/spatial/rtree.h"
+
+/// \file
+/// Epoch-published read snapshots over a mutable R-tree. The writer
+/// keeps the authoritative Guttman RTree for upserts; every mutation
+/// publishes a new immutable Snapshot into an atomically swapped
+/// shared_ptr slot, and readers grab the current snapshot with one
+/// pointer copy (a few-instruction spin slot — see PublishedSlot).
+/// Readers never block on a query in flight, and a reader holds its
+/// snapshot alive for as long as it wants regardless of later writes
+/// (RCU-style reclamation via shared_ptr: the last holder frees the
+/// epoch, counted in Stats::reclaimed).
+///
+/// A snapshot is a packed FlatRTree base (cache-friendly, built with
+/// STR) plus a small delta: entries inserted since the base was packed
+/// and tombstones for base entries removed since. When the delta grows
+/// past `rebuild_threshold`, the writer repacks a fresh base from the
+/// authoritative tree and the delta resets to empty.
+///
+/// Threading contract: mutations are single-writer (same as the target
+/// stores); Acquire() and all Snapshot queries are safe from any number
+/// of concurrent reader threads.
+
+namespace casper::spatial {
+
+class EpochIndex {
+ public:
+  using Entry = RTree::Entry;
+  using Metric = RTree::Metric;
+  using Neighbor = RTree::Neighbor;
+  using NNResult = RTree::NNResult;
+
+  /// Writer-side counters, exported through obs by the owning tier.
+  struct Stats {
+    uint64_t published = 0;  ///< Snapshots published so far.
+    uint64_t reclaimed = 0;  ///< Snapshots fully released by readers.
+    uint64_t rebuilds = 0;   ///< Flat-base repacks.
+    size_t delta_entries = 0;
+    size_t tombstones = 0;
+  };
+
+  /// One immutable epoch. Queries return exactly what the authoritative
+  /// tree would have returned at publication time.
+  class Snapshot {
+   public:
+    ~Snapshot();
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    void RangeQuery(const Rect& window, std::vector<Entry>* out) const;
+    void RangeQuery(const Rect& window,
+                    const std::function<bool(const Entry&)>& visit) const;
+    size_t RangeCount(const Rect& window) const;
+    std::vector<Neighbor> KNearest(const Point& q, size_t k,
+                                   Metric metric = Metric::kMinDist) const;
+    NNResult Nearest(const Point& q, Metric metric = Metric::kMinDist) const;
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Rect bounds() const;
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochIndex;
+    Snapshot() = default;
+
+    std::shared_ptr<const FlatRTree> base_;
+    std::vector<Entry> delta_;  ///< Inserted since base was packed.
+    std::vector<Entry> dead_;   ///< Removed base entries (tombstones).
+    size_t size_ = 0;
+    uint64_t epoch_ = 0;
+    std::shared_ptr<std::atomic<uint64_t>> reclaimed_;
+  };
+
+  explicit EpochIndex(int max_entries = 16, size_t rebuild_threshold = 128);
+
+  /// Build a packed index from `entries` (STR bulk load on both the
+  /// authoritative tree and the flat base).
+  static EpochIndex BulkLoad(std::vector<Entry> entries, int max_entries = 16,
+                             size_t rebuild_threshold = 128);
+
+  EpochIndex(EpochIndex&& other) noexcept;
+  EpochIndex& operator=(EpochIndex&& other) noexcept;
+  EpochIndex(const EpochIndex&) = delete;
+  EpochIndex& operator=(const EpochIndex&) = delete;
+
+  void Insert(const Rect& box, uint64_t id);
+  bool Remove(const Rect& box, uint64_t id);
+
+  /// The current epoch; one atomic acquire-load, never null.
+  std::shared_ptr<const Snapshot> Acquire() const;
+
+  size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+  /// The authoritative mutable tree (tests, invariant checks).
+  const RTree& tree() const { return tree_; }
+
+  Stats stats() const;
+
+ private:
+  /// Publication slot: a shared_ptr behind a tiny test-and-set
+  /// spinlock, held only for the pointer copy. Functionally equivalent
+  /// to std::atomic<std::shared_ptr> — which libstdc++ also implements
+  /// as a lock-bit spin, so this forfeits no progress guarantee — but
+  /// built from plain std::atomic operations, which ThreadSanitizer
+  /// models exactly (gcc 12's _Sp_atomic trips a TSan false positive
+  /// inside its hand-rolled lock-bit protocol).
+  class PublishedSlot {
+   public:
+    PublishedSlot() = default;
+    explicit PublishedSlot(std::shared_ptr<const Snapshot> initial)
+        : value_(std::move(initial)) {}
+
+    void Store(std::shared_ptr<const Snapshot> next) {
+      Lock();
+      value_.swap(next);
+      Unlock();
+      // `next` (the previous epoch) is released here, outside the
+      // lock, so a final Snapshot destructor never runs under it.
+    }
+
+    std::shared_ptr<const Snapshot> Load() const {
+      Lock();
+      std::shared_ptr<const Snapshot> copy = value_;
+      Unlock();
+      return copy;
+    }
+
+   private:
+    void Lock() const {
+      while (locked_.exchange(true, std::memory_order_acquire)) {
+      }
+    }
+    void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+    mutable std::atomic<bool> locked_{false};
+    std::shared_ptr<const Snapshot> value_;
+  };
+
+  void RebuildBase();
+  void Publish();
+
+  RTree tree_;
+  int max_entries_;
+  size_t rebuild_threshold_;
+
+  std::shared_ptr<const FlatRTree> base_;
+  std::vector<Entry> delta_;
+  std::vector<Entry> dead_;
+
+  PublishedSlot published_;
+  std::shared_ptr<std::atomic<uint64_t>> reclaimed_;
+  uint64_t published_count_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace casper::spatial
+
+#endif  // CASPER_SPATIAL_EPOCH_INDEX_H_

@@ -1,0 +1,322 @@
+#include "src/spatial/flat_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace casper::spatial {
+
+namespace {
+
+/// One node of the in-flight STR hierarchy before flattening: an MBR
+/// plus a contiguous [begin, end) run — of entry rows for leaves, of the
+/// next-lower temp level for internal nodes. Runs are contiguous because
+/// each level is sorted in place *before* its parents are cut, exactly
+/// like RTree::BulkLoad sorts each level before packing.
+struct Temp {
+  Rect mbr;
+  int32_t begin = 0;
+  int32_t end = 0;
+};
+
+double CenterX(const Rect& r) { return (r.min.x + r.max.x) / 2.0; }
+double CenterY(const Rect& r) { return (r.min.y + r.max.y) / 2.0; }
+
+}  // namespace
+
+FlatRTree FlatRTree::Build(std::vector<Entry> entries, int max_entries) {
+  FlatRTree tree;
+  tree.max_entries_ = std::max(max_entries, 4);
+  if (entries.empty()) return tree;
+  const size_t fanout = static_cast<size_t>(tree.max_entries_);
+  const size_t n = entries.size();
+
+  // Leaf level: the same Sort-Tile-Recursive pass as RTree::BulkLoad
+  // (sort by center x, cut into sqrt(num_leaves) slabs, sort each slab
+  // by center y, chunk at the fan-out).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return CenterX(a.box) < CenterX(b.box);
+            });
+  const size_t num_leaves = (n + fanout - 1) / fanout;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size = (n + num_slabs - 1) / num_slabs;
+
+  std::vector<std::vector<Temp>> levels(1);
+  for (size_t s = 0; s < n; s += slab_size) {
+    const size_t end = std::min(s + slab_size, n);
+    std::sort(entries.begin() + static_cast<ptrdiff_t>(s),
+              entries.begin() + static_cast<ptrdiff_t>(end),
+              [](const Entry& a, const Entry& b) {
+                return CenterY(a.box) < CenterY(b.box);
+              });
+    for (size_t i = s; i < end; i += fanout) {
+      const size_t chunk_end = std::min(i + fanout, end);
+      Temp leaf;
+      leaf.begin = static_cast<int32_t>(i);
+      leaf.end = static_cast<int32_t>(chunk_end);
+      for (size_t j = i; j < chunk_end; ++j)
+        leaf.mbr = leaf.mbr.Union(entries[j].box);
+      levels[0].push_back(leaf);
+    }
+  }
+
+  // Entries are now in their final order; freeze them into the
+  // struct-of-arrays coordinate blocks.
+  tree.entry_xlo_.reserve(n);
+  tree.entry_ylo_.reserve(n);
+  tree.entry_xhi_.reserve(n);
+  tree.entry_yhi_.reserve(n);
+  tree.entry_ids_.reserve(n);
+  for (const Entry& e : entries) {
+    tree.entry_xlo_.push_back(e.box.min.x);
+    tree.entry_ylo_.push_back(e.box.min.y);
+    tree.entry_xhi_.push_back(e.box.max.x);
+    tree.entry_yhi_.push_back(e.box.max.y);
+    tree.entry_ids_.push_back(e.id);
+  }
+
+  // Pack upper levels until a single root remains. Sorting a level here
+  // moves whole subtrees (its Temp nodes carry value ranges, not
+  // pointers), so the runs recorded by the new parents stay valid.
+  while (levels.back().size() > 1) {
+    std::vector<Temp>& below = levels.back();
+    std::sort(below.begin(), below.end(), [](const Temp& a, const Temp& b) {
+      return CenterX(a.mbr) < CenterX(b.mbr);
+    });
+    const size_t m = below.size();
+    const size_t num_parents = (m + fanout - 1) / fanout;
+    const size_t parent_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const size_t pslab = (m + parent_slabs - 1) / parent_slabs;
+
+    std::vector<Temp> parents;
+    for (size_t s = 0; s < m; s += pslab) {
+      const size_t end = std::min(s + pslab, m);
+      std::sort(below.begin() + static_cast<ptrdiff_t>(s),
+                below.begin() + static_cast<ptrdiff_t>(end),
+                [](const Temp& a, const Temp& b) {
+                  return CenterY(a.mbr) < CenterY(b.mbr);
+                });
+      for (size_t i = s; i < end; i += fanout) {
+        const size_t chunk_end = std::min(i + fanout, end);
+        Temp parent;
+        parent.begin = static_cast<int32_t>(i);
+        parent.end = static_cast<int32_t>(chunk_end);
+        for (size_t j = i; j < chunk_end; ++j)
+          parent.mbr = parent.mbr.Union(below[j].mbr);
+        parents.push_back(parent);
+      }
+    }
+    levels.push_back(std::move(parents));
+  }
+  tree.height_ = static_cast<int>(levels.size());
+
+  // Flatten breadth-first, root at index 0. Children are appended as a
+  // block the moment their parent is visited, which is exactly what
+  // makes every child run contiguous in the packed arrays.
+  size_t total = 0;
+  for (const auto& level : levels) total += level.size();
+  tree.nodes_.resize(total);
+  tree.node_xlo_.resize(total);
+  tree.node_ylo_.resize(total);
+  tree.node_xhi_.resize(total);
+  tree.node_yhi_.resize(total);
+
+  // order[i] = (level, position) of the temp node assigned flat index i.
+  std::vector<std::pair<int, int32_t>> order;
+  order.reserve(total);
+  order.emplace_back(static_cast<int>(levels.size()) - 1, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const auto [lvl, pos] = order[i];
+    const Temp& temp = levels[static_cast<size_t>(lvl)][static_cast<size_t>(pos)];
+    Node& node = tree.nodes_[i];
+    node.level = lvl;
+    node.count = temp.end - temp.begin;
+    tree.node_xlo_[i] = temp.mbr.min.x;
+    tree.node_ylo_[i] = temp.mbr.min.y;
+    tree.node_xhi_[i] = temp.mbr.max.x;
+    tree.node_yhi_[i] = temp.mbr.max.y;
+    if (lvl == 0) {
+      node.first = temp.begin;  // Row range in the entry arrays.
+    } else {
+      node.first = static_cast<int32_t>(order.size());
+      for (int32_t c = temp.begin; c < temp.end; ++c)
+        order.emplace_back(lvl - 1, c);
+    }
+  }
+  return tree;
+}
+
+void FlatRTree::RangeQuery(const Rect& window, std::vector<Entry>* out) const {
+  RangeQuery(window, [out](const Entry& e) {
+    out->push_back(e);
+    return true;
+  });
+}
+
+void FlatRTree::RangeQuery(
+    const Rect& window, const std::function<bool(const Entry&)>& visit) const {
+  if (nodes_.empty()) return;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const int32_t i = stack.back();
+    stack.pop_back();
+    if (!NodeBox(i).Intersects(window)) continue;
+    const Node& node = nodes_[i];
+    const int32_t end = node.first + node.count;
+    if (node.level == 0) {
+      for (int32_t j = node.first; j < end; ++j) {
+        const Rect box = EntryBox(j);
+        if (box.Intersects(window)) {
+          if (!visit(Entry{box, entry_ids_[j]})) return;
+        }
+      }
+    } else {
+      for (int32_t j = node.first; j < end; ++j) stack.push_back(j);
+    }
+  }
+}
+
+size_t FlatRTree::RangeCount(const Rect& window) const {
+  size_t count = 0;
+  RangeQuery(window, [&count](const Entry&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<FlatRTree::Neighbor> FlatRTree::KNearest(const Point& q, size_t k,
+                                                     Metric metric) const {
+  return KNearestFiltered(q, k, metric, nullptr);
+}
+
+std::vector<FlatRTree::Neighbor> FlatRTree::KNearestFiltered(
+    const Point& q, size_t k, Metric metric,
+    const std::function<bool(const Entry&)>& keep) const {
+  std::vector<Neighbor> result;
+  if (nodes_.empty() || k == 0) return result;
+
+  struct Item {
+    double key;
+    int32_t idx;
+    bool is_entry;
+  };
+  struct Cmp {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.key > b.key;  // min-heap
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Cmp> heap;
+  heap.push(Item{MinDist(q, NodeBox(0)), 0, false});
+
+  // Scratch for one node block's batched distances.
+  std::vector<double> dist(static_cast<size_t>(max_entries_));
+
+  while (!heap.empty() && result.size() < k) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.push_back(
+          Neighbor{EntryBox(item.idx), entry_ids_[item.idx], item.key});
+      continue;
+    }
+    const Node& node = nodes_[item.idx];
+    const size_t count = static_cast<size_t>(node.count);
+    if (node.level == 0) {
+      if (metric == Metric::kMinDist) {
+        BatchedMinDist(q, EntryBoxes(node.first), count, dist.data());
+      } else {
+        BatchedMaxDist(q, EntryBoxes(node.first), count, dist.data());
+      }
+      for (size_t j = 0; j < count; ++j) {
+        const int32_t row = node.first + static_cast<int32_t>(j);
+        if (keep && !keep(Entry{EntryBox(row), entry_ids_[row]})) continue;
+        heap.push(Item{dist[j], row, true});
+      }
+    } else {
+      // MinDist to the child MBR lower-bounds both metrics for every
+      // entry inside, so the best-first order stays admissible.
+      BatchedMinDist(q, NodeBoxes(node.first), count, dist.data());
+      for (size_t j = 0; j < count; ++j) {
+        heap.push(Item{dist[j], node.first + static_cast<int32_t>(j), false});
+      }
+    }
+  }
+  return result;
+}
+
+FlatRTree::NNResult FlatRTree::Nearest(const Point& q, Metric metric) const {
+  NNResult r;
+  auto knn = KNearest(q, 1, metric);
+  if (!knn.empty()) {
+    r.found = true;
+    r.neighbor = knn.front();
+  }
+  return r;
+}
+
+Rect FlatRTree::bounds() const {
+  if (nodes_.empty()) return Rect();
+  return NodeBox(0);
+}
+
+FlatRTree::Entry FlatRTree::entry(size_t i) const {
+  CASPER_DCHECK(i < entry_ids_.size());
+  const int32_t row = static_cast<int32_t>(i);
+  return Entry{EntryBox(row), entry_ids_[row]};
+}
+
+bool FlatRTree::CheckInvariants() const {
+  if (nodes_.empty()) return entry_ids_.empty() && height_ == 0;
+  bool ok = true;
+  std::vector<bool> entry_seen(entry_ids_.size(), false);
+  std::vector<bool> node_seen(nodes_.size(), false);
+  std::vector<int32_t> stack{0};
+  node_seen[0] = true;
+  if (nodes_[0].level != height_ - 1) ok = false;
+  while (!stack.empty() && ok) {
+    const int32_t i = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[i];
+    if (node.count < 1 || node.count > max_entries_) ok = false;
+    Rect expect;
+    if (node.level == 0) {
+      if (node.first < 0 ||
+          node.first + node.count > static_cast<int32_t>(entry_ids_.size())) {
+        ok = false;
+        break;
+      }
+      for (int32_t j = node.first; j < node.first + node.count; ++j) {
+        if (entry_seen[static_cast<size_t>(j)]) ok = false;
+        entry_seen[static_cast<size_t>(j)] = true;
+        expect = expect.Union(EntryBox(j));
+      }
+    } else {
+      if (node.first < 0 ||
+          node.first + node.count > static_cast<int32_t>(nodes_.size())) {
+        ok = false;
+        break;
+      }
+      for (int32_t j = node.first; j < node.first + node.count; ++j) {
+        if (node_seen[static_cast<size_t>(j)]) ok = false;
+        node_seen[static_cast<size_t>(j)] = true;
+        if (nodes_[j].level != node.level - 1) ok = false;
+        expect = expect.Union(NodeBox(j));
+        stack.push_back(j);
+      }
+    }
+    if (!(expect == NodeBox(i))) ok = false;
+  }
+  if (ok) {
+    for (bool seen : entry_seen) ok = ok && seen;
+  }
+  return ok;
+}
+
+}  // namespace casper::spatial

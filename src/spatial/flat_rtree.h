@@ -1,0 +1,119 @@
+#ifndef CASPER_SPATIAL_FLAT_RTREE_H_
+#define CASPER_SPATIAL_FLAT_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/spatial/rtree.h"
+
+/// \file
+/// An immutable, cache-friendly companion of the Guttman RTree: the same
+/// STR packing, but laid out as contiguous arrays instead of
+/// pointer-linked nodes. Children of a node occupy a contiguous run of
+/// the node array addressed by an int32 offset, and every MBR lives in
+/// struct-of-arrays coordinate blocks so search scores a whole node's
+/// children with the batched MinDist/MaxDist kernels in one linear pass.
+///
+/// Queries return exactly the results the Guttman tree returns over the
+/// same entry set (the differential test in tests/flat_rtree_test.cc
+/// enforces this): the tree shape differs, the answer set does not.
+///
+/// The intended use is a read-mostly index: mutate the authoritative
+/// RTree, and rebuild a FlatRTree from RTree::AllEntries() when enough
+/// deltas accumulate (see spatial::EpochIndex).
+
+namespace casper::spatial {
+
+class FlatRTree {
+ public:
+  using Entry = RTree::Entry;
+  using Metric = RTree::Metric;
+  using Neighbor = RTree::Neighbor;
+  using NNResult = RTree::NNResult;
+
+  /// Empty tree; all queries return nothing.
+  FlatRTree() = default;
+
+  /// Build a packed tree from `entries` with Sort-Tile-Recursive, the
+  /// same packing policy as RTree::BulkLoad. `max_entries` is the
+  /// fan-out M (clamped to >= 4 like RTree).
+  static FlatRTree Build(std::vector<Entry> entries, int max_entries = 16);
+
+  /// Append every entry whose rectangle intersects `window` to `*out`.
+  void RangeQuery(const Rect& window, std::vector<Entry>* out) const;
+
+  /// Visitor form; return false from the visitor to stop early.
+  void RangeQuery(const Rect& window,
+                  const std::function<bool(const Entry&)>& visit) const;
+
+  /// Number of entries intersecting `window`.
+  size_t RangeCount(const Rect& window) const;
+
+  std::vector<Neighbor> KNearest(const Point& q, size_t k,
+                                 Metric metric = Metric::kMinDist) const;
+
+  /// KNearest over the subset of entries for which `keep` returns true
+  /// (nullptr keeps everything). Lets snapshot readers mask tombstoned
+  /// entries without rebuilding.
+  std::vector<Neighbor> KNearestFiltered(
+      const Point& q, size_t k, Metric metric,
+      const std::function<bool(const Entry&)>& keep) const;
+
+  NNResult Nearest(const Point& q, Metric metric = Metric::kMinDist) const;
+
+  size_t size() const { return entry_ids_.size(); }
+  bool empty() const { return entry_ids_.empty(); }
+  int height() const { return height_; }
+
+  /// Bounding box of the whole tree (empty rect when empty).
+  Rect bounds() const;
+
+  /// Entry i in storage order (for enumeration in tests).
+  Entry entry(size_t i) const;
+
+  /// Structural invariant check for tests: MBRs tight and covering,
+  /// child runs in bounds, every entry reachable exactly once.
+  bool CheckInvariants() const;
+
+ private:
+  /// One packed node. Children of an internal node are
+  /// nodes_[first .. first + count); entries of a leaf are rows
+  /// [first .. first + count) of the entry arrays. 32-bit offsets keep
+  /// the node array dense (a node is 12 bytes + 4 doubles of MBR in the
+  /// side arrays).
+  struct Node {
+    int32_t first = 0;
+    int32_t count = 0;
+    int32_t level = 0;  ///< 0 = leaf.
+  };
+
+  RectSoA NodeBoxes(int32_t first) const {
+    return RectSoA{node_xlo_.data() + first, node_ylo_.data() + first,
+                   node_xhi_.data() + first, node_yhi_.data() + first};
+  }
+  RectSoA EntryBoxes(int32_t first) const {
+    return RectSoA{entry_xlo_.data() + first, entry_ylo_.data() + first,
+                   entry_xhi_.data() + first, entry_yhi_.data() + first};
+  }
+  Rect NodeBox(int32_t i) const {
+    return Rect(node_xlo_[i], node_ylo_[i], node_xhi_[i], node_yhi_[i]);
+  }
+  Rect EntryBox(int32_t i) const {
+    return Rect(entry_xlo_[i], entry_ylo_[i], entry_xhi_[i], entry_yhi_[i]);
+  }
+
+  /// Root is nodes_[0]; children contiguous by construction (BFS
+  /// flattening in Build).
+  std::vector<Node> nodes_;
+  std::vector<double> node_xlo_, node_ylo_, node_xhi_, node_yhi_;
+  std::vector<double> entry_xlo_, entry_ylo_, entry_xhi_, entry_yhi_;
+  std::vector<uint64_t> entry_ids_;
+  int height_ = 0;
+  int max_entries_ = 16;
+};
+
+}  // namespace casper::spatial
+
+#endif  // CASPER_SPATIAL_FLAT_RTREE_H_

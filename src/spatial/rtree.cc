@@ -344,6 +344,23 @@ void RTree::RangeQuery(const Rect& window,
   }
 }
 
+std::vector<RTree::Entry> RTree::AllEntries() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  if (!root_) return out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      out.insert(out.end(), node->entries.begin(), node->entries.end());
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  return out;
+}
+
 size_t RTree::RangeCount(const Rect& window) const {
   size_t count = 0;
   RangeQuery(window, [&count](const Entry&) {

@@ -87,6 +87,10 @@ class RTree {
   };
   NNResult Nearest(const Point& q, Metric metric = Metric::kMinDist) const;
 
+  /// Every stored entry, in unspecified order. Used to rebuild packed
+  /// companion indexes (FlatRTree) from the authoritative tree.
+  std::vector<Entry> AllEntries() const;
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   int height() const;

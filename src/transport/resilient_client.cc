@@ -128,7 +128,10 @@ Result<std::string> ResilientClient::ClassifyResponse(
     return response;
   }
   if (tag.value() == MessageTag::kCandidateList) {
-    Result<CandidateListMsg> answer = DecodeCandidateList(bytes);
+    // Validate via the zero-copy view: full structural acceptance check
+    // (identical to the owning decoder) without materializing the
+    // candidate vectors that Execute() is about to decode for real.
+    Result<CandidateListView> answer = DecodeCandidateListView(bytes);
     if (!answer.ok()) return Status::DataLoss("undecodable response");
     if (answer->request_id != request_id) {
       return Status::DataLoss("response answers a different request");

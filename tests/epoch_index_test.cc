@@ -1,0 +1,189 @@
+#include "src/spatial/epoch_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace casper::spatial {
+namespace {
+
+const Rect kSpace(0.0, 0.0, 1.0, 1.0);
+
+std::vector<RTree::Entry> RandomRectEntries(size_t n, Rng* rng,
+                                            double max_extent,
+                                            uint64_t first_id = 0) {
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    const Point c = rng->PointIn(kSpace);
+    const double w = rng->Uniform(0.0, max_extent);
+    const double h = rng->Uniform(0.0, max_extent);
+    entries.push_back({Rect(c.x, c.y, c.x + w, c.y + h), first_id + i});
+  }
+  return entries;
+}
+
+std::vector<uint64_t> SortedIds(const std::vector<RTree::Entry>& entries) {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(EpochIndexTest, EmptyIndexPublishesUsableSnapshot) {
+  EpochIndex index;
+  auto snap = index.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->empty());
+  EXPECT_EQ(snap->RangeCount(kSpace), 0u);
+  EXPECT_FALSE(snap->Nearest(Point{0.5, 0.5}).found);
+}
+
+/// Every mutation publishes a new epoch, and queries on the current
+/// snapshot always match the authoritative Guttman tree.
+TEST(EpochIndexTest, SnapshotMatchesAuthoritativeTreeAfterEachMutation) {
+  Rng rng(1);
+  EpochIndex index(8, /*rebuild_threshold=*/16);
+  std::vector<RTree::Entry> alive;
+  for (size_t step = 0; step < 300; ++step) {
+    if (alive.empty() || rng.Uniform(0.0, 1.0) < 0.65) {
+      RTree::Entry e = RandomRectEntries(1, &rng, 0.05, step)[0];
+      index.Insert(e.box, e.id);
+      alive.push_back(e);
+    } else {
+      const size_t victim = static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(alive.size())));
+      ASSERT_TRUE(index.Remove(alive[victim].box, alive[victim].id));
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    if (step % 10 != 0) continue;  // Deep-compare every 10th step.
+    auto snap = index.Acquire();
+    ASSERT_EQ(snap->size(), alive.size());
+    const Point a = rng.PointIn(kSpace);
+    const Point b = rng.PointIn(kSpace);
+    const Rect window(std::min(a.x, b.x), std::min(a.y, b.y),
+                      std::max(a.x, b.x), std::max(a.y, b.y));
+    std::vector<RTree::Entry> from_tree;
+    index.tree().RangeQuery(window, &from_tree);
+    std::vector<RTree::Entry> from_snap;
+    snap->RangeQuery(window, &from_snap);
+    EXPECT_EQ(SortedIds(from_tree), SortedIds(from_snap));
+    EXPECT_EQ(index.tree().RangeCount(window), snap->RangeCount(window));
+
+    const Point q = rng.PointIn(kSpace);
+    for (auto metric : {RTree::Metric::kMinDist, RTree::Metric::kMaxDist}) {
+      auto exact = index.tree().KNearest(q, 5, metric);
+      auto approx = snap->KNearest(q, 5, metric);
+      ASSERT_EQ(exact.size(), approx.size());
+      for (size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_DOUBLE_EQ(exact[i].distance, approx[i].distance);
+      }
+    }
+  }
+}
+
+/// A reader's snapshot is frozen at acquisition: later writes neither
+/// change its answers nor invalidate it.
+TEST(EpochIndexTest, AcquiredSnapshotIsImmuneToLaterWrites) {
+  Rng rng(2);
+  EpochIndex index = EpochIndex::BulkLoad(RandomRectEntries(100, &rng, 0.05));
+  auto old_snap = index.Acquire();
+  const size_t old_size = old_snap->size();
+  const size_t old_count = old_snap->RangeCount(kSpace);
+  const uint64_t old_epoch = old_snap->epoch();
+
+  for (const auto& e : RandomRectEntries(50, &rng, 0.05, 1000)) {
+    index.Insert(e.box, e.id);
+  }
+
+  EXPECT_EQ(old_snap->size(), old_size);
+  EXPECT_EQ(old_snap->RangeCount(kSpace), old_count);
+  auto new_snap = index.Acquire();
+  EXPECT_GT(new_snap->epoch(), old_epoch);
+  EXPECT_EQ(new_snap->size(), 150u);
+  EXPECT_EQ(new_snap->RangeCount(kSpace), 150u);
+}
+
+TEST(EpochIndexTest, StatsCountPublicationsRebuildsAndReclamation) {
+  Rng rng(3);
+  EpochIndex index(16, /*rebuild_threshold=*/8);
+  const auto entries = RandomRectEntries(32, &rng, 0.05);
+  {
+    auto snap = index.Acquire();  // Hold epoch 1 while writing.
+    for (const auto& e : entries) index.Insert(e.box, e.id);
+  }
+  EpochIndex::Stats stats = index.stats();
+  // 1 initial publication + one per insert.
+  EXPECT_EQ(stats.published, 1u + entries.size());
+  // 32 inserts at threshold 8 force repacks; the live delta stays small.
+  EXPECT_GE(stats.rebuilds, 3u);
+  EXPECT_LT(stats.delta_entries, 8u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  // Every superseded snapshot was released (ours included); only the
+  // currently-published epoch is still alive.
+  EXPECT_EQ(stats.reclaimed, stats.published - 1u);
+
+  // Tombstones accumulate on removes of base entries, then clear on the
+  // next repack.
+  size_t removed = 0;
+  for (const auto& e : entries) {
+    index.Remove(e.box, e.id);
+    if (++removed == 4) break;
+  }
+  stats = index.stats();
+  EXPECT_EQ(index.size(), entries.size() - removed);
+  EXPECT_EQ(index.Acquire()->size(), entries.size() - removed);
+}
+
+/// Readers acquire and query snapshots while a writer churns — the
+/// TSan-labeled guarantee that the read path is safe without locks.
+TEST(EpochIndexTest, ConcurrentReadersSeeConsistentSnapshots) {
+  Rng rng(4);
+  std::vector<RTree::Entry> alive = RandomRectEntries(200, &rng, 0.05);
+  EpochIndex index = EpochIndex::BulkLoad(alive, 16, 32);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&index, &stop, &reads, t] {
+      Rng reader_rng(100 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = index.Acquire();
+        const size_t snapshot_size = snap->size();
+        // A snapshot is internally consistent: a full-space range count
+        // equals its size no matter what the writer does meanwhile.
+        ASSERT_EQ(snap->RangeCount(kSpace), snapshot_size);
+        const Point q = reader_rng.PointIn(kSpace);
+        auto nn = snap->KNearest(q, 3, RTree::Metric::kMaxDist);
+        ASSERT_LE(nn.size(), std::min<size_t>(3, snapshot_size));
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    RTree::Entry e = RandomRectEntries(1, &rng, 0.05, 5000 + round)[0];
+    index.Insert(e.box, e.id);
+    const size_t victim = static_cast<size_t>(
+        rng.Uniform(0.0, static_cast<double>(alive.size())));
+    if (index.Remove(alive[victim].box, alive[victim].id)) {
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  // Let the readers observe the final state too.
+  while (reads.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_GE(index.stats().published, 51u);
+}
+
+}  // namespace
+}  // namespace casper::spatial

@@ -1,0 +1,221 @@
+#include "src/spatial/flat_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/spatial/rtree.h"
+
+namespace casper::spatial {
+namespace {
+
+const Rect kSpace(0.0, 0.0, 1.0, 1.0);
+
+std::vector<RTree::Entry> RandomRectEntries(size_t n, Rng* rng,
+                                            double max_extent) {
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    const Point c = rng->PointIn(kSpace);
+    const double w = rng->Uniform(0.0, max_extent);
+    const double h = rng->Uniform(0.0, max_extent);
+    entries.push_back({Rect(c.x, c.y, c.x + w, c.y + h), i});
+  }
+  return entries;
+}
+
+std::vector<uint64_t> SortedIds(std::vector<RTree::Entry> entries) {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Sorted distance multiset of a k-NN answer. Rect entries tie exactly
+/// (MinDist is 0 for every rectangle containing the query point), so
+/// two correct trees may return different ids at a tie — but the k
+/// smallest distances are uniquely determined.
+std::vector<double> Distances(const std::vector<RTree::Neighbor>& neighbors) {
+  std::vector<double> out;
+  out.reserve(neighbors.size());
+  for (const auto& n : neighbors) out.push_back(n.distance);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// (distance, id) pairs in deterministic order — exact comparison for
+/// point entries, where distance ties have probability zero.
+std::vector<std::pair<double, uint64_t>> Canonical(
+    const std::vector<RTree::Neighbor>& neighbors) {
+  std::vector<std::pair<double, uint64_t>> out;
+  out.reserve(neighbors.size());
+  for (const auto& n : neighbors) out.emplace_back(n.distance, n.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FlatRTreeTest, EmptyTree) {
+  FlatRTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<RTree::Entry> hits;
+  tree.RangeQuery(kSpace, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(tree.RangeCount(kSpace), 0u);
+  EXPECT_TRUE(tree.KNearest(Point{0.5, 0.5}, 3).empty());
+  EXPECT_FALSE(tree.Nearest(Point{0.5, 0.5}).found);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(FlatRTreeTest, SingleEntry) {
+  FlatRTree tree = FlatRTree::Build({{Rect(0.2, 0.2, 0.4, 0.4), 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto nn = tree.Nearest(Point{0.0, 0.0});
+  ASSERT_TRUE(nn.found);
+  EXPECT_EQ(nn.neighbor.id, 7u);
+  EXPECT_EQ(tree.RangeCount(Rect(0.0, 0.0, 0.25, 0.25)), 1u);
+  EXPECT_EQ(tree.RangeCount(Rect(0.5, 0.5, 0.6, 0.6)), 0u);
+}
+
+TEST(FlatRTreeTest, InvariantsAcrossSizesAndFanouts) {
+  Rng rng(20260807);
+  for (size_t n : {2u, 5u, 16u, 17u, 64u, 257u, 1000u}) {
+    for (int fanout : {4, 8, 16}) {
+      FlatRTree tree =
+          FlatRTree::Build(RandomRectEntries(n, &rng, 0.05), fanout);
+      EXPECT_EQ(tree.size(), n);
+      EXPECT_TRUE(tree.CheckInvariants()) << "n=" << n << " M=" << fanout;
+    }
+  }
+}
+
+/// The tentpole contract: after randomized inserts (and some removes)
+/// into the mutable Guttman tree, a flat rebuild from AllEntries()
+/// answers every range and k-NN query — under both metrics — with the
+/// identical result set.
+TEST(FlatRTreeTest, DifferentialAgainstGuttmanAfterRandomizedMutations) {
+  Rng rng(42);
+  RTree mutable_tree(8);
+  std::vector<RTree::Entry> alive;
+  for (size_t i = 0; i < 600; ++i) {
+    RTree::Entry e = RandomRectEntries(1, &rng, 0.08)[0];
+    e.id = i;
+    mutable_tree.Insert(e.box, e.id);
+    alive.push_back(e);
+  }
+  // Remove a random third so the Guttman tree has seen condense-tree.
+  for (size_t i = 0; i < 200; ++i) {
+    const size_t victim = static_cast<size_t>(
+        rng.Uniform(0.0, static_cast<double>(alive.size())));
+    ASSERT_TRUE(mutable_tree.Remove(alive[victim].box, alive[victim].id));
+    alive.erase(alive.begin() + static_cast<ptrdiff_t>(victim));
+  }
+
+  FlatRTree flat = FlatRTree::Build(mutable_tree.AllEntries(), 8);
+  ASSERT_EQ(flat.size(), alive.size());
+  ASSERT_TRUE(flat.CheckInvariants());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a = rng.PointIn(kSpace);
+    const Point b = rng.PointIn(kSpace);
+    const Rect window(std::min(a.x, b.x), std::min(a.y, b.y),
+                      std::max(a.x, b.x), std::max(a.y, b.y));
+    std::vector<RTree::Entry> guttman_hits;
+    mutable_tree.RangeQuery(window, &guttman_hits);
+    std::vector<RTree::Entry> flat_hits;
+    flat.RangeQuery(window, &flat_hits);
+    EXPECT_EQ(SortedIds(guttman_hits), SortedIds(flat_hits));
+    EXPECT_EQ(mutable_tree.RangeCount(window), flat.RangeCount(window));
+
+    const Point q = rng.PointIn(kSpace);
+    for (auto metric : {RTree::Metric::kMinDist, RTree::Metric::kMaxDist}) {
+      for (size_t k : {1u, 5u, 23u}) {
+        EXPECT_EQ(Distances(mutable_tree.KNearest(q, k, metric)),
+                  Distances(flat.KNearest(q, k, metric)))
+            << "metric=" << static_cast<int>(metric) << " k=" << k;
+      }
+      const auto exact = mutable_tree.Nearest(q, metric);
+      const auto packed = flat.Nearest(q, metric);
+      ASSERT_EQ(exact.found, packed.found);
+      EXPECT_DOUBLE_EQ(exact.neighbor.distance, packed.neighbor.distance);
+    }
+  }
+}
+
+/// Point entries never tie, so the k-NN id sequences must match
+/// exactly, under both metrics (which coincide for points).
+TEST(FlatRTreeTest, DifferentialPointEntriesExactIds) {
+  Rng rng(1234);
+  std::vector<RTree::Entry> entries;
+  RTree mutable_tree(16);
+  for (size_t i = 0; i < 500; ++i) {
+    const Point p = rng.PointIn(kSpace);
+    entries.push_back({Rect::FromPoint(p), i});
+    mutable_tree.Insert(entries.back().box, i);
+  }
+  FlatRTree flat = FlatRTree::Build(entries, 16);
+  ASSERT_TRUE(flat.CheckInvariants());
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q = rng.PointIn(kSpace);
+    for (auto metric : {RTree::Metric::kMinDist, RTree::Metric::kMaxDist}) {
+      for (size_t k : {1u, 10u}) {
+        EXPECT_EQ(Canonical(mutable_tree.KNearest(q, k, metric)),
+                  Canonical(flat.KNearest(q, k, metric)));
+      }
+    }
+  }
+}
+
+TEST(FlatRTreeTest, VisitorEarlyStopAndFilteredKnn) {
+  Rng rng(7);
+  FlatRTree tree = FlatRTree::Build(RandomRectEntries(200, &rng, 0.05), 8);
+  size_t seen = 0;
+  tree.RangeQuery(kSpace, [&seen](const RTree::Entry&) {
+    ++seen;
+    return seen < 10;
+  });
+  EXPECT_EQ(seen, 10u);
+
+  // Filtering away even ids must yield the odd-id k-NN answer.
+  const Point q{0.5, 0.5};
+  auto odd_only = tree.KNearestFiltered(
+      q, 8, RTree::Metric::kMinDist,
+      [](const RTree::Entry& e) { return e.id % 2 == 1; });
+  ASSERT_EQ(odd_only.size(), 8u);
+  for (const auto& n : odd_only) EXPECT_EQ(n.id % 2, 1u);
+  // Ascending distance, and no unfiltered entry closer than the last.
+  for (size_t i = 1; i < odd_only.size(); ++i) {
+    EXPECT_LE(odd_only[i - 1].distance, odd_only[i].distance);
+  }
+}
+
+TEST(FlatRTreeTest, BatchedKernelsMatchScalar) {
+  Rng rng(99);
+  std::vector<RTree::Entry> entries = RandomRectEntries(100, &rng, 0.1);
+  std::vector<double> xlo, ylo, xhi, yhi;
+  for (const auto& e : entries) {
+    xlo.push_back(e.box.min.x);
+    ylo.push_back(e.box.min.y);
+    xhi.push_back(e.box.max.x);
+    yhi.push_back(e.box.max.y);
+  }
+  const RectSoA soa{xlo.data(), ylo.data(), xhi.data(), yhi.data()};
+  std::vector<double> batched(entries.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q = rng.PointIn(kSpace);
+    BatchedMinDist(q, soa, entries.size(), batched.data());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(batched[i], MinDist(q, entries[i].box)) << i;
+    }
+    BatchedMaxDist(q, soa, entries.size(), batched.data());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(batched[i], MaxDist(q, entries[i].box)) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casper::spatial

@@ -13,9 +13,22 @@ uniform slowdown — e.g. an accidental O(n^2) in the query path — still
 fails decisively: a synthetic 2x slowdown yields a ratio of ~0.5
 everywhere and a geomean far below the 0.75 floor.
 
+Beyond the geomean, the gate enforces a parallel-speedup floor: the
+best `batch_engine` row with threads >= 2 and the cache off must beat
+the sequential baseline's qps by at least --min-parallel-speedup
+(default 1.10x) at every batch size. The rule is hardware-aware — it
+only fires when BOTH files report `hardware_threads >= 2`, because on
+a single-core runner no dispatcher can beat the sequential loop and
+the rule would only measure scheduler overhead.
+
+`--compare` switches to a report-only mode: it prints the per-config
+before/after table (qps and p99 side by side) and always exits 0 after
+input validation — for PR descriptions and perf triage, not gating.
+
 Usage:
   check_perf_regression.py --current BENCH_throughput.json \
-      --baseline bench/BENCH_baseline.json [--max-drop 0.25]
+      --baseline bench/BENCH_baseline.json [--max-drop 0.25] \
+      [--min-parallel-speedup 1.10] [--compare]
 
 Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
 Stdlib only; no third-party dependencies.
@@ -78,12 +91,71 @@ def load_rows(path):
     return data, rows
 
 
+def parallel_speedup_failures(meta_base, meta_cur, rows, min_speedup):
+    """The strengthened rule: best (batch_engine, threads>=2, cache=off)
+    row must beat the sequential row by `min_speedup` per batch size.
+
+    Returns a list of human-readable failure strings; empty when the
+    rule passes or is skipped. Skipped (with a note on stdout) when
+    either file was recorded on a single-core machine, where the rule
+    would only measure dispatch overhead.
+    """
+    base_hw = meta_base.get("hardware_threads")
+    cur_hw = meta_cur.get("hardware_threads")
+    if not (isinstance(base_hw, int) and base_hw >= 2 and
+            isinstance(cur_hw, int) and cur_hw >= 2):
+        print(f"note: parallel-speedup rule skipped "
+              f"(hardware_threads: baseline={base_hw} current={cur_hw}; "
+              "needs >= 2 in both)")
+        return []
+    sequential = {}
+    best_parallel = {}
+    for (mode, threads, batch, cache), r in rows.items():
+        if mode == "sequential":
+            sequential[batch] = r["qps"]
+        elif mode == "batch_engine" and threads >= 2 and not cache:
+            best_parallel[batch] = max(best_parallel.get(batch, 0.0),
+                                       r["qps"])
+    failures = []
+    for batch, seq_qps in sorted(sequential.items()):
+        par_qps = best_parallel.get(batch)
+        if par_qps is None:
+            failures.append(f"batch={batch}: no (batch_engine, threads>=2, "
+                            "cache=false) row to compare against sequential")
+            continue
+        speedup = par_qps / seq_qps
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"parallel speedup batch={batch}: {par_qps:.1f} / "
+              f"{seq_qps:.1f} = {speedup:.3f}x "
+              f"(floor {min_speedup:.2f}x) {verdict}")
+        if speedup < min_speedup:
+            failures.append(
+                f"batch={batch}: parallel speedup {speedup:.3f}x below "
+                f"{min_speedup:.2f}x floor")
+    return failures
+
+
+def fmt_p99(row):
+    p99 = row.get("p99_us")
+    if isinstance(p99, (int, float)) and not isinstance(p99, bool):
+        return f"{p99:.1f}"
+    return "-"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--max-drop", type=float, default=0.25,
                         help="maximum tolerated fractional qps drop")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.10,
+                        help="required qps ratio of the best parallel "
+                             "(threads>=2, cache off) row over sequential; "
+                             "enforced only when both files report "
+                             "hardware_threads >= 2")
+    parser.add_argument("--compare", action="store_true",
+                        help="report-only: print the before/after qps and "
+                             "p99 table, never fail")
     args = parser.parse_args()
 
     base_meta, base = load_rows(args.baseline)
@@ -117,7 +189,7 @@ def main():
     log_sum = 0.0
     worst = (None, float("inf"))
     print(f"{'configuration':<44} {'base qps':>12} {'cur qps':>12} "
-          f"{'ratio':>7}")
+          f"{'ratio':>7} {'base p99':>10} {'cur p99':>10}")
     for key in common:
         base_qps = base[key]["qps"]
         cur_qps = cur[key]["qps"]
@@ -130,16 +202,32 @@ def main():
             worst = (key, ratio)
         mode, threads, batch, cache = key
         label = f"{mode} threads={threads} batch={batch} cache={cache}"
-        print(f"{label:<44} {base_qps:>12.1f} {cur_qps:>12.1f} {ratio:>7.3f}")
+        print(f"{label:<44} {base_qps:>12.1f} {cur_qps:>12.1f} "
+              f"{ratio:>7.3f} {fmt_p99(base[key]):>10} "
+              f"{fmt_p99(cur[key]):>10}")
 
     geomean = math.exp(log_sum / len(common))
     floor = 1.0 - args.max_drop
     print(f"\nrows={len(common)} geomean_ratio={geomean:.3f} "
           f"floor={floor:.3f} worst={worst[0]} ({worst[1]:.3f})")
+
+    if args.compare:
+        print("compare mode: report only, no gating")
+        return 0
+
+    failed = False
     if geomean < floor:
         print(f"FAIL: throughput dropped "
               f"{(1.0 - geomean) * 100.0:.1f}% (> {args.max_drop * 100:.0f}% "
               "budget)", file=sys.stderr)
+        failed = True
+
+    for failure in parallel_speedup_failures(base_meta, cur_meta, cur,
+                                             args.min_parallel_speedup):
+        print(f"FAIL: {failure}", file=sys.stderr)
+        failed = True
+
+    if failed:
         return 1
     print("OK: throughput within budget")
     return 0

@@ -22,13 +22,28 @@ GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     "check_perf_regression.py")
 
 
-def bench(rows, targets=1000, users=100):
-    return {"targets": targets, "users": users, "rows": rows}
+def bench(rows, targets=1000, users=100, hardware_threads=None):
+    data = {"targets": targets, "users": users, "rows": rows}
+    if hardware_threads is not None:
+        data["hardware_threads"] = hardware_threads
+    return data
 
 
-def row(mode="batch", threads=4, batch_size=64, cache=True, qps=1000.0):
-    return {"mode": mode, "threads": threads, "batch_size": batch_size,
-            "cache": cache, "qps": qps}
+def row(mode="batch", threads=4, batch_size=64, cache=True, qps=1000.0,
+        p99_us=None):
+    r = {"mode": mode, "threads": threads, "batch_size": batch_size,
+         "cache": cache, "qps": qps}
+    if p99_us is not None:
+        r["p99_us"] = p99_us
+    return r
+
+
+def speedup_bench(seq_qps, par_qps, hardware_threads=4):
+    """A minimal bench with one sequential and one parallel row."""
+    return bench(
+        [row(mode="sequential", threads=0, cache=False, qps=seq_qps),
+         row(mode="batch_engine", threads=2, cache=False, qps=par_qps)],
+        hardware_threads=hardware_threads)
 
 
 class GateTest(unittest.TestCase):
@@ -81,6 +96,81 @@ class GateTest(unittest.TestCase):
         self.assert_clean_exit(self.run_gate(base, cur), 0)
         self.assert_clean_exit(
             self.run_gate(base, cur, extra_args=("--max-drop", "0.05")), 1)
+
+    # --- Parallel-speedup floor ------------------------------------------
+
+    def test_parallel_speedup_met_passes(self):
+        b = speedup_bench(seq_qps=1000.0, par_qps=1200.0)
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("parallel speedup", proc.stdout)
+        self.assertIn("ok", proc.stdout)
+
+    def test_parallel_speedup_below_floor_fails(self):
+        b = speedup_bench(seq_qps=1000.0, par_qps=1050.0)  # 1.05x < 1.10x
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 1)
+        self.assertIn("parallel speedup", proc.stderr)
+        self.assertIn("below", proc.stderr)
+
+    def test_parallel_speedup_floor_is_configurable(self):
+        b = speedup_bench(seq_qps=1000.0, par_qps=1050.0)
+        proc = self.run_gate(b, b,
+                             extra_args=("--min-parallel-speedup", "1.0"))
+        self.assert_clean_exit(proc, 0)
+
+    def test_speedup_rule_skipped_on_single_core(self):
+        b = speedup_bench(seq_qps=1000.0, par_qps=500.0, hardware_threads=1)
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("parallel-speedup rule skipped", proc.stdout)
+
+    def test_speedup_rule_skipped_without_hardware_threads(self):
+        b = speedup_bench(seq_qps=1000.0, par_qps=500.0,
+                          hardware_threads=None)
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("parallel-speedup rule skipped", proc.stdout)
+
+    def test_missing_parallel_row_fails_when_rule_active(self):
+        b = bench([row(mode="sequential", threads=0, cache=False)],
+                  hardware_threads=4)
+        proc = self.run_gate(b, b)
+        self.assert_clean_exit(proc, 1)
+        self.assertIn("no (batch_engine, threads>=2, cache=false) row",
+                      proc.stderr)
+
+    # --- Compare mode ----------------------------------------------------
+
+    def test_compare_mode_never_fails(self):
+        base = speedup_bench(seq_qps=1000.0, par_qps=500.0)
+        cur = bench(
+            [row(mode="sequential", threads=0, cache=False, qps=100.0,
+                 p99_us=950.5),
+             row(mode="batch_engine", threads=2, cache=False, qps=50.0,
+                 p99_us=120.0)],
+            hardware_threads=4)
+        proc = self.run_gate(base, cur, extra_args=("--compare",))
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("compare mode: report only", proc.stdout)
+
+    def test_compare_mode_prints_p99_columns(self):
+        b = bench([row(p99_us=123.4)])
+        proc = self.run_gate(b, b, extra_args=("--compare",))
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("base p99", proc.stdout)
+        self.assertIn("123.4", proc.stdout)
+
+    def test_missing_p99_renders_as_dash(self):
+        b = bench([row()])  # no p99_us field
+        proc = self.run_gate(b, b, extra_args=("--compare",))
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("-", proc.stdout)
+
+    def test_compare_mode_still_validates_input(self):
+        proc = self.run_gate('{"rows": [', bench([row()]),
+                             extra_args=("--compare",))
+        self.assert_clean_exit(proc, 2)
 
     # --- Degenerate inputs ----------------------------------------------
 
