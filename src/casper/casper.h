@@ -205,6 +205,21 @@ class CasperService {
   Result<PrivateNNResponse> EvaluateNearestPrivate(
       anonymizer::UserId uid, const anonymizer::CloakingResult& cloak) const;
 
+  // --- Persistence ------------------------------------------------------
+
+  /// Checkpoint the server tier (public targets + stored cloaked
+  /// regions) to `sm` and commit. Anonymizer state — the pyramid, user
+  /// registrations, pseudonyms — is deliberately not persisted: exact
+  /// locations never leave the trusted tier, on disk or off.
+  Status SaveServerState(storage::IStorageManager* sm) const {
+    return server_.Save(sm);
+  }
+
+  /// Replace the server tier's state with the checkpoint on `sm`.
+  Status OpenServerState(storage::IStorageManager* sm) {
+    return server_.Open(sm);
+  }
+
   // --- Introspection ----------------------------------------------------
 
   anonymizer::LocationAnonymizer& anonymizer() { return tier_.anonymizer(); }

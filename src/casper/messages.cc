@@ -1,6 +1,6 @@
 #include "src/casper/messages.h"
 
-#include <cstring>
+#include "src/common/codec.h"
 
 namespace casper {
 namespace {
@@ -17,192 +17,19 @@ constexpr uint8_t kTagAck = 0xC6;
 // --- Frame integrity -------------------------------------------------------
 //
 // Every encoded message carries a trailing FNV-1a-64 checksum of the
-// frame body. Without it, a transport-corrupted byte inside a raw
-// double (a coordinate, a distance) is indistinguishable from a
-// different valid measurement and would decode as a *different valid
-// message* — the one class of corruption field validation cannot catch.
-// With it, a corrupted frame fails decode, the endpoint acks kDataLoss,
-// and the resilient client re-sends: corruption is converted into a
-// retryable transport failure instead of a silent wrong answer.
+// frame body (wire::Seal / wire::Unseal, shared with the storage tier
+// via src/common/codec.h). Without it, a transport-corrupted byte
+// inside a raw double (a coordinate, a distance) is indistinguishable
+// from a different valid measurement and would decode as a *different
+// valid message* — the one class of corruption field validation cannot
+// catch. With it, a corrupted frame fails decode, the endpoint acks
+// kDataLoss, and the resilient client re-sends: corruption is converted
+// into a retryable transport failure instead of a silent wrong answer.
 
-constexpr size_t kChecksumBytes = 8;
-
-uint64_t Fnv1a64(std::string_view bytes) {
-  uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-/// Append the body's checksum, little-endian.
-std::string Seal(std::string body) {
-  const uint64_t sum = Fnv1a64(body);
-  for (size_t i = 0; i < kChecksumBytes; ++i) {
-    body.push_back(static_cast<char>(static_cast<uint8_t>(sum >> (8 * i))));
-  }
-  return body;
-}
-
-/// Verify and strip the trailing checksum, returning the frame body.
-Result<std::string_view> Unseal(std::string_view frame, const char* what) {
-  if (frame.size() < kChecksumBytes + 1) {
-    return Status::InvalidArgument(std::string("truncated ") + what +
-                                   " frame");
-  }
-  const std::string_view body =
-      frame.substr(0, frame.size() - kChecksumBytes);
-  uint64_t sum = 0;
-  for (size_t i = 0; i < kChecksumBytes; ++i) {
-    sum |= static_cast<uint64_t>(
-               static_cast<uint8_t>(frame[body.size() + i]))
-           << (8 * i);
-  }
-  if (sum != Fnv1a64(body)) {
-    return Status::InvalidArgument(std::string("checksum mismatch in ") +
-                                   what + " frame");
-  }
-  return body;
-}
-
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
-  void F64(double v) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Bool(bool v) { U8(v ? 1 : 0); }
-  void P(const Point& p) {
-    F64(p.x);
-    F64(p.y);
-  }
-  void R(const Rect& r) {
-    P(r.min);
-    P(r.max);
-  }
-  void Count(size_t n) { U64(static_cast<uint64_t>(n)); }
-  void Str(std::string_view s) {
-    Count(s.size());
-    out_.append(s);
-  }
-
-  std::string Take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  uint8_t U8() {
-    if (pos_ + 1 > bytes_.size()) return Fail<uint8_t>();
-    return static_cast<uint8_t>(bytes_[pos_++]);
-  }
-  uint32_t U32() {
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
-    return v;
-  }
-  uint64_t U64() {
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(U8()) << (8 * i);
-    return v;
-  }
-  int32_t I32() { return static_cast<int32_t>(U32()); }
-  double F64() {
-    const uint64_t bits = U64();
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  bool Bool() {
-    const uint8_t v = U8();
-    if (v > 1) failed_ = true;
-    return v != 0;
-  }
-  Point P() {
-    Point p;
-    p.x = F64();
-    p.y = F64();
-    return p;
-  }
-  Rect R() {
-    Rect r;
-    r.min = P();
-    r.max = P();
-    return r;
-  }
-
-  /// Length prefix for a container whose records occupy at least
-  /// `min_record_bytes` each — a hostile length cannot force an
-  /// allocation larger than the buffer itself.
-  size_t Count(size_t min_record_bytes) {
-    const uint64_t n = U64();
-    if (failed_ || n > Remaining() / min_record_bytes) {
-      failed_ = true;
-      return 0;
-    }
-    return static_cast<size_t>(n);
-  }
-
-  std::string Str() {
-    const size_t n = Count(1);
-    if (failed_) return std::string();
-    std::string s(bytes_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  bool Tag(uint8_t expected) { return U8() == expected && !failed_; }
-
-  /// Advance past `n` bytes and return their start — the zero-copy
-  /// decoders' window onto a record block. Null (and failed) when fewer
-  /// than `n` bytes remain.
-  const char* Skip(size_t n) {
-    if (n > Remaining()) {
-      failed_ = true;
-      return nullptr;
-    }
-    const char* p = bytes_.data() + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  size_t Remaining() const { return bytes_.size() - pos_; }
-  bool failed() const { return failed_; }
-
-  Status Finish(const char* what) {
-    if (failed_ || pos_ != bytes_.size()) {
-      return Status::InvalidArgument(std::string("malformed ") + what +
-                                     " message");
-    }
-    return Status::OK();
-  }
-
- private:
-  template <typename T>
-  T Fail() {
-    failed_ = true;
-    return T{};
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-  bool failed_ = false;
-};
+using wire::Reader;
+using wire::Seal;
+using wire::Unseal;
+using wire::Writer;
 
 bool ValidKind(uint8_t kind) {
   return kind <= static_cast<uint8_t>(QueryKind::kDensity);

@@ -144,6 +144,38 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
       replay_depth(r->GetGauge(
           "casper_transport_replay_depth",
           "Maintenance messages currently queued for replay.")),
+      storage_pool_hits_total(r->GetCounter(
+          "casper_storage_pool_hits_total",
+          "Buffer-pool page loads served from the cache.")),
+      storage_pool_misses_total(r->GetCounter(
+          "casper_storage_pool_misses_total",
+          "Buffer-pool page loads that fell through to the backend.")),
+      storage_pool_evictions_total(r->GetCounter(
+          "casper_storage_pool_evictions_total",
+          "Pages evicted from the buffer pool (LRU).")),
+      storage_pool_writebacks_total(r->GetCounter(
+          "casper_storage_pool_writebacks_total",
+          "Dirty pages written back to the backend on eviction or "
+          "flush.")),
+      storage_pool_resident_pages(r->GetGauge(
+          "casper_storage_pool_resident_pages",
+          "Pages currently cached in the buffer pool.")),
+      storage_pool_pinned_pages(r->GetGauge(
+          "casper_storage_pool_pinned_pages",
+          "Cached pages currently pinned against eviction.")),
+      storage_pool_capacity_pages(r->GetGauge(
+          "casper_storage_pool_capacity_pages",
+          "Configured buffer-pool capacity in pages.")),
+      storage_pages_read_total(r->GetCounter(
+          "casper_storage_pages_read_total",
+          "Logical pages read by the disk storage manager.")),
+      storage_pages_written_total(r->GetCounter(
+          "casper_storage_pages_written_total",
+          "Logical pages written by the disk storage manager.")),
+      storage_checksum_failures_total(r->GetCounter(
+          "casper_storage_checksum_failures_total",
+          "Pages whose checksum failed verification on load (torn or "
+          "corrupt writes).")),
       tracer(r) {
   for (size_t i = 0; i < kBreakerStateCount; ++i) {
     breaker_transitions_total[i] =

@@ -129,4 +129,20 @@ size_t PrivateTargetStore::OverlapCount(const Rect& window) const {
   return index_.Acquire()->RangeCount(window);
 }
 
+Result<PublicTargetStore> PublicTargetStore::LoadFrom(
+    storage::IStorageManager* sm, storage::PageId root) {
+  PublicTargetStore store;
+  CASPER_ASSIGN_OR_RETURN(index, spatial::EpochIndex::Restore(sm, root));
+  store.index_ = std::move(index);
+  return store;
+}
+
+Result<PrivateTargetStore> PrivateTargetStore::LoadFrom(
+    storage::IStorageManager* sm, storage::PageId root) {
+  PrivateTargetStore store;
+  CASPER_ASSIGN_OR_RETURN(index, spatial::EpochIndex::Restore(sm, root));
+  store.index_ = std::move(index);
+  return store;
+}
+
 }  // namespace casper::processor

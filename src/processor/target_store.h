@@ -76,6 +76,15 @@ class PublicTargetStore {
   /// obs by the server tier).
   spatial::EpochIndex::Stats epoch_stats() const { return index_.stats(); }
 
+  /// Checkpoint the store to `sm`; returns the checkpoint root page.
+  Result<storage::PageId> SaveTo(storage::IStorageManager* sm) const {
+    return index_.Checkpoint(sm);
+  }
+
+  /// Rebuild a store from a SaveTo root page.
+  static Result<PublicTargetStore> LoadFrom(storage::IStorageManager* sm,
+                                            storage::PageId root);
+
  private:
   spatial::EpochIndex index_;
 };
@@ -115,6 +124,15 @@ class PrivateTargetStore {
 
   /// See PublicTargetStore::epoch_stats().
   spatial::EpochIndex::Stats epoch_stats() const { return index_.stats(); }
+
+  /// Checkpoint the store to `sm`; returns the checkpoint root page.
+  Result<storage::PageId> SaveTo(storage::IStorageManager* sm) const {
+    return index_.Checkpoint(sm);
+  }
+
+  /// Rebuild a store from a SaveTo root page.
+  static Result<PrivateTargetStore> LoadFrom(storage::IStorageManager* sm,
+                                             storage::PageId root);
 
  private:
   spatial::EpochIndex index_;

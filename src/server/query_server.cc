@@ -1,5 +1,6 @@
 #include "src/server/query_server.h"
 
+#include "src/common/codec.h"
 #include "src/common/stopwatch.h"
 #include "src/processor/density.h"
 #include "src/processor/private_knn.h"
@@ -119,6 +120,87 @@ Status QueryServer::LoadRegions(
   // A snapshot replaces the whole store, so outcomes recorded for the
   // incremental stream no longer describe current state; retries of
   // pre-snapshot maintenance must re-apply against the new store.
+  applied_.clear();
+  applied_order_.clear();
+  ExportEpochStats();
+  return Status::OK();
+}
+
+namespace {
+
+// "SRV1": rejects a page that is not a server-tier manifest.
+constexpr uint32_t kManifestMagic = 0x31565253u;
+
+constexpr size_t kRegionRecordBytes = 8 + 4 * 8;  // handle + Rect.
+
+}  // namespace
+
+Status QueryServer::Save(storage::IStorageManager* sm) const {
+  CASPER_ASSIGN_OR_RETURN(public_root, public_store_.SaveTo(sm));
+  CASPER_ASSIGN_OR_RETURN(private_root, private_store_.SaveTo(sm));
+
+  wire::Writer rw;
+  rw.Count(stored_regions_.size());
+  for (const auto& [handle, region] : stored_regions_) {
+    rw.U64(handle);
+    rw.R(region);
+  }
+  const std::string regions_page = rw.Take();
+  CASPER_ASSIGN_OR_RETURN(regions_id,
+                          sm->Store(storage::kNoPage, regions_page));
+
+  wire::Writer w;
+  w.U32(kManifestMagic);
+  w.U64(public_root);
+  w.U64(private_root);
+  w.U64(regions_id);
+  const std::string manifest = w.Take();
+  CASPER_ASSIGN_OR_RETURN(manifest_id, sm->Store(storage::kNoPage, manifest));
+  CASPER_RETURN_IF_ERROR(sm->SetRoot(kManifestRootSlot, manifest_id));
+  return sm->Flush();
+}
+
+Status QueryServer::Open(storage::IStorageManager* sm) {
+  CASPER_ASSIGN_OR_RETURN(manifest_id, sm->Root(kManifestRootSlot));
+  if (manifest_id == storage::kNoPage) {
+    return Status::NotFound("no server checkpoint in storage");
+  }
+  std::string bytes;
+  CASPER_RETURN_IF_ERROR(sm->Load(manifest_id, &bytes));
+  wire::Reader r(bytes);
+  if (r.U32() != kManifestMagic || r.failed()) {
+    return Status::InvalidArgument("not a server manifest page");
+  }
+  const storage::PageId public_root = r.U64();
+  const storage::PageId private_root = r.U64();
+  const storage::PageId regions_id = r.U64();
+  CASPER_RETURN_IF_ERROR(r.Finish("server manifest page"));
+
+  CASPER_ASSIGN_OR_RETURN(
+      public_store, processor::PublicTargetStore::LoadFrom(sm, public_root));
+  CASPER_ASSIGN_OR_RETURN(
+      private_store,
+      processor::PrivateTargetStore::LoadFrom(sm, private_root));
+
+  std::string region_bytes;
+  CASPER_RETURN_IF_ERROR(sm->Load(regions_id, &region_bytes));
+  wire::Reader rr(region_bytes);
+  const size_t n = rr.Count(kRegionRecordBytes);
+  std::unordered_map<uint64_t, Rect> regions;
+  regions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t handle = rr.U64();
+    regions[handle] = rr.R();
+  }
+  CASPER_RETURN_IF_ERROR(rr.Finish("server regions page"));
+
+  // Only swap state in once every piece loaded: a failed Open leaves
+  // the server untouched.
+  public_store_ = std::move(public_store);
+  private_store_ = std::move(private_store);
+  stored_regions_ = std::move(regions);
+  // A reopen is a new process lifetime; recorded maintenance outcomes
+  // do not survive it (same contract as a bulk snapshot Load).
   applied_.clear();
   applied_order_.clear();
   ExportEpochStats();

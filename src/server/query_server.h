@@ -9,6 +9,7 @@
 #include "src/obs/casper_metrics.h"
 #include "src/processor/concurrent_query_cache.h"
 #include "src/processor/target_store.h"
+#include "src/storage/storage_manager.h"
 
 /// \file
 /// The privacy-aware database server tier (Figure 1, right box). It
@@ -79,6 +80,22 @@ class QueryServer : public PrivateStoreSink {
   Result<CandidateListMsg> Execute(
       const CloakedQueryMsg& query,
       processor::ConcurrentQueryCache* cache = nullptr) const;
+
+  // --- Persistence ------------------------------------------------------
+
+  /// Checkpoint the whole server tier — both target stores and the
+  /// handle -> region map — to `sm`, record the manifest in root slot
+  /// kManifestRootSlot, and Flush() (the durable commit point on a
+  /// disk-backed manager).
+  Status Save(storage::IStorageManager* sm) const;
+
+  /// Replace this server's state with the last committed checkpoint on
+  /// `sm`. The idempotency window resets: a reopen is a new process
+  /// lifetime, the same contract as a bulk snapshot Load.
+  Status Open(storage::IStorageManager* sm);
+
+  /// Root slot holding the server manifest page.
+  static constexpr size_t kManifestRootSlot = 0;
 
   // --- Introspection ----------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/codec.h"
 #include "src/common/status.h"
 
 namespace casper::spatial {
@@ -11,6 +12,32 @@ namespace {
 
 bool SameEntry(const RTree::Entry& a, const Rect& box, uint64_t id) {
   return a.id == id && a.box == box;
+}
+
+// "EPX1": rejects a page that is not an epoch-index checkpoint root.
+constexpr uint32_t kCheckpointMagic = 0x31585045u;
+
+constexpr size_t kEntryBytes = 4 * 8 + 8;  // Rect + id.
+
+void PutEntries(wire::Writer& w, const std::vector<RTree::Entry>& entries) {
+  w.Count(entries.size());
+  for (const RTree::Entry& e : entries) {
+    w.R(e.box);
+    w.U64(e.id);
+  }
+}
+
+std::vector<RTree::Entry> GetEntries(wire::Reader& r) {
+  const size_t n = r.Count(kEntryBytes);
+  std::vector<RTree::Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RTree::Entry e;
+    e.box = r.R();
+    e.id = r.U64();
+    entries.push_back(e);
+  }
+  return entries;
 }
 
 }  // namespace
@@ -216,6 +243,74 @@ void EpochIndex::Publish() {
 
 std::shared_ptr<const EpochIndex::Snapshot> EpochIndex::Acquire() const {
   return published_.Load();
+}
+
+Result<storage::PageId> EpochIndex::Checkpoint(
+    storage::IStorageManager* sm) const {
+  storage::PageId base_root = storage::kNoPage;
+  if (base_) {
+    CASPER_ASSIGN_OR_RETURN(saved, base_->SaveTo(sm));
+    base_root = saved;
+  }
+  wire::Writer w;
+  w.U32(kCheckpointMagic);
+  w.I32(max_entries_);
+  w.U64(rebuild_threshold_);
+  w.U64(base_root);
+  PutEntries(w, delta_);
+  PutEntries(w, dead_);
+  const std::string page = w.Take();
+  return sm->Store(storage::kNoPage, page);
+}
+
+Result<EpochIndex> EpochIndex::Restore(storage::IStorageManager* sm,
+                                       storage::PageId root) {
+  std::string bytes;
+  CASPER_RETURN_IF_ERROR(sm->Load(root, &bytes));
+  wire::Reader r(bytes);
+  if (r.U32() != kCheckpointMagic || r.failed()) {
+    return Status::InvalidArgument("not an epoch-index checkpoint page");
+  }
+  const int32_t max_entries = r.I32();
+  const uint64_t rebuild_threshold = r.U64();
+  const storage::PageId base_root = r.U64();
+  std::vector<Entry> delta = GetEntries(r);
+  std::vector<Entry> dead = GetEntries(r);
+  CASPER_RETURN_IF_ERROR(r.Finish("epoch-index checkpoint page"));
+  if (max_entries < 4) {
+    return Status::InvalidArgument("malformed epoch-index checkpoint");
+  }
+
+  EpochIndex index(max_entries,
+                   static_cast<size_t>(std::max<uint64_t>(
+                       rebuild_threshold, 1)));
+  std::vector<Entry> merged;
+  if (base_root != storage::kNoPage) {
+    CASPER_ASSIGN_OR_RETURN(base, FlatRTree::LoadFrom(sm, base_root));
+    merged.reserve(base.size() + delta.size());
+    for (size_t i = 0; i < base.size(); ++i) merged.push_back(base.entry(i));
+    index.base_ = std::make_shared<const FlatRTree>(std::move(base));
+  }
+  // The authoritative tree holds base - tombstones + delta; tombstones
+  // are a multiset, so each one cancels exactly one occurrence.
+  for (const Entry& d : dead) {
+    const auto it = std::find_if(merged.begin(), merged.end(),
+                                 [&](const Entry& e) {
+                                   return SameEntry(e, d.box, d.id);
+                                 });
+    if (it == merged.end()) {
+      return Status::InvalidArgument(
+          "epoch-index checkpoint tombstone has no base entry");
+    }
+    merged.erase(it);
+  }
+  merged.insert(merged.end(), delta.begin(), delta.end());
+  index.tree_ = RTree::BulkLoad(std::move(merged), max_entries);
+  index.delta_ = std::move(delta);
+  index.dead_ = std::move(dead);
+  if (index.base_) ++index.rebuilds_;
+  index.Publish();
+  return index;
 }
 
 EpochIndex::Stats EpochIndex::stats() const {

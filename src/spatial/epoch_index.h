@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "src/common/geometry.h"
+#include "src/common/result.h"
 #include "src/spatial/flat_rtree.h"
 #include "src/spatial/rtree.h"
+#include "src/storage/storage_manager.h"
 
 /// \file
 /// Epoch-published read snapshots over a mutable R-tree. The writer
@@ -108,6 +110,20 @@ class EpochIndex {
   const RTree& tree() const { return tree_; }
 
   Stats stats() const;
+
+  /// Checkpoint to `sm`: the packed base tree's pages (FlatRTree::
+  /// SaveTo) plus the delta/tombstone overlay and the index parameters,
+  /// all reachable from the returned root page. The overlay is bounded
+  /// by `rebuild_threshold`, so a checkpoint right after a repack is
+  /// almost entirely the packed base.
+  Result<storage::PageId> Checkpoint(storage::IStorageManager* sm) const;
+
+  /// Rebuild an index from a Checkpoint root page. The restored index
+  /// publishes a snapshot with the same base/delta/tombstone overlay
+  /// the checkpointed one had, so queries answer identically; the
+  /// authoritative tree is re-bulk-loaded from the merged entry set.
+  static Result<EpochIndex> Restore(storage::IStorageManager* sm,
+                                    storage::PageId root);
 
  private:
   /// Publication slot: a shared_ptr behind a tiny test-and-set

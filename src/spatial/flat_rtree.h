@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "src/common/geometry.h"
+#include "src/common/result.h"
 #include "src/spatial/rtree.h"
+#include "src/storage/storage_manager.h"
 
 /// \file
 /// An immutable, cache-friendly companion of the Guttman RTree: the same
@@ -76,6 +78,19 @@ class FlatRTree {
   /// Structural invariant check for tests: MBRs tight and covering,
   /// child runs in bounds, every entry reachable exactly once.
   bool CheckInvariants() const;
+
+  /// Serialize the packed arrays to pages on `sm` — node and entry rows
+  /// chunked into ~4 KB pages plus one root page listing the chunks —
+  /// and return the root page id. The tree is immutable, so the pages
+  /// are a complete, self-contained image.
+  Result<storage::PageId> SaveTo(storage::IStorageManager* sm) const;
+
+  /// Rebuild a tree previously written by SaveTo. Structural bounds are
+  /// re-validated (child runs, row counts); a page that decodes but
+  /// violates them fails kInvalidArgument rather than producing a tree
+  /// that would crash on query.
+  static Result<FlatRTree> LoadFrom(storage::IStorageManager* sm,
+                                    storage::PageId root);
 
  private:
   /// One packed node. Children of an internal node are

@@ -1,0 +1,183 @@
+#include "src/storage/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace casper::storage {
+
+BufferPool::BufferPool(IStorageManager* inner,
+                       const BufferPoolOptions& options)
+    : inner_(inner),
+      capacity_(std::max<size_t>(options.capacity_pages, 1)),
+      metrics_(options.metrics ? options.metrics
+                               : obs::CasperMetrics::Default()) {
+  metrics_->storage_pool_capacity_pages->Set(static_cast<double>(capacity_));
+}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Touch(Frame& frame, PageId id) {
+  (void)id;
+  lru_.splice(lru_.begin(), lru_, frame.lru_pos);
+}
+
+Status BufferPool::WriteBack(PageId id, Frame& frame) {
+  CASPER_RETURN_IF_ERROR(inner_->Store(id, frame.data).status());
+  frame.dirty = false;
+  ++writebacks_;
+  metrics_->storage_pool_writebacks_total->Increment();
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  // LRU order, skipping pinned frames.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const PageId id = *it;
+    Frame& frame = frames_.at(id);
+    if (frame.pins > 0) continue;
+    if (frame.dirty) CASPER_RETURN_IF_ERROR(WriteBack(id, frame));
+    lru_.erase(frame.lru_pos);
+    frames_.erase(id);
+    ++evictions_;
+    metrics_->storage_pool_evictions_total->Increment();
+    metrics_->storage_pool_resident_pages->Set(
+        static_cast<double>(frames_.size()));
+    return Status::OK();
+  }
+  return Status::FailedPrecondition("all cached pages are pinned");
+}
+
+Result<BufferPool::Frame*> BufferPool::Admit(PageId id, std::string data,
+                                             bool dirty) {
+  while (frames_.size() >= capacity_) {
+    const Status evicted = EvictOne();
+    if (!evicted.ok()) {
+      if (evicted.code() == StatusCode::kFailedPrecondition) break;
+      return evicted;  // A failed dirty write-back is a real error.
+    }
+  }
+  lru_.push_front(id);
+  Frame& frame = frames_[id];
+  frame.data = std::move(data);
+  frame.dirty = dirty;
+  frame.pins = 0;
+  frame.lru_pos = lru_.begin();
+  metrics_->storage_pool_resident_pages->Set(
+      static_cast<double>(frames_.size()));
+  return &frame;
+}
+
+Status BufferPool::Load(PageId id, std::string* out) {
+  const auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Touch(it->second, id);
+    *out = it->second.data;
+    ++hits_;
+    metrics_->storage_pool_hits_total->Increment();
+    return Status::OK();
+  }
+  std::string data;
+  CASPER_RETURN_IF_ERROR(inner_->Load(id, &data));
+  ++misses_;
+  metrics_->storage_pool_misses_total->Increment();
+  *out = data;
+  return Admit(id, std::move(data), /*dirty=*/false).status();
+}
+
+Result<PageId> BufferPool::Store(PageId id, std::string_view data) {
+  if (id == kNoPage) {
+    // New pages write through: the backend owns id allocation, and the
+    // fresh copy is cached clean.
+    CASPER_ASSIGN_OR_RETURN(fresh, inner_->Store(kNoPage, data));
+    CASPER_RETURN_IF_ERROR(
+        Admit(fresh, std::string(data), /*dirty=*/false).status());
+    return fresh;
+  }
+  const auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    // Write-back: the update stays cached-dirty until eviction or
+    // Flush.
+    it->second.data.assign(data);
+    it->second.dirty = true;
+    Touch(it->second, id);
+    return id;
+  }
+  // Uncached overwrite: write through (also validates the page
+  // exists), then cache the fresh copy.
+  CASPER_RETURN_IF_ERROR(inner_->Store(id, data).status());
+  CASPER_RETURN_IF_ERROR(
+      Admit(id, std::string(data), /*dirty=*/false).status());
+  return id;
+}
+
+Status BufferPool::Delete(PageId id) {
+  const auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pins > 0) {
+      return Status::FailedPrecondition("page " + std::to_string(id) +
+                                        " is pinned");
+    }
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+    metrics_->storage_pool_resident_pages->Set(
+        static_cast<double>(frames_.size()));
+  }
+  return inner_->Delete(id);
+}
+
+Status BufferPool::SetRoot(size_t slot, PageId page) {
+  return inner_->SetRoot(slot, page);
+}
+
+Result<PageId> BufferPool::Root(size_t slot) const {
+  return inner_->Root(slot);
+}
+
+Status BufferPool::Flush() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) CASPER_RETURN_IF_ERROR(WriteBack(id, frame));
+  }
+  return inner_->Flush();
+}
+
+Status BufferPool::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    std::string scratch;
+    CASPER_RETURN_IF_ERROR(Load(id, &scratch));
+    it = frames_.find(id);
+    CASPER_DCHECK(it != frames_.end());
+  }
+  if (it->second.pins++ == 0) {
+    ++pinned_;
+    metrics_->storage_pool_pinned_pages->Set(static_cast<double>(pinned_));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Unpin(PageId id) {
+  const auto it = frames_.find(id);
+  if (it == frames_.end() || it->second.pins == 0) {
+    return Status::FailedPrecondition("page " + std::to_string(id) +
+                                      " is not pinned");
+  }
+  if (--it->second.pins == 0) {
+    --pinned_;
+    metrics_->storage_pool_pinned_pages->Set(static_cast<double>(pinned_));
+  }
+  return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.writebacks = writebacks_;
+  s.resident = frames_.size();
+  s.pinned = pinned_;
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace casper::storage

@@ -1,0 +1,105 @@
+#ifndef CASPER_STORAGE_BUFFER_POOL_H_
+#define CASPER_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/obs/casper_metrics.h"
+#include "src/storage/storage_manager.h"
+
+/// \file
+/// LRU page cache layered over any IStorageManager. Loads fill the
+/// cache; Stores mark pages dirty and defer the backend write until
+/// eviction or Flush (write-back), so a hot working set touches the
+/// disk backend once per page, not once per access. Pin/Unpin excludes
+/// a page from eviction while a caller holds a reference into it.
+/// Hit/miss/eviction/writeback counters are exported through
+/// casper_storage_pool_* so the hit curve is observable in the same
+/// scrape as the serving-path metrics.
+///
+/// Not thread-safe — same single-writer contract as the stores built
+/// on top of it.
+
+namespace casper::storage {
+
+struct BufferPoolOptions {
+  /// Maximum unpinned pages held resident. Pinned pages may push the
+  /// cache past this bound; eviction resumes as pins drop.
+  size_t capacity_pages = 1024;
+
+  /// Instrument bundle for casper_storage_pool_*; null resolves to
+  /// obs::CasperMetrics::Default().
+  obs::CasperMetrics* metrics = nullptr;
+};
+
+class BufferPool final : public IStorageManager {
+ public:
+  /// Wraps `inner` (not owned; must outlive the pool).
+  BufferPool(IStorageManager* inner, const BufferPoolOptions& options = {});
+  ~BufferPool() override;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  Status Load(PageId id, std::string* out) override;
+  Result<PageId> Store(PageId id, std::string_view data) override;
+  Status Delete(PageId id) override;
+  Status SetRoot(size_t slot, PageId page) override;
+  Result<PageId> Root(size_t slot) const override;
+
+  /// Write back every dirty page, then flush the backend.
+  Status Flush() override;
+
+  /// Exclude a cached page from eviction (counted; Pin twice, Unpin
+  /// twice). Pinning loads the page if absent.
+  Status Pin(PageId id);
+  Status Unpin(PageId id);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    size_t resident = 0;
+    size_t pinned = 0;
+    size_t capacity = 0;
+
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct Frame {
+    std::string data;
+    bool dirty = false;
+    uint32_t pins = 0;
+    std::list<PageId>::iterator lru_pos;  ///< Into lru_, MRU at front.
+  };
+
+  /// Cache `data` for `id`, evicting as needed. Returns the frame.
+  Result<Frame*> Admit(PageId id, std::string data, bool dirty);
+  void Touch(Frame& frame, PageId id);
+  Status EvictOne();
+  Status WriteBack(PageId id, Frame& frame);
+
+  IStorageManager* inner_;
+  size_t capacity_;
+  obs::CasperMetrics* metrics_;
+
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  ///< Front = most recently used.
+  size_t pinned_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t writebacks_ = 0;
+};
+
+}  // namespace casper::storage
+
+#endif  // CASPER_STORAGE_BUFFER_POOL_H_

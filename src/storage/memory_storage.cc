@@ -1,0 +1,58 @@
+#include "src/storage/memory_storage.h"
+
+#include <utility>
+
+namespace casper::storage {
+
+Status MemoryStorageManager::Load(PageId id, std::string* out) {
+  const auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+Result<PageId> MemoryStorageManager::Store(PageId id, std::string_view data) {
+  if (id == kNoPage) {
+    if (!free_ids_.empty()) {
+      id = free_ids_.back();
+      free_ids_.pop_back();
+    } else {
+      id = next_id_++;
+    }
+    pages_.emplace(id, std::string(data));
+    return id;
+  }
+  const auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  it->second.assign(data);
+  return id;
+}
+
+Status MemoryStorageManager::Delete(PageId id) {
+  if (pages_.erase(id) == 0) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  free_ids_.push_back(id);
+  return Status::OK();
+}
+
+Status MemoryStorageManager::SetRoot(size_t slot, PageId page) {
+  if (slot >= kRootSlots) {
+    return Status::OutOfRange("root slot " + std::to_string(slot));
+  }
+  roots_[slot] = page;
+  return Status::OK();
+}
+
+Result<PageId> MemoryStorageManager::Root(size_t slot) const {
+  if (slot >= kRootSlots) {
+    return Status::OutOfRange("root slot " + std::to_string(slot));
+  }
+  return roots_[slot];
+}
+
+}  // namespace casper::storage

@@ -1,0 +1,41 @@
+#ifndef CASPER_STORAGE_MEMORY_STORAGE_H_
+#define CASPER_STORAGE_MEMORY_STORAGE_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/storage_manager.h"
+
+/// \file
+/// In-memory IStorageManager: pages live in an unordered_map, roots in
+/// an array, Flush is a no-op. The reference backend for tests and the
+/// serialization benches, and the default when a persisted structure
+/// is built transiently (serialize-to-pages without touching disk).
+
+namespace casper::storage {
+
+class MemoryStorageManager final : public IStorageManager {
+ public:
+  MemoryStorageManager() { roots_.fill(kNoPage); }
+
+  Status Load(PageId id, std::string* out) override;
+  Result<PageId> Store(PageId id, std::string_view data) override;
+  Status Delete(PageId id) override;
+  Status SetRoot(size_t slot, PageId page) override;
+  Result<PageId> Root(size_t slot) const override;
+  Status Flush() override { return Status::OK(); }
+
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<PageId, std::string> pages_;
+  std::vector<PageId> free_ids_;  ///< Deleted ids, reused LIFO.
+  std::array<PageId, kRootSlots> roots_;
+  PageId next_id_ = 0;
+};
+
+}  // namespace casper::storage
+
+#endif  // CASPER_STORAGE_MEMORY_STORAGE_H_

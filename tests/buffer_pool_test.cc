@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/obs/casper_metrics.h"
+#include "src/obs/metrics.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/memory_storage.h"
+
+/// BufferPool behavior over a memory backend: hit/miss accounting, LRU
+/// eviction order, dirty write-back timing (eviction and Flush), pin
+/// semantics, and the casper_storage_pool_* instruments.
+
+namespace casper::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest()
+      : registry_(std::make_unique<obs::MetricsRegistry>()),
+        metrics_(std::make_unique<obs::CasperMetrics>(registry_.get())) {}
+
+  BufferPoolOptions Options(size_t capacity) {
+    BufferPoolOptions options;
+    options.capacity_pages = capacity;
+    options.metrics = metrics_.get();
+    return options;
+  }
+
+  /// Store n pages directly in the backend; returns their ids.
+  std::vector<PageId> Seed(size_t n) {
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      auto id = inner_.Store(kNoPage, "page-" + std::to_string(i));
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    return ids;
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::CasperMetrics> metrics_;
+  MemoryStorageManager inner_;
+};
+
+TEST_F(BufferPoolTest, RepeatLoadsHitTheCache) {
+  const auto ids = Seed(1);
+  BufferPool pool(&inner_, Options(4));
+  std::string out;
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  EXPECT_EQ(out, "page-0");
+  const auto s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 2.0 / 3.0);
+  EXPECT_EQ(metrics_->storage_pool_hits_total->Value(), 2u);
+  EXPECT_EQ(metrics_->storage_pool_misses_total->Value(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  const auto ids = Seed(3);
+  BufferPool pool(&inner_, Options(2));
+  std::string out;
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Load(ids[1], &out).ok());
+  // Touch page 0 so page 1 becomes the LRU victim.
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Load(ids[2], &out).ok());  // Evicts page 1.
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().resident, 2u);
+  // Page 0 is still resident (hit); page 1 must miss again.
+  const uint64_t misses_before = pool.stats().misses;
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses_before);
+  ASSERT_TRUE(pool.Load(ids[1], &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses_before + 1);
+  EXPECT_EQ(metrics_->storage_pool_evictions_total->Value(),
+            pool.stats().evictions);
+}
+
+TEST_F(BufferPoolTest, DirtyPageWritesBackOnEviction) {
+  const auto ids = Seed(2);
+  BufferPool pool(&inner_, Options(1));
+  // Load page 0 into the cache; the overwrite then stays cached-dirty
+  // (an overwrite of an *uncached* page writes through instead).
+  std::string cached;
+  ASSERT_TRUE(pool.Load(ids[0], &cached).ok());
+  ASSERT_TRUE(pool.Store(ids[0], "updated-0").ok());
+  // The backend still has the old bytes while the update is cached.
+  std::string direct;
+  ASSERT_TRUE(inner_.Load(ids[0], &direct).ok());
+  EXPECT_EQ(direct, "page-0");
+  // Loading page 1 evicts page 0, forcing the write-back.
+  std::string out;
+  ASSERT_TRUE(pool.Load(ids[1], &out).ok());
+  ASSERT_TRUE(inner_.Load(ids[0], &direct).ok());
+  EXPECT_EQ(direct, "updated-0");
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+  EXPECT_EQ(metrics_->storage_pool_writebacks_total->Value(), 1u);
+}
+
+TEST_F(BufferPoolTest, FlushWritesBackAllDirtyPages) {
+  const auto ids = Seed(3);
+  BufferPool pool(&inner_, Options(8));
+  std::string cached;
+  ASSERT_TRUE(pool.Load(ids[0], &cached).ok());
+  ASSERT_TRUE(pool.Load(ids[2], &cached).ok());
+  ASSERT_TRUE(pool.Store(ids[0], "dirty-0").ok());
+  ASSERT_TRUE(pool.Store(ids[2], "dirty-2").ok());
+  ASSERT_TRUE(pool.Flush().ok());
+  std::string direct;
+  ASSERT_TRUE(inner_.Load(ids[0], &direct).ok());
+  EXPECT_EQ(direct, "dirty-0");
+  ASSERT_TRUE(inner_.Load(ids[2], &direct).ok());
+  EXPECT_EQ(direct, "dirty-2");
+  EXPECT_EQ(pool.stats().writebacks, 2u);
+  // A second Flush writes nothing: the pages are clean now.
+  ASSERT_TRUE(pool.Flush().ok());
+  EXPECT_EQ(pool.stats().writebacks, 2u);
+}
+
+TEST_F(BufferPoolTest, NewPagesWriteThrough) {
+  BufferPool pool(&inner_, Options(4));
+  auto id = pool.Store(kNoPage, "fresh");
+  ASSERT_TRUE(id.ok());
+  std::string direct;
+  ASSERT_TRUE(inner_.Load(*id, &direct).ok());
+  EXPECT_EQ(direct, "fresh");
+  // And it is cached: the next load is a hit.
+  std::string out;
+  ASSERT_TRUE(pool.Load(*id, &out).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  const auto ids = Seed(4);
+  BufferPool pool(&inner_, Options(2));
+  ASSERT_TRUE(pool.Pin(ids[0]).ok());
+  std::string out;
+  for (size_t i = 1; i < 4; ++i) ASSERT_TRUE(pool.Load(ids[i], &out).ok());
+  // Page 0 was never evicted despite the pressure.
+  const uint64_t misses_before = pool.stats().misses;
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses_before);
+  EXPECT_EQ(pool.stats().pinned, 1u);
+  EXPECT_EQ(metrics_->storage_pool_pinned_pages->Value(), 1.0);
+
+  ASSERT_TRUE(pool.Unpin(ids[0]).ok());
+  EXPECT_EQ(pool.stats().pinned, 0u);
+  EXPECT_EQ(pool.Unpin(ids[0]).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BufferPoolTest, DeleteDropsTheFrameAndTheBackendPage) {
+  const auto ids = Seed(1);
+  BufferPool pool(&inner_, Options(4));
+  std::string out;
+  ASSERT_TRUE(pool.Load(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Delete(ids[0]).ok());
+  EXPECT_EQ(pool.Load(ids[0], &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(inner_.page_count(), 0u);
+}
+
+TEST_F(BufferPoolTest, DeleteRefusesPinnedPage) {
+  const auto ids = Seed(1);
+  BufferPool pool(&inner_, Options(4));
+  ASSERT_TRUE(pool.Pin(ids[0]).ok());
+  EXPECT_EQ(pool.Delete(ids[0]).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pool.Unpin(ids[0]).ok());
+  ASSERT_TRUE(pool.Delete(ids[0]).ok());
+}
+
+TEST_F(BufferPoolTest, RootsPassThrough) {
+  BufferPool pool(&inner_, Options(4));
+  ASSERT_TRUE(pool.SetRoot(0, 7).ok());
+  auto inner_root = inner_.Root(0);
+  ASSERT_TRUE(inner_root.ok());
+  EXPECT_EQ(*inner_root, 7u);
+  auto pool_root = pool.Root(0);
+  ASSERT_TRUE(pool_root.ok());
+  EXPECT_EQ(*pool_root, 7u);
+}
+
+TEST_F(BufferPoolTest, CapacityGaugeExported) {
+  BufferPool pool(&inner_, Options(17));
+  EXPECT_EQ(metrics_->storage_pool_capacity_pages->Value(), 17.0);
+  EXPECT_EQ(pool.stats().capacity, 17u);
+}
+
+}  // namespace
+}  // namespace casper::storage

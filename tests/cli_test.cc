@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -150,6 +152,43 @@ TEST(CliTest, BatchWithoutUsersIsAnError) {
       << output;
   EXPECT_NE(output.find("usage: batch <count> <threads>"), std::string::npos)
       << output;
+}
+
+TEST(CliTest, SaveOpenRoundTrip) {
+  const std::string path =
+      "/tmp/casper_cli_save_test_" + std::to_string(::getpid());
+  const std::string output = RunCli(
+      "targets 40 7\\n"
+      "register 1 2 0 0.5 0.5\\n"
+      "register 2 2 0 0.52 0.5\\n"
+      "register 3 2 0 0.48 0.52\\n"
+      "sync\\n"
+      "save " + path + "\\n"
+      // Clobber the server state, then restore it from the checkpoint.
+      "targets 3 9\\n"
+      "open " + path + "\\n"
+      "count 0 0 1 1\\n"
+      "quit\\n");
+  std::remove((path + ".dat").c_str());
+  std::remove((path + ".idx").c_str());
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  EXPECT_NE(output.find("saved targets=40 regions=3"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("opened targets=40 regions=3"), std::string::npos)
+      << output;
+  // The restored private store answers queries: all three synced users
+  // are certain inside the whole space.
+  EXPECT_NE(output.find("certain=3 expected=3.00 possible=3"),
+            std::string::npos)
+      << output;
+}
+
+TEST(CliTest, OpenMissingCheckpointIsAnError) {
+  const std::string output =
+      RunCli("open /tmp/casper_cli_no_such_checkpoint_xyz\\nquit\\n");
+  ASSERT_NE(output, "<binary-not-found>") << "cli binary missing";
+  EXPECT_NE(output.find("NotFound"), std::string::npos) << output;
+  EXPECT_NE(output.find("bye"), std::string::npos) << output;
 }
 
 TEST(CliTest, HelpListsCommands) {

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/spatial/epoch_index.h"
+#include "src/storage/memory_storage.h"
+
+/// EpochIndex checkpoint/restore: a restored index must answer every
+/// query exactly like the index it was checkpointed from — including
+/// when the checkpoint caught a non-empty delta/tombstone overlay — and
+/// must keep working as a writable index afterwards.
+
+namespace casper::spatial {
+namespace {
+
+Rect BoxAt(std::mt19937& rng) {
+  std::uniform_real_distribution<double> coord(0.0, 500.0);
+  std::uniform_real_distribution<double> extent(0.0, 5.0);
+  const double x = coord(rng), y = coord(rng);
+  return Rect(x, y, x + extent(rng), y + extent(rng));
+}
+
+/// Differential probe battery over both indexes' current snapshots.
+void ExpectIndexesAnswerIdentically(const EpochIndex& want_index,
+                                    const EpochIndex& got_index,
+                                    uint32_t seed) {
+  const auto want = want_index.Acquire();
+  const auto got = got_index.Acquire();
+  ASSERT_EQ(got->size(), want->size());
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coord(-20.0, 520.0);
+  for (int probe = 0; probe < 60; ++probe) {
+    const Point q{coord(rng), coord(rng)};
+    const Rect window(q.x, q.y, q.x + 80.0, q.y + 80.0);
+
+    EXPECT_EQ(got->RangeCount(window), want->RangeCount(window));
+    std::vector<EpochIndex::Entry> want_hits, got_hits;
+    want->RangeQuery(window, &want_hits);
+    got->RangeQuery(window, &got_hits);
+    ASSERT_EQ(got_hits.size(), want_hits.size());
+    for (size_t i = 0; i < want_hits.size(); ++i)
+      EXPECT_EQ(got_hits[i].id, want_hits[i].id);
+
+    const auto want_knn = want->KNearest(q, 5);
+    const auto got_knn = got->KNearest(q, 5);
+    ASSERT_EQ(got_knn.size(), want_knn.size());
+    for (size_t i = 0; i < want_knn.size(); ++i) {
+      EXPECT_EQ(got_knn[i].id, want_knn[i].id);
+      EXPECT_DOUBLE_EQ(got_knn[i].distance, want_knn[i].distance);
+    }
+
+    const auto want_nn = want->Nearest(q);
+    const auto got_nn = got->Nearest(q);
+    ASSERT_EQ(got_nn.found, want_nn.found);
+    if (want_nn.found) {
+      EXPECT_EQ(got_nn.neighbor.id, want_nn.neighbor.id);
+    }
+  }
+}
+
+/// Build an index by replaying a randomized insert/remove workload.
+/// `rebuild_threshold` tunes how much of the state lives in the overlay
+/// at checkpoint time.
+EpochIndex BuildWorkloadIndex(size_t ops, size_t rebuild_threshold,
+                              uint32_t seed) {
+  EpochIndex index(8, rebuild_threshold);
+  std::mt19937 rng(seed);
+  std::vector<EpochIndex::Entry> live;
+  for (size_t op = 0; op < ops; ++op) {
+    const bool remove = !live.empty() && rng() % 4 == 0;
+    if (remove) {
+      const size_t victim = rng() % live.size();
+      EXPECT_TRUE(index.Remove(live[victim].box, live[victim].id));
+      live.erase(live.begin() + victim);
+    } else {
+      const EpochIndex::Entry e{BoxAt(rng), 5000 + op};
+      index.Insert(e.box, e.id);
+      live.push_back(e);
+    }
+  }
+  return index;
+}
+
+class EpochIndexPersistTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EpochIndexPersistTest, RestoredIndexAnswersIdentically) {
+  // The parameter is the rebuild threshold: 1 keeps the overlay empty
+  // (pure base), 64 leaves a mid-size overlay, 100000 never rebuilds so
+  // the whole workload lives in the delta.
+  const EpochIndex index = BuildWorkloadIndex(800, GetParam(), 101);
+
+  storage::MemoryStorageManager sm;
+  auto root = index.Checkpoint(&sm);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  auto restored = EpochIndex::Restore(&sm, *root);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->size(), index.size());
+  EXPECT_EQ(restored->stats().delta_entries, index.stats().delta_entries);
+  EXPECT_EQ(restored->stats().tombstones, index.stats().tombstones);
+  ExpectIndexesAnswerIdentically(index, *restored, 211);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlaySizes, EpochIndexPersistTest,
+                         ::testing::Values(1, 64, 100000),
+                         [](const auto& info) {
+                           return "Threshold" + std::to_string(info.param);
+                         });
+
+TEST(EpochIndexPersistSingleTest, EmptyIndexRoundTrip) {
+  const EpochIndex index(16, 128);
+  storage::MemoryStorageManager sm;
+  auto root = index.Checkpoint(&sm);
+  ASSERT_TRUE(root.ok());
+  auto restored = EpochIndex::Restore(&sm, *root);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->empty());
+  EXPECT_EQ(restored->Acquire()->RangeCount(Rect(-1e9, -1e9, 1e9, 1e9)), 0u);
+}
+
+TEST(EpochIndexPersistSingleTest, RestoredIndexStaysWritable) {
+  EpochIndex index = BuildWorkloadIndex(200, 64, 303);
+  storage::MemoryStorageManager sm;
+  auto root = index.Checkpoint(&sm);
+  ASSERT_TRUE(root.ok());
+  auto restored = EpochIndex::Restore(&sm, *root);
+  ASSERT_TRUE(restored.ok());
+
+  // Mutate BOTH indexes identically; they must stay in lockstep.
+  std::mt19937 rng(909);
+  for (int i = 0; i < 150; ++i) {
+    const Rect box = BoxAt(rng);
+    const uint64_t id = 90000 + i;
+    index.Insert(box, id);
+    restored->Insert(box, id);
+  }
+  ExpectIndexesAnswerIdentically(index, *restored, 911);
+}
+
+TEST(EpochIndexPersistSingleTest, GarbageRootFails) {
+  storage::MemoryStorageManager sm;
+  auto id = sm.Store(storage::kNoPage, "not an epoch checkpoint");
+  ASSERT_TRUE(id.ok());
+  const auto restored = EpochIndex::Restore(&sm, *id);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace casper::spatial

@@ -89,6 +89,37 @@ MetricsSnapshot FixtureSnapshot() {
   retries->Observe(0.0);
   retries->Observe(0.0);
   retries->Observe(2.0);
+  // The storage-tier instruments (mirrors obs::CasperMetrics): buffer
+  // pool traffic counters, occupancy gauges, and the page I/O counters
+  // the corruption tests scrape.
+  registry
+      .GetCounter("casper_storage_pool_hits_total",
+                  "Buffer pool loads served from a cached frame.")
+      ->Increment(90);
+  registry
+      .GetCounter("casper_storage_pool_misses_total",
+                  "Buffer pool loads that went to the backing store.")
+      ->Increment(10);
+  registry
+      .GetCounter("casper_storage_pool_evictions_total",
+                  "Frames evicted to admit new pages.")
+      ->Increment(4);
+  registry
+      .GetCounter("casper_storage_pool_writebacks_total",
+                  "Dirty frames written back to the backing store.")
+      ->Increment(2);
+  registry
+      .GetGauge("casper_storage_pool_resident_pages",
+                "Pages currently cached in the buffer pool.")
+      ->Set(6.0);
+  registry
+      .GetCounter("casper_storage_pages_read_total",
+                  "Pages read and checksum-verified from disk.")
+      ->Increment(12);
+  registry
+      .GetCounter("casper_storage_checksum_failures_total",
+                  "Page reads rejected by checksum (torn/corrupt writes).")
+      ->Increment(1);
   return registry.Scrape();
 }
 

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/spatial/flat_rtree.h"
+#include "src/storage/disk_storage.h"
+#include "src/storage/memory_storage.h"
+
+/// FlatRTree page round-trips: a tree saved with SaveTo and rebuilt
+/// with LoadFrom must pass the same structural invariants and answer
+/// every query identically — the loaded tree IS the saved tree, not an
+/// approximation of it.
+
+namespace casper::spatial {
+namespace {
+
+using storage::PageId;
+
+std::vector<FlatRTree::Entry> RandomEntries(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 1000.0);
+  std::uniform_real_distribution<double> extent(0.0, 8.0);
+  std::vector<FlatRTree::Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = coord(rng), y = coord(rng);
+    entries.push_back(
+        {Rect(x, y, x + extent(rng), y + extent(rng)), 1000 + i});
+  }
+  return entries;
+}
+
+void ExpectTreesAnswerIdentically(const FlatRTree& original,
+                                  const FlatRTree& loaded, uint32_t seed) {
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.height(), original.height());
+  EXPECT_TRUE(loaded.CheckInvariants());
+
+  // Byte-identical entry storage order, so snapshot overlays (and any
+  // order-sensitive caller) behave the same after a reload.
+  for (size_t i = 0; i < original.size(); ++i) {
+    const auto a = original.entry(i);
+    const auto b = loaded.entry(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.box.min.x, b.box.min.x);
+    EXPECT_EQ(a.box.min.y, b.box.min.y);
+    EXPECT_EQ(a.box.max.x, b.box.max.x);
+    EXPECT_EQ(a.box.max.y, b.box.max.y);
+  }
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coord(-50.0, 1050.0);
+  for (int probe = 0; probe < 50; ++probe) {
+    const Point q{coord(rng), coord(rng)};
+    const Rect window(q.x, q.y, q.x + 120.0, q.y + 120.0);
+
+    EXPECT_EQ(loaded.RangeCount(window), original.RangeCount(window));
+    std::vector<FlatRTree::Entry> want, got;
+    original.RangeQuery(window, &want);
+    loaded.RangeQuery(window, &got);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i].id, want[i].id);
+
+    for (const auto metric :
+         {FlatRTree::Metric::kMinDist, FlatRTree::Metric::kMaxDist}) {
+      const auto want_knn = original.KNearest(q, 7, metric);
+      const auto got_knn = loaded.KNearest(q, 7, metric);
+      ASSERT_EQ(got_knn.size(), want_knn.size());
+      for (size_t i = 0; i < want_knn.size(); ++i) {
+        EXPECT_EQ(got_knn[i].id, want_knn[i].id);
+        EXPECT_DOUBLE_EQ(got_knn[i].distance, want_knn[i].distance);
+      }
+      const auto want_nn = original.Nearest(q, metric);
+      const auto got_nn = loaded.Nearest(q, metric);
+      ASSERT_EQ(got_nn.found, want_nn.found);
+      if (want_nn.found) {
+        EXPECT_EQ(got_nn.neighbor.id, want_nn.neighbor.id);
+      }
+    }
+  }
+}
+
+TEST(FlatRTreePersistTest, RoundTripThroughMemoryStorage) {
+  const auto tree = FlatRTree::Build(RandomEntries(3000, 11), 16);
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  storage::MemoryStorageManager sm;
+  auto root = tree.SaveTo(&sm);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  auto loaded = FlatRTree::LoadFrom(&sm, *root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTreesAnswerIdentically(tree, *loaded, 29);
+}
+
+TEST(FlatRTreePersistTest, SmallFanoutRoundTrip) {
+  // Deep tree: fan-out 4 over 500 entries exercises multi-level node
+  // runs in the page codec.
+  const auto tree = FlatRTree::Build(RandomEntries(500, 5), 4);
+  storage::MemoryStorageManager sm;
+  auto root = tree.SaveTo(&sm);
+  ASSERT_TRUE(root.ok());
+  auto loaded = FlatRTree::LoadFrom(&sm, *root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTreesAnswerIdentically(tree, *loaded, 31);
+}
+
+TEST(FlatRTreePersistTest, EmptyTreeRoundTrip) {
+  const FlatRTree tree;
+  storage::MemoryStorageManager sm;
+  auto root = tree.SaveTo(&sm);
+  ASSERT_TRUE(root.ok());
+  auto loaded = FlatRTree::LoadFrom(&sm, *root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+  EXPECT_EQ(loaded->RangeCount(Rect(-1e9, -1e9, 1e9, 1e9)), 0u);
+  EXPECT_FALSE(loaded->Nearest({0, 0}).found);
+}
+
+TEST(FlatRTreePersistTest, SingleEntryRoundTrip) {
+  const auto tree =
+      FlatRTree::Build({{Rect(1.0, 2.0, 3.0, 4.0), 77}}, 16);
+  storage::MemoryStorageManager sm;
+  auto root = tree.SaveTo(&sm);
+  ASSERT_TRUE(root.ok());
+  auto loaded = FlatRTree::LoadFrom(&sm, *root);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->entry(0).id, 77u);
+}
+
+TEST(FlatRTreePersistTest, RoundTripThroughTinyDiskPages) {
+  // page_size far below a full row chunk forces every tree page to
+  // chain across many physical slots.
+  const std::string path = testing::TempDir() + "casper_frt_persist_" +
+                           std::to_string(::getpid());
+  storage::DiskStorageOptions options;
+  options.page_size = 512;
+  const auto tree = FlatRTree::Build(RandomEntries(1200, 17), 8);
+  PageId root_id;
+  {
+    auto sm = storage::DiskStorageManager::Create(path, options);
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    auto root = tree.SaveTo(sm->get());
+    ASSERT_TRUE(root.ok()) << root.status().ToString();
+    root_id = *root;
+    ASSERT_TRUE((*sm)->SetRoot(0, root_id).ok());
+    ASSERT_TRUE((*sm)->Flush().ok());
+  }
+  auto sm = storage::DiskStorageManager::Open(path, options);
+  ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+  auto root = (*sm)->Root(0);
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(*root, root_id);
+  auto loaded = FlatRTree::LoadFrom(sm->get(), *root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTreesAnswerIdentically(tree, *loaded, 37);
+  std::remove((path + ".dat").c_str());
+  std::remove((path + ".idx").c_str());
+}
+
+TEST(FlatRTreePersistTest, MissingRootPageFails) {
+  storage::MemoryStorageManager sm;
+  const auto loaded = FlatRTree::LoadFrom(&sm, 123);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FlatRTreePersistTest, GarbageRootPageFailsInvalidArgument) {
+  storage::MemoryStorageManager sm;
+  auto id = sm.Store(storage::kNoPage, "definitely not a tree root page");
+  ASSERT_TRUE(id.ok());
+  const auto loaded = FlatRTree::LoadFrom(&sm, *id);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace casper::spatial

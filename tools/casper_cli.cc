@@ -17,6 +17,8 @@
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
 #include "src/obs/exporters.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_storage.h"
 #include "src/transport/fault_injection.h"
 
 namespace casper {
@@ -111,6 +113,10 @@ void PrintHelp() {
       "  transport                            breaker state, replay depth,\n"
       "                                       injected-fault stats\n"
       "  flush                                drain the upsert replay buffer\n"
+      "  save <path>                          checkpoint the server tier to\n"
+      "                                       <path>.dat/<path>.idx\n"
+      "  open <path>                          reopen server state from a\n"
+      "                                       saved checkpoint\n"
       "  metrics [json]                       scrape the metrics registry\n"
       "                                       (Prometheus text, or JSON)\n"
       "  help                                 this text\n"
@@ -466,6 +472,54 @@ int Run(int argc, char** argv) {
     } else if (c == "flush") {
       std::printf("%s\n",
                   service.transport_client().Flush().ToString().c_str());
+    } else if (c == "save") {
+      char path[256] = {0};
+      if (std::sscanf(line, "%*s %255s", path) != 1) {
+        std::printf("usage: save <path>\n");
+      } else {
+        auto sm = storage::DiskStorageManager::Create(path);
+        if (!sm.ok()) {
+          std::printf("%s\n", sm.status().ToString().c_str());
+        } else {
+          const Status saved = service.SaveServerState(sm->get());
+          if (saved.ok()) {
+            const auto stats = (*sm)->stats();
+            std::printf("saved targets=%zu regions=%zu pages=%zu "
+                        "page_size=%zu\n",
+                        service.public_store().size(),
+                        service.private_store().size(), stats.pages,
+                        stats.page_size);
+          } else {
+            std::printf("%s\n", saved.ToString().c_str());
+          }
+        }
+      }
+    } else if (c == "open") {
+      char path[256] = {0};
+      if (std::sscanf(line, "%*s %255s", path) != 1) {
+        std::printf("usage: open <path>\n");
+      } else {
+        auto sm = storage::DiskStorageManager::Open(path);
+        if (!sm.ok()) {
+          std::printf("%s\n", sm.status().ToString().c_str());
+        } else {
+          // Read through a pool so the reopen shows up in the
+          // casper_storage_pool_* instruments (`metrics` command).
+          storage::BufferPool pool(sm->get());
+          const Status opened = service.OpenServerState(&pool);
+          if (opened.ok()) {
+            const auto ps = pool.stats();
+            std::printf("opened targets=%zu regions=%zu pool_hits=%llu "
+                        "pool_misses=%llu\n",
+                        service.public_store().size(),
+                        service.private_store().size(),
+                        static_cast<unsigned long long>(ps.hits),
+                        static_cast<unsigned long long>(ps.misses));
+          } else {
+            std::printf("%s\n", opened.ToString().c_str());
+          }
+        }
+      }
     } else if (c == "stats") {
       const auto& s = service.anonymizer().stats();
       std::printf("users=%zu location_updates=%llu counter_updates=%llu "

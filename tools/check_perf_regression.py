@@ -25,10 +25,20 @@ the rule would only measure scheduler overhead.
 before/after table (qps and p99 side by side) and always exits 0 after
 input validation — for PR descriptions and perf triage, not gating.
 
+With --baseline-metrics / --current-metrics (metrics-export JSON files,
+the `metrics json` / ExportJson shape), --compare additionally prints a
+before/after table of every `casper_storage_*` sample, matched by
+(name, labels). A sample present on only one side renders "-"; a
+missing or malformed metrics file prints a warning and skips the table
+without affecting the exit status — the storage counters are triage
+context, never a gate.
+
 Usage:
   check_perf_regression.py --current BENCH_throughput.json \
       --baseline bench/BENCH_baseline.json [--max-drop 0.25] \
-      [--min-parallel-speedup 1.10] [--compare]
+      [--min-parallel-speedup 1.10] [--compare] \
+      [--baseline-metrics BENCH_metrics.json] \
+      [--current-metrics BENCH_metrics.json]
 
 Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
 Stdlib only; no third-party dependencies.
@@ -135,6 +145,78 @@ def parallel_speedup_failures(meta_base, meta_cur, rows, min_speedup):
     return failures
 
 
+STORAGE_METRIC_PREFIX = "casper_storage_"
+
+
+def load_storage_samples(path):
+    """Extract {(name, sorted-labels): value} for casper_storage_*
+    series from a metrics-export JSON file (the ExportJson / `metrics
+    json` shape). Returns None — with a warning — on anything missing
+    or malformed: the storage table is triage context, not a gate, so
+    a bad file must never break the run.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"warning: cannot read metrics file {path}: {e}",
+              file=sys.stderr)
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("metrics"),
+                                                    list):
+        print(f"warning: {path}: expected a JSON object with a 'metrics' "
+              "list; skipping storage comparison", file=sys.stderr)
+        return None
+    samples = {}
+    for metric in data["metrics"]:
+        if not isinstance(metric, dict):
+            continue
+        name = metric.get("name")
+        if not isinstance(name, str) or \
+                not name.startswith(STORAGE_METRIC_PREFIX):
+            continue
+        for sample in metric.get("samples") or []:
+            if not isinstance(sample, dict):
+                continue
+            value = sample.get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue  # Histogram samples carry no scalar 'value'.
+            labels = sample.get("labels")
+            label_key = tuple(sorted(labels.items())) \
+                if isinstance(labels, dict) else ()
+            samples[(name, label_key)] = value
+    return samples
+
+
+def fmt_metric_value(value):
+    if value is None:
+        return "-"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def print_storage_comparison(baseline_path, current_path):
+    """The --compare storage table; purely informational."""
+    base = load_storage_samples(baseline_path) if baseline_path else {}
+    cur = load_storage_samples(current_path) if current_path else {}
+    if base is None or cur is None:
+        return
+    keys = sorted(set(base) | set(cur))
+    if not keys:
+        print("\nno casper_storage_* samples in either metrics file")
+        return
+    print(f"\n{'storage metric':<52} {'baseline':>12} {'current':>12}")
+    for name, label_key in keys:
+        label = name
+        if label_key:
+            rendered = ",".join(f"{k}={v}" for k, v in label_key)
+            label = f"{name}{{{rendered}}}"
+        print(f"{label:<52} "
+              f"{fmt_metric_value(base.get((name, label_key))):>12} "
+              f"{fmt_metric_value(cur.get((name, label_key))):>12}")
+
+
 def fmt_p99(row):
     p99 = row.get("p99_us")
     if isinstance(p99, (int, float)) and not isinstance(p99, bool):
@@ -156,6 +238,12 @@ def main():
     parser.add_argument("--compare", action="store_true",
                         help="report-only: print the before/after qps and "
                              "p99 table, never fail")
+    parser.add_argument("--baseline-metrics",
+                        help="metrics-export JSON for the baseline run; "
+                             "adds a casper_storage_* table to --compare")
+    parser.add_argument("--current-metrics",
+                        help="metrics-export JSON for the current run; "
+                             "adds a casper_storage_* table to --compare")
     args = parser.parse_args()
 
     base_meta, base = load_rows(args.baseline)
@@ -212,6 +300,9 @@ def main():
           f"floor={floor:.3f} worst={worst[0]} ({worst[1]:.3f})")
 
     if args.compare:
+        if args.baseline_metrics or args.current_metrics:
+            print_storage_comparison(args.baseline_metrics,
+                                     args.current_metrics)
         print("compare mode: report only, no gating")
         return 0
 

@@ -251,5 +251,130 @@ class GateTest(unittest.TestCase):
         self.assertIn("workload mismatch", proc.stderr)
 
 
+def metrics_export(samples):
+    """A metrics-export JSON payload ({name: value} or
+    {name: [(labels, value), ...]}) in the ExportJson shape."""
+    metrics = []
+    for name, value in samples.items():
+        entries = value if isinstance(value, list) else [({}, value)]
+        metrics.append({
+            "name": name, "type": "counter", "help": "t.",
+            "samples": [{"labels": labels, "value": v}
+                        for labels, v in entries]})
+    return {"metrics": metrics}
+
+
+class StorageMetricsCompareTest(GateTest):
+    """The --compare casper_storage_* table fed by --baseline-metrics /
+    --current-metrics. Always informational: bad metrics files must
+    never change the exit status."""
+
+    def run_compare_with_metrics(self, base_metrics, cur_metrics):
+        b = bench([row()])
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = {}
+            for stem, payload in (("base_m", base_metrics),
+                                  ("cur_m", cur_metrics)):
+                path = os.path.join(tmp, stem + ".json")
+                with open(path, "w") as f:
+                    if isinstance(payload, str):
+                        f.write(payload)
+                    else:
+                        json.dump(payload, f)
+                paths[stem] = path
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            for path in (base_path, cur_path):
+                with open(path, "w") as f:
+                    json.dump(b, f)
+            return subprocess.run(
+                [sys.executable, GATE, "--baseline", base_path,
+                 "--current", cur_path, "--compare",
+                 "--baseline-metrics", paths["base_m"],
+                 "--current-metrics", paths["cur_m"]],
+                capture_output=True, text=True)
+
+    def test_storage_samples_print_side_by_side(self):
+        base = metrics_export({"casper_storage_pool_hits_total": 10,
+                               "casper_storage_pool_misses_total": 90})
+        cur = metrics_export({"casper_storage_pool_hits_total": 75,
+                              "casper_storage_pool_misses_total": 25})
+        proc = self.run_compare_with_metrics(base, cur)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("casper_storage_pool_hits_total", proc.stdout)
+        self.assertIn("10", proc.stdout)
+        self.assertIn("75", proc.stdout)
+        self.assertIn("compare mode", proc.stdout)
+
+    def test_non_storage_metrics_are_filtered_out(self):
+        m = metrics_export({"casper_storage_pool_hits_total": 1,
+                            "casper_requests_total": 42})
+        proc = self.run_compare_with_metrics(m, m)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("casper_storage_pool_hits_total", proc.stdout)
+        self.assertNotIn("casper_requests_total", proc.stdout)
+
+    def test_sample_missing_on_one_side_renders_dash(self):
+        base = metrics_export({"casper_storage_pool_hits_total": 5})
+        cur = metrics_export(
+            {"casper_storage_pool_hits_total": 5,
+             "casper_storage_checksum_failures_total": 1})
+        proc = self.run_compare_with_metrics(base, cur)
+        self.assert_clean_exit(proc, 0)
+        for line in proc.stdout.splitlines():
+            if "checksum_failures" in line:
+                self.assertIn("-", line)
+                break
+        else:
+            self.fail(f"no checksum_failures row in: {proc.stdout}")
+
+    def test_labeled_samples_match_by_labels(self):
+        base = metrics_export({"casper_storage_pages_read_total":
+                               [({"tier": "a"}, 3), ({"tier": "b"}, 4)]})
+        cur = metrics_export({"casper_storage_pages_read_total":
+                              [({"tier": "b"}, 9)]})
+        proc = self.run_compare_with_metrics(base, cur)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("tier=a", proc.stdout)
+        self.assertIn("tier=b", proc.stdout)
+
+    def test_malformed_metrics_file_warns_but_exits_0(self):
+        good = metrics_export({"casper_storage_pool_hits_total": 1})
+        proc = self.run_compare_with_metrics('{"metrics": [', good)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("cannot read metrics file", proc.stderr)
+        self.assertIn("compare mode", proc.stdout)
+
+    def test_wrong_shape_metrics_file_warns_but_exits_0(self):
+        good = metrics_export({"casper_storage_pool_hits_total": 1})
+        proc = self.run_compare_with_metrics({"rows": []}, good)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("skipping storage comparison", proc.stderr)
+
+    def test_non_numeric_sample_values_are_skipped(self):
+        bad = {"metrics": [{
+            "name": "casper_storage_pool_hits_total", "type": "counter",
+            "samples": [{"labels": {}, "value": "many"}]}]}
+        good = metrics_export({"casper_storage_pool_hits_total": 2})
+        proc = self.run_compare_with_metrics(bad, good)
+        self.assert_clean_exit(proc, 0)
+        for line in proc.stdout.splitlines():
+            if "pool_hits" in line:
+                self.assertIn("-", line)
+                self.assertIn("2", line)
+
+    def test_no_storage_samples_notes_empty_table(self):
+        empty = metrics_export({})
+        proc = self.run_compare_with_metrics(empty, empty)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("no casper_storage_* samples", proc.stdout)
+
+    def test_compare_without_metrics_flags_prints_no_table(self):
+        b = bench([row()])
+        proc = self.run_gate(b, b, extra_args=("--compare",))
+        self.assert_clean_exit(proc, 0)
+        self.assertNotIn("storage metric", proc.stdout)
+
+
 if __name__ == "__main__":
     unittest.main()
