@@ -1,0 +1,177 @@
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/sharding/shard_router.h"
+
+/// \file
+/// Shard scale-out throughput: queries/sec through the ShardRouter at
+/// 1, 2, 4, and 8 shards over the identical store and workload. Each
+/// configuration is driven by min(8, hardware) client threads issuing
+/// small localized queries — the regime sharding is built for, where a
+/// query's fan-out set is one or two shards, so adding shards shrinks
+/// every per-shard index and spreads the per-client breaker/cache
+/// contention.
+///
+/// Workload scale honors CASPER_BENCH_SCALE like every other bench
+/// (the CI gate runs at 0.05). Each configuration takes the best of
+/// three measured passes so the 1 -> 8 trajectory is noise-robust.
+///
+/// Emits one JSON row per shard count to stdout and the array to
+/// BENCH_sharding.json; `tools/check_perf_regression.py
+/// --shard-scaling-floor` enforces that the 8-shard run beats the
+/// 1-shard run when the machine has enough hardware threads to mean
+/// anything.
+
+namespace casper::bench {
+namespace {
+
+using sharding::ShardRouter;
+using sharding::ShardRouterOptions;
+
+std::unique_ptr<ShardRouter> BuildRouter(size_t shards, size_t targets,
+                                         size_t regions,
+                                         obs::MetricsRegistry* registry) {
+  ShardRouterOptions options;
+  options.num_shards = shards;
+  options.partition_level = 4;  // 256 cells: 32 per shard at 8 shards.
+  options.space = Rect(0.0, 0.0, 1.0, 1.0);
+  options.registry = registry;
+  auto router = std::make_unique<ShardRouter>(options);
+
+  Rng rng(1234);
+  router->SetPublicTargets(
+      workload::UniformPublicTargets(targets, options.space, &rng));
+  SnapshotMsg snapshot;
+  snapshot.regions.reserve(regions);
+  for (size_t i = 0; i < regions; ++i) {
+    const Point c = rng.PointIn(Rect(0.02, 0.02, 0.98, 0.98));
+    const double half = rng.Uniform(0.002, 0.01);
+    snapshot.regions.push_back(
+        {100000 + i, Rect(c.x - half, c.y - half, c.x + half, c.y + half)});
+  }
+  const Status loaded = router->Load(snapshot);
+  CASPER_DCHECK(loaded.ok());
+  return router;
+}
+
+/// One thread's query stream: localized NN / k-NN / range / private-NN
+/// over small cloaks, the same mix the throughput bench uses, spread
+/// uniformly over the space so every shard sees traffic.
+void RunQueries(const ShardRouter& router, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    CloakedQueryMsg q;
+    const Point c = rng.PointIn(Rect(0.02, 0.02, 0.9, 0.9));
+    q.cloak = Rect(c.x, c.y, c.x + 0.02, c.y + 0.02);
+    switch (i % 4) {
+      case 0:
+        q.kind = QueryKind::kNearestPublic;
+        break;
+      case 1:
+        q.kind = QueryKind::kKNearestPublic;
+        q.k = 6;
+        break;
+      case 2:
+        q.kind = QueryKind::kRangePublic;
+        q.radius = 0.01;
+        break;
+      case 3:
+        q.kind = QueryKind::kNearestPrivate;
+        break;
+    }
+    const auto answer = router.Execute(q);
+    CASPER_DCHECK(answer.ok());
+  }
+}
+
+struct Row {
+  size_t shards = 0;
+  size_t threads = 0;
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+
+  std::string ToJson() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"shards\": %zu, \"threads\": %zu, \"queries\": %zu, "
+                  "\"wall_seconds\": %.6f, \"qps\": %.1f}",
+                  shards, threads, queries, wall_seconds, qps);
+    return buf;
+  }
+};
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() {
+  using namespace casper;
+  using namespace casper::bench;
+
+  const size_t targets = Scaled(400000);  // 20K at the CI gate's 0.05.
+  const size_t regions = Scaled(40000);   // 2K at 0.05.
+  const size_t queries_per_thread = Scaled(40000);  // 2K at 0.05.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const size_t threads =
+      std::min<size_t>(8, hardware > 0 ? hardware : 1);
+
+  PrintTitle("Shard scale-out throughput (1 -> 8 shards)");
+  std::printf("targets=%zu regions=%zu threads=%zu hardware_threads=%u\n",
+              targets, regions, threads, hardware);
+
+  std::vector<Row> rows;
+  for (size_t shards : {1, 2, 4, 8}) {
+    obs::MetricsRegistry registry;
+    const auto router = BuildRouter(shards, targets, regions, &registry);
+
+    // Warm-up pass, then best-of-five measured passes (the 1 -> 8
+    // trajectory is gated, so each point must be noise-robust).
+    RunQueries(*router, queries_per_thread / 4, 99);
+    double best_wall = 0.0;
+    for (int pass = 0; pass < 5; ++pass) {
+      Stopwatch wall;
+      std::vector<std::thread> workers;
+      for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t, pass] {
+          RunQueries(*router, queries_per_thread,
+                     0xBEEF + 100 * static_cast<uint64_t>(pass) + t);
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double elapsed = wall.ElapsedSeconds();
+      if (best_wall == 0.0 || elapsed < best_wall) best_wall = elapsed;
+    }
+
+    Row row;
+    row.shards = shards;
+    row.threads = threads;
+    row.queries = queries_per_thread * threads;
+    row.wall_seconds = best_wall;
+    row.qps = static_cast<double>(row.queries) / best_wall;
+    rows.push_back(row);
+    std::printf("%s\n", row.ToJson().c_str());
+  }
+
+  std::FILE* out = std::fopen("BENCH_sharding.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\"hardware_threads\": %u, \"targets\": %zu, "
+                 "\"regions\": %zu, \"rows\": [\n",
+                 hardware, targets, regions);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "  %s%s\n", rows[i].ToJson().c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_sharding.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

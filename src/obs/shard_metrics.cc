@@ -1,0 +1,50 @@
+#include "src/obs/shard_metrics.h"
+
+#include <string>
+
+namespace casper::obs {
+
+ShardMetrics::ShardMetrics(MetricsRegistry* registry, size_t num_shards)
+    : registry_(registry ? registry : MetricsRegistry::Default()) {
+  MetricsRegistry* r = registry_;
+  requests_total.reserve(num_shards);
+  errors_total.reserve(num_shards);
+  stored_objects.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    const LabelSet labels = {{"shard", std::to_string(i)}};
+    requests_total.push_back(
+        r->GetCounter("casper_shard_requests_total",
+                      "Fan-out calls sent to this shard.", labels));
+    errors_total.push_back(r->GetCounter(
+        "casper_shard_errors_total",
+        "Shard calls that failed after the client's retries.", labels));
+    stored_objects.push_back(
+        r->GetGauge("casper_shard_stored_objects",
+                    "Public targets plus private regions owned by this "
+                    "shard under the current partition.",
+                    labels));
+  }
+  degraded_answers_total = r->GetCounter(
+      "casper_shard_degraded_answers_total",
+      "Merged answers served with degraded=true because at least one "
+      "relevant shard was unreachable.");
+  unavailable_total = r->GetCounter(
+      "casper_shard_unavailable_total",
+      "Queries failed kUnavailable because every relevant shard was down.");
+  probe_calls_total = r->GetCounter(
+      "casper_shard_probe_calls_total",
+      "Filter-probe sub-queries issued while deriving cross-shard "
+      "NN/k-NN bounds.");
+  rebalances_total =
+      r->GetCounter("casper_shard_rebalances_total",
+                    "Partition recomputations applied by Rebalance().");
+  handoff_objects_total = r->GetCounter(
+      "casper_shard_handoff_objects_total",
+      "Targets and regions that changed owning shard during rebalances.");
+  fanout_shards = r->GetHistogram(
+      "casper_shard_fanout_shards",
+      "Number of shards touched by one routed query.",
+      {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0});
+}
+
+}  // namespace casper::obs

@@ -1,0 +1,46 @@
+#ifndef CASPER_OBS_SHARD_METRICS_H_
+#define CASPER_OBS_SHARD_METRICS_H_
+
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+/// \file
+/// Instrument bundle of the sharded server tier (`casper_shard_*`).
+/// Deliberately separate from CasperMetrics: the shard count is a
+/// runtime parameter, so the per-shard label sets cannot be registered
+/// by a fixed constructor — and keeping the family out of CasperMetrics
+/// leaves the golden-file exporter tests byte-stable for deployments
+/// that never instantiate a router.
+
+namespace casper::obs {
+
+class ShardMetrics {
+ public:
+  /// Registers every casper_shard_* instrument for `num_shards` shards.
+  /// Idempotent per registry (re-registration returns the same
+  /// instruments). Null registry resolves to MetricsRegistry::Default().
+  ShardMetrics(MetricsRegistry* registry, size_t num_shards);
+
+  size_t num_shards() const { return requests_total.size(); }
+
+  // Per-shard families, indexed by shard and labeled {shard="i"}.
+  std::vector<Counter*> requests_total;  ///< Fan-out calls sent to the shard.
+  std::vector<Counter*> errors_total;    ///< Calls that failed after retries.
+  std::vector<Gauge*> stored_objects;    ///< Targets + regions owned now.
+
+  // Router-level families.
+  Counter* degraded_answers_total;  ///< Merged answers flagged degraded.
+  Counter* unavailable_total;       ///< Queries failed: every shard down.
+  Counter* probe_calls_total;       ///< Filter-probe sub-queries issued.
+  Counter* rebalances_total;        ///< Partition recomputations applied.
+  Counter* handoff_objects_total;   ///< Objects moved during rebalances.
+  Histogram* fanout_shards;         ///< Shards touched per query.
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+}  // namespace casper::obs
+
+#endif  // CASPER_OBS_SHARD_METRICS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/processor/public_range.h"
+
 namespace casper::processor {
 
 DensityMap::DensityMap(const Rect& extent, int cols, int rows)
@@ -37,8 +39,9 @@ Rect DensityMap::CellRect(int col, int row) const {
   return Rect(x0, y0, x0 + w, y0 + h);
 }
 
-Result<DensityMap> ExpectedDensity(const PrivateTargetStore& store,
-                                   const Rect& extent, int cols, int rows) {
+Result<DensityMap> ExpectedDensityFromTargets(
+    const std::vector<PrivateTarget>& targets, const Rect& extent, int cols,
+    int rows) {
   if (extent.is_empty()) {
     return Status::InvalidArgument("extent must be non-empty");
   }
@@ -53,7 +56,7 @@ Result<DensityMap> ExpectedDensity(const PrivateTargetStore& store,
   // Each region distributes probability mass area-proportionally over
   // the grid cells it overlaps (degenerate regions count fully into the
   // cell containing them).
-  for (const PrivateTarget& t : store.Overlapping(extent)) {
+  for (const PrivateTarget& t : targets) {
     const double area = t.region.Area();
     if (area <= 0.0) {
       const int col = std::clamp(
@@ -89,6 +92,13 @@ Result<DensityMap> ExpectedDensity(const PrivateTargetStore& store,
     }
   }
   return map;
+}
+
+Result<DensityMap> ExpectedDensity(const PrivateTargetStore& store,
+                                   const Rect& extent, int cols, int rows) {
+  std::vector<PrivateTarget> overlapping = store.Overlapping(extent);
+  CanonicalizePrivateTargets(&overlapping);
+  return ExpectedDensityFromTargets(overlapping, extent, cols, rows);
 }
 
 }  // namespace casper::processor

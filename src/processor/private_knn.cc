@@ -2,17 +2,14 @@
 
 #include <algorithm>
 
+#include "src/processor/private_nn.h"
+
 namespace casper::processor {
 
-namespace {
-
-/// Largest value over the edge of the k-NN radius bound (see header).
-double EdgeExtension(double d_i, double d_j, double length) {
+double KnnEdgeExtension(double d_i, double d_j, double length) {
   if (std::abs(d_i - d_j) >= length) return std::max(d_i, d_j);
   return (d_i + d_j + length) / 2.0;
 }
-
-}  // namespace
 
 Result<KnnCandidateList> PrivateKNearestNeighbors(
     const PublicTargetStore& store, const Rect& cloak, size_t k) {
@@ -36,15 +33,16 @@ Result<KnnCandidateList> PrivateKNearestNeighbors(
   // Extension step: per-edge bound (edges in Rect::Corners() order).
   const double w = cloak.width();
   const double h = cloak.height();
-  const double bottom = EdgeExtension(d[0], d[1], w);
-  const double right = EdgeExtension(d[1], d[2], h);
-  const double top = EdgeExtension(d[2], d[3], w);
-  const double left = EdgeExtension(d[3], d[0], h);
+  const double bottom = KnnEdgeExtension(d[0], d[1], w);
+  const double right = KnnEdgeExtension(d[1], d[2], h);
+  const double top = KnnEdgeExtension(d[2], d[3], w);
+  const double left = KnnEdgeExtension(d[3], d[0], h);
 
   KnnCandidateList result;
   result.k = k;
   result.a_ext = cloak.ExpandedPerSide(left, bottom, right, top);
   result.candidates = store.RangeQuery(result.a_ext);
+  CanonicalizeCandidates(&result.candidates);
   return result;
 }
 

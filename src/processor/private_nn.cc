@@ -1,6 +1,15 @@
 #include "src/processor/private_nn.h"
 
+#include <algorithm>
+
 namespace casper::processor {
+
+void CanonicalizeCandidates(std::vector<PublicTarget>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const PublicTarget& a, const PublicTarget& b) {
+              return a.id < b.id;
+            });
+}
 
 Result<PublicCandidateList> PrivateNearestNeighbor(
     const PublicTargetStore& store, const Rect& cloak, FilterPolicy policy) {
@@ -23,8 +32,11 @@ Result<PublicCandidateList> PrivateNearestNeighbor(
   result.policy = policy;
   result.area = area;
 
-  // Step 4: the candidate list is a range query over A_EXT.
+  // Step 4: the candidate list is a range query over A_EXT. Canonical
+  // (id-sorted) order keeps the encoded answer independent of tree
+  // shape, so a sharded merge can reproduce it byte for byte.
   result.candidates = store.RangeQuery(result.area.a_ext);
+  CanonicalizeCandidates(&result.candidates);
   return result;
 }
 

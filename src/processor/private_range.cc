@@ -1,5 +1,8 @@
 #include "src/processor/private_range.h"
 
+#include "src/processor/private_nn.h"
+#include "src/processor/public_range.h"
+
 namespace casper::processor {
 
 Result<PublicRangeCandidates> PrivateRangeOverPublic(
@@ -11,6 +14,7 @@ Result<PublicRangeCandidates> PrivateRangeOverPublic(
   PublicRangeCandidates result;
   result.search_window = cloak.Expanded(radius);
   result.candidates = store.RangeQuery(result.search_window);
+  CanonicalizeCandidates(&result.candidates);
   return result;
 }
 
@@ -23,6 +27,7 @@ Result<PrivateRangeCandidates> PrivateRangeOverPrivate(
   PrivateRangeCandidates result;
   result.search_window = cloak.Expanded(radius);
   result.candidates = store.Overlapping(result.search_window);
+  CanonicalizePrivateTargets(&result.candidates);
   return result;
 }
 

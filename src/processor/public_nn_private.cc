@@ -24,10 +24,13 @@ Result<PublicNNCandidates> PublicNearestNeighborOverPrivate(
           t, min_d, MaxDist(query, t.region)});
     }
   }
+  // Canonical order: ascending MinDist, target id as the tie-break so
+  // the encoded answer is independent of tree shape / shard layout.
   std::sort(result.candidates.begin(), result.candidates.end(),
             [](const PublicNNCandidates::Candidate& a,
                const PublicNNCandidates::Candidate& b) {
-              return a.min_dist < b.min_dist;
+              if (a.min_dist != b.min_dist) return a.min_dist < b.min_dist;
+              return a.target.id < b.target.id;
             });
   return result;
 }

@@ -1,14 +1,20 @@
 #include "src/processor/public_range.h"
 
+#include <algorithm>
+
 namespace casper::processor {
 
-Result<RangeCountResult> PublicRangeCount(const PrivateTargetStore& store,
-                                          const Rect& query) {
-  if (query.is_empty()) {
-    return Status::InvalidArgument("query region must be non-empty");
-  }
+void CanonicalizePrivateTargets(std::vector<PrivateTarget>* targets) {
+  std::sort(targets->begin(), targets->end(),
+            [](const PrivateTarget& a, const PrivateTarget& b) {
+              return a.id < b.id;
+            });
+}
+
+RangeCountResult AccumulateRangeCounts(
+    const std::vector<PrivateTarget>& overlapping, const Rect& query) {
   RangeCountResult result;
-  result.overlapping = store.Overlapping(query);
+  result.overlapping = overlapping;
   result.possible = result.overlapping.size();
   for (const PrivateTarget& t : result.overlapping) {
     const double area = t.region.Area();
@@ -24,6 +30,16 @@ Result<RangeCountResult> PublicRangeCount(const PrivateTargetStore& store,
     if (query.Contains(t.region)) ++result.certain;
   }
   return result;
+}
+
+Result<RangeCountResult> PublicRangeCount(const PrivateTargetStore& store,
+                                          const Rect& query) {
+  if (query.is_empty()) {
+    return Status::InvalidArgument("query region must be non-empty");
+  }
+  std::vector<PrivateTarget> overlapping = store.Overlapping(query);
+  CanonicalizePrivateTargets(&overlapping);
+  return AccumulateRangeCounts(overlapping, query);
 }
 
 }  // namespace casper::processor

@@ -1,0 +1,198 @@
+#include "src/sharding/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace casper::sharding {
+
+uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  auto spread = [](uint64_t v) {
+    v &= 0xFFFFFFFFull;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  auto squash = [](uint64_t v) {
+    v &= 0x5555555555555555ull;
+    v = (v | (v >> 1)) & 0x3333333333333333ull;
+    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+    v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+    v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+    v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+    return static_cast<uint32_t>(v);
+  };
+  *x = squash(code);
+  *y = squash(code >> 1);
+}
+
+ShardPartition::ShardPartition(std::vector<uint64_t> boundaries, uint32_t level,
+                               const Rect& space)
+    : boundaries_(std::move(boundaries)), level_(level), space_(space) {
+  ComputeBounds();
+}
+
+ShardPartition ShardPartition::Uniform(size_t num_shards, uint32_t level,
+                                       const Rect& space) {
+  CASPER_DCHECK(num_shards >= 1);
+  const uint64_t cells = uint64_t{1} << (2 * level);
+  num_shards = std::min<size_t>(num_shards, cells);
+  std::vector<uint64_t> boundaries(num_shards + 1);
+  for (size_t i = 0; i <= num_shards; ++i) {
+    boundaries[i] = cells * i / num_shards;
+  }
+  return ShardPartition(std::move(boundaries), level, space);
+}
+
+Result<ShardPartition> ShardPartition::Balanced(
+    const std::vector<uint64_t>& cell_loads, size_t num_shards, uint32_t level,
+    const Rect& space) {
+  const uint64_t cells = uint64_t{1} << (2 * level);
+  if (cell_loads.size() != cells) {
+    return Status::InvalidArgument("cell_loads size does not match level");
+  }
+  if (num_shards < 1 || num_shards > cells) {
+    return Status::InvalidArgument("num_shards outside [1, cell_count]");
+  }
+  uint64_t total = 0;
+  for (uint64_t w : cell_loads) total += w;
+
+  // Greedy prefix split: cut each boundary once the running weight
+  // reaches the remaining-average target, while always leaving at
+  // least one cell per remaining shard.
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(num_shards + 1);
+  boundaries.push_back(0);
+  uint64_t code = 0;
+  uint64_t remaining = total;
+  for (size_t shard = 0; shard + 1 < num_shards; ++shard) {
+    const size_t shards_left = num_shards - shard;
+    const uint64_t target = (remaining + shards_left - 1) / shards_left;
+    // Leave at least one cell for each of the shards after this one.
+    const uint64_t last_start = cells - (shards_left - 1);
+    uint64_t acc = 0;
+    while (code < last_start) {
+      if (acc > 0 && acc + cell_loads[code] > target) break;
+      acc += cell_loads[code];
+      ++code;
+    }
+    boundaries.push_back(code);
+    remaining -= acc;
+  }
+  boundaries.push_back(cells);
+  return ShardPartition(std::move(boundaries), level, space);
+}
+
+uint64_t ShardPartition::CellCodeOf(const Point& p) const {
+  const uint32_t dim = 1u << level_;
+  const double fx = (p.x - space_.min.x) / space_.width();
+  const double fy = (p.y - space_.min.y) / space_.height();
+  const auto clamp_idx = [dim](double f) {
+    const auto i = static_cast<int64_t>(f * dim);
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(i, 0, static_cast<int64_t>(dim) - 1));
+  };
+  return MortonEncode(clamp_idx(fx), clamp_idx(fy));
+}
+
+size_t ShardPartition::HomeShard(const Point& p) const {
+  return ShardOfCode(CellCodeOf(p));
+}
+
+size_t ShardPartition::ShardOfCode(uint64_t code) const {
+  // First boundary strictly greater than code, minus one.
+  const auto it =
+      std::upper_bound(boundaries_.begin() + 1, boundaries_.end(), code);
+  return static_cast<size_t>(it - boundaries_.begin()) - 1;
+}
+
+Rect ShardPartition::CellRect(uint64_t code) const {
+  uint32_t x = 0, y = 0;
+  MortonDecode(code, &x, &y);
+  const uint32_t dim = 1u << level_;
+  const double w = space_.width() / dim;
+  const double h = space_.height() / dim;
+  const double x0 = space_.min.x + x * w;
+  const double y0 = space_.min.y + y * h;
+  return Rect(x0, y0, x0 + w, y0 + h);
+}
+
+std::vector<size_t> ShardPartition::ShardsIntersecting(
+    const Rect& window) const {
+  std::vector<size_t> out;
+  if (window.is_empty()) return out;
+  const uint32_t dim = 1u << level_;
+  const double cw = space_.width() / dim;
+  const double ch = space_.height() / dim;
+  // Index range padded by one cell each side, then an exact closed
+  // Intersects() test per cell: a window landing precisely on a cell
+  // edge touches the cells on both sides, and the exact test uses the
+  // same floating-point cell rects every other ownership decision
+  // does, so the fan-out set never disagrees with a per-cell walk.
+  const auto idx = [&](double v, double org, double step, int64_t pad) {
+    const auto i =
+        static_cast<int64_t>(std::floor((v - org) / step)) + pad;
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(i, 0, static_cast<int64_t>(dim) - 1));
+  };
+  const uint32_t x_lo = idx(window.min.x, space_.min.x, cw, -1);
+  const uint32_t x_hi = idx(window.max.x, space_.min.x, cw, +1);
+  const uint32_t y_lo = idx(window.min.y, space_.min.y, ch, -1);
+  const uint32_t y_hi = idx(window.max.y, space_.min.y, ch, +1);
+  std::vector<bool> seen(num_shards(), false);
+  for (uint32_t y = y_lo; y <= y_hi; ++y) {
+    for (uint32_t x = x_lo; x <= x_hi; ++x) {
+      const uint64_t code = MortonEncode(x, y);
+      if (!CellRect(code).Intersects(window)) continue;
+      const size_t s = ShardOfCode(code);
+      if (!seen[s]) {
+        seen[s] = true;
+        out.push_back(s);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShardPartition::ComputeBounds() {
+  bounds_.assign(num_shards(), Rect());
+  for (size_t shard = 0; shard < num_shards(); ++shard) {
+    Rect box;  // default-constructed Rect is empty
+    for (uint64_t code = boundaries_[shard]; code < boundaries_[shard + 1];
+         ++code) {
+      const Rect cell = CellRect(code);
+      if (box.is_empty()) {
+        box = cell;
+      } else {
+        box = Rect(std::min(box.min.x, cell.min.x),
+                   std::min(box.min.y, cell.min.y),
+                   std::max(box.max.x, cell.max.x),
+                   std::max(box.max.y, cell.max.y));
+      }
+    }
+    bounds_[shard] = box;
+  }
+}
+
+std::string ShardPartition::ToString() const {
+  std::ostringstream os;
+  os << "level=" << level_ << " shards=" << num_shards() << " [";
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    if (i) os << ", ";
+    os << boundaries_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace casper::sharding

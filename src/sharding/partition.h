@@ -1,0 +1,103 @@
+#ifndef CASPER_SHARDING_PARTITION_H_
+#define CASPER_SHARDING_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+
+/// \file
+/// The spatial partition map of the sharded server tier. Space is the
+/// level-L pyramid grid (2^L x 2^L cells, the same decomposition the
+/// anonymizer's pyramid uses, §4.1); cells are linearized by their
+/// Morton (Z-order) code, and each shard owns one contiguous Morton
+/// range. Contiguity over the space-filling curve keeps each shard's
+/// cells spatially clustered, so a cloaked region intersects few
+/// shards, and makes rebalancing a pure boundary move: shifting a
+/// range endpoint hands off exactly the cells between the old and new
+/// boundary.
+
+namespace casper::sharding {
+
+/// Interleaves the low `level` bits of x (even positions) and y (odd
+/// positions) into the Morton code of cell (x, y) at that level.
+uint64_t MortonEncode(uint32_t x, uint32_t y);
+
+/// Inverse of MortonEncode.
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y);
+
+/// An immutable partition of the level-`level` grid over `space` into
+/// `num_shards` contiguous Morton ranges. Shard i owns codes
+/// [boundary[i], boundary[i+1]) with boundary[0] = 0 and
+/// boundary[num_shards] = 4^level.
+class ShardPartition {
+ public:
+  /// Equal-size contiguous ranges (the bootstrap partition).
+  static ShardPartition Uniform(size_t num_shards, uint32_t level,
+                                const Rect& space);
+
+  /// Load-balanced ranges: `cell_loads` holds one weight per Morton
+  /// code (size 4^level); boundaries are chosen greedily so each
+  /// shard's weight approaches total/num_shards. Every shard keeps at
+  /// least one cell. InvalidArgument when `cell_loads` has the wrong
+  /// size or num_shards exceeds the cell count.
+  static Result<ShardPartition> Balanced(const std::vector<uint64_t>& cell_loads,
+                                         size_t num_shards, uint32_t level,
+                                         const Rect& space);
+
+  size_t num_shards() const { return boundaries_.size() - 1; }
+  uint32_t level() const { return level_; }
+  const Rect& space() const { return space_; }
+  uint64_t cell_count() const { return uint64_t{1} << (2 * level_); }
+
+  /// Morton code of the cell containing `p` (clamped into `space`).
+  uint64_t CellCodeOf(const Point& p) const;
+
+  /// The shard owning the cell that contains `p`. Points are assigned
+  /// to exactly one shard — this is the ownership rule for public
+  /// targets (by position) and private regions (by center).
+  size_t HomeShard(const Point& p) const;
+
+  /// Shard owning Morton code `code`.
+  size_t ShardOfCode(uint64_t code) const;
+
+  /// Every shard whose owned cells intersect `window` (closed
+  /// boundaries, matching Rect::Intersects). Exact per-cell walk — no
+  /// bounding-box over-approximation — returned ascending.
+  std::vector<size_t> ShardsIntersecting(const Rect& window) const;
+
+  /// Bounding box of shard `i`'s owned cells. MinDist(q, bounds) lower
+  /// bounds the distance from q to anything the shard owns, which is
+  /// what the cross-shard NN bound prunes on.
+  const Rect& ShardBounds(size_t shard) const { return bounds_[shard]; }
+
+  /// The rectangle of one grid cell.
+  Rect CellRect(uint64_t code) const;
+
+  /// Range boundaries, size num_shards() + 1.
+  const std::vector<uint64_t>& boundaries() const { return boundaries_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ShardPartition& a, const ShardPartition& b) {
+    return a.level_ == b.level_ && a.space_ == b.space_ &&
+           a.boundaries_ == b.boundaries_;
+  }
+
+ private:
+  ShardPartition(std::vector<uint64_t> boundaries, uint32_t level,
+                 const Rect& space);
+
+  void ComputeBounds();
+
+  std::vector<uint64_t> boundaries_;
+  uint32_t level_ = 0;
+  Rect space_;
+  std::vector<Rect> bounds_;  ///< Per-shard cell-union bounding box.
+};
+
+}  // namespace casper::sharding
+
+#endif  // CASPER_SHARDING_PARTITION_H_

@@ -1,0 +1,70 @@
+#include "src/sharding/shard_endpoint.h"
+
+#include <utility>
+
+namespace casper::sharding {
+
+ShardEndpoint::ShardEndpoint(ShardRouter* router) : router_(router) {
+  CASPER_DCHECK(router != nullptr);
+}
+
+Result<std::string> ShardEndpoint::Handle(std::string_view request,
+                                          const transport::CallContext&) {
+  Result<MessageTag> tag = TagOf(request);
+  if (!tag.ok()) {
+    return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+  }
+  switch (tag.value()) {
+    case MessageTag::kCloakedQuery: {
+      Result<CloakedQueryMsg> query = DecodeCloakedQuery(request);
+      if (!query.ok()) {
+        return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+      }
+      Result<CandidateListMsg> answer = router_->Execute(query.value());
+      if (!answer.ok()) {
+        return Encode(AckMsg::For(query->request_id, answer.status()));
+      }
+      // The router already echoes the request id into its response.
+      return Encode(std::move(answer).value());
+    }
+    case MessageTag::kRegionUpsert: {
+      Result<RegionUpsertMsg> msg = DecodeRegionUpsert(request);
+      if (!msg.ok()) {
+        return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+      }
+      return Encode(AckMsg::For(msg->request_id, router_->Apply(msg.value())));
+    }
+    case MessageTag::kRegionRemove: {
+      Result<RegionRemoveMsg> msg = DecodeRegionRemove(request);
+      if (!msg.ok()) {
+        return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+      }
+      return Encode(AckMsg::For(msg->request_id, router_->Apply(msg.value())));
+    }
+    case MessageTag::kSnapshot: {
+      Result<SnapshotMsg> msg = DecodeSnapshot(request);
+      if (!msg.ok()) {
+        return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+      }
+      // Snapshots carry no request id (whole-fleet replacement is
+      // naturally idempotent); acks for them always echo 0.
+      return Encode(AckMsg::For(0, router_->Load(msg.value())));
+    }
+    case MessageTag::kCandidateList:
+    case MessageTag::kAck:
+      return Encode(AckMsg::For(
+          0, Status::InvalidArgument("response message sent as request")));
+  }
+  return Encode(AckMsg::For(0, Status::DataLoss("undecodable request")));
+}
+
+ShardChannel::ShardChannel(ShardEndpoint* endpoint) : endpoint_(endpoint) {
+  CASPER_DCHECK(endpoint != nullptr);
+}
+
+Result<std::string> ShardChannel::Call(std::string_view request,
+                                       const transport::CallContext& context) {
+  return endpoint_->Handle(request, context);
+}
+
+}  // namespace casper::sharding

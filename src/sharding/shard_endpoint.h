@@ -1,0 +1,54 @@
+#ifndef CASPER_SHARDING_SHARD_ENDPOINT_H_
+#define CASPER_SHARDING_SHARD_ENDPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/sharding/shard_router.h"
+#include "src/transport/channel.h"
+
+/// \file
+/// The wire front of the shard fleet: the same byte-level contract as
+/// transport::ServerEndpoint (decode request -> dispatch -> encode
+/// response), but dispatching into a ShardRouter instead of a single
+/// QueryServer. Because the contract matches, anything built to talk
+/// to one server through a Channel — the CasperService facade, the
+/// ResilientClient, chaos wrappers — talks to a whole fleet unchanged:
+/// plug a ShardChannel in via CasperOptions::channel_decorator and the
+/// anonymizer tier's queries, upserts, removes, and snapshots all fan
+/// out across the shards (`casper_cli --shards=N` does exactly this).
+
+namespace casper::sharding {
+
+/// Decodes one request frame, dispatches it to the router, and encodes
+/// the response — CandidateListMsg for queries (the router echoes the
+/// request id and sets `degraded` when a down shard's data could have
+/// contributed), AckMsg for maintenance and for every failure.
+class ShardEndpoint {
+ public:
+  explicit ShardEndpoint(ShardRouter* router);
+
+  Result<std::string> Handle(std::string_view request,
+                             const transport::CallContext& context);
+
+ private:
+  ShardRouter* router_;
+};
+
+/// In-process Channel delivering frames straight to a ShardEndpoint —
+/// the fleet-shaped twin of transport::DirectChannel.
+class ShardChannel : public transport::Channel {
+ public:
+  explicit ShardChannel(ShardEndpoint* endpoint);
+
+  Result<std::string> Call(std::string_view request,
+                           const transport::CallContext& context) override;
+
+ private:
+  ShardEndpoint* endpoint_;
+};
+
+}  // namespace casper::sharding
+
+#endif  // CASPER_SHARDING_SHARD_ENDPOINT_H_

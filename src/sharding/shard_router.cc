@@ -1,0 +1,892 @@
+#include "src/sharding/shard_router.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <variant>
+
+#include "src/common/stopwatch.h"
+#include "src/processor/density.h"
+#include "src/processor/extended_area.h"
+#include "src/processor/private_knn.h"
+#include "src/processor/private_nn.h"
+#include "src/processor/private_nn_private.h"
+#include "src/processor/private_range.h"
+#include "src/processor/public_nn_private.h"
+#include "src/processor/public_range.h"
+#include "src/storage/disk_storage.h"
+
+namespace casper::sharding {
+namespace {
+
+/// Salt for the request id of the remove half of a cross-shard replace,
+/// so the two halves occupy distinct idempotency-window slots. Unkeyed
+/// (id 0) messages stay unkeyed.
+constexpr uint64_t kSubRequestSalt = 0x9E3779B97F4A7C15ull;
+
+uint64_t DeriveSubRequestId(uint64_t request_id) {
+  return request_id == 0 ? 0 : request_id ^ kSubRequestSalt;
+}
+
+void SortById(std::vector<processor::PublicTarget>* targets) {
+  std::sort(targets->begin(), targets->end(),
+            [](const processor::PublicTarget& a,
+               const processor::PublicTarget& b) { return a.id < b.id; });
+}
+
+void SortById(std::vector<processor::PrivateTarget>* targets) {
+  std::sort(targets->begin(), targets->end(),
+            [](const processor::PrivateTarget& a,
+               const processor::PrivateTarget& b) { return a.id < b.id; });
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const ShardRouterOptions& options)
+    : options_(options),
+      partition_(ShardPartition::Uniform(std::max<size_t>(1, options.num_shards),
+                                         options.partition_level,
+                                         options.space)),
+      metrics_(options.registry, partition_.num_shards()),
+      shards_(BuildShards(partition_)),
+      public_counts_(partition_.num_shards(), 0),
+      region_counts_(partition_.num_shards(), 0),
+      cell_loads_(new std::atomic<uint64_t>[partition_.cell_count()]()) {
+  // Uniform() clamps the shard count to the cell count; keep the two
+  // views consistent for Rebalance().
+  options_.num_shards = partition_.num_shards();
+}
+
+std::vector<ShardRouter::Shard> ShardRouter::BuildShards(
+    const ShardPartition& partition) const {
+  std::vector<Shard> fleet;
+  fleet.reserve(partition.num_shards());
+  for (size_t i = 0; i < partition.num_shards(); ++i) {
+    Shard shard;
+    shard.server = std::make_unique<server::QueryServer>(options_.server);
+    shard.endpoint =
+        std::make_unique<transport::ServerEndpoint>(shard.server.get());
+    shard.direct =
+        std::make_unique<transport::DirectChannel>(shard.endpoint.get());
+    transport::Channel* channel = shard.direct.get();
+    if (options_.channel_decorator) {
+      shard.decorated = options_.channel_decorator(shard.direct.get(), i);
+      if (shard.decorated) channel = shard.decorated.get();
+    }
+    shard.client =
+        std::make_unique<transport::ResilientClient>(channel,
+                                                     options_.resilience);
+    fleet.push_back(std::move(shard));
+  }
+  return fleet;
+}
+
+transport::BreakerState ShardRouter::breaker_state(size_t shard) const {
+  return shards_[shard].client->breaker_state();
+}
+
+// --- Public data -----------------------------------------------------------
+
+void ShardRouter::AddPublicTarget(const processor::PublicTarget& target) {
+  const size_t shard = partition_.HomeShard(target.position);
+  shards_[shard].server->AddPublicTarget(target);
+  ++public_counts_[shard];
+  ++total_public_;
+  UpdateStoredGauge(shard);
+}
+
+void ShardRouter::SetPublicTargets(
+    const std::vector<processor::PublicTarget>& targets) {
+  std::vector<std::vector<processor::PublicTarget>> grouped(shards_.size());
+  for (const processor::PublicTarget& t : targets) {
+    grouped[partition_.HomeShard(t.position)].push_back(t);
+  }
+  total_public_ = targets.size();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].server->SetPublicTargets(grouped[s]);
+    public_counts_[s] = grouped[s].size();
+    UpdateStoredGauge(s);
+  }
+}
+
+// --- Maintenance stream ----------------------------------------------------
+
+Status ShardRouter::Apply(const RegionUpsertMsg& msg) {
+  const size_t dest = partition_.HomeShard(msg.region.Center());
+  RegionUpsertMsg forward = msg;
+  size_t vacated = dest;
+  if (msg.has_replaces) {
+    const auto it = handle_shard_.find(msg.replaces);
+    if (it == handle_shard_.end()) {
+      // Same outcome as the single server's embedded remove failing.
+      return Status::Internal("stored region missing from private store");
+    }
+    vacated = it->second;
+    if (vacated != dest) {
+      // Cross-boundary move: the old owner drops the region, the new
+      // owner takes a plain insert.
+      RegionRemoveMsg remove;
+      remove.request_id = DeriveSubRequestId(msg.request_id);
+      remove.handle = msg.replaces;
+      CASPER_RETURN_IF_ERROR(shards_[vacated].client->Apply(remove));
+      forward.has_replaces = false;
+      forward.replaces = 0;
+    }
+  } else if (handle_shard_.count(msg.handle) != 0) {
+    // The owning shard may differ from `dest`, in which case it would
+    // happily insert a duplicate — enforce the fleet-wide invariant.
+    return Status::Internal("region handle already stored");
+  }
+  CASPER_RETURN_IF_ERROR(shards_[dest].client->Apply(forward));
+  if (msg.has_replaces) {
+    handle_shard_.erase(msg.replaces);
+    --region_counts_[vacated];
+    if (vacated != dest) UpdateStoredGauge(vacated);
+  }
+  handle_shard_[msg.handle] = dest;
+  ++region_counts_[dest];
+  NoteRegionExtents(dest, msg.region);
+  UpdateStoredGauge(dest);
+  cell_loads_[partition_.CellCodeOf(msg.region.Center())].fetch_add(
+      1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardRouter::Apply(const RegionRemoveMsg& msg) {
+  const auto it = handle_shard_.find(msg.handle);
+  if (it == handle_shard_.end()) {
+    return Status::Internal("stored region missing from private store");
+  }
+  const size_t shard = it->second;
+  CASPER_RETURN_IF_ERROR(shards_[shard].client->Apply(msg));
+  handle_shard_.erase(it);
+  --region_counts_[shard];
+  UpdateStoredGauge(shard);
+  return Status::OK();
+}
+
+Status ShardRouter::Load(const SnapshotMsg& snapshot) {
+  std::vector<SnapshotMsg> grouped(shards_.size());
+  for (const processor::PrivateTarget& r : snapshot.regions) {
+    grouped[partition_.HomeShard(r.region.Center())].regions.push_back(r);
+  }
+  // Every shard receives its sub-snapshot — including empty ones, so a
+  // reload wipes regions the new snapshot no longer contains.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    CASPER_RETURN_IF_ERROR(shards_[s].client->Load(grouped[s]));
+  }
+  handle_shard_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].halfwidth_hw = 0.0;
+    shards_[s].halfheight_hw = 0.0;
+    region_counts_[s] = grouped[s].regions.size();
+    for (const processor::PrivateTarget& r : grouped[s].regions) {
+      handle_shard_[r.id] = s;
+      NoteRegionExtents(s, r.region);
+    }
+    UpdateStoredGauge(s);
+  }
+  return Status::OK();
+}
+
+void ShardRouter::NoteRegionExtents(size_t shard, const Rect& region) {
+  shards_[shard].halfwidth_hw =
+      std::max(shards_[shard].halfwidth_hw, region.width() / 2.0);
+  shards_[shard].halfheight_hw =
+      std::max(shards_[shard].halfheight_hw, region.height() / 2.0);
+}
+
+void ShardRouter::UpdateStoredGauge(size_t shard) {
+  metrics_.stored_objects[shard]->Set(
+      static_cast<double>(public_counts_[shard] + region_counts_[shard]));
+}
+
+// --- Fan-out plumbing ------------------------------------------------------
+
+bool ShardRouter::IsShardDown(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+Result<CandidateListMsg> ShardRouter::CallShard(size_t shard,
+                                                const CloakedQueryMsg& sub,
+                                                MergeCtx* ctx) const {
+  if (!ctx->touched[shard]) {
+    ctx->touched[shard] = 1;
+    ++ctx->touched_count;
+  }
+  metrics_.requests_total[shard]->Increment();
+  auto result = shards_[shard].client->Execute(sub, nullptr);
+  if (!result.ok() && IsShardDown(result.status())) {
+    metrics_.errors_total[shard]->Increment();
+  }
+  return result;
+}
+
+Result<std::vector<processor::PublicTarget>> ShardRouter::FetchPublicUnion(
+    const Rect& window, MergeCtx* ctx) const {
+  std::vector<processor::PublicTarget> merged;
+  if (window.is_empty()) return merged;
+  CloakedQueryMsg sub;
+  sub.kind = QueryKind::kRangePublic;
+  sub.cloak = window;
+  sub.radius = 0.0;
+  size_t relevant = 0;
+  size_t live = 0;
+  for (size_t s : partition_.ShardsIntersecting(window)) {
+    if (public_counts_[s] == 0) continue;
+    ++relevant;
+    auto answer = CallShard(s, sub, ctx);
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        ctx->degraded = true;
+        continue;
+      }
+      return answer.status();
+    }
+    ++live;
+    auto& list = std::get<processor::PublicRangeCandidates>(answer->payload);
+    merged.insert(merged.end(), list.candidates.begin(),
+                  list.candidates.end());
+  }
+  if (relevant > 0 && live == 0) {
+    return Status::Unavailable("every shard relevant to the window is down");
+  }
+  // Ownership is disjoint, so the concatenation is duplicate-free and
+  // the id-sort reproduces the single store's canonical order.
+  SortById(&merged);
+  return merged;
+}
+
+Result<std::vector<processor::PrivateTarget>> ShardRouter::FetchPrivateUnion(
+    const Rect& window, MergeCtx* ctx) const {
+  std::vector<processor::PrivateTarget> merged;
+  if (window.is_empty()) return merged;
+  CloakedQueryMsg sub;
+  sub.kind = QueryKind::kPublicRange;
+  sub.region = window;
+  size_t relevant = 0;
+  size_t live = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (region_counts_[s] == 0) continue;
+    const Rect& bounds = partition_.ShardBounds(s);
+    if (bounds.is_empty()) continue;
+    // A region owned here has its center inside `bounds` and reaches at
+    // most the shard's high-water half-extents beyond it.
+    const Rect reach =
+        bounds.ExpandedPerSide(shards_[s].halfwidth_hw,
+                               shards_[s].halfheight_hw,
+                               shards_[s].halfwidth_hw,
+                               shards_[s].halfheight_hw);
+    if (!reach.Intersects(window)) continue;
+    ++relevant;
+    auto answer = CallShard(s, sub, ctx);
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        ctx->degraded = true;
+        continue;
+      }
+      return answer.status();
+    }
+    ++live;
+    auto& counts = std::get<processor::RangeCountResult>(answer->payload);
+    merged.insert(merged.end(), counts.overlapping.begin(),
+                  counts.overlapping.end());
+  }
+  if (relevant > 0 && live == 0) {
+    return Status::Unavailable("every shard relevant to the window is down");
+  }
+  SortById(&merged);
+  return merged;
+}
+
+// --- Cross-shard NN bounds -------------------------------------------------
+
+namespace {
+struct ProbeOrder {
+  size_t shard = 0;
+  double lower = 0.0;  ///< MinDist(q, shard bounds): proof lower bound.
+};
+
+std::vector<ProbeOrder> OrderByLowerBound(const ShardPartition& partition,
+                                          const std::vector<size_t>& counts,
+                                          const Point& q) {
+  std::vector<ProbeOrder> order;
+  for (size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    const Rect& bounds = partition.ShardBounds(s);
+    if (bounds.is_empty()) continue;
+    order.push_back({s, MinDist(q, bounds)});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const ProbeOrder& a, const ProbeOrder& b) {
+              return a.lower < b.lower;
+            });
+  return order;
+}
+}  // namespace
+
+Result<processor::FilterTarget> ShardRouter::GlobalNearestPublic(
+    const Point& q, MergeCtx* ctx) const {
+  CloakedQueryMsg probe;
+  probe.kind = QueryKind::kNearestPublic;
+  probe.cloak = Rect::FromPoint(q);
+
+  bool found = false;
+  double best_d = 0.0;
+  processor::FilterTarget best;
+  std::vector<double> down_lowers;
+  for (const ProbeOrder& e :
+       OrderByLowerBound(partition_, public_counts_, q)) {
+    // Branch-and-bound: every target on this shard is at least `lower`
+    // away, so once the best found distance beats the bound the rest of
+    // the (sorted) shards cannot improve it.
+    if (found && e.lower > best_d) break;
+    metrics_.probe_calls_total->Increment();
+    auto answer = CallShard(e.shard, probe, ctx);
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        down_lowers.push_back(e.lower);
+        continue;
+      }
+      if (answer.status().code() == StatusCode::kNotFound) continue;
+      return answer.status();
+    }
+    const auto& list =
+        std::get<processor::PublicCandidateList>(answer->payload);
+    for (const processor::PublicTarget& t : list.candidates) {
+      const double d = Distance(q, t.position);
+      if (!found || d < best_d || (d == best_d && t.id < best.id)) {
+        found = true;
+        best_d = d;
+        best = processor::FilterTarget{t.id, Rect::FromPoint(t.position)};
+      }
+    }
+  }
+  if (!found) {
+    if (!down_lowers.empty()) {
+      return Status::Unavailable("every shard holding public targets is down");
+    }
+    return Status::NotFound("no public targets stored");
+  }
+  for (double lower : down_lowers) {
+    if (lower <= best_d) {
+      // The unreachable shard could have held a closer target.
+      ctx->degraded = true;
+      break;
+    }
+  }
+  return best;
+}
+
+Result<processor::FilterTarget> ShardRouter::GlobalNearestPrivate(
+    const Point& q, bool has_exclude, uint64_t exclude_handle,
+    MergeCtx* ctx) const {
+  CloakedQueryMsg probe;
+  probe.kind = QueryKind::kNearestPrivate;
+  probe.cloak = Rect::FromPoint(q);
+  probe.has_exclude = has_exclude;
+  probe.exclude_handle = exclude_handle;
+
+  bool found = false;
+  double best_d = 0.0;
+  processor::FilterTarget best;
+  std::vector<double> down_lowers;
+  for (const ProbeOrder& e :
+       OrderByLowerBound(partition_, region_counts_, q)) {
+    // MaxDist(q, region) >= dist(q, center) >= MinDist(q, bounds)
+    // because every owned region's *center* lies in the shard bounds.
+    if (found && e.lower > best_d) break;
+    metrics_.probe_calls_total->Increment();
+    auto answer = CallShard(e.shard, probe, ctx);
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        down_lowers.push_back(e.lower);
+        continue;
+      }
+      // "no eligible target in store": the shard holds only the
+      // excluded region — it simply has no filter to offer.
+      if (answer.status().code() == StatusCode::kNotFound) continue;
+      return answer.status();
+    }
+    const auto& list =
+        std::get<processor::PrivateCandidateList>(answer->payload);
+    for (const processor::PrivateTarget& t : list.candidates) {
+      const double d = MaxDist(q, t.region);
+      if (!found || d < best_d || (d == best_d && t.id < best.id)) {
+        found = true;
+        best_d = d;
+        best = processor::FilterTarget{t.id, t.region};
+      }
+    }
+  }
+  if (!found) {
+    if (!down_lowers.empty()) {
+      return Status::Unavailable("every shard holding regions is down");
+    }
+    return Status::NotFound("no eligible target in store");
+  }
+  for (double lower : down_lowers) {
+    if (lower <= best_d) {
+      ctx->degraded = true;
+      break;
+    }
+  }
+  return best;
+}
+
+Result<double> ShardRouter::GlobalKthDistance(const Point& q, uint64_t k,
+                                              MergeCtx* ctx) const {
+  CloakedQueryMsg probe;
+  probe.kind = QueryKind::kKNearestPublic;
+  probe.cloak = Rect::FromPoint(q);
+  probe.k = k;
+
+  // Probe in ascending order of MinDist(q, shard bounds), keeping the
+  // running k-th smallest distance over everything collected so far.
+  // Once k distances are in hand, a shard whose lower bound exceeds the
+  // running d_k can only contribute distances >= d_k — adding them
+  // cannot change the k-th smallest *value* — so the probe loop stops.
+  std::vector<double> dists;
+  const auto running_dk = [&]() {
+    std::nth_element(dists.begin(),
+                     dists.begin() + static_cast<ptrdiff_t>(k - 1),
+                     dists.end());
+    return dists[k - 1];
+  };
+  std::vector<double> down_lowers;
+  for (const ProbeOrder& e :
+       OrderByLowerBound(partition_, public_counts_, q)) {
+    if (dists.size() >= k && e.lower > running_dk()) break;
+    metrics_.probe_calls_total->Increment();
+    auto answer = CallShard(e.shard, probe, ctx);
+    if (!answer.ok() && answer.status().code() == StatusCode::kNotFound) {
+      // Shard holds fewer than k targets — take everything it has. All
+      // of a shard's targets lie inside its (closed) bounds box.
+      CloakedQueryMsg full;
+      full.kind = QueryKind::kRangePublic;
+      full.cloak = partition_.ShardBounds(e.shard);
+      full.radius = 0.0;
+      answer = CallShard(e.shard, full, ctx);
+    }
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        down_lowers.push_back(e.lower);
+        continue;
+      }
+      return answer.status();
+    }
+    if (const auto* knn =
+            std::get_if<processor::KnnCandidateList>(&answer->payload)) {
+      for (const auto& t : knn->candidates) {
+        dists.push_back(Distance(q, t.position));
+      }
+    } else {
+      const auto& range =
+          std::get<processor::PublicRangeCandidates>(answer->payload);
+      for (const auto& t : range.candidates) {
+        dists.push_back(Distance(q, t.position));
+      }
+    }
+  }
+  // The probed union contains the global k nearest (each shard
+  // contributes its local k nearest, the global k nearest are locally
+  // among the k nearest of their own shard, and pruned shards cannot
+  // hold any of them), and every entry is a real target, so the union's
+  // k-th smallest distance IS the global k-th distance.
+  if (dists.size() < k) {
+    if (!down_lowers.empty()) {
+      return Status::Unavailable("too many shards down for the k-NN bound");
+    }
+    return Status::NotFound("store holds fewer than k targets");
+  }
+  const double dk = running_dk();
+  // A dead shard only degrades the bound if it could have held one of
+  // the k nearest — i.e. its lower bound does not exceed d_k.
+  for (double lower : down_lowers) {
+    if (lower <= dk) {
+      ctx->degraded = true;
+      break;
+    }
+  }
+  return dk;
+}
+
+Result<double> ShardRouter::GlobalMinimaxBound(const Point& q,
+                                               MergeCtx* ctx) const {
+  CloakedQueryMsg probe;
+  probe.kind = QueryKind::kPublicNearest;
+  probe.point = q;
+
+  bool found = false;
+  double best = 0.0;
+  std::vector<double> down_lowers;
+  for (const ProbeOrder& e :
+       OrderByLowerBound(partition_, region_counts_, q)) {
+    // Per-shard minimax >= dist(q, some center) >= MinDist(q, bounds),
+    // so a shard whose bound exceeds the best minimax cannot lower it.
+    if (found && e.lower > best) break;
+    metrics_.probe_calls_total->Increment();
+    auto answer = CallShard(e.shard, probe, ctx);
+    if (!answer.ok()) {
+      if (IsShardDown(answer.status())) {
+        down_lowers.push_back(e.lower);
+        continue;
+      }
+      if (answer.status().code() == StatusCode::kNotFound) continue;
+      return answer.status();
+    }
+    const double bound =
+        std::get<processor::PublicNNCandidates>(answer->payload)
+            .minimax_bound;
+    if (!found || bound < best) {
+      found = true;
+      best = bound;
+    }
+  }
+  if (!found) {
+    if (!down_lowers.empty()) {
+      return Status::Unavailable("every shard holding regions is down");
+    }
+    return Status::NotFound("no private targets stored");
+  }
+  for (double lower : down_lowers) {
+    if (lower <= best) {
+      ctx->degraded = true;
+      break;
+    }
+  }
+  return best;
+}
+
+// --- Per-kind merges -------------------------------------------------------
+
+Status ShardRouter::MergeNearestPublic(const CloakedQueryMsg& query,
+                                       MergeCtx* ctx,
+                                       CandidateListMsg* response) const {
+  if (query.cloak.is_empty()) {
+    return Status::InvalidArgument("cloaked area must be non-empty");
+  }
+  if (total_public_ == 0) {
+    return Status::NotFound("no public targets stored");
+  }
+  const processor::NearestTargetFn nearest = [this, ctx](const Point& p) {
+    return GlobalNearestPublic(p, ctx);
+  };
+  CASPER_ASSIGN_OR_RETURN(
+      area, processor::ComputeExtendedAreaForPolicy(
+                query.cloak, options_.server.filter_policy, nearest));
+  processor::PublicCandidateList out;
+  out.policy = options_.server.filter_policy;
+  out.area = area;
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPublicUnion(area.a_ext, ctx));
+  out.candidates = std::move(merged);
+  response->payload = std::move(out);
+  return Status::OK();
+}
+
+Status ShardRouter::MergeKNearestPublic(const CloakedQueryMsg& query,
+                                        MergeCtx* ctx,
+                                        CandidateListMsg* response) const {
+  if (query.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (query.cloak.is_empty()) {
+    return Status::InvalidArgument("cloaked area must be non-empty");
+  }
+  if (total_public_ < query.k) {
+    return Status::NotFound("store holds fewer than k targets");
+  }
+  const auto corners = query.cloak.Corners();
+  std::array<double, 4> d;
+  for (size_t i = 0; i < 4; ++i) {
+    CASPER_ASSIGN_OR_RETURN(kth, GlobalKthDistance(corners[i], query.k, ctx));
+    d[i] = kth;
+  }
+  // Identical extension step to PrivateKNearestNeighbors — the shared
+  // per-edge bound applied to the merged corner distances.
+  const double w = query.cloak.width();
+  const double h = query.cloak.height();
+  const double bottom = processor::KnnEdgeExtension(d[0], d[1], w);
+  const double right = processor::KnnEdgeExtension(d[1], d[2], h);
+  const double top = processor::KnnEdgeExtension(d[2], d[3], w);
+  const double left = processor::KnnEdgeExtension(d[3], d[0], h);
+  processor::KnnCandidateList out;
+  out.k = static_cast<size_t>(query.k);
+  out.a_ext = query.cloak.ExpandedPerSide(left, bottom, right, top);
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPublicUnion(out.a_ext, ctx));
+  out.candidates = std::move(merged);
+  response->payload = std::move(out);
+  return Status::OK();
+}
+
+Status ShardRouter::MergeRangePublic(const CloakedQueryMsg& query,
+                                     MergeCtx* ctx,
+                                     CandidateListMsg* response) const {
+  if (query.cloak.is_empty()) {
+    return Status::InvalidArgument("cloaked area must be non-empty");
+  }
+  if (query.radius < 0.0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  processor::PublicRangeCandidates out;
+  out.search_window = query.cloak.Expanded(query.radius);
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPublicUnion(out.search_window, ctx));
+  out.candidates = std::move(merged);
+  response->payload = std::move(out);
+  return Status::OK();
+}
+
+Status ShardRouter::MergeNearestPrivate(const CloakedQueryMsg& query,
+                                        MergeCtx* ctx,
+                                        CandidateListMsg* response) const {
+  if (query.cloak.is_empty()) {
+    return Status::InvalidArgument("cloaked area must be non-empty");
+  }
+  if (handle_shard_.empty()) {
+    return Status::NotFound("no private targets stored");
+  }
+  const processor::NearestTargetFn nearest = [&](const Point& p) {
+    return GlobalNearestPrivate(p, query.has_exclude, query.exclude_handle,
+                                ctx);
+  };
+  CASPER_ASSIGN_OR_RETURN(
+      area, processor::ComputeExtendedAreaForPolicy(
+                query.cloak, options_.server.filter_policy, nearest));
+  processor::PrivateCandidateList out;
+  out.policy = options_.server.filter_policy;
+  out.area = area;
+  // The server dispatch never sets min_overlap_fraction, and at
+  // fraction 0 OverlappingAtLeast degenerates to plain overlap — which
+  // is exactly what the per-shard kPublicRange fetch returns.
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPrivateUnion(area.a_ext, ctx));
+  out.candidates = std::move(merged);
+  if (query.has_exclude) {
+    auto& cands = out.candidates;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].id == query.exclude_handle) {
+        cands.erase(cands.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  response->payload = std::move(out);
+  return Status::OK();
+}
+
+Status ShardRouter::MergePublicNearest(const CloakedQueryMsg& query,
+                                       MergeCtx* ctx,
+                                       CandidateListMsg* response) const {
+  if (handle_shard_.empty()) {
+    return Status::NotFound("no private targets stored");
+  }
+  CASPER_ASSIGN_OR_RETURN(bound, GlobalMinimaxBound(query.point, ctx));
+  processor::PublicNNCandidates out;
+  out.minimax_bound = bound;
+  const Rect window = Rect::FromPoint(query.point).Expanded(bound);
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPrivateUnion(window, ctx));
+  for (const processor::PrivateTarget& t : merged) {
+    const double min_d = MinDist(query.point, t.region);
+    if (min_d <= bound) {
+      out.candidates.push_back(processor::PublicNNCandidates::Candidate{
+          t, min_d, MaxDist(query.point, t.region)});
+    }
+  }
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const processor::PublicNNCandidates::Candidate& a,
+               const processor::PublicNNCandidates::Candidate& b) {
+              if (a.min_dist != b.min_dist) return a.min_dist < b.min_dist;
+              return a.target.id < b.target.id;
+            });
+  response->payload = std::move(out);
+  return Status::OK();
+}
+
+Status ShardRouter::MergePublicRange(const CloakedQueryMsg& query,
+                                     MergeCtx* ctx,
+                                     CandidateListMsg* response) const {
+  if (query.region.is_empty()) {
+    return Status::InvalidArgument("query region must be non-empty");
+  }
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPrivateUnion(query.region, ctx));
+  // Same id-sorted accumulation order as the single server, so the
+  // floating-point `expected` sum matches bit for bit.
+  response->payload = processor::AccumulateRangeCounts(merged, query.region);
+  return Status::OK();
+}
+
+Status ShardRouter::MergeDensity(const CloakedQueryMsg& query, MergeCtx* ctx,
+                                 CandidateListMsg* response) const {
+  const Rect& extent = options_.server.density_extent;
+  if (extent.is_empty()) {
+    return Status::InvalidArgument("extent must be non-empty");
+  }
+  if (query.cols < 1 || query.rows < 1) {
+    return Status::InvalidArgument("grid must be at least 1x1");
+  }
+  CASPER_ASSIGN_OR_RETURN(merged, FetchPrivateUnion(extent, ctx));
+  CASPER_ASSIGN_OR_RETURN(
+      map, processor::ExpectedDensityFromTargets(merged, extent, query.cols,
+                                                 query.rows));
+  response->payload = std::move(map);
+  return Status::OK();
+}
+
+// --- Query entry point -----------------------------------------------------
+
+Result<CandidateListMsg> ShardRouter::Execute(
+    const CloakedQueryMsg& query) const {
+  Stopwatch watch;
+  RecordQueryLoad(query);
+  MergeCtx ctx(shards_.size());
+  CandidateListMsg response;
+  response.kind = query.kind;
+  response.request_id = query.request_id;
+  Status merged = Status::InvalidArgument("unknown query kind");
+  switch (query.kind) {
+    case QueryKind::kNearestPublic:
+      merged = MergeNearestPublic(query, &ctx, &response);
+      break;
+    case QueryKind::kKNearestPublic:
+      merged = MergeKNearestPublic(query, &ctx, &response);
+      break;
+    case QueryKind::kRangePublic:
+      merged = MergeRangePublic(query, &ctx, &response);
+      break;
+    case QueryKind::kNearestPrivate:
+      merged = MergeNearestPrivate(query, &ctx, &response);
+      break;
+    case QueryKind::kPublicNearest:
+      merged = MergePublicNearest(query, &ctx, &response);
+      break;
+    case QueryKind::kPublicRange:
+      merged = MergePublicRange(query, &ctx, &response);
+      break;
+    case QueryKind::kDensity:
+      merged = MergeDensity(query, &ctx, &response);
+      break;
+  }
+  if (ctx.touched_count > 0) {
+    metrics_.fanout_shards->Observe(static_cast<double>(ctx.touched_count));
+  }
+  if (!merged.ok()) {
+    if (merged.code() == StatusCode::kUnavailable) {
+      metrics_.unavailable_total->Increment();
+    }
+    return merged;
+  }
+  response.degraded = ctx.degraded;
+  if (ctx.degraded) metrics_.degraded_answers_total->Increment();
+  response.processor_seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+void ShardRouter::RecordQueryLoad(const CloakedQueryMsg& query) const {
+  Point anchor;
+  switch (query.kind) {
+    case QueryKind::kPublicNearest:
+      anchor = query.point;
+      break;
+    case QueryKind::kPublicRange:
+      if (query.region.is_empty()) return;
+      anchor = query.region.Center();
+      break;
+    case QueryKind::kDensity:
+      if (options_.server.density_extent.is_empty()) return;
+      anchor = options_.server.density_extent.Center();
+      break;
+    default:
+      if (query.cloak.is_empty()) return;
+      anchor = query.cloak.Center();
+      break;
+  }
+  cell_loads_[partition_.CellCodeOf(anchor)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+// --- Hotspot rebalancing ---------------------------------------------------
+
+namespace {
+std::string ShardCheckpointPath(const std::string& dir, size_t shard) {
+  return dir + "/shard" + std::to_string(shard);
+}
+}  // namespace
+
+Status ShardRouter::Rebalance(const std::string& checkpoint_dir) {
+  std::vector<uint64_t> loads(partition_.cell_count());
+  for (size_t i = 0; i < loads.size(); ++i) {
+    loads[i] = cell_loads_[i].load(std::memory_order_relaxed);
+  }
+  CASPER_ASSIGN_OR_RETURN(
+      next, ShardPartition::Balanced(loads, shards_.size(),
+                                     options_.partition_level,
+                                     options_.space));
+  if (next == partition_) return Status::OK();
+
+  // Phase 1 — every shard checkpoints through the storage tier. A bad
+  // checkpoint directory surfaces here as the disk backend's typed
+  // kNotFound, before any shard state has changed.
+  const size_t n = shards_.size();
+  for (size_t s = 0; s < n; ++s) {
+    CASPER_ASSIGN_OR_RETURN(
+        sm, storage::DiskStorageManager::Create(
+                ShardCheckpointPath(checkpoint_dir, s)));
+    CASPER_RETURN_IF_ERROR(shards_[s].server->Save(sm.get()));
+  }
+
+  // Phase 2 — restore each checkpoint and deal the objects out by the
+  // new ownership rule.
+  std::vector<std::vector<processor::PublicTarget>> pub(n);
+  std::vector<SnapshotMsg> priv(n);
+  uint64_t moved = 0;
+  for (size_t s = 0; s < n; ++s) {
+    CASPER_ASSIGN_OR_RETURN(
+        sm, storage::DiskStorageManager::Open(
+                ShardCheckpointPath(checkpoint_dir, s)));
+    server::QueryServer recovery(options_.server);
+    CASPER_RETURN_IF_ERROR(recovery.Open(sm.get()));
+    for (const processor::PublicTarget& t :
+         recovery.public_store().RangeQuery(options_.space)) {
+      const size_t owner = next.HomeShard(t.position);
+      if (owner != s) ++moved;
+      pub[owner].push_back(t);
+    }
+    for (const processor::PrivateTarget& r :
+         recovery.private_store().Overlapping(options_.space)) {
+      const size_t owner = next.HomeShard(r.region.Center());
+      if (owner != s) ++moved;
+      priv[owner].regions.push_back(r);
+    }
+  }
+
+  // Phase 3 — install a fresh fleet under the new partition. Answers
+  // are byte-identical across the swap because every candidate list is
+  // a pure, canonically ordered function of the stored sets.
+  std::vector<Shard> fleet = BuildShards(next);
+  handle_shard_.clear();
+  total_public_ = 0;
+  for (size_t s = 0; s < n; ++s) {
+    fleet[s].server->SetPublicTargets(pub[s]);
+    public_counts_[s] = pub[s].size();
+    total_public_ += pub[s].size();
+    CASPER_RETURN_IF_ERROR(fleet[s].client->Load(priv[s]));
+    region_counts_[s] = priv[s].regions.size();
+    for (const processor::PrivateTarget& r : priv[s].regions) {
+      handle_shard_[r.id] = s;
+      fleet[s].halfwidth_hw =
+          std::max(fleet[s].halfwidth_hw, r.region.width() / 2.0);
+      fleet[s].halfheight_hw =
+          std::max(fleet[s].halfheight_hw, r.region.height() / 2.0);
+    }
+  }
+  shards_ = std::move(fleet);
+  partition_ = next;
+  for (size_t i = 0; i < partition_.cell_count(); ++i) {
+    cell_loads_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t s = 0; s < n; ++s) UpdateStoredGauge(s);
+  metrics_.rebalances_total->Increment();
+  metrics_.handoff_objects_total->Increment(moved);
+  return Status::OK();
+}
+
+}  // namespace casper::sharding

@@ -1,0 +1,253 @@
+#ifndef CASPER_SHARDING_SHARD_ROUTER_H_
+#define CASPER_SHARDING_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/common/geometry.h"
+#include "src/common/result.h"
+#include "src/obs/shard_metrics.h"
+#include "src/server/query_server.h"
+#include "src/sharding/partition.h"
+#include "src/transport/channel.h"
+#include "src/transport/resilient_client.h"
+#include "src/transport/server_endpoint.h"
+
+/// \file
+/// The scale-out front of the server tier: N QueryServer shards, each
+/// owning one contiguous Morton range of pyramid cells (see
+/// partition.h), behind a router that fans cloaked queries out to the
+/// intersecting shards and merges the per-shard candidate lists into
+/// exactly the answer a single server over the union would give.
+///
+/// Exactness rests on three invariants:
+///  1. **Disjoint ownership.** A public target lives on the shard of
+///     its position's cell; a private region on the shard of its
+///     center's cell. Per-shard answers never overlap, so unions are
+///     duplicate-free.
+///  2. **Canonical candidate order.** Every processor sorts its
+///     candidate list by target id (processor/*.cc), so a merged,
+///     id-sorted union is byte-identical to the single-server list.
+///  3. **Per-shard bounds.** For NN/k-NN the router derives the same
+///     filter distances the single server would, in the style of the
+///     per-edge k-NN bound (KnnEdgeExtension): the k-th smallest
+///     distance over the union of per-shard k-NN lists at a cloak
+///     corner *is* the global k-th distance, because the union
+///     contains the global k nearest; and a branch-and-bound over
+///     MinDist(q, ShardBounds(i)) finds the global nearest filter
+///     while pruning shards that provably cannot improve it.
+///
+/// Degradation: each shard sits behind its own ResilientClient (own
+/// breaker, retries, idempotency window). When a shard is unreachable
+/// and its data could have contributed, the merged answer is returned
+/// with degraded=true (still inclusive over the reachable shards);
+/// when every relevant shard is down, the query fails kUnavailable.
+
+namespace casper::sharding {
+
+struct ShardRouterOptions {
+  size_t num_shards = 1;
+
+  /// Pyramid level of the partition grid (4^level cells).
+  uint32_t partition_level = 4;
+
+  /// The managed space; must contain every target position and region
+  /// center handed to the router.
+  Rect space = Rect(0.0, 0.0, 1.0, 1.0);
+
+  /// Options applied to every shard's QueryServer (filter policy,
+  /// density extent, metrics bundle).
+  server::QueryServerOptions server;
+
+  /// Per-shard client resilience (each shard gets its own breaker,
+  /// retry budget, and replay buffer from this template).
+  transport::ResilienceOptions resilience;
+
+  /// Wraps shard `i`'s in-process DirectChannel (which the router
+  /// keeps alive) — chaos tests inject FaultInjectingChannel here.
+  /// Null leaves the direct channel in place.
+  std::function<std::unique_ptr<transport::Channel>(transport::Channel*,
+                                                    size_t shard)>
+      channel_decorator;
+
+  /// Registry for the casper_shard_* instruments; null resolves to
+  /// obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Routes the full wire surface of one QueryServer across N shards.
+/// Thread-safety matches QueryServer: Execute() may run from many
+/// threads at once; maintenance (Apply / Load / SetPublicTargets /
+/// Rebalance) is single-threaded and never concurrent with queries.
+class ShardRouter : public PrivateStoreSink {
+ public:
+  explicit ShardRouter(const ShardRouterOptions& options);
+
+  // --- Public data (server-side provisioning, not wire traffic) -------
+  void AddPublicTarget(const processor::PublicTarget& target);
+  void SetPublicTargets(const std::vector<processor::PublicTarget>& targets);
+
+  // --- Maintenance stream (PrivateStoreSink) ---------------------------
+  /// Routed to the owning shard of the region's center. A `replaces`
+  /// handle owned by a *different* shard is split into a remove on the
+  /// old owner plus a plain upsert on the new one (the cross-boundary
+  /// move case a single server never sees).
+  Status Apply(const RegionUpsertMsg& msg) override;
+  Status Apply(const RegionRemoveMsg& msg) override;
+
+  /// Bulk snapshot: partitioned by region center; every shard receives
+  /// a (possibly empty) sub-snapshot so stale state is cleared fleet-
+  /// wide.
+  Status Load(const SnapshotMsg& snapshot);
+
+  // --- Queries ---------------------------------------------------------
+  /// Fan out, merge, and return the answer a single QueryServer over
+  /// the union of all shards would encode — byte-identical modulo
+  /// processor_seconds (which times the merge) and the degraded flag.
+  Result<CandidateListMsg> Execute(const CloakedQueryMsg& query) const;
+
+  // --- Hotspot rebalancing ---------------------------------------------
+  /// Recompute the partition from the per-cell load counters
+  /// (ShardPartition::Balanced) and hand cell ranges off between
+  /// shards through the storage tier: every shard checkpoints under
+  /// `checkpoint_dir` (DiskStorageManager::Create — a missing parent
+  /// directory surfaces as the storage tier's typed kNotFound), a
+  /// fresh fleet is built on the new partition, and the checkpoints
+  /// are restored and redistributed by the new ownership rule. No-op
+  /// when the balanced partition equals the current one. Answers are
+  /// byte-identical across a rebalance.
+  Status Rebalance(const std::string& checkpoint_dir);
+
+  // --- Introspection ---------------------------------------------------
+  const ShardPartition& partition() const { return partition_; }
+  size_t num_shards() const { return shards_.size(); }
+  transport::BreakerState breaker_state(size_t shard) const;
+  size_t public_count(size_t shard) const { return public_counts_[shard]; }
+  size_t region_count(size_t shard) const { return region_counts_[shard]; }
+  size_t total_public() const { return total_public_; }
+  size_t total_regions() const { return handle_shard_.size(); }
+  const obs::ShardMetrics& metrics() const { return metrics_; }
+
+ private:
+  /// One shard's full stack. Construction order is destruction-safe:
+  /// client -> (decorated) channel -> direct channel -> endpoint ->
+  /// server.
+  struct Shard {
+    std::unique_ptr<server::QueryServer> server;
+    std::unique_ptr<transport::ServerEndpoint> endpoint;
+    std::unique_ptr<transport::DirectChannel> direct;
+    std::unique_ptr<transport::Channel> decorated;  ///< May be null.
+    std::unique_ptr<transport::ResilientClient> client;
+    /// Monotone high-water half-extents of every region ever loaded or
+    /// upserted into this shard; bounds how far a region owned here
+    /// can reach beyond its center, so window fan-out stays exact.
+    double halfwidth_hw = 0.0;
+    double halfheight_hw = 0.0;
+  };
+
+  /// Per-query merge bookkeeping: which shards were touched (fan-out
+  /// histogram), whether any relevant shard was down (degraded flag),
+  /// and whether any relevant shard answered (all-down => unavailable).
+  struct MergeCtx {
+    std::vector<uint8_t> touched;
+    size_t touched_count = 0;
+    bool degraded = false;
+
+    explicit MergeCtx(size_t n) : touched(n, 0) {}
+  };
+
+  std::vector<Shard> BuildShards(const ShardPartition& partition) const;
+
+  /// One fan-out call through shard `i`'s resilient client. Transport
+  /// failure (breaker open / retries exhausted / deadline) returns the
+  /// error and bumps the shard's error counter; the caller decides
+  /// whether that degrades or fails the merge.
+  Result<CandidateListMsg> CallShard(size_t shard, const CloakedQueryMsg& sub,
+                                     MergeCtx* ctx) const;
+
+  static bool IsShardDown(const Status& status);
+
+  /// Union of per-shard public targets inside `window`, id-sorted.
+  /// Fans out to the shards whose cells intersect the window.
+  Result<std::vector<processor::PublicTarget>> FetchPublicUnion(
+      const Rect& window, MergeCtx* ctx) const;
+
+  /// Union of per-shard private regions overlapping `window`,
+  /// id-sorted. A shard is relevant when its bounds, expanded by its
+  /// high-water half-extents, intersect the window — every region's
+  /// center lies in its shard's bounds, and a region overlapping the
+  /// window has its center within the window expanded by its own
+  /// half-extents.
+  Result<std::vector<processor::PrivateTarget>> FetchPrivateUnion(
+      const Rect& window, MergeCtx* ctx) const;
+
+  /// Globally nearest public target to `q` (the NearestTargetFn of the
+  /// filter construction): branch-and-bound over shards ascending by
+  /// MinDist(q, ShardBounds), probing each with a point-cloak NN
+  /// sub-query until the bound exceeds the best distance found.
+  Result<processor::FilterTarget> GlobalNearestPublic(const Point& q,
+                                                      MergeCtx* ctx) const;
+
+  /// Globally minimal MaxDist region filter (private-data NN), same
+  /// branch-and-bound; MinDist(q, bounds) lower-bounds MaxDist because
+  /// MaxDist(q, region) >= dist(q, center) >= MinDist(q, bounds).
+  Result<processor::FilterTarget> GlobalNearestPrivate(
+      const Point& q, bool has_exclude, uint64_t exclude_handle,
+      MergeCtx* ctx) const;
+
+  /// The global k-th smallest distance from `q` to a public target:
+  /// k-th smallest over the union of per-shard k-NN candidate lists
+  /// (falling back to a full per-shard fetch when a shard holds fewer
+  /// than k targets).
+  Result<double> GlobalKthDistance(const Point& q, uint64_t k,
+                                   MergeCtx* ctx) const;
+
+  /// The global minimax bound B for public-query-over-private-data NN:
+  /// min over shards of the per-shard bound, with the same pruning.
+  Result<double> GlobalMinimaxBound(const Point& q, MergeCtx* ctx) const;
+
+  // Per-kind merges, writing response->payload.
+  Status MergeNearestPublic(const CloakedQueryMsg& query, MergeCtx* ctx,
+                            CandidateListMsg* response) const;
+  Status MergeKNearestPublic(const CloakedQueryMsg& query, MergeCtx* ctx,
+                             CandidateListMsg* response) const;
+  Status MergeRangePublic(const CloakedQueryMsg& query, MergeCtx* ctx,
+                          CandidateListMsg* response) const;
+  Status MergeNearestPrivate(const CloakedQueryMsg& query, MergeCtx* ctx,
+                             CandidateListMsg* response) const;
+  Status MergePublicNearest(const CloakedQueryMsg& query, MergeCtx* ctx,
+                            CandidateListMsg* response) const;
+  Status MergePublicRange(const CloakedQueryMsg& query, MergeCtx* ctx,
+                          CandidateListMsg* response) const;
+  Status MergeDensity(const CloakedQueryMsg& query, MergeCtx* ctx,
+                      CandidateListMsg* response) const;
+
+  void RecordQueryLoad(const CloakedQueryMsg& query) const;
+  void NoteRegionExtents(size_t shard, const Rect& region);
+  void UpdateStoredGauge(size_t shard);
+
+  ShardRouterOptions options_;
+  ShardPartition partition_;
+  mutable obs::ShardMetrics metrics_;
+  std::vector<Shard> shards_;
+
+  // Routing state (maintenance-thread only, read-only during queries).
+  std::unordered_map<uint64_t, size_t> handle_shard_;  ///< region -> owner
+  std::vector<size_t> public_counts_;
+  std::vector<size_t> region_counts_;
+  size_t total_public_ = 0;
+
+  /// Per-cell query+upsert load, driving Rebalance(). Atomic because
+  /// concurrent Execute() calls record loads.
+  std::unique_ptr<std::atomic<uint64_t>[]> cell_loads_;
+};
+
+}  // namespace casper::sharding
+
+#endif  // CASPER_SHARDING_SHARD_ROUTER_H_

@@ -209,11 +209,21 @@ std::vector<FlatRTree::Neighbor> FlatRTree::KNearestFiltered(
     bool is_entry;
   };
   struct Cmp {
+    const FlatRTree* tree;
     bool operator()(const Item& a, const Item& b) const {
-      return a.key > b.key;  // min-heap
+      // Min-heap on key; equal keys pop nodes before entries, then
+      // entries ascending by id — the same canonical tie order as
+      // RTree::KNearest, so every index (and the sharded router's
+      // min-id merge) returns identical answers on distance ties.
+      if (a.key != b.key) return a.key > b.key;
+      if (a.is_entry != b.is_entry) return a.is_entry;
+      if (a.is_entry) {
+        return tree->entry_ids_[a.idx] > tree->entry_ids_[b.idx];
+      }
+      return false;
     }
   };
-  std::priority_queue<Item, std::vector<Item>, Cmp> heap;
+  std::priority_queue<Item, std::vector<Item>, Cmp> heap(Cmp{this});
   heap.push(Item{MinDist(q, NodeBox(0)), 0, false});
 
   // Scratch for one node block's batched distances.

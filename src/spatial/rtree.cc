@@ -383,7 +383,15 @@ std::vector<RTree::Neighbor> RTree::KNearest(const Point& q, size_t k,
   };
   struct Cmp {
     bool operator()(const QueueItem& a, const QueueItem& b) const {
-      return a.key > b.key;  // min-heap
+      // Min-heap on key; equal keys pop nodes before entries, then
+      // entries ascending by id. Ties in distance are real (e.g. two
+      // users cloaked to the same grid cell), and the canonical order
+      // keeps answers identical across differently-built trees — the
+      // sharded router merges per-shard lists with the same min-id rule.
+      if (a.key != b.key) return a.key > b.key;
+      if (a.is_entry != b.is_entry) return a.is_entry;
+      if (a.is_entry) return a.entry.id > b.entry.id;
+      return false;
     }
   };
   std::priority_queue<QueueItem, std::vector<QueueItem>, Cmp> heap;

@@ -1,5 +1,7 @@
 #include "src/storage/disk_storage.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <utility>
@@ -48,8 +50,29 @@ DiskStorageManager::~DiskStorageManager() {
   if (dat_) std::fclose(dat_);
 }
 
+namespace {
+
+/// The directory that will hold `base`'s .dat/.idx files. "shard0" and
+/// "./shard0" live in the current directory.
+std::string ParentDirOf(const std::string& base) {
+  const size_t slash = base.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return base.substr(0, slash);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<DiskStorageManager>> DiskStorageManager::Create(
     const std::string& base_path, const DiskStorageOptions& options) {
+  // fopen("wb+") on a path with a missing parent fails with an opaque
+  // errno; callers handing off shard checkpoints need a typed answer
+  // they can branch on, so check the directory explicitly first.
+  struct stat st;
+  const std::string parent = ParentDirOf(base_path);
+  if (stat(parent.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::NotFound("parent directory does not exist: " + parent);
+  }
   auto mgr = std::unique_ptr<DiskStorageManager>(
       new DiskStorageManager(base_path, options));
   CASPER_RETURN_IF_ERROR(mgr->OpenDataFile(/*truncate=*/true));

@@ -48,7 +48,9 @@ struct DiskStorageOptions {
 class DiskStorageManager final : public IStorageManager {
  public:
   /// Create a fresh store at `base_path` (writes `<base_path>.dat` and
-  /// `<base_path>.idx`, truncating any previous pair).
+  /// `<base_path>.idx`, truncating any previous pair). A base path
+  /// whose parent directory does not exist is kNotFound — rejected
+  /// before any file is touched.
   static Result<std::unique_ptr<DiskStorageManager>> Create(
       const std::string& base_path, const DiskStorageOptions& options = {});
 

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/obs/metrics.h"
+#include "src/server/query_server.h"
+#include "src/sharding/shard_router.h"
+#include "src/transport/fault_injection.h"
+
+/// Kill-one-shard chaos tests. The acceptance contract: with one shard
+/// dead, only answers whose probe or fan-out set touches the dead shard
+/// are affected, every affected answer is either `degraded=true` or a
+/// typed kUnavailable, and no answer — degraded or not — ever violates
+/// inclusiveness against a brute-force oracle.
+///
+/// The key exactness property exercised here: a degraded answer is
+/// byte-identical to what a single un-sharded server holding only the
+/// *live* shards' objects would return, because the merge runs over
+/// exactly the live shards' data. Non-degraded answers are
+/// byte-identical to the full-store single server.
+
+namespace casper::sharding {
+namespace {
+
+constexpr size_t kShards = 4;
+
+class ShardChaosTest : public ::testing::Test {
+ protected:
+  ShardChaosTest() : full_({}), live_({}) {}
+
+  /// Builds the router with every shard channel wrapped in a
+  /// FaultInjectingChannel (healthy profile until a test kills one).
+  void BuildRouter() {
+    ShardRouterOptions options;
+    options.num_shards = kShards;
+    options.partition_level = 2;
+    options.space = Rect(0.0, 0.0, 1.0, 1.0);
+    options.registry = &registry_;
+    // Fast-fail resilience: no real sleeping, two attempts, a breaker
+    // that trips quickly and stays open for the whole test (a killed
+    // shard stays killed).
+    options.resilience.retry.max_attempts = 2;
+    options.resilience.retry.deadline_seconds = 0.0;  // disabled
+    options.resilience.breaker.failure_threshold = 2;
+    options.resilience.breaker.open_seconds = 1000.0;
+    options.resilience.sleep = [](double) {};
+    faults_.assign(kShards, nullptr);
+    options.channel_decorator = [this](transport::Channel* inner,
+                                       size_t shard) {
+      auto fault = std::make_unique<transport::FaultInjectingChannel>(
+          inner, transport::FaultProfile{}, /*seed=*/7000 + shard);
+      faults_[shard] = fault.get();
+      return std::unique_ptr<transport::Channel>(std::move(fault));
+    };
+    router_ = std::make_unique<ShardRouter>(options);
+  }
+
+  /// Seeds identical stores into the router, the full oracle, and (for
+  /// everything not owned by `victim`) the live oracle.
+  void SeedStores(size_t victim) {
+    std::mt19937_64 rng(991);
+    std::uniform_real_distribution<double> coord(0.02, 0.98);
+    std::vector<processor::PublicTarget> targets;
+    for (uint64_t i = 1; i <= 120; ++i) {
+      targets.push_back({i, {coord(rng), coord(rng)}});
+    }
+    router_->SetPublicTargets(targets);
+    full_.SetPublicTargets(targets);
+    std::vector<processor::PublicTarget> live_targets;
+    for (const auto& t : targets) {
+      if (router_->partition().HomeShard(t.position) != victim) {
+        live_targets.push_back(t);
+      }
+    }
+    live_.SetPublicTargets(live_targets);
+    live_targets_ = live_targets;
+    targets_ = targets;
+
+    std::vector<processor::PrivateTarget> regions;
+    for (uint64_t i = 0; i < 48; ++i) {
+      const double cx = coord(rng), cy = coord(rng);
+      const double hw = 0.01 + 0.04 * coord(rng);
+      regions.push_back(
+          {5000 + i, Rect(cx - hw, cy - hw, cx + hw, cy + hw)});
+    }
+    SnapshotMsg snapshot;
+    snapshot.regions = regions;
+    ASSERT_TRUE(router_->Load(snapshot).ok());
+    ASSERT_TRUE(full_.Load(snapshot).ok());
+    SnapshotMsg live_snapshot;
+    for (const auto& r : regions) {
+      if (router_->partition().HomeShard(r.region.Center()) != victim) {
+        live_snapshot.regions.push_back(r);
+      }
+    }
+    ASSERT_TRUE(live_.Load(live_snapshot).ok());
+  }
+
+  static void Normalize(CandidateListMsg* msg) {
+    msg->processor_seconds = 0.0;
+    msg->request_id = 0;
+    msg->degraded = false;
+  }
+
+  /// Byte-compares a routed answer against the given oracle server.
+  void ExpectMatchesOracle(const CloakedQueryMsg& query,
+                           CandidateListMsg routed,
+                           server::QueryServer* oracle) {
+    auto expected = oracle->Execute(query, nullptr);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    Normalize(&routed);
+    Normalize(&*expected);
+    EXPECT_EQ(Encode(routed), Encode(*expected))
+        << "kind " << static_cast<int>(query.kind);
+  }
+
+  /// Brute-force inclusiveness for nearest-target answers: for sample
+  /// points in the cloak, the nearest target in `universe` must appear
+  /// in the candidate list.
+  void ExpectInclusive(const Rect& cloak,
+                       const std::vector<processor::PublicTarget>& universe,
+                       const processor::PublicCandidateList& list) {
+    const std::vector<Point> samples = {
+        cloak.min,
+        cloak.max,
+        {cloak.min.x, cloak.max.y},
+        {cloak.max.x, cloak.min.y},
+        cloak.Center()};
+    for (const Point& p : samples) {
+      const processor::PublicTarget* best = nullptr;
+      double best_d = 0.0;
+      for (const auto& t : universe) {
+        const double d = Distance(p, t.position);
+        if (best == nullptr || d < best_d) {
+          best = &t;
+          best_d = d;
+        }
+      }
+      ASSERT_NE(best, nullptr);
+      bool found = false;
+      for (const auto& c : list.candidates) found |= c.id == best->id;
+      EXPECT_TRUE(found) << "nearest target " << best->id
+                         << " missing from candidate list";
+    }
+  }
+
+  obs::MetricsRegistry registry_;
+  std::vector<transport::FaultInjectingChannel*> faults_;
+  std::unique_ptr<ShardRouter> router_;
+  server::QueryServer full_;  ///< Oracle over the full store.
+  server::QueryServer live_;  ///< Oracle over the surviving shards only.
+  std::vector<processor::PublicTarget> targets_;
+  std::vector<processor::PublicTarget> live_targets_;
+};
+
+TEST_F(ShardChaosTest, KillOneShardDegradesOnlyAffectedAnswers) {
+  BuildRouter();
+  const size_t victim = router_->partition().HomeShard({0.1, 0.1});
+  SeedStores(victim);
+  // Kill the victim: every call from now on fails at the wire.
+  faults_[victim]->FailRequests(1, 1u << 30);
+
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> coord(0.02, 0.98);
+  size_t clean = 0, degraded = 0, unavailable = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    CloakedQueryMsg q;
+    q.request_id = 100 + static_cast<uint64_t>(trial);
+    const double x = coord(rng), y = coord(rng);
+    const Rect cloak(x, y, std::min(1.0, x + 0.08), std::min(1.0, y + 0.08));
+    switch (trial % 5) {
+      case 0:
+        q.kind = QueryKind::kNearestPublic;
+        q.cloak = cloak;
+        break;
+      case 1:
+        q.kind = QueryKind::kKNearestPublic;
+        q.cloak = cloak;
+        q.k = 1 + static_cast<uint64_t>(trial % 7);
+        break;
+      case 2:
+        q.kind = QueryKind::kRangePublic;
+        q.cloak = cloak;
+        q.radius = 0.05;
+        break;
+      case 3:
+        q.kind = QueryKind::kNearestPrivate;
+        q.cloak = cloak;
+        break;
+      case 4:
+        q.kind = QueryKind::kPublicRange;
+        q.region = cloak;
+        break;
+    }
+    auto routed = router_->Execute(q);
+    if (!routed.ok()) {
+      // The only acceptable failure with a dead shard: the region the
+      // query needs is entirely on that shard.
+      EXPECT_EQ(routed.status().code(), StatusCode::kUnavailable)
+          << routed.status().ToString();
+      ++unavailable;
+      continue;
+    }
+    if (routed->degraded) {
+      ++degraded;
+      // Degraded answers are exact over the surviving shards' store.
+      ExpectMatchesOracle(q, *routed, &live_);
+      if (q.kind == QueryKind::kNearestPublic) {
+        ExpectInclusive(
+            q.cloak, live_targets_,
+            std::get<processor::PublicCandidateList>(routed->payload));
+      }
+    } else {
+      ++clean;
+      // Untouched answers are exact over the full store.
+      ExpectMatchesOracle(q, *routed, &full_);
+      if (q.kind == QueryKind::kNearestPublic) {
+        ExpectInclusive(
+            q.cloak, targets_,
+            std::get<processor::PublicCandidateList>(routed->payload));
+      }
+    }
+  }
+  // The workload must actually exercise all three outcomes.
+  EXPECT_GT(clean, 0u);
+  EXPECT_GT(degraded, 0u);
+  EXPECT_GT(router_->metrics().degraded_answers_total->Value(), 0u);
+  EXPECT_GT(router_->metrics().errors_total[victim]->Value(), 0u);
+  EXPECT_EQ(router_->metrics().unavailable_total->Value(), unavailable);
+  // The breaker for the dead shard tripped; the others stayed closed.
+  EXPECT_EQ(router_->breaker_state(victim), transport::BreakerState::kOpen);
+  for (size_t s = 0; s < kShards; ++s) {
+    if (s != victim) {
+      EXPECT_EQ(router_->breaker_state(s), transport::BreakerState::kClosed);
+    }
+  }
+}
+
+TEST_F(ShardChaosTest, ShardRecoveryRestoresExactUnDegradedAnswers) {
+  BuildRouter();
+  // Re-build with a breaker that recovers immediately after cool-down.
+  ShardRouterOptions options;
+  options.num_shards = kShards;
+  options.partition_level = 2;
+  options.space = Rect(0.0, 0.0, 1.0, 1.0);
+  options.registry = &registry_;
+  options.resilience.retry.max_attempts = 2;
+  options.resilience.retry.deadline_seconds = 0.0;
+  options.resilience.breaker.failure_threshold = 2;
+  options.resilience.breaker.open_seconds = 0.0;  // instant half-open
+  options.resilience.breaker.half_open_successes = 1;
+  options.resilience.sleep = [](double) {};
+  faults_.assign(kShards, nullptr);
+  options.channel_decorator = [this](transport::Channel* inner, size_t shard) {
+    auto fault = std::make_unique<transport::FaultInjectingChannel>(
+        inner, transport::FaultProfile{}, /*seed=*/8000 + shard);
+    faults_[shard] = fault.get();
+    return std::unique_ptr<transport::Channel>(std::move(fault));
+  };
+  router_ = std::make_unique<ShardRouter>(options);
+  const size_t victim = router_->partition().HomeShard({0.9, 0.9});
+  SeedStores(victim);
+
+  // A window inside the victim's quadrant.
+  CloakedQueryMsg q;
+  q.kind = QueryKind::kRangePublic;
+  q.cloak = Rect(0.8, 0.8, 0.95, 0.95);
+  q.radius = 0.02;
+
+  // Fail a bounded window of calls, then heal.
+  const uint64_t already = faults_[victim]->calls();
+  faults_[victim]->FailRequests(already + 1, already + 6);
+  bool saw_affected = false;
+  bool recovered = false;
+  for (int i = 0; i < 50 && !recovered; ++i) {
+    q.request_id = 500 + static_cast<uint64_t>(i);
+    auto routed = router_->Execute(q);
+    if (!routed.ok() || routed->degraded) {
+      saw_affected = true;
+      continue;
+    }
+    // Healthy again: the answer must be exact and un-degraded.
+    ExpectMatchesOracle(q, *routed, &full_);
+    recovered = true;
+  }
+  EXPECT_TRUE(saw_affected);
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(router_->breaker_state(victim), transport::BreakerState::kClosed);
+}
+
+TEST_F(ShardChaosTest, ConcurrentQueriesWithDeadShardAreConsistent) {
+  // TSan coverage for the fan-out path: many threads query through the
+  // router while one shard is dead. Every thread checks the same
+  // invariants (exactness per oracle, typed errors only).
+  BuildRouter();
+  const size_t victim = router_->partition().HomeShard({0.1, 0.9});
+  SeedStores(victim);
+  faults_[victim]->FailRequests(1, 1u << 30);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 40;
+  std::atomic<size_t> violations{0};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937_64 rng(1234 + static_cast<uint64_t>(t));
+      std::uniform_real_distribution<double> coord(0.02, 0.9);
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        CloakedQueryMsg q;
+        q.request_id =
+            static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i) + 1;
+        const double x = coord(rng), y = coord(rng);
+        q.cloak = Rect(x, y, x + 0.08, y + 0.08);
+        switch (i % 3) {
+          case 0:
+            q.kind = QueryKind::kNearestPublic;
+            break;
+          case 1:
+            q.kind = QueryKind::kRangePublic;
+            q.radius = 0.03;
+            break;
+          case 2:
+            q.kind = QueryKind::kNearestPrivate;
+            break;
+        }
+        auto routed = router_->Execute(q);
+        if (!routed.ok()) {
+          if (routed.status().code() != StatusCode::kUnavailable) {
+            violations.fetch_add(1);
+          }
+          continue;
+        }
+        ++answered;
+        server::QueryServer* oracle = routed->degraded ? &live_ : &full_;
+        auto expected = oracle->Execute(q, nullptr);
+        if (!expected.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        CandidateListMsg got = *routed;
+        Normalize(&got);
+        Normalize(&*expected);
+        if (Encode(got) != Encode(*expected)) violations.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+}
+
+}  // namespace
+}  // namespace casper::sharding

@@ -1,0 +1,264 @@
+#include "src/sharding/shard_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/casper/casper.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+#include "src/obs/casper_metrics.h"
+#include "src/obs/metrics.h"
+#include "src/sharding/shard_router.h"
+
+// The ShardEndpoint speaks the single-server wire contract, so an
+// unmodified CasperService pointed at a shard fleet through
+// CasperOptions::channel_decorator (the `casper_cli --shards=N` wiring)
+// must produce the same answers as one talking to its own in-process
+// server. These tests run the two facades side by side over identical
+// inputs, plus check the byte-level contract of Handle() itself.
+
+namespace casper {
+namespace {
+
+class ShardEndpointTest : public ::testing::Test {
+ protected:
+  ShardEndpointTest()
+      : plain_metrics_(&plain_registry_), sharded_metrics_(&sharded_registry_) {
+    sharding::ShardRouterOptions router_options;
+    router_options.num_shards = 4;
+    router_options.partition_level = 3;
+    router_options.registry = &router_registry_;
+    router_ = std::make_unique<sharding::ShardRouter>(router_options);
+    endpoint_ = std::make_unique<sharding::ShardEndpoint>(router_.get());
+
+    CasperOptions plain_options;
+    plain_options.pyramid.height = 6;
+    plain_options.metrics = &plain_metrics_;
+    plain_ = std::make_unique<CasperService>(plain_options);
+
+    CasperOptions sharded_options = plain_options;
+    sharded_options.metrics = &sharded_metrics_;
+    sharded_options.channel_decorator =
+        [this](transport::Channel*) -> std::unique_ptr<transport::Channel> {
+      return std::make_unique<sharding::ShardChannel>(endpoint_.get());
+    };
+    sharded_ = std::make_unique<CasperService>(sharded_options);
+
+    Rng rng(42);
+    const auto targets = workload::UniformPublicTargets(
+        400, plain_options.pyramid.space, &rng);
+    plain_->SetPublicTargets(targets);
+    router_->SetPublicTargets(targets);
+  }
+
+  void RegisterBoth(uint64_t uid, const Point& position) {
+    const anonymizer::PrivacyProfile profile{2, 0.0001};
+    ASSERT_TRUE(plain_->RegisterUser(uid, profile, position).ok());
+    ASSERT_TRUE(sharded_->RegisterUser(uid, profile, position).ok());
+  }
+
+  obs::MetricsRegistry plain_registry_;
+  obs::MetricsRegistry sharded_registry_;
+  obs::MetricsRegistry router_registry_;
+  obs::CasperMetrics plain_metrics_;
+  obs::CasperMetrics sharded_metrics_;
+  std::unique_ptr<sharding::ShardRouter> router_;
+  std::unique_ptr<sharding::ShardEndpoint> endpoint_;
+  std::unique_ptr<CasperService> plain_;
+  std::unique_ptr<CasperService> sharded_;
+};
+
+TEST_F(ShardEndpointTest, FacadeParityAcrossAllQueryKinds) {
+  const std::vector<Point> positions = {
+      {0.12, 0.34}, {0.48, 0.52}, {0.51, 0.49},  // straddle the center seam
+      {0.87, 0.13}, {0.25, 0.75}, {0.66, 0.91},
+  };
+  for (size_t i = 0; i < positions.size(); ++i) {
+    RegisterBoth(100 + i, positions[i]);
+  }
+  ASSERT_TRUE(plain_->SyncPrivateData().ok());
+  ASSERT_TRUE(sharded_->SyncPrivateData().ok());
+
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const uint64_t uid = 100 + i;
+
+    auto plain_nn = plain_->QueryNearestPublic(uid);
+    auto sharded_nn = sharded_->QueryNearestPublic(uid);
+    ASSERT_TRUE(plain_nn.ok()) << plain_nn.status().ToString();
+    ASSERT_TRUE(sharded_nn.ok()) << sharded_nn.status().ToString();
+    EXPECT_FALSE(sharded_nn->degraded);
+    EXPECT_EQ(plain_nn->exact.id, sharded_nn->exact.id);
+    EXPECT_EQ(plain_nn->server_answer, sharded_nn->server_answer);
+
+    auto plain_knn = plain_->QueryKNearestPublic(uid, 5);
+    auto sharded_knn = sharded_->QueryKNearestPublic(uid, 5);
+    ASSERT_TRUE(plain_knn.ok());
+    ASSERT_TRUE(sharded_knn.ok());
+    EXPECT_EQ(plain_knn->server_answer, sharded_knn->server_answer);
+    ASSERT_EQ(plain_knn->exact.size(), sharded_knn->exact.size());
+    for (size_t j = 0; j < plain_knn->exact.size(); ++j) {
+      EXPECT_EQ(plain_knn->exact[j].id, sharded_knn->exact[j].id);
+    }
+
+    auto plain_range = plain_->QueryRangePublic(uid, 0.05);
+    auto sharded_range = sharded_->QueryRangePublic(uid, 0.05);
+    ASSERT_TRUE(plain_range.ok());
+    ASSERT_TRUE(sharded_range.ok());
+    EXPECT_EQ(plain_range->candidates, sharded_range->candidates);
+
+    auto plain_buddy = plain_->QueryNearestPrivate(uid);
+    auto sharded_buddy = sharded_->QueryNearestPrivate(uid);
+    ASSERT_TRUE(plain_buddy.ok()) << plain_buddy.status().ToString();
+    ASSERT_TRUE(sharded_buddy.ok()) << sharded_buddy.status().ToString();
+    // Both services rotate pseudonyms from the same seed in the same
+    // registration order, so even the stripped ids must agree.
+    EXPECT_EQ(plain_buddy->best.id, sharded_buddy->best.id);
+    EXPECT_EQ(plain_buddy->server_answer, sharded_buddy->server_answer);
+  }
+
+  auto plain_count = plain_->QueryPublicRange(Rect(0.1, 0.1, 0.9, 0.9));
+  auto sharded_count = sharded_->QueryPublicRange(Rect(0.1, 0.1, 0.9, 0.9));
+  ASSERT_TRUE(plain_count.ok());
+  ASSERT_TRUE(sharded_count.ok());
+  EXPECT_EQ(plain_count->certain, sharded_count->certain);
+  EXPECT_EQ(plain_count->possible, sharded_count->possible);
+  EXPECT_DOUBLE_EQ(plain_count->expected, sharded_count->expected);
+
+  auto plain_density = plain_->QueryDensity(4, 4);
+  auto sharded_density = sharded_->QueryDensity(4, 4);
+  ASSERT_TRUE(plain_density.ok());
+  ASSERT_TRUE(sharded_density.ok());
+  for (int col = 0; col < 4; ++col) {
+    for (int row = 0; row < 4; ++row) {
+      EXPECT_DOUBLE_EQ(plain_density->At(col, row),
+                       sharded_density->At(col, row))
+          << "cell (" << col << ", " << row << ")";
+    }
+  }
+
+  auto plain_pub_nn = plain_->QueryPublicNearest(Point{0.5, 0.5});
+  auto sharded_pub_nn = sharded_->QueryPublicNearest(Point{0.5, 0.5});
+  ASSERT_TRUE(plain_pub_nn.ok());
+  ASSERT_TRUE(sharded_pub_nn.ok());
+  EXPECT_EQ(*plain_pub_nn, *sharded_pub_nn);
+}
+
+TEST_F(ShardEndpointTest, MovesAndProfileChangesStayInSync) {
+  RegisterBoth(1, Point{0.2, 0.2});
+  RegisterBoth(2, Point{0.8, 0.8});
+  RegisterBoth(3, Point{0.21, 0.19});
+
+  // Drag user 1 across the center seam; the router turns the replacing
+  // upsert into a cross-shard remove + insert the single server never
+  // needs. Answers must stay identical either way.
+  const std::vector<Point> path = {
+      {0.45, 0.45}, {0.55, 0.55}, {0.52, 0.48}, {0.1, 0.9}};
+  for (const Point& p : path) {
+    ASSERT_TRUE(plain_->UpdateUserLocation(1, p).ok());
+    ASSERT_TRUE(sharded_->UpdateUserLocation(1, p).ok());
+    ASSERT_TRUE(plain_->SyncPrivateData().ok());
+    ASSERT_TRUE(sharded_->SyncPrivateData().ok());
+
+    auto plain_nn = plain_->QueryNearestPublic(1);
+    auto sharded_nn = sharded_->QueryNearestPublic(1);
+    ASSERT_TRUE(plain_nn.ok());
+    ASSERT_TRUE(sharded_nn.ok());
+    EXPECT_EQ(plain_nn->exact.id, sharded_nn->exact.id);
+    EXPECT_EQ(plain_nn->server_answer, sharded_nn->server_answer);
+
+    auto plain_buddy = plain_->QueryNearestPrivate(2);
+    auto sharded_buddy = sharded_->QueryNearestPrivate(2);
+    ASSERT_TRUE(plain_buddy.ok());
+    ASSERT_TRUE(sharded_buddy.ok());
+    EXPECT_EQ(plain_buddy->server_answer, sharded_buddy->server_answer);
+  }
+
+  ASSERT_TRUE(plain_->DeregisterUser(3).ok());
+  ASSERT_TRUE(sharded_->DeregisterUser(3).ok());
+  ASSERT_TRUE(plain_->SyncPrivateData().ok());
+  ASSERT_TRUE(sharded_->SyncPrivateData().ok());
+  auto plain_count = plain_->QueryPublicRange(Rect(0.0, 0.0, 1.0, 1.0));
+  auto sharded_count = sharded_->QueryPublicRange(Rect(0.0, 0.0, 1.0, 1.0));
+  ASSERT_TRUE(plain_count.ok());
+  ASSERT_TRUE(sharded_count.ok());
+  EXPECT_EQ(plain_count->possible, sharded_count->possible);
+}
+
+TEST_F(ShardEndpointTest, WireContractMatchesSingleServerEndpoint) {
+  const transport::CallContext context;
+
+  // Garbage frames come back as a DataLoss ack, never an error status.
+  auto garbage = endpoint_->Handle("not a frame", context);
+  ASSERT_TRUE(garbage.ok());
+  auto garbage_ack = DecodeAck(garbage.value());
+  ASSERT_TRUE(garbage_ack.ok());
+  EXPECT_EQ(garbage_ack->code, StatusCode::kDataLoss);
+
+  // Response messages sent as requests are rejected, not dispatched.
+  auto reflected = endpoint_->Handle(Encode(AckMsg::For(9, Status())),
+                                     context);
+  ASSERT_TRUE(reflected.ok());
+  auto reflected_ack = DecodeAck(reflected.value());
+  ASSERT_TRUE(reflected_ack.ok());
+  EXPECT_EQ(reflected_ack->code, StatusCode::kInvalidArgument);
+
+  // Maintenance acks echo the idempotency key.
+  RegionUpsertMsg upsert;
+  upsert.request_id = 77;
+  upsert.handle = 4242;
+  upsert.region = Rect(0.4, 0.4, 0.6, 0.6);
+  auto upsert_response = endpoint_->Handle(Encode(upsert), context);
+  ASSERT_TRUE(upsert_response.ok());
+  auto upsert_ack = DecodeAck(upsert_response.value());
+  ASSERT_TRUE(upsert_ack.ok());
+  EXPECT_EQ(upsert_ack->request_id, 77u);
+  EXPECT_TRUE(upsert_ack->ok());
+  EXPECT_EQ(router_->total_regions(), 1u);
+
+  // Queries answered through Handle() are byte-identical to a direct
+  // router call, modulo the merge timing.
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kRangePublic;
+  query.request_id = 31;
+  query.cloak = Rect(0.3, 0.3, 0.7, 0.7);
+  query.radius = 0.05;
+  auto wire = endpoint_->Handle(Encode(query), context);
+  ASSERT_TRUE(wire.ok());
+  auto wire_answer = DecodeCandidateList(wire.value());
+  ASSERT_TRUE(wire_answer.ok());
+  auto direct_answer = router_->Execute(query);
+  ASSERT_TRUE(direct_answer.ok());
+  wire_answer->processor_seconds = 0.0;
+  direct_answer->processor_seconds = 0.0;
+  EXPECT_EQ(wire_answer->request_id, 31u);
+  EXPECT_EQ(Encode(wire_answer.value()), Encode(direct_answer.value()));
+
+  // Snapshots replace fleet state and always ack id 0.
+  SnapshotMsg snapshot;
+  snapshot.regions.push_back({7001, Rect(0.1, 0.1, 0.2, 0.2)});
+  snapshot.regions.push_back({7002, Rect(0.8, 0.8, 0.9, 0.9)});
+  auto snapshot_response = endpoint_->Handle(Encode(snapshot), context);
+  ASSERT_TRUE(snapshot_response.ok());
+  auto snapshot_ack = DecodeAck(snapshot_response.value());
+  ASSERT_TRUE(snapshot_ack.ok());
+  EXPECT_EQ(snapshot_ack->request_id, 0u);
+  EXPECT_TRUE(snapshot_ack->ok());
+  EXPECT_EQ(router_->total_regions(), 2u);
+
+  RegionRemoveMsg remove;
+  remove.request_id = 78;
+  remove.handle = 7001;
+  auto remove_response = endpoint_->Handle(Encode(remove), context);
+  ASSERT_TRUE(remove_response.ok());
+  auto remove_ack = DecodeAck(remove_response.value());
+  ASSERT_TRUE(remove_ack.ok());
+  EXPECT_EQ(remove_ack->request_id, 78u);
+  EXPECT_TRUE(remove_ack->ok());
+  EXPECT_EQ(router_->total_regions(), 1u);
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/obs/metrics.h"
+#include "src/server/query_server.h"
+#include "src/sharding/shard_router.h"
+
+/// Cross-shard inclusiveness differential test: over a randomized
+/// workload — including upserts, removes, and replaces whose regions
+/// land exactly on partition-cell boundaries — the sharded router and
+/// a single un-sharded QueryServer produce byte-identical encoded
+/// answers for every query kind. Byte equality subsumes inclusiveness:
+/// whatever the single server's candidate list guarantees, the merged
+/// one guarantees too.
+
+namespace casper::sharding {
+namespace {
+
+constexpr uint32_t kLevel = 3;  // 64 cells, cell edge 0.125
+constexpr size_t kShards = 4;
+
+class ShardInclusivenessTest : public ::testing::Test {
+ protected:
+  ShardInclusivenessTest() : rng_(20260807), reference_({}) {
+    ShardRouterOptions options;
+    options.num_shards = kShards;
+    options.partition_level = kLevel;
+    options.space = Rect(0.0, 0.0, 1.0, 1.0);
+    options.registry = &registry_;
+    router_ = std::make_unique<ShardRouter>(options);
+  }
+
+  double Coord() { return std::uniform_real_distribution<double>(0.02, 0.98)(rng_); }
+
+  /// A coordinate landing exactly on a partition-cell boundary.
+  double BoundaryCoord() {
+    const uint32_t dim = 1u << kLevel;
+    return static_cast<double>(
+               std::uniform_int_distribution<uint32_t>(1, dim - 1)(rng_)) /
+           dim;
+  }
+
+  Rect RandomRegion(bool on_boundary) {
+    const double cx = on_boundary ? BoundaryCoord() : Coord();
+    const double cy = on_boundary ? BoundaryCoord() : Coord();
+    const double hw =
+        std::uniform_real_distribution<double>(0.005, 0.08)(rng_);
+    const double hh =
+        std::uniform_real_distribution<double>(0.005, 0.08)(rng_);
+    return Rect(cx - hw, cy - hh, cx + hw, cy + hh);
+  }
+
+  uint64_t NextId() { return ++next_id_; }
+
+  /// Apply one maintenance message to both sides; both must agree on
+  /// the outcome.
+  void ApplyBoth(const RegionUpsertMsg& msg) {
+    const Status a = router_->Apply(msg);
+    RegionUpsertMsg ref = msg;
+    ref.request_id = msg.request_id + 1000000;  // distinct replay windows
+    const Status b = reference_.Apply(ref);
+    ASSERT_EQ(a.code(), b.code()) << a.ToString() << " vs " << b.ToString();
+    if (a.ok()) handles_.push_back(msg.handle);
+  }
+
+  void RemoveBoth(uint64_t handle) {
+    RegionRemoveMsg msg;
+    msg.request_id = NextId();
+    msg.handle = handle;
+    const Status a = router_->Apply(msg);
+    msg.request_id += 1000000;
+    const Status b = reference_.Apply(msg);
+    ASSERT_EQ(a.code(), b.code());
+    if (a.ok()) {
+      handles_.erase(std::find(handles_.begin(), handles_.end(), handle));
+    }
+  }
+
+  void ExpectSameAnswer(const CloakedQueryMsg& query) {
+    auto routed = router_->Execute(query);
+    auto single = reference_.Execute(query, nullptr);
+    ASSERT_EQ(routed.ok(), single.ok())
+        << "kind " << static_cast<int>(query.kind) << ": "
+        << routed.status().ToString() << " vs " << single.status().ToString();
+    if (!routed.ok()) {
+      EXPECT_EQ(routed.status().code(), single.status().code());
+      EXPECT_EQ(routed.status().message(), single.status().message());
+      return;
+    }
+    EXPECT_FALSE(routed->degraded);
+    routed->processor_seconds = 0.0;
+    routed->request_id = 0;
+    single->processor_seconds = 0.0;
+    single->request_id = 0;
+    EXPECT_EQ(Encode(*routed), Encode(*single))
+        << "kind " << static_cast<int>(query.kind);
+  }
+
+  Rect RandomCloak() {
+    const double x = Coord(), y = Coord();
+    const double w = std::uniform_real_distribution<double>(0.01, 0.2)(rng_);
+    const double h = std::uniform_real_distribution<double>(0.01, 0.2)(rng_);
+    return Rect(x, y, std::min(1.0, x + w), std::min(1.0, y + h));
+  }
+
+  void QueryRound() {
+    // kNearestPublic
+    CloakedQueryMsg q;
+    q.request_id = NextId();
+    q.kind = QueryKind::kNearestPublic;
+    q.cloak = RandomCloak();
+    ExpectSameAnswer(q);
+
+    // kKNearestPublic, k occasionally larger than a shard's holdings
+    q.kind = QueryKind::kKNearestPublic;
+    q.k = std::uniform_int_distribution<uint64_t>(1, 9)(rng_);
+    ExpectSameAnswer(q);
+
+    // kRangePublic
+    q.kind = QueryKind::kRangePublic;
+    q.radius = std::uniform_real_distribution<double>(0.0, 0.15)(rng_);
+    ExpectSameAnswer(q);
+
+    // kNearestPrivate, sometimes excluding a live handle (the
+    // continuous-query self-exclusion path)
+    if (!handles_.empty()) {
+      q.kind = QueryKind::kNearestPrivate;
+      if (std::bernoulli_distribution(0.5)(rng_)) {
+        q.has_exclude = true;
+        q.exclude_handle = handles_[std::uniform_int_distribution<size_t>(
+            0, handles_.size() - 1)(rng_)];
+      }
+      ExpectSameAnswer(q);
+      q.has_exclude = false;
+    }
+
+    // kPublicNearest
+    q.kind = QueryKind::kPublicNearest;
+    q.point = Point{Coord(), Coord()};
+    ExpectSameAnswer(q);
+
+    // kPublicRange, every other window snapped to cell boundaries
+    q.kind = QueryKind::kPublicRange;
+    if (std::bernoulli_distribution(0.5)(rng_)) {
+      const double x0 = BoundaryCoord(), y0 = BoundaryCoord();
+      q.region = Rect(std::min(x0, 0.75), std::min(y0, 0.75),
+                      std::min(x0, 0.75) + 0.25, std::min(y0, 0.75) + 0.25);
+    } else {
+      q.region = RandomCloak();
+    }
+    ExpectSameAnswer(q);
+
+    // kDensity
+    q.kind = QueryKind::kDensity;
+    q.cols = std::uniform_int_distribution<int32_t>(1, 6)(rng_);
+    q.rows = std::uniform_int_distribution<int32_t>(1, 6)(rng_);
+    ExpectSameAnswer(q);
+  }
+
+  obs::MetricsRegistry registry_;
+  std::mt19937_64 rng_;
+  server::QueryServer reference_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<uint64_t> handles_;
+  uint64_t next_id_ = 0;
+};
+
+TEST_F(ShardInclusivenessTest, RandomizedWorkloadMatchesSingleServer) {
+  // Seed public data on both sides.
+  std::vector<processor::PublicTarget> targets;
+  for (uint64_t i = 1; i <= 250; ++i) {
+    targets.push_back({i, {Coord(), Coord()}});
+  }
+  router_->SetPublicTargets(targets);
+  reference_.SetPublicTargets(targets);
+
+  for (int round = 0; round < 6; ++round) {
+    // Mutation batch: fresh upserts (half boundary-landing), replaces
+    // that may move a region across shards, and removes.
+    for (int i = 0; i < 12; ++i) {
+      RegionUpsertMsg up;
+      up.request_id = NextId();
+      up.handle = 10000 + NextId();
+      up.region = RandomRegion(/*on_boundary=*/i % 2 == 0);
+      ApplyBoth(up);
+    }
+    for (int i = 0; i < 4 && !handles_.empty(); ++i) {
+      const size_t pick = std::uniform_int_distribution<size_t>(
+          0, handles_.size() - 1)(rng_);
+      RegionUpsertMsg up;
+      up.request_id = NextId();
+      up.handle = 10000 + NextId();
+      up.has_replaces = true;
+      up.replaces = handles_[pick];
+      up.region = RandomRegion(/*on_boundary=*/i % 2 == 0);
+      handles_.erase(handles_.begin() + static_cast<ptrdiff_t>(pick));
+      ApplyBoth(up);
+    }
+    for (int i = 0; i < 3 && !handles_.empty(); ++i) {
+      RemoveBoth(handles_[std::uniform_int_distribution<size_t>(
+          0, handles_.size() - 1)(rng_)]);
+    }
+
+    for (int i = 0; i < 8; ++i) QueryRound();
+  }
+
+  // Bulk snapshot reload keeps the equivalence.
+  SnapshotMsg snapshot;
+  for (uint64_t i = 0; i < 40; ++i) {
+    snapshot.regions.push_back(
+        {20000 + i, RandomRegion(/*on_boundary=*/i % 2 == 0)});
+  }
+  ASSERT_TRUE(router_->Load(snapshot).ok());
+  ASSERT_TRUE(reference_.Load(snapshot).ok());
+  handles_.clear();
+  for (const auto& r : snapshot.regions) handles_.push_back(r.id);
+  for (int i = 0; i < 8; ++i) QueryRound();
+}
+
+TEST_F(ShardInclusivenessTest, DegenerateAndEdgeQueriesAgree) {
+  router_->SetPublicTargets({{1, {0.125, 0.5}},    // exactly on a cell seam
+                             {2, {0.5, 0.5}},      // grid center
+                             {3, {0.875, 0.125}}});
+  reference_.SetPublicTargets({{1, {0.125, 0.5}},
+                               {2, {0.5, 0.5}},
+                               {3, {0.875, 0.125}}});
+  RegionUpsertMsg up;
+  up.request_id = NextId();
+  up.handle = 1;
+  up.region = Rect(0.375, 0.375, 0.625, 0.625);  // cell-aligned region
+  ApplyBoth(up);
+
+  // Degenerate (point) cloak exactly on the seam between shards.
+  CloakedQueryMsg q;
+  q.request_id = NextId();
+  q.kind = QueryKind::kNearestPublic;
+  q.cloak = Rect::FromPoint({0.5, 0.5});
+  ExpectSameAnswer(q);
+
+  q.kind = QueryKind::kKNearestPublic;
+  q.k = 3;  // forces the fewer-than-k fallback on every shard
+  ExpectSameAnswer(q);
+
+  q.kind = QueryKind::kPublicRange;
+  q.region = Rect(0.375, 0.375, 0.625, 0.625);
+  ExpectSameAnswer(q);
+
+  q.kind = QueryKind::kPublicNearest;
+  q.point = Point{0.5, 0.5};
+  ExpectSameAnswer(q);
+}
+
+}  // namespace
+}  // namespace casper::sharding

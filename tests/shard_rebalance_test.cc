@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/obs/metrics.h"
+#include "src/sharding/shard_router.h"
+
+/// Hotspot rebalancing: a skewed query load drives the density
+/// counters, Rebalance() computes a load-balanced partition, hands
+/// cell ranges off through storage-tier checkpoints, and the fleet
+/// keeps returning byte-identical answers. A checkpoint directory
+/// whose parent does not exist fails with the storage tier's typed
+/// kNotFound *before* any state changes.
+
+namespace casper::sharding {
+namespace {
+
+constexpr size_t kShards = 4;
+constexpr uint32_t kLevel = 3;
+
+class ShardRebalanceTest : public ::testing::Test {
+ protected:
+  ShardRebalanceTest() {
+    ShardRouterOptions options;
+    options.num_shards = kShards;
+    options.partition_level = kLevel;
+    options.space = Rect(0.0, 0.0, 1.0, 1.0);
+    options.registry = &registry_;
+    router_ = std::make_unique<ShardRouter>(options);
+
+    std::mt19937_64 rng(5150);
+    std::uniform_real_distribution<double> coord(0.02, 0.98);
+    std::vector<processor::PublicTarget> targets;
+    for (uint64_t i = 1; i <= 150; ++i) {
+      targets.push_back({i, {coord(rng), coord(rng)}});
+    }
+    router_->SetPublicTargets(targets);
+    SnapshotMsg snapshot;
+    for (uint64_t i = 0; i < 48; ++i) {
+      const double cx = coord(rng), cy = coord(rng);
+      snapshot.regions.push_back(
+          {6000 + i, Rect(cx - 0.02, cy - 0.02, cx + 0.02, cy + 0.02)});
+    }
+    EXPECT_TRUE(router_->Load(snapshot).ok());
+  }
+
+  /// A fixed probe workload covering every query kind; answers are
+  /// normalized so runs before and after a rebalance compare bytewise.
+  std::vector<std::string> ProbeAnswers() {
+    std::vector<std::string> answers;
+    std::mt19937_64 rng(31337);
+    std::uniform_real_distribution<double> coord(0.05, 0.85);
+    for (int i = 0; i < 30; ++i) {
+      CloakedQueryMsg q;
+      q.request_id = 0;  // unkeyed; answers must not depend on load
+      const double x = coord(rng), y = coord(rng);
+      q.cloak = Rect(x, y, x + 0.1, y + 0.1);
+      switch (i % 7) {
+        case 0: q.kind = QueryKind::kNearestPublic; break;
+        case 1: q.kind = QueryKind::kKNearestPublic; q.k = 4; break;
+        case 2: q.kind = QueryKind::kRangePublic; q.radius = 0.05; break;
+        case 3: q.kind = QueryKind::kNearestPrivate; break;
+        case 4: q.kind = QueryKind::kPublicNearest; q.point = {x, y}; break;
+        case 5: q.kind = QueryKind::kPublicRange; q.region = q.cloak; break;
+        case 6: q.kind = QueryKind::kDensity; q.cols = 4; q.rows = 4; break;
+      }
+      auto answer = router_->Execute(q);
+      EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+      if (!answer.ok()) {
+        answers.push_back("error");
+        continue;
+      }
+      EXPECT_FALSE(answer->degraded);
+      answer->processor_seconds = 0.0;
+      answers.push_back(Encode(*answer));
+    }
+    return answers;
+  }
+
+  /// Hammers one corner of the space so its cells dominate the load.
+  void DriveSkewedLoad() {
+    for (int i = 0; i < 200; ++i) {
+      CloakedQueryMsg q;
+      q.kind = QueryKind::kRangePublic;
+      q.cloak = Rect(0.05, 0.05, 0.15, 0.15);
+      q.radius = 0.01;
+      EXPECT_TRUE(router_->Execute(q).ok());
+    }
+  }
+
+  std::string FreshCheckpointDir(const std::string& leaf) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / leaf).string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+TEST_F(ShardRebalanceTest, SkewedLoadMovesCellsAndPreservesAnswers) {
+  const auto before = ProbeAnswers();
+  const ShardPartition old_partition = router_->partition();
+  const size_t total_public = router_->total_public();
+  const size_t total_regions = router_->total_regions();
+
+  DriveSkewedLoad();
+  const Status status =
+      router_->Rebalance(FreshCheckpointDir("casper_rebalance_ok"));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // The hot corner's shard shrank: the partition actually changed and
+  // objects moved between shards through the checkpoint handoff.
+  EXPECT_FALSE(router_->partition() == old_partition);
+  EXPECT_EQ(router_->metrics().rebalances_total->Value(), 1u);
+  EXPECT_GT(router_->metrics().handoff_objects_total->Value(), 0u);
+
+  // Nothing was lost or duplicated in the handoff.
+  EXPECT_EQ(router_->total_public(), total_public);
+  EXPECT_EQ(router_->total_regions(), total_regions);
+  size_t sum_public = 0, sum_regions = 0;
+  for (size_t s = 0; s < router_->num_shards(); ++s) {
+    sum_public += router_->public_count(s);
+    sum_regions += router_->region_count(s);
+  }
+  EXPECT_EQ(sum_public, total_public);
+  EXPECT_EQ(sum_regions, total_regions);
+
+  // Every probe answer is byte-identical across the rebalance.
+  EXPECT_EQ(ProbeAnswers(), before);
+}
+
+TEST_F(ShardRebalanceTest, MaintenanceKeepsWorkingAfterRebalance) {
+  DriveSkewedLoad();
+  ASSERT_TRUE(
+      router_->Rebalance(FreshCheckpointDir("casper_rebalance_maint")).ok());
+
+  // Upserts, replaces, and removes route correctly under the new map.
+  RegionUpsertMsg up;
+  up.request_id = 1;
+  up.handle = 9000;
+  up.region = Rect(0.1, 0.1, 0.14, 0.14);
+  ASSERT_TRUE(router_->Apply(up).ok());
+  RegionUpsertMsg move = up;
+  move.request_id = 2;
+  move.handle = 9001;
+  move.has_replaces = true;
+  move.replaces = 9000;
+  move.region = Rect(0.9, 0.9, 0.94, 0.94);  // across the new map
+  ASSERT_TRUE(router_->Apply(move).ok());
+  RegionRemoveMsg remove;
+  remove.request_id = 3;
+  remove.handle = 9001;
+  ASSERT_TRUE(router_->Apply(remove).ok());
+
+  CloakedQueryMsg q;
+  q.kind = QueryKind::kPublicRange;
+  q.region = Rect(0.0, 0.0, 1.0, 1.0);
+  auto answer = router_->Execute(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(std::get<processor::RangeCountResult>(answer->payload).possible,
+            48u);
+}
+
+TEST_F(ShardRebalanceTest, MissingCheckpointParentFailsTypedAndChangesNothing) {
+  const auto before = ProbeAnswers();
+  const ShardPartition old_partition = router_->partition();
+  DriveSkewedLoad();
+
+  const std::string bad =
+      (std::filesystem::path(::testing::TempDir()) /
+       "casper_missing_parent_zzz" / "checkpoints").string();
+  std::filesystem::remove_all(
+      (std::filesystem::path(::testing::TempDir()) /
+       "casper_missing_parent_zzz").string());
+  const Status status = router_->Rebalance(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("parent directory"), std::string::npos)
+      << status.ToString();
+
+  // The checkpoint phase runs before any handoff: the partition, the
+  // fleet, and every answer are untouched.
+  EXPECT_TRUE(router_->partition() == old_partition);
+  EXPECT_EQ(router_->metrics().rebalances_total->Value(), 0u);
+  EXPECT_EQ(ProbeAnswers(), before);
+}
+
+TEST_F(ShardRebalanceTest, SecondRebalanceWithFreshLoadKeepsAnswers) {
+  DriveSkewedLoad();
+  ASSERT_TRUE(
+      router_->Rebalance(FreshCheckpointDir("casper_rebalance_a")).ok());
+  const auto mid = ProbeAnswers();
+  // New skew on the opposite corner, then rebalance again.
+  for (int i = 0; i < 200; ++i) {
+    CloakedQueryMsg q;
+    q.kind = QueryKind::kRangePublic;
+    q.cloak = Rect(0.85, 0.85, 0.95, 0.95);
+    q.radius = 0.01;
+    ASSERT_TRUE(router_->Execute(q).ok());
+  }
+  ASSERT_TRUE(
+      router_->Rebalance(FreshCheckpointDir("casper_rebalance_b")).ok());
+  EXPECT_EQ(router_->metrics().rebalances_total->Value(), 2u);
+  EXPECT_EQ(ProbeAnswers(), mid);
+}
+
+}  // namespace
+}  // namespace casper::sharding

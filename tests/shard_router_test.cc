@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/obs/metrics.h"
+#include "src/obs/shard_metrics.h"
+#include "src/server/query_server.h"
+#include "src/sharding/shard_router.h"
+
+/// ShardRouter unit tests: routing of public targets and region
+/// maintenance to owning shards, cross-shard replace handling, wire
+/// error parity with the single server, and the casper_shard_* metrics.
+
+namespace casper::sharding {
+namespace {
+
+Rect CellRegion(double cx, double cy, double half) {
+  return Rect(cx - half, cy - half, cx + half, cy + half);
+}
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  ShardRouterTest() {
+    ShardRouterOptions options;
+    options.num_shards = 4;
+    options.partition_level = 2;  // 16 cells, 4 per shard
+    options.space = Rect(0.0, 0.0, 1.0, 1.0);
+    options.registry = &registry_;
+    router_ = std::make_unique<ShardRouter>(options);
+  }
+
+  static RegionUpsertMsg Upsert(uint64_t id, uint64_t handle,
+                                const Rect& region) {
+    RegionUpsertMsg msg;
+    msg.request_id = id;
+    msg.handle = handle;
+    msg.region = region;
+    return msg;
+  }
+
+  static RegionUpsertMsg Replace(uint64_t id, uint64_t handle,
+                                 uint64_t replaces, const Rect& region) {
+    RegionUpsertMsg msg = Upsert(id, handle, region);
+    msg.has_replaces = true;
+    msg.replaces = replaces;
+    return msg;
+  }
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+TEST_F(ShardRouterTest, PublicTargetsLandOnTheirHomeShard) {
+  // One target per quadrant of the Z-order: each uniform shard at
+  // level 2 owns exactly one quadrant.
+  router_->SetPublicTargets({{1, {0.1, 0.1}},
+                             {2, {0.9, 0.1}},
+                             {3, {0.1, 0.9}},
+                             {4, {0.9, 0.9}}});
+  EXPECT_EQ(router_->total_public(), 4u);
+  for (size_t s = 0; s < router_->num_shards(); ++s) {
+    EXPECT_EQ(router_->public_count(s), 1u) << "shard " << s;
+    EXPECT_EQ(router_->metrics().stored_objects[s]->Value(), 1.0);
+  }
+}
+
+TEST_F(ShardRouterTest, RegionsRouteByCenter) {
+  ASSERT_TRUE(router_->Apply(Upsert(1, 100, CellRegion(0.1, 0.1, 0.05))).ok());
+  ASSERT_TRUE(router_->Apply(Upsert(2, 101, CellRegion(0.9, 0.9, 0.05))).ok());
+  EXPECT_EQ(router_->total_regions(), 2u);
+  const size_t low = router_->partition().HomeShard({0.1, 0.1});
+  const size_t high = router_->partition().HomeShard({0.9, 0.9});
+  EXPECT_NE(low, high);
+  EXPECT_EQ(router_->region_count(low), 1u);
+  EXPECT_EQ(router_->region_count(high), 1u);
+}
+
+TEST_F(ShardRouterTest, RemoveRoutesToTheOwner) {
+  ASSERT_TRUE(router_->Apply(Upsert(1, 100, CellRegion(0.1, 0.1, 0.05))).ok());
+  RegionRemoveMsg remove;
+  remove.request_id = 2;
+  remove.handle = 100;
+  ASSERT_TRUE(router_->Apply(remove).ok());
+  EXPECT_EQ(router_->total_regions(), 0u);
+}
+
+TEST_F(ShardRouterTest, WireErrorsMatchTheSingleServer) {
+  // Duplicate handle, unknown remove, and unknown replaces reproduce
+  // the QueryServer's own typed failures.
+  ASSERT_TRUE(router_->Apply(Upsert(1, 100, CellRegion(0.1, 0.1, 0.05))).ok());
+  const Status dup =
+      router_->Apply(Upsert(2, 100, CellRegion(0.9, 0.9, 0.05)));
+  EXPECT_EQ(dup.code(), StatusCode::kInternal);
+  EXPECT_NE(dup.message().find("already stored"), std::string::npos);
+
+  RegionRemoveMsg remove;
+  remove.request_id = 3;
+  remove.handle = 999;
+  const Status missing = router_->Apply(remove);
+  EXPECT_EQ(missing.code(), StatusCode::kInternal);
+  EXPECT_NE(missing.message().find("missing"), std::string::npos);
+
+  const Status bad_replace =
+      router_->Apply(Replace(4, 101, 999, CellRegion(0.9, 0.9, 0.05)));
+  EXPECT_EQ(bad_replace.code(), StatusCode::kInternal);
+}
+
+TEST_F(ShardRouterTest, CrossShardReplaceMovesTheRegion) {
+  const size_t low = router_->partition().HomeShard({0.1, 0.1});
+  const size_t high = router_->partition().HomeShard({0.9, 0.9});
+  ASSERT_NE(low, high);
+  ASSERT_TRUE(router_->Apply(Upsert(1, 100, CellRegion(0.1, 0.1, 0.05))).ok());
+  ASSERT_TRUE(
+      router_->Apply(Replace(2, 100, 100, CellRegion(0.9, 0.9, 0.05))).ok());
+  EXPECT_EQ(router_->region_count(low), 0u);
+  EXPECT_EQ(router_->region_count(high), 1u);
+  EXPECT_EQ(router_->total_regions(), 1u);
+
+  // The moved region answers from its new home: a window query around
+  // the new center sees exactly one region, the old center none.
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kPublicRange;
+  query.request_id = 7;
+  query.region = CellRegion(0.9, 0.9, 0.1);
+  auto answer = router_->Execute(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(std::get<processor::RangeCountResult>(answer->payload).possible,
+            1u);
+
+  query.region = CellRegion(0.1, 0.1, 0.1);
+  answer = router_->Execute(query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(std::get<processor::RangeCountResult>(answer->payload).possible,
+            0u);
+}
+
+TEST_F(ShardRouterTest, SameShardReplaceForwardsAtomically) {
+  ASSERT_TRUE(router_->Apply(Upsert(1, 100, CellRegion(0.1, 0.1, 0.05))).ok());
+  ASSERT_TRUE(
+      router_->Apply(Replace(2, 101, 100, CellRegion(0.15, 0.1, 0.05))).ok());
+  EXPECT_EQ(router_->total_regions(), 1u);
+  const size_t low = router_->partition().HomeShard({0.1, 0.1});
+  EXPECT_EQ(router_->region_count(low), 1u);
+}
+
+TEST_F(ShardRouterTest, LoadPartitionsSnapshotAndClearsStaleState) {
+  ASSERT_TRUE(router_->Apply(Upsert(1, 50, CellRegion(0.5, 0.5, 0.02))).ok());
+  SnapshotMsg snapshot;
+  snapshot.regions = {{200, CellRegion(0.1, 0.1, 0.05)},
+                      {201, CellRegion(0.9, 0.9, 0.05)}};
+  ASSERT_TRUE(router_->Load(snapshot).ok());
+  EXPECT_EQ(router_->total_regions(), 2u);
+  // The pre-load region is gone fleet-wide.
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kPublicRange;
+  query.region = Rect(0.0, 0.0, 1.0, 1.0);
+  auto answer = router_->Execute(query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(std::get<processor::RangeCountResult>(answer->payload).possible,
+            2u);
+}
+
+TEST_F(ShardRouterTest, EmptyStoreErrorsMatchSingleServerMessages) {
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kNearestPublic;
+  query.cloak = Rect(0.4, 0.4, 0.6, 0.6);
+  const auto nn = router_->Execute(query);
+  ASSERT_FALSE(nn.ok());
+  EXPECT_EQ(nn.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(nn.status().message().find("no public targets"),
+            std::string::npos);
+
+  query.kind = QueryKind::kNearestPrivate;
+  const auto pnn = router_->Execute(query);
+  ASSERT_FALSE(pnn.ok());
+  EXPECT_EQ(pnn.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(pnn.status().message().find("no private targets"),
+            std::string::npos);
+
+  query.kind = QueryKind::kRangePublic;
+  query.radius = -1.0;
+  EXPECT_EQ(router_->Execute(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardRouterTest, FanOutTouchesOnlyIntersectingShards) {
+  router_->SetPublicTargets({{1, {0.1, 0.1}},
+                             {2, {0.9, 0.1}},
+                             {3, {0.1, 0.9}},
+                             {4, {0.9, 0.9}}});
+  const size_t low = router_->partition().HomeShard({0.1, 0.1});
+  const uint64_t before = router_->metrics().requests_total[low]->Value();
+  uint64_t before_others = 0;
+  for (size_t s = 0; s < router_->num_shards(); ++s) {
+    if (s != low) before_others += router_->metrics().requests_total[s]->Value();
+  }
+
+  // A range query confined to shard `low`'s quadrant.
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kRangePublic;
+  query.cloak = Rect(0.05, 0.05, 0.2, 0.2);
+  query.radius = 0.01;
+  auto answer = router_->Execute(query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->degraded);
+  EXPECT_EQ(std::get<processor::PublicRangeCandidates>(answer->payload)
+                .candidates.size(),
+            1u);
+
+  EXPECT_GT(router_->metrics().requests_total[low]->Value(), before);
+  uint64_t after_others = 0;
+  for (size_t s = 0; s < router_->num_shards(); ++s) {
+    if (s != low) after_others += router_->metrics().requests_total[s]->Value();
+  }
+  EXPECT_EQ(after_others, before_others);
+
+  const auto fanout = router_->metrics().fanout_shards->Snapshot();
+  EXPECT_GE(fanout.count, 1u);
+}
+
+TEST_F(ShardRouterTest, BreakersStartClosed) {
+  for (size_t s = 0; s < router_->num_shards(); ++s) {
+    EXPECT_EQ(router_->breaker_state(s), transport::BreakerState::kClosed);
+  }
+}
+
+TEST_F(ShardRouterTest, NearestAcrossShardBoundaryMatchesSingleServer) {
+  // The filter target of the cloak's corners lives across the Z-order
+  // boundary from the cloak — the branch-and-bound probe must cross
+  // shards, and the merged answer must be byte-identical to one
+  // un-sharded server over the same store.
+  const std::vector<processor::PublicTarget> targets = {
+      {1, {0.30, 0.50}},   // far, left half
+      {2, {0.51, 0.50}},   // near, right half: the cross-shard filter
+      {3, {0.95, 0.95}}};
+  router_->SetPublicTargets(targets);
+  server::QueryServer reference{server::QueryServerOptions{}};
+  reference.SetPublicTargets(targets);
+
+  CloakedQueryMsg query;
+  query.kind = QueryKind::kNearestPublic;
+  query.request_id = 11;
+  query.cloak = Rect(0.40, 0.45, 0.44, 0.55);  // fully left of midline
+  auto routed = router_->Execute(query);
+  auto single = reference.Execute(query, nullptr);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  // The router echoes the request id (it is a wire-level component,
+  // like ServerEndpoint); a directly-called QueryServer does not.
+  // Normalize both run-dependent fields before the byte comparison.
+  routed->processor_seconds = 0.0;
+  routed->request_id = 0;
+  single->processor_seconds = 0.0;
+  single->request_id = 0;
+  EXPECT_EQ(Encode(*routed), Encode(*single));
+  const auto& list = std::get<processor::PublicCandidateList>(routed->payload);
+  bool has_cross_shard_winner = false;
+  for (const auto& t : list.candidates) {
+    has_cross_shard_winner |= t.id == 2;
+  }
+  EXPECT_TRUE(has_cross_shard_winner);
+}
+
+}  // namespace
+}  // namespace casper::sharding

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "src/sharding/partition.h"
+
+/// ShardPartition invariants: Morton round-trips, contiguous range
+/// ownership, exact window->shard fan-out, and the greedy load
+/// balancer's guarantees (full cover, at least one cell per shard).
+
+namespace casper::sharding {
+namespace {
+
+const Rect kSpace(0.0, 0.0, 1.0, 1.0);
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  for (uint32_t x = 0; x < 64; ++x) {
+    for (uint32_t y = 0; y < 64; ++y) {
+      uint32_t rx = 0, ry = 0;
+      MortonDecode(MortonEncode(x, y), &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(MortonTest, NeighborCodesShareHighBits) {
+  // The defining Z-order property used by the partition: the four
+  // children of a quadrant occupy four consecutive codes.
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+}
+
+TEST(ShardPartitionTest, UniformBoundariesCoverAllCells) {
+  const ShardPartition p = ShardPartition::Uniform(4, 2, kSpace);
+  ASSERT_EQ(p.num_shards(), 4u);
+  EXPECT_EQ(p.boundaries().front(), 0u);
+  EXPECT_EQ(p.boundaries().back(), p.cell_count());
+  EXPECT_EQ(p.cell_count(), 16u);
+  const std::vector<uint64_t> expected = {0, 4, 8, 12, 16};
+  EXPECT_EQ(p.boundaries(), expected);
+}
+
+TEST(ShardPartitionTest, ShardCountClampedToCellCount) {
+  // Level 1 has 4 cells; asking for 64 shards yields 4.
+  const ShardPartition p = ShardPartition::Uniform(64, 1, kSpace);
+  EXPECT_EQ(p.num_shards(), 4u);
+}
+
+TEST(ShardPartitionTest, ShardOfCodeMatchesBoundaries) {
+  const ShardPartition p = ShardPartition::Uniform(3, 3, kSpace);
+  for (uint64_t code = 0; code < p.cell_count(); ++code) {
+    const size_t s = p.ShardOfCode(code);
+    EXPECT_GE(code, p.boundaries()[s]);
+    EXPECT_LT(code, p.boundaries()[s + 1]);
+  }
+}
+
+TEST(ShardPartitionTest, CellCenterMapsBackToItsCode) {
+  const ShardPartition p = ShardPartition::Uniform(4, 3, kSpace);
+  for (uint64_t code = 0; code < p.cell_count(); ++code) {
+    EXPECT_EQ(p.CellCodeOf(p.CellRect(code).Center()), code);
+  }
+}
+
+TEST(ShardPartitionTest, HomeShardClampsOutOfSpacePoints) {
+  const ShardPartition p = ShardPartition::Uniform(4, 2, kSpace);
+  EXPECT_EQ(p.HomeShard(Point{-5.0, -5.0}), p.ShardOfCode(MortonEncode(0, 0)));
+  const uint32_t top = (1u << 2) - 1;
+  EXPECT_EQ(p.HomeShard(Point{5.0, 5.0}),
+            p.ShardOfCode(MortonEncode(top, top)));
+}
+
+TEST(ShardPartitionTest, ShardBoundsContainEveryOwnedCell) {
+  const ShardPartition p = ShardPartition::Uniform(5, 3, kSpace);
+  for (size_t s = 0; s < p.num_shards(); ++s) {
+    for (uint64_t code = p.boundaries()[s]; code < p.boundaries()[s + 1];
+         ++code) {
+      const Rect cell = p.CellRect(code);
+      EXPECT_TRUE(p.ShardBounds(s).Contains(cell.min));
+      EXPECT_TRUE(p.ShardBounds(s).Contains(cell.max));
+    }
+  }
+}
+
+TEST(ShardPartitionTest, ShardsIntersectingMatchesBruteForce) {
+  const ShardPartition p = ShardPartition::Uniform(6, 3, kSpace);
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> coord(-0.1, 1.1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x0 = coord(rng), y0 = coord(rng);
+    const double x1 = coord(rng), y1 = coord(rng);
+    const Rect window(std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                      std::max(y0, y1));
+    std::vector<size_t> expected;
+    for (uint64_t code = 0; code < p.cell_count(); ++code) {
+      if (p.CellRect(code).Intersects(window)) {
+        expected.push_back(p.ShardOfCode(code));
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(p.ShardsIntersecting(window), expected)
+        << "window " << trial;
+  }
+}
+
+TEST(ShardPartitionTest, ShardsIntersectingOnCellBoundaryTouchesBothSides) {
+  const ShardPartition p = ShardPartition::Uniform(4, 2, kSpace);
+  // A degenerate window exactly on the vertical midline of the grid
+  // touches cells on both sides (closed boundaries).
+  const Rect seam(0.5, 0.1, 0.5, 0.2);
+  const auto shards = p.ShardsIntersecting(seam);
+  EXPECT_GE(shards.size(), 2u);
+}
+
+TEST(ShardPartitionTest, BalancedValidatesInputs) {
+  EXPECT_FALSE(
+      ShardPartition::Balanced(std::vector<uint64_t>(7, 1), 2, 2, kSpace)
+          .ok());
+  EXPECT_FALSE(
+      ShardPartition::Balanced(std::vector<uint64_t>(16, 1), 0, 2, kSpace)
+          .ok());
+  EXPECT_FALSE(
+      ShardPartition::Balanced(std::vector<uint64_t>(16, 1), 17, 2, kSpace)
+          .ok());
+}
+
+TEST(ShardPartitionTest, BalancedUniformLoadsMatchUniformPartition) {
+  const auto balanced =
+      ShardPartition::Balanced(std::vector<uint64_t>(16, 10), 4, 2, kSpace);
+  ASSERT_TRUE(balanced.ok());
+  EXPECT_EQ(*balanced, ShardPartition::Uniform(4, 2, kSpace));
+}
+
+TEST(ShardPartitionTest, BalancedSkewedLoadsShrinkTheHotShard) {
+  // All load in the first four codes: the first shard should own far
+  // fewer cells than the uniform quarter.
+  std::vector<uint64_t> loads(64, 0);
+  for (size_t i = 0; i < 4; ++i) loads[i] = 1000;
+  const auto balanced = ShardPartition::Balanced(loads, 4, 3, kSpace);
+  ASSERT_TRUE(balanced.ok());
+  EXPECT_EQ(balanced->boundaries().front(), 0u);
+  EXPECT_EQ(balanced->boundaries().back(), 64u);
+  // Every shard keeps at least one cell.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_LT(balanced->boundaries()[s], balanced->boundaries()[s + 1]);
+  }
+  // The hot range is split: shard 0 owns at most 2 of the 4 hot cells.
+  EXPECT_LE(balanced->boundaries()[1], 2u);
+}
+
+TEST(ShardPartitionTest, ToStringMentionsBoundaries) {
+  const ShardPartition p = ShardPartition::Uniform(2, 1, kSpace);
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("shards=2"), std::string::npos);
+  EXPECT_NE(s.find("[0, 2, 4]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casper::sharding

@@ -243,5 +243,30 @@ TEST_F(DiskReopenTest, MissingFilesAreNotFound) {
   EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(DiskReopenTest, CreateUnderMissingParentDirIsTypedNotFound) {
+  // Shard handoff writes per-shard checkpoint files under caller-chosen
+  // directories; a typo'd directory must surface as a typed error, not
+  // an opaque fopen failure.
+  const std::string base =
+      TestPath("no_such_dir") + "/deeper/checkpoint";
+  const auto created = DiskStorageManager::Create(base);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(created.status().message().find("parent directory"),
+            std::string::npos)
+      << created.status().ToString();
+  // Nothing may have been created on disk.
+  EXPECT_FALSE(DiskStorageManager::Open(base).ok());
+}
+
+TEST_F(DiskReopenTest, CreateInExistingDirectoryStillWorks) {
+  path_ = TestPath("plain_name_in_cwd");
+  // A bare file name (parent == ".") and an absolute temp path must both
+  // pass the parent check.
+  auto created = DiskStorageManager::Create(path_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_TRUE((*created)->Flush().ok());
+}
+
 }  // namespace
 }  // namespace casper::storage

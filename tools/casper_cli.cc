@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
 #include "src/obs/exporters.h"
+#include "src/sharding/shard_endpoint.h"
+#include "src/sharding/shard_router.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_storage.h"
 #include "src/transport/fault_injection.h"
@@ -56,12 +59,19 @@ struct ChaosFlags {
 
 void PrintUsage(const char* argv0) {
   std::printf(
-      "usage: %s [--chaos-drop=R] [--chaos-corrupt=R] [--chaos-dup=R]\n"
-      "          [--chaos-delay=R] [--chaos-delay-micros=N] "
-      "[--chaos-seed=N]\n"
+      "usage: %s [--shards=N] [--chaos-drop=R] [--chaos-corrupt=R]\n"
+      "          [--chaos-dup=R] [--chaos-delay=R] "
+      "[--chaos-delay-micros=N]\n"
+      "          [--chaos-seed=N]\n"
+      "  --shards=N replaces the single server tier with N QueryServer\n"
+      "  shards behind a sharding::ShardRouter; every query, upsert, and\n"
+      "  snapshot fans out over per-shard resilient channels (see the\n"
+      "  `shards` and `rebalance` commands).\n"
       "  R are per-call fault probabilities in [0, 1]; any non-zero rate\n"
       "  injects deterministic faults (seeded by --chaos-seed) into the\n"
-      "  anonymizer<->server channel. The `transport` command shows the\n"
+      "  anonymizer<->server channel — or, with --shards, independently\n"
+      "  into every shard's channel, so single-shard outages show up as\n"
+      "  degraded=true partial answers. The `transport` command shows the\n"
       "  breaker state and what was injected.\n",
       argv0);
 }
@@ -119,6 +129,12 @@ void PrintHelp() {
       "                                       saved checkpoint\n"
       "  metrics [json]                       scrape the metrics registry\n"
       "                                       (Prometheus text, or JSON)\n"
+      "  shards                               partition map, per-shard\n"
+      "                                       counts/breakers (--shards)\n"
+      "  rebalance <dir>                      recompute the partition from\n"
+      "                                       observed load and hand cells\n"
+      "                                       off via checkpoints under\n"
+      "                                       <dir> (--shards)\n"
       "  help                                 this text\n"
       "  quit                                 exit\n");
 }
@@ -137,11 +153,21 @@ const char* BreakerStateName(transport::BreakerState state) {
 
 int Run(int argc, char** argv) {
   ChaosFlags chaos;
+  unsigned long long shards = 0;  // 0 = classic single-server tier.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       PrintUsage(argv[0]);
       return 0;
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      if (std::sscanf(argv[i] + 9, "%llu", &shards) != 1 || shards < 1 ||
+          shards > 256) {
+        std::fprintf(stderr, "bad flag: %s (want 1..256 shards)\n", argv[i]);
+        PrintUsage(argv[0]);
+        return 2;
+      }
+      continue;
     }
     if (!ParseFlag(argv[i], &chaos)) {
       std::fprintf(stderr, "bad flag: %s\n", argv[i]);
@@ -153,8 +179,42 @@ int Run(int argc, char** argv) {
   CasperOptions options;
   options.pyramid.height = 8;
   transport::FaultInjectingChannel* fault = nullptr;
+  std::vector<transport::FaultInjectingChannel*> shard_faults;
   const transport::FaultProfile profile = chaos.ToProfile();
-  if (chaos.enabled()) {
+
+  // Sharded mode: the service's wire traffic is redirected from its
+  // in-process server to a ShardRouter fleet. The router and its wire
+  // front must outlive the service, whose resilient client holds the
+  // returned channel.
+  std::unique_ptr<sharding::ShardRouter> router;
+  std::unique_ptr<sharding::ShardEndpoint> shard_endpoint;
+  if (shards > 0) {
+    sharding::ShardRouterOptions router_options;
+    router_options.num_shards = shards;
+    router_options.partition_level = 4;
+    router_options.space = options.pyramid.space;
+    if (chaos.enabled()) {
+      // Chaos composes per shard: each shard's channel gets its own
+      // deterministic fault stream, so one shard can trip its breaker
+      // while the rest keep answering (degraded=true partial answers).
+      router_options.channel_decorator =
+          [&shard_faults, &profile, &chaos](
+              transport::Channel* inner,
+              size_t shard) -> std::unique_ptr<transport::Channel> {
+        auto owned = std::make_unique<transport::FaultInjectingChannel>(
+            inner, profile, chaos.seed + shard);
+        shard_faults.push_back(owned.get());
+        return owned;
+      };
+    }
+    router = std::make_unique<sharding::ShardRouter>(router_options);
+    shard_endpoint = std::make_unique<sharding::ShardEndpoint>(router.get());
+    options.channel_decorator =
+        [&shard_endpoint](
+            transport::Channel*) -> std::unique_ptr<transport::Channel> {
+      return std::make_unique<sharding::ShardChannel>(shard_endpoint.get());
+    };
+  } else if (chaos.enabled()) {
     options.channel_decorator =
         [&fault, &profile, &chaos](
             transport::Channel* inner) -> std::unique_ptr<transport::Channel> {
@@ -165,9 +225,14 @@ int Run(int argc, char** argv) {
     };
   }
   CasperService service(options);
+  if (shards > 0) {
+    std::printf("sharding: %llu shards over %s\n", shards,
+                router->partition().ToString().c_str());
+  }
   if (chaos.enabled()) {
-    std::printf("chaos: combined fault rate %.3f, seed %llu\n",
-                profile.CombinedRate(), chaos.seed);
+    std::printf("chaos: combined fault rate %.3f, seed %llu%s\n",
+                profile.CombinedRate(), chaos.seed,
+                shards > 0 ? " (independent per shard)" : "");
   }
   Rng rng(1);
   // Registered uids, in registration order — the batch command cycles
@@ -241,9 +306,18 @@ int Run(int argc, char** argv) {
         std::printf("usage: targets <n> <seed>\n");
       } else {
         Rng target_rng(seed);
-        service.SetPublicTargets(workload::UniformPublicTargets(
-            n, service.options().pyramid.space, &target_rng));
-        std::printf("OK: %llu public targets\n", n);
+        auto generated = workload::UniformPublicTargets(
+            n, service.options().pyramid.space, &target_rng);
+        if (router != nullptr) {
+          // Server-side provisioning goes to the fleet the wire traffic
+          // reaches, not the bypassed in-process server.
+          router->SetPublicTargets(generated);
+          std::printf("OK: %llu public targets across %zu shards\n", n,
+                      router->num_shards());
+        } else {
+          service.SetPublicTargets(generated);
+          std::printf("OK: %llu public targets\n", n);
+        }
       }
     } else if (c == "cloak") {
       unsigned long long uid;
@@ -466,6 +540,8 @@ int Run(int argc, char** argv) {
                     static_cast<unsigned long long>(s.corrupted_responses),
                     static_cast<unsigned long long>(s.delayed),
                     static_cast<unsigned long long>(s.late_deliveries));
+      } else if (!shard_faults.empty()) {
+        std::printf("chaos is per shard (see the `shards` command)\n");
       } else {
         std::printf("chaos off (see casper_cli --help)\n");
       }
@@ -474,7 +550,10 @@ int Run(int argc, char** argv) {
                   service.transport_client().Flush().ToString().c_str());
     } else if (c == "save") {
       char path[256] = {0};
-      if (std::sscanf(line, "%*s %255s", path) != 1) {
+      if (router != nullptr) {
+        std::printf("save operates on the single-server tier; with "
+                    "--shards use `rebalance <dir>` checkpoints\n");
+      } else if (std::sscanf(line, "%*s %255s", path) != 1) {
         std::printf("usage: save <path>\n");
       } else {
         auto sm = storage::DiskStorageManager::Create(path);
@@ -496,7 +575,10 @@ int Run(int argc, char** argv) {
       }
     } else if (c == "open") {
       char path[256] = {0};
-      if (std::sscanf(line, "%*s %255s", path) != 1) {
+      if (router != nullptr) {
+        std::printf("open operates on the single-server tier; restart "
+                    "without --shards to reopen a checkpoint\n");
+      } else if (std::sscanf(line, "%*s %255s", path) != 1) {
         std::printf("usage: open <path>\n");
       } else {
         auto sm = storage::DiskStorageManager::Open(path);
@@ -518,6 +600,66 @@ int Run(int argc, char** argv) {
           } else {
             std::printf("%s\n", opened.ToString().c_str());
           }
+        }
+      }
+    } else if (c == "shards") {
+      if (router == nullptr) {
+        std::printf("sharding off (run with --shards=N)\n");
+      } else {
+        const obs::ShardMetrics& m = router->metrics();
+        std::printf("shards=%zu public=%zu regions=%zu partition=%s\n",
+                    router->num_shards(), router->total_public(),
+                    router->total_regions(),
+                    router->partition().ToString().c_str());
+        for (size_t s = 0; s < router->num_shards(); ++s) {
+          std::printf("shard %zu: bounds=%s public=%zu regions=%zu "
+                      "breaker=%s requests=%llu errors=%llu\n",
+                      s, router->partition().ShardBounds(s).ToString().c_str(),
+                      router->public_count(s), router->region_count(s),
+                      BreakerStateName(router->breaker_state(s)),
+                      static_cast<unsigned long long>(
+                          m.requests_total[s]->Value()),
+                      static_cast<unsigned long long>(
+                          m.errors_total[s]->Value()));
+        }
+        std::printf("degraded_answers=%llu unavailable=%llu probes=%llu "
+                    "rebalances=%llu handoff_objects=%llu\n",
+                    static_cast<unsigned long long>(
+                        m.degraded_answers_total->Value()),
+                    static_cast<unsigned long long>(
+                        m.unavailable_total->Value()),
+                    static_cast<unsigned long long>(
+                        m.probe_calls_total->Value()),
+                    static_cast<unsigned long long>(
+                        m.rebalances_total->Value()),
+                    static_cast<unsigned long long>(
+                        m.handoff_objects_total->Value()));
+        for (size_t s = 0; s < shard_faults.size(); ++s) {
+          const transport::FaultStats fs = shard_faults[s]->stats();
+          std::printf("shard %zu chaos: calls=%llu injected=%llu\n", s,
+                      static_cast<unsigned long long>(fs.calls),
+                      static_cast<unsigned long long>(fs.TotalInjected()));
+        }
+      }
+    } else if (c == "rebalance") {
+      char dir[256] = {0};
+      if (router == nullptr) {
+        std::printf("sharding off (run with --shards=N)\n");
+      } else if (std::sscanf(line, "%*s %255s", dir) != 1) {
+        std::printf("usage: rebalance <dir>\n");
+      } else {
+        const Status st = router->Rebalance(dir);
+        if (!st.ok()) {
+          std::printf("%s\n", st.ToString().c_str());
+        } else {
+          const obs::ShardMetrics& m = router->metrics();
+          std::printf("OK: rebalances=%llu handoff_objects=%llu "
+                      "partition=%s\n",
+                      static_cast<unsigned long long>(
+                          m.rebalances_total->Value()),
+                      static_cast<unsigned long long>(
+                          m.handoff_objects_total->Value()),
+                      router->partition().ToString().c_str());
         }
       }
     } else if (c == "stats") {
