@@ -1,0 +1,162 @@
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/casper/messages.h"
+#include "src/server/query_server.h"
+#include "src/transport/channel.h"
+#include "src/transport/listener.h"
+#include "src/transport/server_endpoint.h"
+#include "src/transport/socket_channel.h"
+
+/// \file
+/// Transport round-trip cost: queries/sec and latency percentiles of
+/// the same sealed CloakedQueryMsg answered by the same QueryServer
+/// through (a) the in-process DirectChannel — the zero-copy floor — and
+/// (b) a SocketChannel over a Unix-domain socket into a SocketListener,
+/// sequentially and with concurrent client threads. The gap between the
+/// two is the price of the real network boundary (framing, syscalls,
+/// the listener event loop and worker pool), which the perf gate tracks
+/// PR over PR via BENCH_transport.json.
+///
+/// Honors CASPER_BENCH_SCALE like every other bench (calls per mode
+/// scale down for the CI gate's quick run).
+
+namespace casper::bench {
+namespace {
+
+struct Row {
+  std::string mode;
+  size_t threads = 1;
+  size_t calls = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+
+  std::string ToJson() const {
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"mode\": \"%s\", \"threads\": %zu, \"calls\": %zu, "
+        "\"wall_seconds\": %.6f, \"qps\": %.1f, "
+        "\"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f}",
+        mode.c_str(), threads, calls, wall_seconds, qps, p50_us, p95_us,
+        p99_us);
+    return buf;
+  }
+};
+
+std::string QueryBytes(uint64_t request_id) {
+  CloakedQueryMsg msg;
+  msg.kind = QueryKind::kNearestPublic;
+  msg.request_id = request_id;
+  msg.cloak = Rect(0.42, 0.42, 0.46, 0.46);
+  return Encode(msg);
+}
+
+/// Drive `calls` round trips through `channel` from `threads` client
+/// threads; per-call latency is sampled on thread 0 so percentile cost
+/// does not distort the throughput measurement on the others.
+Row Drive(const std::string& mode, transport::Channel* channel,
+          size_t threads, size_t calls) {
+  Row row;
+  row.mode = mode;
+  row.threads = threads;
+  row.calls = calls;
+  SummaryStats micros;
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t per_thread = calls / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([channel, t, per_thread, &micros] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        const std::string request = QueryBytes(t * per_thread + i + 1);
+        if (t == 0) {
+          Stopwatch per_call;
+          (void)channel->Call(request, transport::CallContext{});
+          micros.Add(per_call.ElapsedMicros());
+        } else {
+          (void)channel->Call(request, transport::CallContext{});
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  row.wall_seconds = wall.ElapsedSeconds();
+  row.qps = static_cast<double>(per_thread * threads) / row.wall_seconds;
+  row.p50_us = micros.Quantile(0.50);
+  row.p95_us = micros.Quantile(0.95);
+  row.p99_us = micros.Quantile(0.99);
+  return row;
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() {
+  using namespace casper;
+  using namespace casper::bench;
+
+  const size_t calls = Scaled(100000);  // 5K per mode at the gate's 0.05.
+
+  PrintTitle("Transport round-trip: DirectChannel vs Unix-domain socket");
+  std::printf("calls_per_mode=%zu hardware_threads=%u\n", calls,
+              std::thread::hardware_concurrency());
+
+  server::QueryServer server((server::QueryServerOptions()));
+  Rng rng(0xEC40);
+  const Rect space(0.0, 0.0, 1.0, 1.0);
+  server.SetPublicTargets(workload::UniformPublicTargets(
+      Scaled(100000), space, &rng));
+  transport::ServerEndpoint endpoint(&server);
+  transport::DirectChannel direct(&endpoint);
+
+  const std::string address =
+      "unix:/tmp/casper_bench_echo_" + std::to_string(getpid()) + ".sock";
+  auto listener = transport::SocketListener::Start(
+      address,
+      [&endpoint](std::string_view request,
+                  const transport::CallContext& context) {
+        return endpoint.Handle(request, context);
+      },
+      transport::ListenerOptions{});
+  if (!listener.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Row direct_row =
+        Drive("direct", &direct, threads, calls);
+    rows.push_back(direct_row);
+    std::printf("%s\n", direct_row.ToJson().c_str());
+
+    transport::SocketChannel socket(address);
+    (void)socket.Call(QueryBytes(0), transport::CallContext{});  // Dial.
+    Row socket_row = Drive("uds_socket", &socket, threads, calls);
+    rows.push_back(socket_row);
+    std::printf("%s\n", socket_row.ToJson().c_str());
+  }
+  (*listener)->Shutdown();
+
+  std::FILE* out = std::fopen("BENCH_transport.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\"hardware_threads\": %u, \"calls_per_mode\": %zu, "
+                      "\"rows\": [\n",
+                 std::thread::hardware_concurrency(), calls);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "  %s%s\n", rows[i].ToJson().c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_transport.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

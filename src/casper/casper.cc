@@ -28,6 +28,7 @@ server::QueryServerOptions ServerOptionsFrom(const CasperOptions& options,
   server_options.filter_policy = options.filter_policy;
   server_options.density_extent = options.pyramid.space;
   server_options.metrics = metrics;
+  server_options.idempotency_window = options.server_idempotency_window;
   return server_options;
 }
 

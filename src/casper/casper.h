@@ -56,6 +56,10 @@ struct CasperOptions {
   processor::FilterPolicy filter_policy =
       processor::FilterPolicy::kFourFilters;
 
+  /// Server-side idempotency window (see
+  /// server::QueryServerOptions::idempotency_window).
+  size_t server_idempotency_window = 8192;
+
   TransmissionModel transmission;
 
   /// Seed of the pseudonym stream used to strip user identities before

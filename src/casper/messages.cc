@@ -669,4 +669,28 @@ Result<MessageTag> TagOf(std::string_view bytes) {
   return Status::InvalidArgument("unknown message tag");
 }
 
+uint64_t RequestIdOf(std::string_view bytes) {
+  Result<MessageTag> tag = TagOf(bytes);
+  if (!tag.ok()) return 0;
+  size_t offset = 0;
+  switch (tag.value()) {
+    case MessageTag::kCloakedQuery:
+      offset = 2;  // tag u8, kind u8
+      break;
+    case MessageTag::kRegionUpsert:
+    case MessageTag::kRegionRemove:
+      offset = 1;  // tag u8
+      break;
+    default:
+      return 0;  // Snapshots and responses are unkeyed.
+  }
+  if (bytes.size() < offset + 8) return 0;
+  uint64_t id = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[offset + i]))
+          << (8 * i);
+  }
+  return id;
+}
+
 }  // namespace casper

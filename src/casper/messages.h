@@ -316,6 +316,15 @@ enum class MessageTag : uint8_t {
 
 Result<MessageTag> TagOf(std::string_view bytes);
 
+/// Idempotency key of an encoded request, without a full decode: the
+/// request_id sits at a fixed offset behind the tag in every keyed
+/// request message (queries and maintenance); snapshots are unkeyed and
+/// answer 0. The transport's admission layer uses this to address a
+/// typed shed/reject ack to the request it is refusing — for a buffer
+/// too short to carry the field, 0 (the "unkeyed" id) is returned, and
+/// the real decoder will produce the typed error.
+uint64_t RequestIdOf(std::string_view bytes);
+
 // ---------------------------------------------------------------------------
 // Zero-copy decode views
 // ---------------------------------------------------------------------------

@@ -144,6 +144,58 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
       replay_depth(r->GetGauge(
           "casper_transport_replay_depth",
           "Maintenance messages currently queued for replay.")),
+      net_connections_accepted_total(r->GetCounter(
+          "casper_net_connections_accepted_total",
+          "Socket connections accepted by the listener.")),
+      net_connections_active(r->GetGauge(
+          "casper_net_connections_active",
+          "Socket connections currently open on the listener.")),
+      net_frames_read_total(r->GetCounter(
+          "casper_net_frames_read_total",
+          "Complete request frames read off sockets.")),
+      net_frames_written_total(r->GetCounter(
+          "casper_net_frames_written_total",
+          "Response frames written to sockets.")),
+      net_bytes_read_total(r->GetCounter(
+          "casper_net_bytes_read_total",
+          "Bytes read off accepted sockets.")),
+      net_bytes_written_total(r->GetCounter(
+          "casper_net_bytes_written_total",
+          "Bytes written to accepted sockets.")),
+      net_shed_total(r->GetCounter(
+          "casper_net_shed_total",
+          "Frames answered kUnavailable at the inbound-queue "
+          "watermark.")),
+      net_rate_limited_total(r->GetCounter(
+          "casper_net_rate_limited_total",
+          "Frames rejected by per-peer rate or byte limits.")),
+      net_bans_total(r->GetCounter(
+          "casper_net_bans_total",
+          "Peers temporarily banned for repeated abuse.")),
+      net_ban_rejects_total(r->GetCounter(
+          "casper_net_ban_rejects_total",
+          "Connections refused because the peer is banned.")),
+      net_banned_peers(r->GetGauge("casper_net_banned_peers",
+                                   "Peers currently banned.")),
+      net_inbound_queue_depth(r->GetGauge(
+          "casper_net_inbound_queue_depth",
+          "Admitted frames waiting for a listener worker.")),
+      net_dials_total(r->GetCounter(
+          "casper_net_dials_total",
+          "Client socket connection attempts.")),
+      net_dial_failures_total(r->GetCounter(
+          "casper_net_dial_failures_total",
+          "Client socket connection attempts that failed.")),
+      net_reconnects_total(r->GetCounter(
+          "casper_net_reconnects_total",
+          "Successful client dials after at least one failure.")),
+      net_backoff_fastfails_total(r->GetCounter(
+          "casper_net_backoff_fastfails_total",
+          "Client calls failed fast inside the reconnect-backoff "
+          "window.")),
+      net_io_timeouts_total(r->GetCounter(
+          "casper_net_io_timeouts_total",
+          "Client socket reads/writes abandoned at their deadline.")),
       storage_pool_hits_total(r->GetCounter(
           "casper_storage_pool_hits_total",
           "Buffer-pool page loads served from the cache.")),
@@ -182,6 +234,12 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
         r->GetCounter("casper_transport_breaker_transitions_total",
                       "Circuit-breaker transitions by target state.",
                       {{"to", kBreakerStateLabels[i]}});
+  }
+  for (size_t i = 0; i < kNetCloseReasonCount; ++i) {
+    net_connections_closed_total[i] =
+        r->GetCounter("casper_net_connections_closed_total",
+                      "Socket connections closed, by reason.",
+                      {{"reason", kNetCloseReasonLabels[i]}});
   }
   for (size_t i = 0; i < 4; ++i) {
     user_events_total[i] =

@@ -95,6 +95,31 @@ struct CasperMetrics {
   Counter* replay_dropped_total;   ///< Queued upserts lost to the bound.
   Gauge* replay_depth;
 
+  // --- Socket transport (framed TCP/UDS, listener + client) -------------
+  Counter* net_connections_accepted_total;
+  Gauge* net_connections_active;
+  Counter* net_connections_closed_total[8];  ///< By `reason=`
+                                             ///< (kNetCloseReasonLabels).
+  Counter* net_frames_read_total;
+  Counter* net_frames_written_total;
+  Counter* net_bytes_read_total;
+  Counter* net_bytes_written_total;
+  Counter* net_shed_total;  ///< Frames answered kUnavailable at the
+                            ///< inbound-queue watermark.
+  Counter* net_rate_limited_total;  ///< Frames rejected by per-peer
+                                    ///< rate/byte limits.
+  Counter* net_bans_total;          ///< Peers banned for repeat abuse.
+  Counter* net_ban_rejects_total;   ///< Connections refused while banned.
+  Gauge* net_banned_peers;
+  Gauge* net_inbound_queue_depth;  ///< Admitted frames awaiting a worker.
+  Counter* net_dials_total;        ///< Client connection attempts.
+  Counter* net_dial_failures_total;
+  Counter* net_reconnects_total;  ///< Successful dials after a failure.
+  Counter* net_backoff_fastfails_total;  ///< Calls failed fast inside the
+                                         ///< reconnect-backoff window.
+  Counter* net_io_timeouts_total;  ///< Client reads/writes abandoned at
+                                   ///< their deadline.
+
   // --- Storage tier (page store + buffer pool) --------------------------
   Counter* storage_pool_hits_total;    ///< Page loads served from cache.
   Counter* storage_pool_misses_total;  ///< Page loads that went to disk.
@@ -124,6 +149,14 @@ enum class UserEvent : size_t {
 inline constexpr size_t kStoreCount = 2;
 inline constexpr const char* kStoreLabels[kStoreCount] = {"public",
                                                           "private"};
+
+/// Socket-connection close reasons, in `net_connections_closed_total`
+/// label order (mirrors transport::SocketListener without a header
+/// dependency).
+inline constexpr size_t kNetCloseReasonCount = 8;
+inline constexpr const char* kNetCloseReasonLabels[kNetCloseReasonCount] = {
+    "eof",    "error", "idle", "slow_loris",
+    "frame_error", "banned", "cap",  "drain"};
 
 /// Circuit-breaker states, in `breaker_state` gauge / transition-label
 /// order (mirrors transport::BreakerState without a header dependency —

@@ -1,5 +1,7 @@
 #include "src/server/query_server.h"
 
+#include <algorithm>
+
 #include "src/common/codec.h"
 #include "src/common/stopwatch.h"
 #include "src/processor/density.h"
@@ -50,14 +52,36 @@ const Status* QueryServer::ReplayOutcome(uint64_t request_id) const {
 }
 
 void QueryServer::RecordOutcome(uint64_t request_id, const Status& outcome) {
-  if (request_id == 0) return;
+  if (request_id == 0 || options_.idempotency_window == 0) return;
   if (applied_.emplace(request_id, outcome).second) {
     applied_order_.push_back(request_id);
-    if (applied_order_.size() > kAppliedWindow) {
+    if (applied_order_.size() > options_.idempotency_window) {
       applied_.erase(applied_order_.front());
       applied_order_.pop_front();
     }
   }
+}
+
+void QueryServer::MarkRetired(uint64_t handle) {
+  if (retired_.insert(handle).second) {
+    retired_order_.push_back(handle);
+    // At least as deep as the outcome window: a replay old enough to
+    // have lost its outcome entry must still find the retirement mark.
+    const size_t bound = std::max<size_t>(options_.idempotency_window, 64);
+    if (retired_order_.size() > bound) {
+      retired_.erase(retired_order_.front());
+      retired_order_.pop_front();
+    }
+  }
+}
+
+void QueryServer::RetireHandle(uint64_t handle) {
+  auto it = stored_regions_.find(handle);
+  if (it != stored_regions_.end()) {
+    private_store_.Remove(processor::PrivateTarget{handle, it->second});
+    stored_regions_.erase(it);
+  }
+  MarkRetired(handle);
 }
 
 Status QueryServer::Apply(const RegionUpsertMsg& msg) {
@@ -69,15 +93,23 @@ Status QueryServer::Apply(const RegionUpsertMsg& msg) {
 }
 
 Status QueryServer::ApplyUpsert(const RegionUpsertMsg& msg) {
-  if (msg.has_replaces) {
-    RegionRemoveMsg remove;
-    remove.handle = msg.replaces;
-    CASPER_RETURN_IF_ERROR(ApplyRemove(remove));
+  if (retired_.count(msg.handle) > 0) {
+    // A replay old enough to have fallen out of the outcome window,
+    // arriving after its handle was already replaced or removed:
+    // re-inserting would resurrect obsolete state next to its
+    // successor, so the stale upsert converges to a no-op.
+    return Status::OK();
   }
-  if (stored_regions_.count(msg.handle) > 0) {
-    return Status::Internal("region handle already stored");
+  if (msg.has_replaces) RetireHandle(msg.replaces);
+  auto it = stored_regions_.find(msg.handle);
+  if (it != stored_regions_.end()) {
+    // Re-execution (beyond the window, or against a restarted peer):
+    // converge on the message's region instead of double-inserting.
+    private_store_.Remove(processor::PrivateTarget{msg.handle, it->second});
+    it->second = msg.region;
+  } else {
+    stored_regions_[msg.handle] = msg.region;
   }
-  stored_regions_[msg.handle] = msg.region;
   private_store_.Insert(processor::PrivateTarget{msg.handle, msg.region});
   return Status::OK();
 }
@@ -92,12 +124,19 @@ Status QueryServer::Apply(const RegionRemoveMsg& msg) {
 
 Status QueryServer::ApplyRemove(const RegionRemoveMsg& msg) {
   auto it = stored_regions_.find(msg.handle);
-  if (it == stored_regions_.end() ||
-      !private_store_.Remove(
+  if (it == stored_regions_.end()) {
+    // Removal is naturally idempotent: an unknown handle is a replay
+    // beyond the window (or a remove that raced a snapshot). Converge
+    // on "absent" and retire the handle so its upsert cannot return.
+    MarkRetired(msg.handle);
+    return Status::OK();
+  }
+  if (!private_store_.Remove(
           processor::PrivateTarget{msg.handle, it->second})) {
     return Status::Internal("stored region missing from private store");
   }
   stored_regions_.erase(it);
+  MarkRetired(msg.handle);
   return Status::OK();
 }
 
@@ -122,6 +161,8 @@ Status QueryServer::LoadRegions(
   // pre-snapshot maintenance must re-apply against the new store.
   applied_.clear();
   applied_order_.clear();
+  retired_.clear();
+  retired_order_.clear();
   ExportEpochStats();
   return Status::OK();
 }
@@ -203,6 +244,8 @@ Status QueryServer::Open(storage::IStorageManager* sm) {
   // do not survive it (same contract as a bulk snapshot Load).
   applied_.clear();
   applied_order_.clear();
+  retired_.clear();
+  retired_order_.clear();
   ExportEpochStats();
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/casper/messages.h"
@@ -35,6 +36,15 @@ struct QueryServerOptions {
   /// The server tier records only aggregate latencies, counts, and
   /// candidate-list sizes — nothing identity-shaped crosses into it.
   obs::CasperMetrics* metrics = nullptr;
+
+  /// Bound of the idempotency window (FIFO eviction): maintenance
+  /// request ids whose outcome is remembered for replay, and retired
+  /// handles remembered so a replay arriving *after* eviction
+  /// re-executes safely instead of resurrecting replaced state. Size it
+  /// so a client retrying within any sane backoff horizon hits the
+  /// window; memory stays O(window). 0 disables replay memory entirely
+  /// (re-execution is still safe, just not answer-stable).
+  size_t idempotency_window = 8192;
 };
 
 /// The server tier. Mutations (target edits, region maintenance,
@@ -130,10 +140,11 @@ class QueryServer : public PrivateStoreSink {
   const Status* ReplayOutcome(uint64_t request_id) const;
   void RecordOutcome(uint64_t request_id, const Status& outcome);
 
-  /// Bound of the idempotency window (FIFO eviction). Sized so that a
-  /// client retrying within any sane backoff horizon always hits the
-  /// window, while memory stays O(window).
-  static constexpr size_t kAppliedWindow = 8192;
+  /// Drop `handle` from the stores if present and remember it as
+  /// retired, so a stale upsert replayed after window eviction cannot
+  /// resurrect it.
+  void RetireHandle(uint64_t handle);
+  void MarkRetired(uint64_t handle);
 
   QueryServerOptions options_;
   obs::CasperMetrics* metrics_;
@@ -142,9 +153,14 @@ class QueryServer : public PrivateStoreSink {
   /// handle -> stored region, so maintenance messages can address
   /// regions by pseudonym handle alone.
   std::unordered_map<uint64_t, Rect> stored_regions_;
-  /// request_id -> recorded outcome, FIFO-bounded by kAppliedWindow.
+  /// request_id -> recorded outcome, FIFO-bounded by the configured
+  /// idempotency window.
   std::unordered_map<uint64_t, Status> applied_;
   std::deque<uint64_t> applied_order_;
+  /// Handles replaced or removed, FIFO-bounded like `applied_`: the
+  /// safety net for replays that outlive their window entry.
+  std::unordered_set<uint64_t> retired_;
+  std::deque<uint64_t> retired_order_;
 };
 
 }  // namespace casper::server

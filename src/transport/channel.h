@@ -30,6 +30,14 @@ namespace casper::transport {
 /// process and this struct would be empty.
 struct CallContext {
   processor::ConcurrentQueryCache* cache = nullptr;
+
+  /// Remaining end-to-end budget for this attempt, in seconds; 0 means
+  /// unbounded. ResilientClient stamps each attempt with what is left of
+  /// the request deadline so a transport that blocks — dialing, writing,
+  /// waiting on a dead peer — gives up in time for the caller to see
+  /// kDeadlineExceeded *at* the deadline, not after the socket layer's
+  /// own (much longer) I/O timeouts.
+  double deadline_seconds = 0.0;
 };
 
 /// One round trip: encoded request bytes in, encoded response bytes

@@ -1,0 +1,259 @@
+#include "src/transport/net_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+namespace casper::transport::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+/// Fill a sockaddr for `address`. Returns the length, or 0 on error.
+socklen_t FillSockaddr(const ParsedAddress& address,
+                       sockaddr_storage* storage, Status* error) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (address.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    if (address.path.size() + 1 > sizeof(sun->sun_path)) {
+      *error = Status::InvalidArgument("unix socket path too long");
+      return 0;
+    }
+    std::memcpy(sun->sun_path, address.path.c_str(),
+                address.path.size() + 1);
+    return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  address.path.size() + 1);
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(address.port);
+  const std::string host =
+      address.host == "localhost" ? "127.0.0.1" : address.host;
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    *error = Status::InvalidArgument("unresolvable host '" + address.host +
+                                     "' (numeric IPv4 or localhost)");
+    return 0;
+  }
+  return sizeof(sockaddr_in);
+}
+
+int PollOne(int fd, short events, double timeout_seconds) {
+  pollfd p{fd, events, 0};
+  const int millis =
+      timeout_seconds <= 0.0
+          ? 0
+          : static_cast<int>(std::min(timeout_seconds * 1e3 + 1.0, 2.0e9));
+  return poll(&p, 1, millis);
+}
+
+}  // namespace
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = address.substr(5);
+    if (parsed.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path");
+    }
+    return parsed;
+  }
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument(
+        "address must be unix:/path or host:port, got '" + address + "'");
+  }
+  parsed.host = address.substr(0, colon);
+  long port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    const char c = address[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-numeric port in '" + address +
+                                     "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in '" + address +
+                                     "'");
+    }
+  }
+  parsed.port = static_cast<uint16_t>(port);
+  return parsed;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<int> ListenOn(const ParsedAddress& address, int backlog,
+                     std::string* bound_address) {
+  const int fd = socket(address.is_unix ? AF_UNIX : AF_INET,
+                        SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (address.is_unix) {
+    unlink(address.path.c_str());  // Stale path from a crashed server.
+  } else {
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage storage;
+  Status error = Status::OK();
+  const socklen_t len = FillSockaddr(address, &storage, &error);
+  if (len == 0) {
+    close(fd);
+    return error;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+    const Status status = Errno("bind");
+    close(fd);
+    return status;
+  }
+  if (listen(fd, backlog) < 0) {
+    const Status status = Errno("listen");
+    close(fd);
+    return status;
+  }
+  if (Status status = SetNonBlocking(fd); !status.ok()) {
+    close(fd);
+    return status;
+  }
+  if (bound_address != nullptr) {
+    if (address.is_unix) {
+      *bound_address = "unix:" + address.path;
+    } else {
+      sockaddr_in resolved;
+      socklen_t resolved_len = sizeof(resolved);
+      uint16_t port = address.port;
+      if (getsockname(fd, reinterpret_cast<sockaddr*>(&resolved),
+                      &resolved_len) == 0) {
+        port = ntohs(resolved.sin_port);
+      }
+      *bound_address = address.host + ":" + std::to_string(port);
+    }
+  }
+  return fd;
+}
+
+Result<int> Dial(const ParsedAddress& address, double timeout_seconds) {
+  const int fd = socket(address.is_unix ? AF_UNIX : AF_INET,
+                        SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (Status status = SetNonBlocking(fd); !status.ok()) {
+    close(fd);
+    return status;
+  }
+  sockaddr_storage storage;
+  Status error = Status::OK();
+  const socklen_t len = FillSockaddr(address, &storage, &error);
+  if (len == 0) {
+    close(fd);
+    return error;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+    if (errno != EINPROGRESS) {
+      const Status status = Errno("connect");
+      close(fd);
+      return status;
+    }
+    if (PollOne(fd, POLLOUT, timeout_seconds) <= 0) {
+      close(fd);
+      return Status::Unavailable("connect timed out");
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) < 0 ||
+        soerr != 0) {
+      close(fd);
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(soerr != 0 ? soerr : errno));
+    }
+  }
+  if (!address.is_unix) {
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+Status WriteAll(int fd, std::string_view bytes, double timeout_seconds) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = send(fd, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (PollOne(fd, POLLOUT, timeout_seconds) <= 0) {
+        return Status::Unavailable("socket write timed out");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ReadSome(int fd, std::string* out, size_t cap,
+                double timeout_seconds) {
+  char chunk[16384];
+  const size_t want = std::min(cap, sizeof(chunk));
+  for (;;) {
+    const ssize_t n = recv(fd, chunk, want, 0);
+    if (n > 0) {
+      out->append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (PollOne(fd, POLLIN, timeout_seconds) <= 0) {
+        return Status::Unavailable("socket read timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+std::string PeerKey(int fd, bool is_unix, uint64_t conn_id) {
+  if (!is_unix) {
+    sockaddr_in peer;
+    socklen_t peer_len = sizeof(peer);
+    if (getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &peer_len) ==
+            0 &&
+        peer.sin_family == AF_INET) {
+      char text[INET_ADDRSTRLEN] = {0};
+      if (inet_ntop(AF_INET, &peer.sin_addr, text, sizeof(text)) !=
+          nullptr) {
+        return text;
+      }
+    }
+  }
+  return "uds#" + std::to_string(conn_id);
+}
+
+}  // namespace casper::transport::net

@@ -1,0 +1,62 @@
+#ifndef CASPER_TRANSPORT_NET_UTIL_H_
+#define CASPER_TRANSPORT_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+/// \file
+/// POSIX socket plumbing shared by SocketChannel and SocketListener:
+/// address parsing, listen/dial, and poll-bounded non-blocking I/O.
+/// Addresses are strings in two forms:
+///
+///   unix:/path/to/socket    Unix-domain stream socket
+///   host:port               TCP (host is a numeric IP or "localhost";
+///                           port 0 asks the kernel for an ephemeral
+///                           port, reported back by ListenOn)
+///
+/// Every fd handed out is non-blocking and close-on-exec; all waiting
+/// happens through poll() with caller-supplied deadlines, so no thread
+/// is ever parked on a socket it cannot abandon.
+
+namespace casper::transport::net {
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  // unix form
+  std::string host;  // tcp form
+  uint16_t port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address);
+
+/// Create, bind, and listen. For TCP with port 0, the kernel-assigned
+/// port is resolved and reflected in `bound_address` (the canonical
+/// string clients should dial). For unix sockets a stale path from a
+/// crashed predecessor is unlinked first.
+Result<int> ListenOn(const ParsedAddress& address, int backlog,
+                     std::string* bound_address);
+
+/// Connect with a deadline. The returned fd is non-blocking and fully
+/// connected (SO_ERROR checked after the poll wait).
+Result<int> Dial(const ParsedAddress& address, double timeout_seconds);
+
+/// Write all of `bytes`, polling for writability up to the deadline.
+Status WriteAll(int fd, std::string_view bytes, double timeout_seconds);
+
+/// Read at least one byte (up to `cap`) into `out`, polling up to the
+/// deadline. Returns kUnavailable on timeout, peer close, or error.
+Status ReadSome(int fd, std::string* out, size_t cap,
+                double timeout_seconds);
+
+/// Identity string used for rate-limit / ban bookkeeping: the source IP
+/// for TCP peers; unix-domain peers have no address, so each connection
+/// gets a distinct synthetic identity ("uds#<conn_id>").
+std::string PeerKey(int fd, bool is_unix, uint64_t conn_id);
+
+Status SetNonBlocking(int fd);
+
+}  // namespace casper::transport::net
+
+#endif  // CASPER_TRANSPORT_NET_UTIL_H_

@@ -152,6 +152,13 @@ Result<std::string> ResilientClient::CallResilient(const std::string& request,
   std::optional<Result<std::string>> success;
 
   for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    // The deadline outranks the breaker: once the budget is spent the
+    // caller-facing truth is kDeadlineExceeded, whatever state the
+    // breaker reached while the peer was down.
+    if (deadline > 0.0 && Now() - start >= deadline) {
+      last = Status::DeadlineExceeded("request deadline spent");
+      break;
+    }
     Status admitted = Admit();
     if (!admitted.ok()) {
       // Fail fast against an open breaker — backing off here would just
@@ -160,15 +167,19 @@ Result<std::string> ResilientClient::CallResilient(const std::string& request,
       last = admitted;
       break;
     }
-    if (deadline > 0.0 && Now() - start >= deadline) {
-      last = Status::DeadlineExceeded("request deadline spent");
-      break;
-    }
     if (attempt > 0) metrics_->transport_retries_total->Increment();
     ++attempts;
 
-    Result<std::string> outcome =
-        ClassifyResponse(channel_->Call(request, context), request_id);
+    // Each attempt carries what is left of the end-to-end budget, so a
+    // blocking transport (socket dial/read against a dead peer) cannot
+    // spend past the deadline inside a single Call.
+    CallContext attempt_context = context;
+    if (deadline > 0.0) {
+      attempt_context.deadline_seconds =
+          std::max(deadline - (Now() - start), 1e-3);
+    }
+    Result<std::string> outcome = ClassifyResponse(
+        channel_->Call(request, attempt_context), request_id);
     if (outcome.ok()) {
       RecordSuccess();
       success = std::move(outcome);
@@ -196,6 +207,11 @@ Result<std::string> ResilientClient::CallResilient(const std::string& request,
   metrics_->transport_retries_per_request->Observe(
       static_cast<double>(attempts > 0 ? attempts - 1 : 0));
   if (success.has_value()) return *std::move(success);
+  if (deadline > 0.0 && last.IsRetryable() && Now() - start >= deadline) {
+    // The last attempt spent the rest of the budget: the binding
+    // constraint was the deadline, not the retry cap.
+    last = Status::DeadlineExceeded("request deadline spent");
+  }
   if (last.code() == StatusCode::kDataLoss) {
     // Retries exhausted on corrupted / misdirected replies: to the caller
     // the server is simply unreachable through this channel right now, so

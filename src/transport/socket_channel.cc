@@ -1,0 +1,158 @@
+#include "src/transport/socket_channel.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/transport/net_util.h"
+
+namespace casper::transport {
+
+SocketChannel::SocketChannel(std::string address,
+                             SocketChannelOptions options)
+    : address_(std::move(address)),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::CasperMetrics::Default()),
+      jitter_rng_(options.backoff_seed) {}
+
+SocketChannel::~SocketChannel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : pool_) close(fd);
+  pool_.clear();
+}
+
+SocketChannelStats SocketChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SocketChannel::RecordDialFailureLocked() {
+  ++stats_.dial_failures;
+  metrics_->net_dial_failures_total->Increment();
+  double backoff = options_.backoff_initial_seconds;
+  for (int i = 0; i < consecutive_dial_failures_; ++i) {
+    backoff *= options_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, options_.backoff_max_seconds);
+  const double jitter = options_.backoff_jitter_fraction;
+  if (jitter > 0.0) {
+    backoff *= 1.0 - jitter + 2.0 * jitter * jitter_rng_.NextDouble();
+  }
+  ++consecutive_dial_failures_;
+  next_dial_seconds_ = Now() + backoff;
+}
+
+Result<int> SocketChannel::CheckoutLocked(
+    std::unique_lock<std::mutex>& lock, double budget) {
+  if (!pool_.empty()) {
+    const int fd = pool_.back();
+    pool_.pop_back();
+    return fd;
+  }
+  if (Now() < next_dial_seconds_) {
+    // Inside the reconnect-backoff window: fail fast instead of
+    // re-dialing a peer that just refused us. The breaker above sees an
+    // ordinary kUnavailable; the pacing lives here.
+    ++stats_.backoff_fastfails;
+    metrics_->net_backoff_fastfails_total->Increment();
+    return Status::Unavailable("reconnect backoff");
+  }
+  ++stats_.dials;
+  metrics_->net_dials_total->Increment();
+  Result<net::ParsedAddress> parsed = net::ParseAddress(address_);
+  if (!parsed.ok()) return parsed.status();
+  const double timeout =
+      std::min(options_.connect_timeout_seconds, budget);
+  // Dial outside the lock: a slow connect must not serialize the pool.
+  lock.unlock();
+  Result<int> fd = net::Dial(parsed.value(), timeout);
+  lock.lock();
+  if (!fd.ok()) {
+    RecordDialFailureLocked();
+    return fd.status();
+  }
+  if (consecutive_dial_failures_ > 0) {
+    ++stats_.reconnects;
+    metrics_->net_reconnects_total->Increment();
+  }
+  consecutive_dial_failures_ = 0;
+  next_dial_seconds_ = 0.0;
+  return fd;
+}
+
+Result<std::string> SocketChannel::Call(std::string_view request,
+                                        const CallContext& context) {
+  // The attempt budget: the channel's own io timeout, tightened to the
+  // caller's remaining deadline when one is in force.
+  double budget = options_.io_timeout_seconds;
+  if (context.deadline_seconds > 0.0) {
+    budget = std::min(budget, context.deadline_seconds);
+  }
+  const double start = Now();
+  const auto remaining = [&] {
+    return std::max(budget - (Now() - start), 1e-3);
+  };
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.calls;
+  Result<int> checkout = CheckoutLocked(lock, remaining());
+  if (!checkout.ok()) return checkout.status();
+  const int fd = checkout.value();
+  lock.unlock();
+
+  const std::string frame = EncodeFrame(request);
+  Status written = net::WriteAll(fd, frame, remaining());
+  if (!written.ok()) {
+    close(fd);
+    std::lock_guard<std::mutex> relock(mu_);
+    if (written.message().find("timed out") != std::string_view::npos) {
+      ++stats_.io_timeouts;
+      metrics_->net_io_timeouts_total->Increment();
+    }
+    return written;
+  }
+
+  FrameDecoder decoder(options_.max_frame_bytes);
+  for (;;) {
+    Result<std::optional<std::string>> next = decoder.Next();
+    if (!next.ok()) {
+      // Framing violation: this stream lost sync and cannot be pooled.
+      close(fd);
+      std::lock_guard<std::mutex> relock(mu_);
+      ++stats_.data_loss;
+      return next.status();
+    }
+    if (next.value().has_value()) {
+      std::string payload = *std::move(next.value());
+      if (decoder.buffered() > 0) {
+        // A response-per-request stream with leftover bytes is
+        // desynchronized; drop the connection, keep the payload.
+        close(fd);
+      } else {
+        std::lock_guard<std::mutex> relock(mu_);
+        if (pool_.size() < options_.max_pooled_connections) {
+          pool_.push_back(fd);
+        } else {
+          close(fd);
+        }
+      }
+      return payload;
+    }
+    std::string chunk;
+    Status read = net::ReadSome(fd, &chunk, 1 << 16, remaining());
+    if (!read.ok()) {
+      close(fd);
+      std::lock_guard<std::mutex> relock(mu_);
+      if (read.message().find("timed out") != std::string_view::npos) {
+        ++stats_.io_timeouts;
+        metrics_->net_io_timeouts_total->Increment();
+      }
+      return read;
+    }
+    decoder.Append(chunk);
+  }
+}
+
+}  // namespace casper::transport

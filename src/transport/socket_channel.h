@@ -1,0 +1,106 @@
+#ifndef CASPER_TRANSPORT_SOCKET_CHANNEL_H_
+#define CASPER_TRANSPORT_SOCKET_CHANNEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/obs/casper_metrics.h"
+#include "src/transport/channel.h"
+#include "src/transport/framing.h"
+
+/// \file
+/// The client half of the real transport: a Channel that carries each
+/// call as one framed request over a pooled TCP/Unix-domain connection
+/// and reads one framed response back. It deliberately stays *below*
+/// ResilientClient in the stack — no retries, no breaker, no
+/// idempotency: one attempt, typed failure. What it does own is the
+/// socket-shaped failure machinery the layers above cannot see:
+///
+///  - connection pooling (concurrent Calls each check out their own
+///    connection; healthy ones are returned for reuse),
+///  - reconnect with capped, jittered exponential backoff — after a
+///    failed dial, calls inside the backoff window fail fast with
+///    kUnavailable instead of hammering a dead peer, so breaker probes
+///    are paced even when the caller retries aggressively,
+///  - deadline-bounded I/O: every dial/write/read is capped by the
+///    remaining per-attempt budget in CallContext::deadline_seconds (a
+///    dead peer costs the caller its deadline, never the transport's
+///    full io timeout),
+///  - stream hygiene: a response that violates framing, or leaves
+///    unexpected bytes behind, poisons that connection (closed, not
+///    pooled) and surfaces as kDataLoss — retryable above.
+
+namespace casper::transport {
+
+struct SocketChannelOptions {
+  double connect_timeout_seconds = 1.0;
+  double io_timeout_seconds = 5.0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  size_t max_pooled_connections = 8;
+
+  /// Reconnect backoff after a failed dial: initial * multiplier^n,
+  /// capped, with +/- jitter_fraction of symmetric jitter.
+  double backoff_initial_seconds = 0.02;
+  double backoff_max_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter_fraction = 0.2;
+  uint64_t backoff_seed = 0x5eedca11u;
+
+  obs::CasperMetrics* metrics = nullptr;  ///< null -> Default().
+};
+
+/// Counters for tests and `casper_cli transport` (the obs registry gets
+/// the same series as casper_net_* instruments).
+struct SocketChannelStats {
+  uint64_t calls = 0;
+  uint64_t dials = 0;
+  uint64_t dial_failures = 0;
+  uint64_t reconnects = 0;          ///< Successful dials after a failure.
+  uint64_t backoff_fastfails = 0;   ///< Calls refused inside the window.
+  uint64_t io_timeouts = 0;
+  uint64_t data_loss = 0;           ///< Responses that violated framing.
+};
+
+class SocketChannel : public Channel {
+ public:
+  explicit SocketChannel(std::string address,
+                         SocketChannelOptions options = {});
+  ~SocketChannel() override;
+
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  Result<std::string> Call(std::string_view request,
+                           const CallContext& context) override;
+
+  const std::string& address() const { return address_; }
+  SocketChannelStats stats() const;
+
+ private:
+  double Now() const { return watch_.ElapsedSeconds(); }
+
+  /// Pop a pooled connection or dial a new one within `budget` seconds.
+  Result<int> CheckoutLocked(std::unique_lock<std::mutex>& lock,
+                             double budget);
+  void RecordDialFailureLocked();
+
+  const std::string address_;
+  const SocketChannelOptions options_;
+  obs::CasperMetrics* const metrics_;
+  Stopwatch watch_;
+
+  mutable std::mutex mu_;
+  std::vector<int> pool_;
+  int consecutive_dial_failures_ = 0;
+  double next_dial_seconds_ = 0.0;  ///< Backoff gate; 0 = open.
+  Rng jitter_rng_;
+  SocketChannelStats stats_;
+};
+
+}  // namespace casper::transport
+
+#endif  // CASPER_TRANSPORT_SOCKET_CHANNEL_H_

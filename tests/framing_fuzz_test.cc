@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/common/rng.h"
+#include "src/transport/framing.h"
+
+/// Adversarial fuzz of the socket frame decoder (the first thing
+/// untrusted network bytes meet): every split point of a valid stream
+/// must reassemble byte-identically; every framing violation — bad
+/// magic, zero or oversized length (rejected from the 8-byte header,
+/// before any allocation), garbage between frames, truncation — must
+/// poison the stream with a typed kDataLoss; and no single-byte mutant
+/// of a framed message may ever decode successfully (the sealed-payload
+/// checksum backs the frame layer). Zero accepted mutants is the bar.
+
+namespace casper {
+namespace {
+
+using transport::EncodeFrame;
+using transport::FrameDecoder;
+using transport::kFrameHeaderBytes;
+using transport::kFrameMagic;
+
+std::string SamplePayload(uint64_t request_id) {
+  CloakedQueryMsg msg;
+  msg.kind = QueryKind::kKNearestPublic;
+  msg.request_id = request_id;
+  msg.cloak = Rect(0.25, 0.25, 0.5, 0.5);
+  msg.k = 3;
+  return Encode(msg);
+}
+
+/// Pop every complete frame currently buffered; fails the test on a
+/// decoder error.
+std::vector<std::string> PopAll(FrameDecoder* decoder) {
+  std::vector<std::string> out;
+  for (;;) {
+    auto next = decoder->Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next->has_value()) return out;
+    out.push_back(**next);
+  }
+}
+
+TEST(FramingFuzzTest, SplitAtEveryOffsetReassembles) {
+  const std::string payload = SamplePayload(7);
+  const std::string frame = EncodeFrame(payload);
+  for (size_t split = 0; split <= frame.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Append(std::string_view(frame).substr(0, split));
+    if (split < frame.size()) {
+      auto early = decoder.Next();
+      ASSERT_TRUE(early.ok()) << "split " << split;
+      EXPECT_FALSE(early->has_value()) << "split " << split;
+      decoder.Append(std::string_view(frame).substr(split));
+    }
+    auto full = decoder.Next();
+    ASSERT_TRUE(full.ok()) << "split " << split;
+    ASSERT_TRUE(full->has_value()) << "split " << split;
+    EXPECT_EQ(**full, payload) << "split " << split;
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(FramingFuzzTest, CoalescedFramesAllPop) {
+  std::string stream;
+  std::vector<std::string> payloads;
+  for (uint64_t i = 1; i <= 32; ++i) {
+    payloads.push_back(SamplePayload(i));
+    stream += EncodeFrame(payloads.back());
+  }
+  FrameDecoder decoder;
+  decoder.Append(stream);
+  const std::vector<std::string> popped = PopAll(&decoder);
+  ASSERT_EQ(popped.size(), payloads.size());
+  for (size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i], payloads[i]) << "frame " << i;
+    EXPECT_TRUE(DecodeCloakedQuery(popped[i]).ok());
+  }
+}
+
+TEST(FramingFuzzTest, RandomChunkingNeverLosesOrReordersFrames) {
+  std::string stream;
+  std::vector<std::string> payloads;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    payloads.push_back(SamplePayload(i * 31));
+    stream += EncodeFrame(payloads.back());
+  }
+  Rng rng(0xF8A3E);
+  for (int round = 0; round < 50; ++round) {
+    FrameDecoder decoder;
+    std::vector<std::string> popped;
+    size_t at = 0;
+    while (at < stream.size()) {
+      const size_t n = static_cast<size_t>(
+          rng.UniformInt(1, 1 + rng.UniformInt(1, 97)));
+      const size_t take = std::min(n, stream.size() - at);
+      decoder.Append(std::string_view(stream).substr(at, take));
+      at += take;
+      for (const std::string& p : PopAll(&decoder)) popped.push_back(p);
+    }
+    ASSERT_EQ(popped, payloads) << "round " << round;
+  }
+}
+
+TEST(FramingFuzzTest, TruncatedTailWaitsWithoutPoisoning) {
+  const std::string payload = SamplePayload(9);
+  const std::string frame = EncodeFrame(payload);
+  FrameDecoder decoder;
+  decoder.Append(std::string_view(frame).substr(0, frame.size() - 1));
+  auto waiting = decoder.Next();
+  ASSERT_TRUE(waiting.ok());
+  EXPECT_FALSE(waiting->has_value());
+  EXPECT_TRUE(decoder.mid_frame());
+  EXPECT_FALSE(decoder.poisoned());
+  decoder.Append(std::string_view(frame).substr(frame.size() - 1));
+  auto done = decoder.Next();
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->has_value());
+  EXPECT_EQ(**done, payload);
+}
+
+TEST(FramingFuzzTest, OversizedLengthRejectedFromHeaderBeforeBuffering) {
+  // A header declaring a 1 GiB body against a 4 KiB bound must fail
+  // from the 8 header bytes alone — no body is ever buffered.
+  FrameDecoder decoder(/*max_frame_bytes=*/4096);
+  std::string header(kFrameHeaderBytes, '\0');
+  const uint32_t magic = kFrameMagic;
+  const uint32_t huge = 1u << 30;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &huge, 4);
+  decoder.Append(header);
+  auto rejected = decoder.Next();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_LT(decoder.buffered(), 64u) << "body bytes must not be buffered";
+
+  // Zero-length frames are equally outside the protocol.
+  FrameDecoder zero_decoder;
+  std::string zero(kFrameHeaderBytes, '\0');
+  std::memcpy(zero.data(), &magic, 4);
+  zero_decoder.Append(zero);
+  auto zero_rejected = zero_decoder.Next();
+  ASSERT_FALSE(zero_rejected.ok());
+  EXPECT_EQ(zero_rejected.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FramingFuzzTest, BadMagicPoisonsTheStream) {
+  FrameDecoder decoder;
+  std::string garbage = EncodeFrame(SamplePayload(3));
+  garbage[1] ^= 0x40;
+  decoder.Append(garbage);
+  auto rejected = decoder.Next();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(decoder.poisoned());
+  // Once lost, sync never silently returns — even for valid bytes.
+  decoder.Append(EncodeFrame(SamplePayload(4)));
+  auto still = decoder.Next();
+  ASSERT_FALSE(still.ok());
+  EXPECT_EQ(still.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FramingFuzzTest, GarbageBetweenFramesIsDetected) {
+  const std::string payload = SamplePayload(11);
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(payload));
+  decoder.Append("not a frame header");
+  decoder.Append(EncodeFrame(SamplePayload(12)));
+  auto first = decoder.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ(**first, payload);
+  auto second = decoder.Next();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FramingFuzzTest, SingleByteMutantsNeverDecode) {
+  const std::string payload = SamplePayload(42);
+  const std::string frame = EncodeFrame(payload);
+  Rng rng(0xBADF00D);
+  size_t accepted_mutants = 0;
+  size_t popped_mutants = 0;
+  const size_t rounds = 2000;
+  for (size_t round = 0; round < rounds; ++round) {
+    std::string mutant = frame;
+    const size_t at = static_cast<size_t>(
+        rng.UniformInt(0, mutant.size() - 1));
+    const char flip = static_cast<char>(rng.UniformInt(1, 255));
+    mutant[at] = static_cast<char>(mutant[at] ^ flip);
+
+    FrameDecoder decoder(/*max_frame_bytes=*/1u << 20);
+    decoder.Append(mutant);
+    auto next = decoder.Next();
+    // A mutant stream may (a) fail framing, (b) stall waiting for bytes
+    // that never come, or (c) pop a payload — which must then fail the
+    // sealed-message decode. It must never yield a *valid* message.
+    if (!next.ok() || !next->has_value()) continue;
+    ++popped_mutants;
+    if (**next == payload) {
+      // Identical payload from a mutated stream would mean a header
+      // byte did not matter — every header byte matters.
+      ++accepted_mutants;
+      continue;
+    }
+    if (DecodeCloakedQuery(**next).ok()) ++accepted_mutants;
+  }
+  EXPECT_EQ(accepted_mutants, 0u);
+  EXPECT_GT(popped_mutants, 0u)
+      << "the corpus should include payload-only mutations";
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/casper/casper.h"
+#include "src/casper/workload.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/transport/socket_channel.h"
+
+/// The two-process churn soak (the ISSUE's final acceptance bar): a
+/// real `casper_cli serve` process answers over a Unix-domain socket
+/// while this process runs a CasperService whose tier channel is a
+/// SocketChannel. Mid-run the server is SIGKILLed and respawned — a
+/// genuine crash, not a polite shutdown — and the run must end with
+/// the breaker recovered, exactly-once region state (one region per
+/// user, checked through a density query), and zero inclusiveness
+/// violations among the answers that succeeded.
+///
+/// Duration scales with CASPER_SOAK_SECONDS (default a few seconds for
+/// developer runs; CI sets 60). The server binary comes from
+/// CASPER_CLI_BIN or the build-time default baked in by CMake.
+
+#ifndef CASPER_CLI_BIN_DEFAULT
+#define CASPER_CLI_BIN_DEFAULT ""
+#endif
+
+extern char** environ;
+
+namespace casper {
+namespace {
+
+constexpr size_t kUsers = 12;
+constexpr size_t kServerTargets = 200;
+constexpr uint64_t kTargetSeed = 7;
+
+std::string CliBinary() {
+  const char* env = std::getenv("CASPER_CLI_BIN");
+  if (env != nullptr && env[0] != '\0') return env;
+  return CASPER_CLI_BIN_DEFAULT;
+}
+
+double SoakSeconds() {
+  const char* env = std::getenv("CASPER_SOAK_SECONDS");
+  if (env != nullptr && env[0] != '\0') {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) return parsed;
+  }
+  return 4.0;
+}
+
+pid_t SpawnServer(const std::string& binary, const std::string& address) {
+  const std::string targets = "--targets=" + std::to_string(kServerTargets);
+  const std::string seed = "--targets-seed=" + std::to_string(kTargetSeed);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  argv.push_back(const_cast<char*>("serve"));
+  argv.push_back(const_cast<char*>(address.c_str()));
+  argv.push_back(const_cast<char*>(targets.c_str()));
+  argv.push_back(const_cast<char*>(seed.c_str()));
+  argv.push_back(const_cast<char*>("--idempotency-window=4096"));
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc = posix_spawn(&pid, binary.c_str(), nullptr, nullptr,
+                             argv.data(), environ);
+  return rc == 0 ? pid : -1;
+}
+
+void KillServer(pid_t pid, int sig) {
+  if (pid <= 0) return;
+  kill(pid, sig);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+uint64_t BruteNearest(const std::vector<processor::PublicTarget>& targets,
+                      const Point& p) {
+  uint64_t best_id = 0;
+  double best_d2 = -1.0;
+  for (const processor::PublicTarget& t : targets) {
+    const double dx = t.position.x - p.x;
+    const double dy = t.position.y - p.y;
+    const double d2 = dx * dx + dy * dy;
+    if (best_d2 < 0.0 || d2 < best_d2) {
+      best_d2 = d2;
+      best_id = t.id;
+    }
+  }
+  return best_id;
+}
+
+bool ContainsId(const std::vector<processor::PublicTarget>& candidates,
+                uint64_t id) {
+  for (const processor::PublicTarget& t : candidates) {
+    if (t.id == id) return true;
+  }
+  return false;
+}
+
+TEST(TwoProcessSoakTest, SurvivesServerKillNineWithExactlyOnceState) {
+  const std::string binary = CliBinary();
+  if (binary.empty() || access(binary.c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "casper_cli binary not found (set CASPER_CLI_BIN)";
+  }
+  const std::string path =
+      "/tmp/casper_soak_" + std::to_string(getpid()) + ".sock";
+  const std::string address = "unix:" + path;
+  unlink(path.c_str());
+
+  pid_t server = SpawnServer(binary, address);
+  ASSERT_GT(server, 0) << "failed to spawn " << binary;
+  struct ServerGuard {
+    pid_t* pid;
+    const std::string* path;
+    ~ServerGuard() {
+      KillServer(*pid, SIGKILL);
+      unlink(path->c_str());
+    }
+  } guard{&server, &path};
+
+  CasperOptions options;
+  options.pyramid.height = 6;
+  options.auto_sync_private_data = true;
+  options.resilience.retry.max_attempts = 3;
+  options.resilience.retry.initial_backoff_seconds = 0.002;
+  options.resilience.retry.max_backoff_seconds = 0.02;
+  options.resilience.retry.deadline_seconds = 1.0;
+  options.resilience.breaker.failure_threshold = 5;
+  options.resilience.breaker.open_seconds = 0.02;
+  options.resilience.breaker.half_open_successes = 1;
+  options.channel_decorator =
+      [&address](transport::Channel*) -> std::unique_ptr<transport::Channel> {
+    transport::SocketChannelOptions socket_options;
+    socket_options.connect_timeout_seconds = 0.25;
+    socket_options.io_timeout_seconds = 2.0;
+    socket_options.backoff_initial_seconds = 0.002;
+    socket_options.backoff_max_seconds = 0.05;
+    return std::make_unique<transport::SocketChannel>(address,
+                                                      socket_options);
+  };
+  CasperService service(options);
+  const Rect space = service.options().pyramid.space;
+
+  // The oracle: the serve process provisions UniformPublicTargets with
+  // the same count/seed over the same default pyramid space, so this
+  // local list is byte-for-byte what the remote server answers from.
+  Rng oracle_rng(kTargetSeed);
+  const std::vector<processor::PublicTarget> oracle =
+      workload::UniformPublicTargets(kServerTargets, space, &oracle_rng);
+
+  Rng rng(0x50AC);
+  for (anonymizer::UserId uid = 0; uid < kUsers; ++uid) {
+    anonymizer::PrivacyProfile profile;
+    profile.k = static_cast<uint32_t>(rng.UniformInt(1, 3));
+    // Registration publishes through the socket; if the server is not
+    // accepting yet the upsert lands in the replay buffer — still OK.
+    ASSERT_TRUE(service.RegisterUser(uid, profile, rng.PointIn(space)).ok());
+  }
+
+  // Readiness: the first successful query proves the serve process is
+  // up, provisioned, and speaking framed sealed messages.
+  bool ready = false;
+  for (int i = 0; i < 600 && !ready; ++i) {
+    ready = service.QueryNearestPublic(0).ok();
+    if (!ready) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(ready) << "serve process never answered";
+
+  const double soak_seconds = SoakSeconds();
+  Stopwatch clock;
+  size_t ok_count = 0;
+  size_t typed_failures = 0;
+  size_t inclusiveness_violations = 0;
+  bool killed_once = false;
+  size_t iteration = 0;
+  while (clock.ElapsedSeconds() < soak_seconds) {
+    ++iteration;
+    if (!killed_once && clock.ElapsedSeconds() > soak_seconds / 2.0) {
+      // The crash: no drain, no goodbye. The client must ride through
+      // on reconnect backoff + breaker + replay buffer.
+      killed_once = true;
+      KillServer(server, SIGKILL);
+      server = SpawnServer(binary, address);
+      ASSERT_GT(server, 0) << "failed to respawn server";
+    }
+
+    const anonymizer::UserId uid = iteration % kUsers;
+    if (iteration % 3 == 0) {
+      ASSERT_TRUE(service.UpdateUserLocation(uid, rng.PointIn(space)).ok());
+    }
+    auto response = service.QueryNearestPublic(uid);
+    if (!response.ok()) {
+      EXPECT_TRUE(
+          response.status().code() == StatusCode::kUnavailable ||
+          response.status().code() == StatusCode::kDeadlineExceeded)
+          << response.status().ToString();
+      ++typed_failures;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    ++ok_count;
+    const auto position = service.ClientPosition(uid);
+    ASSERT_TRUE(position.ok());
+    const uint64_t truth = BruteNearest(oracle, position.value());
+    if (!ContainsId(response.value().server_answer.candidates, truth)) {
+      ++inclusiveness_violations;
+    }
+  }
+  ASSERT_TRUE(killed_once) << "soak too short to exercise the kill";
+  EXPECT_EQ(inclusiveness_violations, 0u);
+  EXPECT_GT(ok_count, 10u);
+
+  // Recovery: the respawned server must start answering and the
+  // breaker must re-close.
+  bool recovered = false;
+  for (int i = 0; i < 600 && !recovered; ++i) {
+    recovered = service.QueryNearestPublic(0).ok() &&
+                service.transport_client().breaker_state() ==
+                    transport::BreakerState::kClosed;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(recovered) << "client never recovered after kill -9";
+
+  // The respawned server lost all region state; republish every user,
+  // drain the replay buffer, and count regions through a density query
+  // over the wire: exactly one per user — retried and replayed upserts
+  // deduplicated by the idempotency window, stale rotation links
+  // resolved by the retired-handle memory.
+  for (anonymizer::UserId uid = 0; uid < kUsers; ++uid) {
+    ASSERT_TRUE(service.UpdateUserLocation(uid, rng.PointIn(space)).ok());
+  }
+  ASSERT_TRUE(service.transport_client().Flush().ok());
+  auto density = service.QueryDensity(4, 4);
+  ASSERT_TRUE(density.ok()) << density.status().ToString();
+  EXPECT_NEAR(density.value().Total(), static_cast<double>(kUsers), 1e-6)
+      << "server region count diverged from the registered population";
+}
+
+}  // namespace
+}  // namespace casper

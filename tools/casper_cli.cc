@@ -6,6 +6,9 @@
 //
 //   printf 'targets 100 7\nregister 1 5 0 .5 .5\n...' | casper_cli
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -18,11 +21,15 @@
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
 #include "src/obs/exporters.h"
+#include "src/server/query_server.h"
 #include "src/sharding/shard_endpoint.h"
 #include "src/sharding/shard_router.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_storage.h"
 #include "src/transport/fault_injection.h"
+#include "src/transport/listener.h"
+#include "src/transport/server_endpoint.h"
+#include "src/transport/socket_channel.h"
 
 namespace casper {
 namespace {
@@ -59,21 +66,36 @@ struct ChaosFlags {
 
 void PrintUsage(const char* argv0) {
   std::printf(
-      "usage: %s [--shards=N] [--chaos-drop=R] [--chaos-corrupt=R]\n"
+      "usage: %s [--shards=N] [--connect=ADDR] [--idempotency-window=N]\n"
+      "          [--chaos-drop=R] [--chaos-corrupt=R]\n"
       "          [--chaos-dup=R] [--chaos-delay=R] "
       "[--chaos-delay-micros=N]\n"
       "          [--chaos-seed=N]\n"
+      "       %s serve <addr> [--shards=N] [--targets=N "
+      "[--targets-seed=S]]\n"
+      "          [--idempotency-window=N] [--net-workers=N] "
+      "[--net-max-conns=N]\n"
+      "          [--net-watermark=N] [--net-max-rps=N] "
+      "[--net-max-bytes=N]\n"
+      "          [--net-ban-seconds=F] [--net-idle-timeout=F]\n"
       "  --shards=N replaces the single server tier with N QueryServer\n"
       "  shards behind a sharding::ShardRouter; every query, upsert, and\n"
       "  snapshot fans out over per-shard resilient channels (see the\n"
       "  `shards` and `rebalance` commands).\n"
+      "  --connect=ADDR sends the anonymizer's wire traffic to a remote\n"
+      "  `%s serve` process over a real socket (`unix:/path` or\n"
+      "  `host:port`) instead of the in-process server; chaos flags\n"
+      "  compose around the socket channel.\n"
+      "  `serve <addr>` runs the untrusted server tier alone: a\n"
+      "  SocketListener bound to <addr>, admission control and DoS\n"
+      "  limits per the --net-* flags, SIGINT/SIGTERM drain.\n"
       "  R are per-call fault probabilities in [0, 1]; any non-zero rate\n"
       "  injects deterministic faults (seeded by --chaos-seed) into the\n"
       "  anonymizer<->server channel — or, with --shards, independently\n"
       "  into every shard's channel, so single-shard outages show up as\n"
       "  degraded=true partial answers. The `transport` command shows the\n"
       "  breaker state and what was injected.\n",
-      argv0);
+      argv0, argv0, argv0);
 }
 
 /// Parse one --chaos-* flag; returns false on an unknown flag or an
@@ -139,6 +161,186 @@ void PrintHelp() {
       "  quit                                 exit\n");
 }
 
+volatile sig_atomic_t g_stop = 0;
+void StopSignal(int) { g_stop = 1; }
+
+/// `casper_cli serve <addr>`: run the untrusted server tier alone — a
+/// QueryServer (or, with --shards, a ShardRouter fleet) behind a
+/// SocketListener — until SIGINT/SIGTERM, then drain gracefully. The
+/// trusted anonymizer stays in the client process (`--connect=ADDR`),
+/// so exact user locations never enter this process at all.
+int RunServe(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s serve <addr> [flags]\n", argv[0]);
+    return 2;
+  }
+  const std::string address = argv[2];
+  unsigned long long shards = 0;
+  unsigned long long targets = 0, targets_seed = 7;
+  unsigned long long idempotency_window = 8192;
+  transport::ListenerOptions net;
+  // A public-facing listener wants DoS limits on by default; keep them
+  // generous enough that a single well-behaved anonymizer never trips
+  // them (the in-process tier sustains ~1e5 qps; a remote one far
+  // less).
+  net.max_requests_per_window = 200000;
+  net.max_bytes_per_window = 64u << 20;
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    unsigned long long* target_ull = nullptr;
+    if (std::strncmp(arg, "--shards=", 9) == 0) {
+      if (std::sscanf(arg + 9, "%llu", &shards) != 1 || shards < 1 ||
+          shards > 256) {
+        std::fprintf(stderr, "bad flag: %s (want 1..256 shards)\n", arg);
+        return 2;
+      }
+      continue;
+    } else if (std::strncmp(arg, "--targets=", 10) == 0) {
+      target_ull = &targets;
+      arg += 10;
+    } else if (std::strncmp(arg, "--targets-seed=", 15) == 0) {
+      target_ull = &targets_seed;
+      arg += 15;
+    } else if (std::strncmp(arg, "--idempotency-window=", 21) == 0) {
+      target_ull = &idempotency_window;
+      arg += 21;
+    } else if (std::strncmp(arg, "--net-workers=", 14) == 0) {
+      unsigned long long v;
+      if (std::sscanf(arg + 14, "%llu", &v) != 1 || v < 1 || v > 64) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      net.worker_threads = static_cast<int>(v);
+      continue;
+    } else if (std::strncmp(arg, "--net-max-conns=", 16) == 0) {
+      unsigned long long v;
+      if (std::sscanf(arg + 16, "%llu", &v) != 1 || v < 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      net.max_connections = v;
+      continue;
+    } else if (std::strncmp(arg, "--net-watermark=", 16) == 0) {
+      unsigned long long v;
+      if (std::sscanf(arg + 16, "%llu", &v) != 1 || v < 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      net.inbound_queue_watermark = v;
+      continue;
+    } else if (std::strncmp(arg, "--net-max-rps=", 14) == 0) {
+      unsigned long long v;
+      if (std::sscanf(arg + 14, "%llu", &v) != 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      net.max_requests_per_window = v;
+      continue;
+    } else if (std::strncmp(arg, "--net-max-bytes=", 16) == 0) {
+      unsigned long long v;
+      if (std::sscanf(arg + 16, "%llu", &v) != 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      net.max_bytes_per_window = v;
+      continue;
+    } else if (std::strncmp(arg, "--net-ban-seconds=", 18) == 0) {
+      if (std::sscanf(arg + 18, "%lf", &net.ban_seconds) != 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      continue;
+    } else if (std::strncmp(arg, "--net-idle-timeout=", 19) == 0) {
+      if (std::sscanf(arg + 19, "%lf", &net.idle_timeout_seconds) != 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      continue;
+    } else {
+      std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+      return 2;
+    }
+    if (std::sscanf(arg, "%llu", target_ull) != 1) {
+      std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The managed space; a --connect client derives the same default from
+  // its PyramidConfig, so --targets provisioning is reproducible on
+  // both sides (the soak test computes its NN oracle locally from the
+  // same (n, seed) pair).
+  const Rect space = anonymizer::PyramidConfig{}.space;
+
+  std::unique_ptr<server::QueryServer> query_server;
+  std::unique_ptr<transport::ServerEndpoint> endpoint;
+  std::unique_ptr<sharding::ShardRouter> router;
+  std::unique_ptr<sharding::ShardEndpoint> shard_endpoint;
+  transport::SocketHandler raw_handler;
+  if (shards > 0) {
+    sharding::ShardRouterOptions router_options;
+    router_options.num_shards = shards;
+    router_options.partition_level = 4;
+    router_options.space = space;
+    router_options.server.idempotency_window = idempotency_window;
+    router = std::make_unique<sharding::ShardRouter>(router_options);
+    shard_endpoint = std::make_unique<sharding::ShardEndpoint>(router.get());
+    raw_handler = [&shard_endpoint](std::string_view request,
+                                    const transport::CallContext& context) {
+      return shard_endpoint->Handle(request, context);
+    };
+  } else {
+    server::QueryServerOptions server_options;
+    server_options.density_extent = space;
+    server_options.idempotency_window = idempotency_window;
+    query_server = std::make_unique<server::QueryServer>(server_options);
+    endpoint = std::make_unique<transport::ServerEndpoint>(query_server.get());
+    raw_handler = [&endpoint](std::string_view request,
+                              const transport::CallContext& context) {
+      return endpoint->Handle(request, context);
+    };
+  }
+  if (targets > 0) {
+    Rng target_rng(targets_seed);
+    auto generated =
+        workload::UniformPublicTargets(targets, space, &target_rng);
+    if (router != nullptr) {
+      router->SetPublicTargets(generated);
+    } else {
+      query_server->SetPublicTargets(generated);
+    }
+  }
+
+  auto listener = transport::SocketListener::Start(
+      address, transport::SerializedHandler(std::move(raw_handler)), net);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  signal(SIGINT, StopSignal);
+  signal(SIGTERM, StopSignal);
+  // The readiness line clients and scripts wait for; flushed so it is
+  // visible through a pipe immediately.
+  std::printf("serving on %s (%llu shard%s, %llu targets, "
+              "idempotency_window=%llu)\n",
+              (*listener)->bound_address().c_str(),
+              shards > 0 ? shards : 1ull, shards > 1 ? "s" : "", targets,
+              idempotency_window);
+  std::fflush(stdout);
+  while (!g_stop) usleep(100 * 1000);
+  (*listener)->Shutdown();
+  const transport::ListenerStats s = (*listener)->stats();
+  std::printf("drained: accepted=%llu frames=%llu shed=%llu "
+              "rate_limited=%llu bans=%llu frame_errors=%llu\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.frames),
+              static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.rate_limited),
+              static_cast<unsigned long long>(s.bans),
+              static_cast<unsigned long long>(s.frame_errors));
+  return 0;
+}
+
 const char* BreakerStateName(transport::BreakerState state) {
   switch (state) {
     case transport::BreakerState::kClosed:
@@ -154,6 +356,8 @@ const char* BreakerStateName(transport::BreakerState state) {
 int Run(int argc, char** argv) {
   ChaosFlags chaos;
   unsigned long long shards = 0;  // 0 = classic single-server tier.
+  std::string connect;            // Empty = in-process server tier.
+  unsigned long long idempotency_window = 8192;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
@@ -169,16 +373,39 @@ int Run(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect = argv[i] + 10;
+      if (connect.empty()) {
+        std::fprintf(stderr, "bad flag: %s (want an address)\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--idempotency-window=", 21) == 0) {
+      if (std::sscanf(argv[i] + 21, "%llu", &idempotency_window) != 1) {
+        std::fprintf(stderr, "bad flag: %s\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
     if (!ParseFlag(argv[i], &chaos)) {
       std::fprintf(stderr, "bad flag: %s\n", argv[i]);
       PrintUsage(argv[0]);
       return 2;
     }
   }
+  if (!connect.empty() && shards > 0) {
+    std::fprintf(stderr,
+                 "--connect and --shards are exclusive: sharding lives "
+                 "server-side (`casper_cli serve <addr> --shards=N`)\n");
+    return 2;
+  }
 
   CasperOptions options;
   options.pyramid.height = 8;
+  options.server_idempotency_window = idempotency_window;
   transport::FaultInjectingChannel* fault = nullptr;
+  transport::SocketChannel* socket = nullptr;
   std::vector<transport::FaultInjectingChannel*> shard_faults;
   const transport::FaultProfile profile = chaos.ToProfile();
 
@@ -214,6 +441,39 @@ int Run(int argc, char** argv) {
             transport::Channel*) -> std::unique_ptr<transport::Channel> {
       return std::make_unique<sharding::ShardChannel>(shard_endpoint.get());
     };
+  } else if (!connect.empty()) {
+    // Remote server tier: replace the in-process direct channel with a
+    // real socket channel; chaos (when enabled) composes *around* the
+    // socket, exactly as it wrapped the direct channel.
+    options.channel_decorator =
+        [&socket, &fault, &profile, &chaos, &connect](
+            transport::Channel*) -> std::unique_ptr<transport::Channel> {
+      transport::SocketChannelOptions socket_options;
+      socket_options.connect_timeout_seconds = 0.5;
+      socket_options.io_timeout_seconds = 2.0;
+      auto owned =
+          std::make_unique<transport::SocketChannel>(connect, socket_options);
+      socket = owned.get();
+      if (!chaos.enabled()) return owned;
+      auto wrapped = std::make_unique<transport::FaultInjectingChannel>(
+          owned.get(), profile, chaos.seed);
+      fault = wrapped.get();
+      // The fault wrapper does not own its inner channel; park the
+      // socket on a composite so both live as long as the client.
+      struct Composite : transport::Channel {
+        std::unique_ptr<transport::SocketChannel> inner;
+        std::unique_ptr<transport::FaultInjectingChannel> outer;
+        Result<std::string> Call(std::string_view request,
+                                 const transport::CallContext& context)
+            override {
+          return outer->Call(request, context);
+        }
+      };
+      auto composite = std::make_unique<Composite>();
+      composite->inner = std::move(owned);
+      composite->outer = std::move(wrapped);
+      return composite;
+    };
   } else if (chaos.enabled()) {
     options.channel_decorator =
         [&fault, &profile, &chaos](
@@ -225,6 +485,9 @@ int Run(int argc, char** argv) {
     };
   }
   CasperService service(options);
+  if (!connect.empty()) {
+    std::printf("connected to %s (remote server tier)\n", connect.c_str());
+  }
   if (shards > 0) {
     std::printf("sharding: %llu shards over %s\n", shards,
                 router->partition().ToString().c_str());
@@ -308,7 +571,14 @@ int Run(int argc, char** argv) {
         Rng target_rng(seed);
         auto generated = workload::UniformPublicTargets(
             n, service.options().pyramid.space, &target_rng);
-        if (router != nullptr) {
+        if (!connect.empty()) {
+          // Public targets are server-side provisioning, not wire
+          // traffic; a remote tier provisions its own on startup.
+          std::printf("targets is server-side provisioning; start the "
+                      "remote tier with `casper_cli serve <addr> "
+                      "--targets=%llu --targets-seed=%llu`\n",
+                      n, seed);
+        } else if (router != nullptr) {
           // Server-side provisioning goes to the fleet the wire traffic
           // reaches, not the bypassed in-process server.
           router->SetPublicTargets(generated);
@@ -526,6 +796,20 @@ int Run(int argc, char** argv) {
       std::printf("breaker=%s replay_depth=%zu\n",
                   BreakerStateName(client.breaker_state()),
                   client.replay_depth());
+      if (socket != nullptr) {
+        const transport::SocketChannelStats ss = socket->stats();
+        std::printf("socket %s: calls=%llu dials=%llu dial_failures=%llu "
+                    "reconnects=%llu backoff_fastfails=%llu "
+                    "io_timeouts=%llu data_loss=%llu\n",
+                    socket->address().c_str(),
+                    static_cast<unsigned long long>(ss.calls),
+                    static_cast<unsigned long long>(ss.dials),
+                    static_cast<unsigned long long>(ss.dial_failures),
+                    static_cast<unsigned long long>(ss.reconnects),
+                    static_cast<unsigned long long>(ss.backoff_fastfails),
+                    static_cast<unsigned long long>(ss.io_timeouts),
+                    static_cast<unsigned long long>(ss.data_loss));
+      }
       if (fault != nullptr) {
         const transport::FaultStats s = fault->stats();
         std::printf("calls=%llu injected=%llu dropped_req=%llu "
@@ -553,6 +837,9 @@ int Run(int argc, char** argv) {
       if (router != nullptr) {
         std::printf("save operates on the single-server tier; with "
                     "--shards use `rebalance <dir>` checkpoints\n");
+      } else if (!connect.empty()) {
+        std::printf("save operates on the in-process server tier; a "
+                    "--connect server checkpoints on its own side\n");
       } else if (std::sscanf(line, "%*s %255s", path) != 1) {
         std::printf("usage: save <path>\n");
       } else {
@@ -578,6 +865,9 @@ int Run(int argc, char** argv) {
       if (router != nullptr) {
         std::printf("open operates on the single-server tier; restart "
                     "without --shards to reopen a checkpoint\n");
+      } else if (!connect.empty()) {
+        std::printf("open operates on the in-process server tier; a "
+                    "--connect server reopens on its own side\n");
       } else if (std::sscanf(line, "%*s %255s", path) != 1) {
         std::printf("usage: open <path>\n");
       } else {
@@ -685,4 +975,9 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace casper
 
-int main(int argc, char** argv) { return casper::Run(argc, argv); }
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return casper::RunServe(argc, argv);
+  }
+  return casper::Run(argc, argv);
+}
