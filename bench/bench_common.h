@@ -129,10 +129,14 @@ inline double UpdateCostPerLocationUpdate(
     anonymizer::LocationAnonymizer* anon,
     const std::vector<std::vector<network::LocationUpdate>>& ticks) {
   anon->ResetStats();
+  workload::ApplyTickStats tick_stats;
   for (const auto& batch : ticks) {
-    const Status st = workload::ApplyTick(batch, anon);
+    const Status st = workload::ApplyTick(batch, anon, &tick_stats);
     CASPER_DCHECK(st.ok());
   }
+  // Every simulated object is registered here; a drop means the bench
+  // measured fewer updates than it claims.
+  CASPER_DCHECK(tick_stats.dropped == 0);
   return anon->stats().UpdatesPerLocationUpdate();
 }
 
@@ -141,12 +145,14 @@ inline double UpdateMicrosPerLocationUpdate(
     anonymizer::LocationAnonymizer* anon,
     const std::vector<std::vector<network::LocationUpdate>>& ticks) {
   size_t updates = 0;
+  workload::ApplyTickStats tick_stats;
   Stopwatch watch;
   for (const auto& batch : ticks) {
-    const Status st = workload::ApplyTick(batch, anon);
+    const Status st = workload::ApplyTick(batch, anon, &tick_stats);
     CASPER_DCHECK(st.ok());
     updates += batch.size();
   }
+  CASPER_DCHECK(tick_stats.dropped == 0);
   return watch.ElapsedMicros() / static_cast<double>(updates);
 }
 

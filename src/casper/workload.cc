@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/casper/casper.h"
+
 namespace casper::workload {
 
 anonymizer::PrivacyProfile SampleProfile(const ProfileDistribution& dist,
@@ -93,12 +95,60 @@ Status RegisterSimulatedUsers(const network::MovingObjectSimulator& sim,
 }
 
 Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
-                 anonymizer::LocationAnonymizer* anonymizer) {
+                 anonymizer::LocationAnonymizer* anonymizer,
+                 ApplyTickStats* stats, obs::CasperMetrics* metrics) {
+  if (metrics == nullptr) metrics = obs::CasperMetrics::Default();
   const Rect& space = anonymizer->config().space;
+  size_t dropped = 0;
+  size_t applied = 0;
   for (const network::LocationUpdate& u : updates) {
-    if (u.uid >= anonymizer->user_count()) continue;
-    CASPER_RETURN_IF_ERROR(
-        anonymizer->UpdateLocation(u.uid, ClampToRect(u.position, space)));
+    const Status status =
+        anonymizer->UpdateLocation(u.uid, ClampToRect(u.position, space));
+    if (status.ok()) {
+      ++applied;
+      continue;
+    }
+    // Unregistered uid (never registered, or deregistered mid-run): a
+    // counted drop, not an error — the simulator keeps reporting every
+    // object regardless of who is subscribed.
+    if (status.code() == StatusCode::kNotFound) {
+      ++dropped;
+      continue;
+    }
+    return status;
+  }
+  if (dropped > 0) metrics->workload_dropped_updates_total->Increment(dropped);
+  if (stats != nullptr) {
+    stats->applied += applied;
+    stats->dropped += dropped;
+  }
+  return Status::OK();
+}
+
+Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
+                 CasperService* service, ApplyTickStats* stats,
+                 obs::CasperMetrics* metrics) {
+  if (metrics == nullptr) metrics = obs::CasperMetrics::Default();
+  const Rect& space = service->options().pyramid.space;
+  size_t dropped = 0;
+  size_t applied = 0;
+  for (const network::LocationUpdate& u : updates) {
+    const Status status =
+        service->UpdateUserLocation(u.uid, ClampToRect(u.position, space));
+    if (status.ok()) {
+      ++applied;
+      continue;
+    }
+    if (status.code() == StatusCode::kNotFound) {
+      ++dropped;
+      continue;
+    }
+    return status;
+  }
+  if (dropped > 0) metrics->workload_dropped_updates_total->Increment(dropped);
+  if (stats != nullptr) {
+    stats->applied += applied;
+    stats->dropped += dropped;
   }
   return Status::OK();
 }

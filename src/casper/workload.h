@@ -8,6 +8,7 @@
 #include "src/anonymizer/pyramid_config.h"
 #include "src/common/rng.h"
 #include "src/network/moving_objects.h"
+#include "src/obs/casper_metrics.h"
 #include "src/processor/target_store.h"
 
 /// \file
@@ -17,6 +18,10 @@
 /// objects uniform in space, private target regions of 1..64
 /// lowest-level cells, and user populations driven by the road-network
 /// simulator.
+
+namespace casper {
+class CasperService;
+}
 
 namespace casper::workload {
 
@@ -61,10 +66,35 @@ Status RegisterSimulatedUsers(const network::MovingObjectSimulator& sim,
                               anonymizer::LocationAnonymizer* anonymizer,
                               Rng* rng);
 
-/// Applies one simulator tick's location updates to the anonymizer
-/// (only uids already registered there).
+/// Per-call accounting for ApplyTick.
+struct ApplyTickStats {
+  size_t applied = 0;  ///< Updates delivered to the anonymizer.
+  size_t dropped = 0;  ///< Updates for uids not registered there.
+};
+
+/// Applies one simulator tick's location updates to the anonymizer.
+/// Updates for uids the anonymizer does not know (never registered, or
+/// deregistered mid-simulation) are dropped, counted in `stats` and in
+/// the `casper_workload_dropped_updates_total` counter of `metrics`
+/// (resolved to CasperMetrics::Default() when null) — routing is by
+/// actual registration, not by uid range, so a deregistered mid-range
+/// uid never silences later registered uids. Any anonymizer error other
+/// than NotFound propagates.
 Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
-                 anonymizer::LocationAnonymizer* anonymizer);
+                 anonymizer::LocationAnonymizer* anonymizer,
+                 ApplyTickStats* stats = nullptr,
+                 obs::CasperMetrics* metrics = nullptr);
+
+/// Facade-routed variant: moves users through CasperService so BOTH the
+/// pyramid and the tier's client-position table advance together. The
+/// raw-anonymizer overload above silently leaves the tier's refinement
+/// positions (ClientPosition, RefineForClient) at their registered
+/// values — fine for tier-less benches that drive a bare anonymizer,
+/// wrong for anything that later refines or audits against exact
+/// positions. Same drop accounting as above.
+Status ApplyTick(const std::vector<network::LocationUpdate>& updates,
+                 CasperService* service, ApplyTickStats* stats = nullptr,
+                 obs::CasperMetrics* metrics = nullptr);
 
 }  // namespace casper::workload
 

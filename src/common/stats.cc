@@ -7,49 +7,123 @@
 
 namespace casper {
 
+SummaryStats::SummaryStats(const SummaryStats& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = other.samples_;
+  sorted_ = other.sorted_;
+  sum_ = other.sum_;
+}
+
+SummaryStats::SummaryStats(SummaryStats&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = std::move(other.samples_);
+  sorted_ = other.sorted_;
+  sum_ = other.sum_;
+  other.samples_.clear();
+  other.sorted_ = true;
+  other.sum_ = 0.0;
+}
+
+SummaryStats& SummaryStats::operator=(const SummaryStats& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  samples_ = other.samples_;
+  sorted_ = other.sorted_;
+  sum_ = other.sum_;
+  return *this;
+}
+
+SummaryStats& SummaryStats::operator=(SummaryStats&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  samples_ = std::move(other.samples_);
+  sorted_ = other.sorted_;
+  sum_ = other.sum_;
+  other.samples_.clear();
+  other.sorted_ = true;
+  other.sum_ = 0.0;
+  return *this;
+}
+
 void SummaryStats::Add(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!samples_.empty() && v < samples_.back()) sorted_ = false;
   samples_.push_back(v);
   sum_ += v;
 }
 
+size_t SummaryStats::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double SummaryStats::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
 double SummaryStats::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
-double SummaryStats::min() const {
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double SummaryStats::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
-double SummaryStats::Quantile(double q) const {
-  if (samples_.empty()) return 0.0;
-  CASPER_DCHECK(q >= 0.0 && q <= 1.0);
+void SummaryStats::EnsureSortedLocked() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-  const size_t idx = static_cast<size_t>(
-      q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double SummaryStats::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  EnsureSortedLocked();
+  return samples_.front();
+}
+
+double SummaryStats::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  EnsureSortedLocked();
+  return samples_.back();
+}
+
+double SummaryStats::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  CASPER_DCHECK(q >= 0.0 && q <= 1.0);
+  EnsureSortedLocked();
+  // Nearest-rank: the smallest sample whose cumulative frequency >= q.
+  const double n = static_cast<double>(samples_.size());
+  const size_t rank =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(q * n)));
+  return samples_[std::min(rank - 1, samples_.size() - 1)];
 }
 
 double SummaryStats::StdDev() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (samples_.size() < 2) return 0.0;
-  const double m = mean();
+  const double m = sum_ / static_cast<double>(samples_.size());
   double acc = 0.0;
   for (double v : samples_) acc += (v - m) * (v - m);
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
 void SummaryStats::Merge(const SummaryStats& other) {
-  for (double v : other.samples_) Add(v);
+  if (this == &other) {
+    // Self-merge doubles every sample; copy first to avoid iterating a
+    // vector we are appending to.
+    const SummaryStats copy(other);
+    Merge(copy);
+    return;
+  }
+  std::scoped_lock lock(mu_, other.mu_);
+  for (double v : other.samples_) {
+    if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+    samples_.push_back(v);
+    sum_ += v;
+  }
 }
 
 }  // namespace casper

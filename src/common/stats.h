@@ -2,6 +2,7 @@
 #define CASPER_COMMON_STATS_H_
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace casper {
@@ -9,16 +10,30 @@ namespace casper {
 /// Streaming accumulator for experiment metrics: count/mean/min/max plus
 /// exact quantiles on demand (samples are retained; experiment scales are
 /// small enough that this is fine).
+///
+/// Thread-safe: Add/Merge and every reader take an internal mutex, so a
+/// shared accumulator may be read (and written) from multiple threads.
+/// Readers still observe a consistent snapshot only per call — composing
+/// several calls is not atomic.
 class SummaryStats {
  public:
+  SummaryStats() = default;
+  SummaryStats(const SummaryStats& other);
+  SummaryStats(SummaryStats&& other) noexcept;
+  SummaryStats& operator=(const SummaryStats& other);
+  SummaryStats& operator=(SummaryStats&& other) noexcept;
+
   void Add(double v);
 
-  size_t count() const { return samples_.size(); }
-  double sum() const { return sum_; }
+  size_t count() const;
+  double sum() const;
   double mean() const;
   double min() const;
   double max() const;
-  /// Exact q-quantile by nearest-rank, q in [0, 1]. Returns 0 when empty.
+  /// Exact q-quantile by nearest-rank: the smallest sample whose
+  /// cumulative frequency is >= q, i.e. sorted[ceil(q * n) - 1] (clamped
+  /// to the first sample for q = 0). q must be in [0, 1]; returns 0 when
+  /// empty.
   double Quantile(double q) const;
   double StdDev() const;
 
@@ -26,6 +41,9 @@ class SummaryStats {
   void Merge(const SummaryStats& other);
 
  private:
+  void EnsureSortedLocked() const;
+
+  mutable std::mutex mu_;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
   double sum_ = 0.0;

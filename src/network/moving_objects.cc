@@ -1,6 +1,7 @@
 #include "src/network/moving_objects.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace casper::network {
 
@@ -58,8 +59,20 @@ std::vector<LocationUpdate> MovingObjectSimulator::Tick() {
     double budget = options_.tick_seconds;
 
     // Consume travel budget edge by edge; on arrival, immediately start
-    // a new route (continuing within the same tick).
+    // a new route (continuing within the same tick). Zero-length edges
+    // and degenerate speeds consume no budget, so the loop is bounded:
+    // each iteration must either spend budget or advance an edge, and
+    // after `kMaxIterations` zero-progress iterations the object is
+    // parked for the tick (typed fallback, counted in stats) instead of
+    // spinning forever.
+    const size_t kMaxIterations =
+        64 + 2 * std::max<size_t>(network_->edge_count(), 1);
+    size_t iterations = 0;
     while (budget > 0.0) {
+      if (++iterations > kMaxIterations) {
+        ++stats_.zero_progress_fallbacks;
+        break;
+      }
       if (obj.edge_index >= obj.route.edges.size()) {
         AssignNewRoute(&obj, obj.route.nodes.back());
         continue;
@@ -68,6 +81,14 @@ std::vector<LocationUpdate> MovingObjectSimulator::Tick() {
       const double speed = SpeedOf(e.cls) * obj.speed_factor;
       const double remaining = e.length - obj.offset;
       const double step = speed * budget;
+      if (!(speed > 0.0) || remaining <= 0.0) {
+        // No time passes crossing a zero-length edge (or a stalled
+        // object cannot cross at all): skip the edge without touching
+        // the budget rather than dividing by zero below.
+        obj.offset = 0.0;
+        ++obj.edge_index;
+        continue;
+      }
       if (step < remaining) {
         obj.offset += step;
         budget = 0.0;
@@ -77,6 +98,7 @@ std::vector<LocationUpdate> MovingObjectSimulator::Tick() {
         ++obj.edge_index;
       }
     }
+    CASPER_DCHECK(budget <= 0.0 || iterations > kMaxIterations);
 
     if (obj.edge_index >= obj.route.edges.size()) {
       obj.position = network_->node(obj.route.nodes.back()).position;
@@ -87,6 +109,11 @@ std::vector<LocationUpdate> MovingObjectSimulator::Tick() {
                                      tick_});
   }
   return updates;
+}
+
+void MovingObjectSimulator::set_tick_seconds(double seconds) {
+  CASPER_DCHECK(seconds > 0.0 && std::isfinite(seconds));
+  options_.tick_seconds = seconds;
 }
 
 Point MovingObjectSimulator::PositionOf(ObjectId uid) const {

@@ -39,6 +39,14 @@ struct SimulatorOptions {
   double max_speed_factor = 1.5;
 };
 
+/// Degenerate-input accounting for the simulator.
+struct SimulatorStats {
+  /// Ticks where an object made no measurable progress within the
+  /// per-tick iteration bound (zero-length edge chains, degenerate
+  /// speeds) and was parked at its route head for the tick.
+  uint64_t zero_progress_fallbacks = 0;
+};
+
 /// Simulates `object_count` objects over a road network. Deterministic
 /// for a given seed. The network must outlive the simulator.
 class MovingObjectSimulator {
@@ -58,6 +66,13 @@ class MovingObjectSimulator {
   size_t object_count() const { return objects_.size(); }
   uint64_t current_tick() const { return tick_; }
   const RoadNetwork& network() const { return *network_; }
+  const SimulatorStats& stats() const { return stats_; }
+
+  /// Change the simulated seconds per tick between ticks (scenario
+  /// scripts vary it to model rush-hour congestion). Must be positive
+  /// and finite.
+  void set_tick_seconds(double seconds);
+  double tick_seconds() const { return options_.tick_seconds; }
 
  private:
   struct ObjectState {
@@ -76,6 +91,7 @@ class MovingObjectSimulator {
   SimulatorOptions options_;
   Rng rng_;
   std::vector<ObjectState> objects_;
+  SimulatorStats stats_;
   uint64_t tick_ = 0;
 };
 

@@ -77,6 +77,10 @@ CasperMetrics::CasperMetrics(MetricsRegistry* r)
       regions_retracted_total(r->GetCounter(
           "casper_anonymizer_regions_retracted_total",
           "Stored regions retracted from the server tier.")),
+      workload_dropped_updates_total(r->GetCounter(
+          "casper_workload_dropped_updates_total",
+          "Simulator location updates dropped because the uid is not "
+          "registered with the anonymizer.")),
       cache_hits_total(r->GetCounter(
           "casper_server_cache_hits_total",
           "Candidate-list cache hits (shared cloak evaluations).")),

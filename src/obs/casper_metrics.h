@@ -50,6 +50,8 @@ struct CasperMetrics {
   Counter* snapshots_total;
   Counter* regions_published_total;
   Counter* regions_retracted_total;
+  Counter* workload_dropped_updates_total;  ///< Simulator updates for
+                                            ///< unregistered uids.
 
   // --- Server tier (untrusted), per query kind ------------------------
   Counter* queries_total[kQueryKindCount];

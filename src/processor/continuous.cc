@@ -87,4 +87,10 @@ Result<PublicCandidateList> ContinuousQueryManager::Answer(
   return it->second.answer;
 }
 
+Result<Rect> ContinuousQueryManager::CloakOf(QueryId qid) const {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return Status::NotFound("unknown query");
+  return it->second.cloak;
+}
+
 }  // namespace casper::processor

@@ -70,6 +70,11 @@ class ContinuousQueryManager {
   /// Current answer of a registered query.
   Result<PublicCandidateList> Answer(QueryId qid) const;
 
+  /// Cloaked region the stored answer was derived for (after
+  /// containment shortcuts this is the latest — smaller — cloak, which
+  /// the stored list still covers). Oracles re-evaluate against it.
+  Result<Rect> CloakOf(QueryId qid) const;
+
   size_t query_count() const { return queries_.size(); }
   const ContinuousStats& stats() const { return stats_; }
 

@@ -1,0 +1,141 @@
+#include "src/scenarios/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/casper/messages.h"
+#include "src/processor/private_nn.h"
+
+namespace casper::scenarios {
+namespace {
+
+/// Tolerance for comparing independently computed distances; geometry
+/// here is a handful of flops, so anything beyond rounding noise is a
+/// real violation.
+constexpr double kDistanceSlack = 1e-9;
+
+/// The stored answer on the wire, normalized for byte comparison.
+CandidateListMsg WireOf(const processor::PublicCandidateList& list) {
+  CandidateListMsg msg;
+  msg.kind = QueryKind::kNearestPublic;
+  msg.payload = list;
+  return msg;
+}
+
+}  // namespace
+
+void CheckNnInclusiveness(CasperService* service,
+                          const std::vector<processor::PublicTarget>& targets,
+                          uint64_t uid, OracleStats* stats) {
+  if (targets.empty()) return;
+  auto position = service->ClientPosition(uid);
+  if (!position.ok()) {
+    ++stats->skipped;  // Deregistered between sampling and checking.
+    return;
+  }
+  auto response = service->QueryNearestPublic(uid);
+  if (!response.ok()) {
+    ++stats->skipped;  // Chaos: the stack refused, it did not lie.
+    return;
+  }
+  ++stats->nn_checks;
+
+  double best = SquaredDistance(targets.front().position, *position);
+  for (const processor::PublicTarget& t : targets) {
+    best = std::min(best, SquaredDistance(t.position, *position));
+  }
+
+  // Theorem 1: some true nearest target (distance == best; ties are
+  // interchangeable) must be in the candidate list, and the client-side
+  // refinement must land exactly on that distance.
+  bool candidate_at_best = false;
+  for (const processor::PublicTarget& t : response->server_answer.candidates) {
+    if (SquaredDistance(t.position, *position) <= best + kDistanceSlack) {
+      candidate_at_best = true;
+      break;
+    }
+  }
+  const double refined =
+      SquaredDistance(response->exact.position, *position);
+  if (!candidate_at_best || refined > best + kDistanceSlack) {
+    ++stats->nn_violations;
+  }
+}
+
+void CheckRegionPerUser(CasperService* service, OracleStats* stats) {
+  auto census =
+      service->QueryPublicRange(service->options().pyramid.space);
+  if (!census.ok()) {
+    ++stats->skipped;
+    return;
+  }
+  ++stats->region_checks;
+  if (census->possible != service->user_count()) {
+    ++stats->region_violations;
+  }
+}
+
+void CheckContinuousAnswer(const processor::ContinuousQueryManager& manager,
+                           const processor::PublicTargetStore& store,
+                           processor::QueryId qid, bool recomputed,
+                           OracleStats* stats) {
+  auto cloak = manager.CloakOf(qid);
+  auto stored = manager.Answer(qid);
+  if (!cloak.ok() || !stored.ok()) {
+    ++stats->skipped;
+    return;
+  }
+  auto fresh =
+      processor::PrivateNearestNeighbor(store, *cloak, stored->policy);
+  if (!fresh.ok()) {
+    ++stats->skipped;
+    return;
+  }
+  ++stats->continuous_checks;
+
+  if (recomputed) {
+    // A full evaluation just ran for this cloak: the stored answer must
+    // be byte-identical to an independent fresh one on the wire.
+    if (Encode(WireOf(*stored)) != Encode(WireOf(*fresh))) {
+      ++stats->continuous_violations;
+    }
+    return;
+  }
+
+  // Shortcut path (containment reuse / insert patch): the stored list
+  // is allowed to be a superset of the minimal fresh list, but it must
+  // contain it, and both must refine to the same nearest target from
+  // any position in the cloak.
+  for (const processor::PublicTarget& t : fresh->candidates) {
+    const bool held = std::any_of(
+        stored->candidates.begin(), stored->candidates.end(),
+        [&t](const processor::PublicTarget& s) { return s == t; });
+    if (!held) {
+      ++stats->continuous_violations;
+      return;
+    }
+  }
+  const Point probes[] = {
+      cloak->Center(),
+      cloak->min,
+      cloak->max,
+      Point{cloak->min.x, cloak->max.y},
+      Point{cloak->max.x, cloak->min.y},
+  };
+  for (const Point& p : probes) {
+    auto refined_stored = processor::RefineNearest(stored->candidates, p);
+    auto refined_fresh = processor::RefineNearest(fresh->candidates, p);
+    if (!refined_stored.ok() || !refined_fresh.ok()) {
+      ++stats->continuous_violations;
+      return;
+    }
+    const double ds = SquaredDistance(refined_stored->position, p);
+    const double df = SquaredDistance(refined_fresh->position, p);
+    if (std::abs(ds - df) > kDistanceSlack) {
+      ++stats->continuous_violations;
+      return;
+    }
+  }
+}
+
+}  // namespace casper::scenarios

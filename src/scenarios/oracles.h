@@ -1,0 +1,73 @@
+#ifndef CASPER_SCENARIOS_ORACLES_H_
+#define CASPER_SCENARIOS_ORACLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/casper/casper.h"
+#include "src/processor/continuous.h"
+
+/// \file
+/// Embedded invariant oracles a scenario runs at sampled ticks. Each
+/// check is a ground-truth recomputation — brute force over the
+/// provisioned target list, a fresh Algorithm-2 evaluation, a
+/// whole-space census — compared against what the serving stack
+/// actually answered. A violation means the stack returned something
+/// the paper's theorems forbid; scenarios exit non-zero on any.
+
+namespace casper::scenarios {
+
+struct OracleStats {
+  // Brute-force NN inclusiveness (Theorem 1): the user's true nearest
+  // public target must appear in the served candidate list — degraded
+  // answers included (degradation may lose minimality, never
+  // inclusiveness).
+  uint64_t nn_checks = 0;
+  uint64_t nn_violations = 0;
+
+  // Exactly one stored cloaked region per registered user: a
+  // whole-space public range query's `possible` count equals the
+  // registered population.
+  uint64_t region_checks = 0;
+  uint64_t region_violations = 0;
+
+  // Continuous answers: byte-equal to a fresh Algorithm-2 evaluation
+  // when the manager recomputed; on shortcut paths, the fresh list must
+  // be contained in the stored one and refine to the same nearest
+  // target at sampled in-cloak positions.
+  uint64_t continuous_checks = 0;
+  uint64_t continuous_violations = 0;
+
+  // Checks skipped because the stack errored under injected faults
+  // (chaos scenarios); not violations.
+  uint64_t skipped = 0;
+
+  uint64_t Violations() const {
+    return nn_violations + region_violations + continuous_violations;
+  }
+};
+
+/// Checks NN inclusiveness for `uid` against the brute-force nearest of
+/// `targets` from the user's exact position. Mutates the service
+/// (cloaking); call between ticks, never during a parallel batch.
+void CheckNnInclusiveness(CasperService* service,
+                          const std::vector<processor::PublicTarget>& targets,
+                          uint64_t uid, OracleStats* stats);
+
+/// Checks the one-region-per-user census over the whole managed space.
+/// Valid right after SyncPrivateData with no interleaved user events.
+void CheckRegionPerUser(CasperService* service, OracleStats* stats);
+
+/// Checks a continuous query's stored answer against a fresh
+/// Algorithm-2 evaluation over `store`. `recomputed` is whether the
+/// manager's last OnCloakChanged for this query ran a full evaluation
+/// (byte-equality applies) or took a shortcut (containment +
+/// refinement equivalence applies).
+void CheckContinuousAnswer(const processor::ContinuousQueryManager& manager,
+                           const processor::PublicTargetStore& store,
+                           processor::QueryId qid, bool recomputed,
+                           OracleStats* stats);
+
+}  // namespace casper::scenarios
+
+#endif  // CASPER_SCENARIOS_ORACLES_H_

@@ -1,0 +1,176 @@
+#ifndef CASPER_SCENARIOS_SCENARIO_H_
+#define CASPER_SCENARIOS_SCENARIO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/casper/workload.h"
+#include "src/common/stats.h"
+#include "src/processor/continuous.h"
+#include "src/scenarios/oracles.h"
+#include "src/scenarios/stack.h"
+
+/// \file
+/// The named-scenario engine (ROADMAP item 5a): seed-reproducible
+/// city-scale workloads replayed tick by tick against any stack
+/// configuration. Each tick drives road-network movement, cloak
+/// updates (with churn), and a mixed query batch; scripts shape the
+/// run over time (rush-hour congestion, a flash crowd converging, a
+/// continuous-query storm, heterogeneous privacy profiles, churn under
+/// injected faults). Invariant oracles run at sampled ticks, and every
+/// run emits one comparable BENCH_scenario_<name>.json.
+
+namespace casper::scenarios {
+
+/// Runtime knobs, orthogonal to the script (the CLI scales these by
+/// CASPER_BENCH_SCALE; tests pin them tiny).
+struct ScenarioOptions {
+  size_t users = 1200;
+  size_t targets = 1500;
+  size_t ticks = 30;
+  size_t queries_per_tick = 140;
+  size_t threads = 4;
+  uint64_t seed = 42;
+
+  bool oracles = true;
+  size_t oracle_interval = 5;  ///< Run oracles every N ticks (+ last).
+  size_t oracle_samples = 12;  ///< Users / queries sampled per oracle tick.
+
+  /// Path for the JSON report; empty writes nothing.
+  std::string out_path;
+
+  StackOptions stack;
+};
+
+/// The time-varying shape of one named scenario. Each knob receives the
+/// run fraction (tick / (ticks - 1), in [0, 1]); null functions mean
+/// the neutral constant.
+struct ScenarioScript {
+  std::string name;
+  std::string description;
+
+  /// Multiplies the simulator's base tick_seconds (rush hour: speeds
+  /// collapse mid-run).
+  std::function<double(double)> speed_factor;
+
+  /// Multiplies queries_per_tick (flash crowd: a query spike).
+  std::function<double(double)> query_rate;
+
+  /// Probability that a query's uid (or public query point) is drawn
+  /// from the hotspot population instead of uniformly.
+  std::function<double(double)> hotspot_weight;
+
+  /// The hotspot region, as fractions of the managed space (converted
+  /// at run time). Empty = none.
+  Rect hotspot_fraction;
+
+  /// At run fraction `flash_fraction` (< 0 = never), `teleport_fraction`
+  /// of the population is teleported into the hotspot in one tick.
+  double flash_fraction = -1.0;
+  double teleport_fraction = 0.0;
+
+  /// Fraction of the population deregistered and re-registered (fresh
+  /// profile, current position) each tick.
+  double churn_per_tick = 0.0;
+
+  /// Fraction of the population whose private-NN query is tracked
+  /// through a ContinuousQueryManager across every movement tick (so
+  /// the storm scales with ScenarioOptions::users).
+  double continuous_fraction = 0.0;
+
+  /// Every N ticks (0 = never) one target is inserted into and one
+  /// removed from the continuous manager's store, exercising the
+  /// insert-patch / removal shortcut paths.
+  size_t target_churn_interval = 0;
+
+  /// Fail the run unless the manager's containment shortcuts actually
+  /// avoided recomputes (continuous_storm's reason to exist).
+  bool assert_shortcuts = false;
+
+  /// Privacy-profile classes, assigned round-robin by uid.
+  std::vector<workload::ProfileDistribution> profile_classes;
+
+  /// Chaos profile applied when the caller's stack has none
+  /// (churn_chaos runs faulty by default).
+  transport::FaultProfile default_chaos;
+};
+
+/// Percentile summary of one observed distribution, for the report.
+struct DistributionSummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  static DistributionSummary Of(const SummaryStats& stats);
+};
+
+/// Everything one run produced; ToJson() is the BENCH_scenario_* schema.
+struct ScenarioReport {
+  std::string scenario;
+  std::string stack;
+
+  // Echo of the effective configuration.
+  size_t users = 0;
+  size_t targets = 0;
+  size_t ticks = 0;
+  size_t queries_per_tick = 0;
+  size_t threads = 0;
+  uint64_t seed = 0;
+
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+
+  uint64_t queries_total = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_error = 0;
+  uint64_t queries_degraded = 0;
+  uint64_t queries_shed = 0;
+
+  DistributionSummary latency_micros;  ///< Per-query processor latency.
+  DistributionSummary cloak_area;
+  DistributionSummary k_achieved;
+  DistributionSummary candidates;
+
+  workload::ApplyTickStats updates;
+  uint64_t zero_progress_fallbacks = 0;
+
+  size_t continuous_queries = 0;
+  processor::ContinuousStats continuous;
+  bool shortcuts_asserted = false;
+  bool shortcuts_ok = true;
+
+  bool oracles_enabled = false;
+  OracleStats oracles;
+
+  /// Scraped `casper_*` registry of this run, as the exporter's JSON.
+  std::string metrics_json;
+
+  /// True iff the run upheld every asserted invariant.
+  bool Passed() const {
+    return oracles.Violations() == 0 && shortcuts_ok;
+  }
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+};
+
+/// The named-scenario registry.
+std::vector<std::string> ScenarioNames();
+Result<ScenarioScript> ScriptFor(const std::string& name);
+
+/// Run one scenario. Builds the stack from options.stack (with the
+/// script's default chaos when the caller set none), replays the
+/// scripted ticks, runs oracles when enabled, and writes the report to
+/// options.out_path when set. Fails only on setup errors — invariant
+/// violations are reported, not thrown, so callers can print the
+/// report before failing.
+Result<ScenarioReport> RunScenario(const ScenarioScript& script,
+                                   const ScenarioOptions& options);
+
+}  // namespace casper::scenarios
+
+#endif  // CASPER_SCENARIOS_SCENARIO_H_

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/casper/messages.h"
+#include "src/common/rng.h"
+#include "src/processor/continuous.h"
+#include "src/processor/private_nn.h"
+
+namespace casper::processor {
+namespace {
+
+/// Differential soak for the ContinuousQueryManager: a long randomized
+/// interleaving of cloak moves, cloak shrinks (the containment
+/// shortcut), target inserts, and target removals, where after EVERY
+/// event each live query's stored answer is checked against a fresh
+/// Algorithm 2 evaluation — byte-equal on the wire whenever the stored
+/// list must be minimal, inclusiveness + refinement-equivalence on the
+/// shortcut paths where the stored list may be a superset.
+
+std::string WireBytes(const PublicCandidateList& list) {
+  CandidateListMsg msg;
+  msg.kind = QueryKind::kNearestPublic;
+  msg.payload = list;
+  return Encode(msg);
+}
+
+Rect RandomCloak(Rng* rng) {
+  const Point c = rng->PointIn(Rect(0.05, 0.05, 0.85, 0.85));
+  const double w = rng->Uniform(0.01, 0.12);
+  const double h = rng->Uniform(0.01, 0.12);
+  return Rect(c.x, c.y, std::min(c.x + w, 1.0), std::min(c.y + h, 1.0));
+}
+
+/// A cloak strictly inside `outer` (triggers the containment reuse).
+Rect ShrunkCloak(const Rect& outer, Rng* rng) {
+  const double w = outer.width() * rng->Uniform(0.3, 0.8);
+  const double h = outer.height() * rng->Uniform(0.3, 0.8);
+  const Point o = rng->PointIn(Rect(outer.min.x, outer.min.y,
+                                    outer.max.x - w, outer.max.y - h));
+  return Rect(o.x, o.y, o.x + w, o.y + h);
+}
+
+TEST(ContinuousSoakTest, RandomizedInterleavingMatchesFreshEvaluation) {
+  Rng rng(20260807);
+  std::vector<PublicTarget> initial;
+  for (uint64_t i = 0; i < 120; ++i) {
+    initial.push_back(PublicTarget{i, rng.PointIn(Rect(0, 0, 1, 1))});
+  }
+  PublicTargetStore store(initial);
+  ContinuousQueryManager manager(&store);
+
+  struct Tracked {
+    QueryId qid;
+    bool recomputed;  ///< Last event for this query ran Algorithm 2.
+  };
+  std::vector<Tracked> queries;
+  for (int i = 0; i < 24; ++i) {
+    auto qid = manager.Register(RandomCloak(&rng));
+    ASSERT_TRUE(qid.ok());
+    queries.push_back({*qid, true});
+  }
+  uint64_t next_target_id = 1000;
+  std::vector<PublicTarget> inserted;
+
+  const auto check_all = [&] {
+    for (const Tracked& t : queries) {
+      auto cloak = manager.CloakOf(t.qid);
+      auto stored = manager.Answer(t.qid);
+      ASSERT_TRUE(cloak.ok() && stored.ok());
+      auto fresh = PrivateNearestNeighbor(store, *cloak, stored->policy);
+      ASSERT_TRUE(fresh.ok());
+      if (t.recomputed) {
+        // Full evaluations must be bit-identical to an independent one.
+        ASSERT_EQ(WireBytes(*stored), WireBytes(*fresh));
+        continue;
+      }
+      // Shortcut paths: stored may be a superset, never may it miss a
+      // fresh candidate, and both must refine identically everywhere in
+      // the cloak (corners + center cover the extreme positions).
+      for (const PublicTarget& f : fresh->candidates) {
+        ASSERT_TRUE(std::any_of(
+            stored->candidates.begin(), stored->candidates.end(),
+            [&f](const PublicTarget& s) { return s == f; }))
+            << "fresh candidate " << f.id << " missing from stored list";
+      }
+      const Point probes[] = {cloak->Center(), cloak->min, cloak->max,
+                              Point{cloak->min.x, cloak->max.y},
+                              Point{cloak->max.x, cloak->min.y}};
+      for (const Point& p : probes) {
+        auto rs = RefineNearest(stored->candidates, p);
+        auto rf = RefineNearest(fresh->candidates, p);
+        ASSERT_TRUE(rs.ok() && rf.ok());
+        ASSERT_NEAR(SquaredDistance(rs->position, p),
+                    SquaredDistance(rf->position, p), 1e-12);
+      }
+    }
+  };
+
+  const ContinuousStats& stats = manager.stats();
+  for (int event = 0; event < 400; ++event) {
+    const uint64_t dice = rng.UniformInt(0, 9);
+    if (dice < 4) {
+      // Move: fresh random cloak (usually a recompute).
+      Tracked& t = queries[rng.UniformInt(0, queries.size() - 1)];
+      const uint64_t before = stats.evaluations;
+      auto answer = manager.OnCloakChanged(t.qid, RandomCloak(&rng));
+      ASSERT_TRUE(answer.ok());
+      t.recomputed = stats.evaluations > before;
+    } else if (dice < 6) {
+      // Shrink: contained cloak, must take the reuse shortcut.
+      Tracked& t = queries[rng.UniformInt(0, queries.size() - 1)];
+      auto cloak = manager.CloakOf(t.qid);
+      ASSERT_TRUE(cloak.ok());
+      const uint64_t before = stats.reuses;
+      auto answer = manager.OnCloakChanged(t.qid, ShrunkCloak(*cloak, &rng));
+      ASSERT_TRUE(answer.ok());
+      ASSERT_EQ(stats.reuses, before + 1)
+          << "contained cloak did not take the containment shortcut";
+      t.recomputed = false;
+    } else if (dice < 8) {
+      // Insert a target; store first, then notify (the contract).
+      const PublicTarget target{next_target_id++,
+                                rng.PointIn(Rect(0, 0, 1, 1))};
+      store.Insert(target);
+      ASSERT_TRUE(manager.OnTargetInserted(target).ok());
+      inserted.push_back(target);
+      for (Tracked& t : queries) t.recomputed = false;
+    } else if (!inserted.empty()) {
+      // Remove one of ours; no-op for queries it never answered,
+      // recompute where it was a candidate.
+      const size_t pick = rng.UniformInt(0, inserted.size() - 1);
+      const PublicTarget target = inserted[pick];
+      inserted.erase(inserted.begin() + static_cast<ptrdiff_t>(pick));
+      ASSERT_TRUE(store.Remove(target));
+      ASSERT_TRUE(manager.OnTargetRemoved(target).ok());
+      for (Tracked& t : queries) t.recomputed = false;
+    }
+    check_all();
+  }
+
+  // The soak must actually have exercised every shortcut class, or the
+  // differential check proved nothing.
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_GT(stats.reuses, 0u);
+  EXPECT_GT(stats.insert_patches + stats.removal_no_ops, 0u);
+
+  // Counter consistency: every counted outcome maps to an event class,
+  // and re-registering all queries still leaves the books balanced.
+  const uint64_t outcomes = stats.evaluations + stats.reuses +
+                            stats.insert_patches + stats.removal_no_ops +
+                            stats.removal_recomputes;
+  EXPECT_GT(outcomes, 400u);  // At least one outcome per event.
+
+  for (const Tracked& t : queries) {
+    EXPECT_TRUE(manager.Unregister(t.qid).ok());
+  }
+  EXPECT_EQ(manager.query_count(), 0u);
+}
+
+}  // namespace
+}  // namespace casper::processor

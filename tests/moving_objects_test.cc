@@ -115,5 +115,77 @@ TEST(MovingObjectsTest, LongTickCrossesManyEdgesSafely) {
   }
 }
 
+// Regression: a network whose every edge is zero-length (distinct nodes
+// stacked on one point) used to spin Tick() forever — consuming an edge
+// never advanced the remaining distance. The bounded-iteration guard
+// must park such objects and count the fallback instead of hanging.
+TEST(MovingObjectsTest, AllZeroLengthEdgesTerminateAndCountFallbacks) {
+  RoadNetwork net;
+  const Point spot{0.5, 0.5};
+  const NodeId a = net.AddNode(spot);
+  const NodeId b = net.AddNode(spot);
+  const NodeId c = net.AddNode(spot);
+  ASSERT_TRUE(net.AddEdge(a, b, RoadClass::kLocal).ok());
+  ASSERT_TRUE(net.AddEdge(b, c, RoadClass::kLocal).ok());
+  ASSERT_TRUE(net.AddEdge(a, c, RoadClass::kLocal).ok());
+  ASSERT_TRUE(net.IsConnected());
+
+  SimulatorOptions opt;
+  opt.object_count = 8;
+  MovingObjectSimulator sim(&net, opt, 17);
+  for (int t = 0; t < 3; ++t) {
+    const auto updates = sim.Tick();  // Pre-fix: never returns.
+    ASSERT_EQ(updates.size(), 8u);
+    for (const auto& u : updates) {
+      EXPECT_EQ(u.position, spot);
+    }
+  }
+  EXPECT_GT(sim.stats().zero_progress_fallbacks, 0u);
+}
+
+// A single degenerate edge spliced into an otherwise healthy grid must
+// not stall the simulation: objects keep making progress and the
+// fallback counter stays bounded by the objects actually trapped.
+TEST(MovingObjectsTest, MixedZeroLengthEdgesStillProgress) {
+  RoadNetwork net = TestNetwork(8);
+  // Stack a twin on top of node 0 and wire a zero-length edge to it.
+  const NodeId twin = net.AddNode(net.node(0).position);
+  ASSERT_TRUE(net.AddEdge(0, twin, RoadClass::kLocal).ok());
+
+  SimulatorOptions opt;
+  opt.object_count = 30;
+  opt.tick_seconds = 0.05;
+  MovingObjectSimulator sim(&net, opt, 19);
+  std::vector<Point> before;
+  for (size_t i = 0; i < 30; ++i) before.push_back(sim.PositionOf(i));
+  for (int t = 0; t < 10; ++t) sim.Tick();
+  int moved = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    if (!(sim.PositionOf(i) == before[i])) ++moved;
+  }
+  EXPECT_GT(moved, 20);  // The degenerate edge traps at most a few.
+}
+
+TEST(MovingObjectsTest, TickSecondsCanChangeBetweenTicks) {
+  RoadNetwork net = TestNetwork(9);
+  SimulatorOptions opt;
+  opt.object_count = 10;
+  opt.tick_seconds = 0.01;
+  opt.max_speed_factor = 1.5;
+  MovingObjectSimulator sim(&net, opt, 23);
+  sim.Tick();
+
+  sim.set_tick_seconds(0.002);
+  EXPECT_DOUBLE_EQ(sim.tick_seconds(), 0.002);
+  const double max_step =
+      SpeedOf(RoadClass::kHighway) * opt.max_speed_factor * 0.002;
+  std::vector<Point> prev;
+  for (size_t i = 0; i < 10; ++i) prev.push_back(sim.PositionOf(i));
+  sim.Tick();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_LE(Distance(prev[i], sim.PositionOf(i)), max_step + 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace casper::network

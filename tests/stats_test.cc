@@ -44,6 +44,49 @@ TEST(SummaryStatsTest, AddAfterQuantileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.Quantile(1.0), 20.0);
 }
 
+// Regression: Quantile is nearest-rank — sorted[max(1, ceil(q*n)) - 1].
+// The old implementation truncated (q * n) toward zero, which returned
+// the element *below* the requested rank for most q (e.g. p95 of five
+// samples returned sorted[4*0.95=3] instead of sorted[4]).
+TEST(SummaryStatsTest, QuantileUsesNearestRank) {
+  SummaryStats s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(v);
+  // ceil(0.2*5)=1 -> first element; the old floor code agreed here.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.2), 10.0);
+  // ceil(0.5*5)=3 -> the true median of an odd-sized sample.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 30.0);
+  // ceil(0.95*5)=5 -> the maximum, not sorted[3]=40.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.95), 50.0);
+  // q=0 clamps the rank to 1 instead of indexing sorted[-1].
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 10.0);
+
+  // Even-sized sample: ceil(0.5*4)=2.
+  SummaryStats even;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) even.Add(v);
+  EXPECT_DOUBLE_EQ(even.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(even.Quantile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(even.Quantile(0.76), 4.0);
+}
+
+TEST(SummaryStatsTest, MergePreservesQuantilesAndMoments) {
+  SummaryStats a;
+  SummaryStats b;
+  for (double v : {5.0, 1.0, 9.0}) a.Add(v);
+  for (double v : {3.0, 7.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 25.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  // Merged samples re-sort: the median sees both sides.
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 9.0);
+  // Merging an empty accumulator is a no-op.
+  SummaryStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 5u);
+}
+
 TEST(SummaryStatsTest, StdDevOfConstantIsZero) {
   SummaryStats s;
   for (int i = 0; i < 10; ++i) s.Add(4.2);

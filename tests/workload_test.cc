@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "src/anonymizer/basic_anonymizer.h"
+#include "src/casper/casper.h"
 #include "src/network/network_generator.h"
+#include "src/obs/casper_metrics.h"
+#include "src/obs/metrics.h"
 
 namespace casper::workload {
 namespace {
@@ -98,6 +101,100 @@ TEST(WorkloadTest, RegisterSimulatedUsersAndTicks) {
   anonymizer::BasicAnonymizer anon2(config);
   EXPECT_EQ(RegisterSimulatedUsers(sim, 100, dist, &anon2, &rng).code(),
             StatusCode::kInvalidArgument);
+}
+
+// Regression: a user deregistering mid-simulation used to abort the
+// whole tick with NotFound, dropping every later user's update on the
+// floor. Unknown uids must instead be counted drops — in the per-call
+// stats and the casper_workload_dropped_updates_total counter — while
+// everyone still registered keeps moving.
+TEST(WorkloadTest, UnregisterMidSimulationCountsDrops) {
+  network::NetworkGeneratorOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  auto net = network::NetworkGenerator(opt).Generate(4);
+  ASSERT_TRUE(net.ok());
+  network::SimulatorOptions sopt;
+  sopt.object_count = 40;
+  network::MovingObjectSimulator sim(&*net, sopt, 6);
+
+  anonymizer::PyramidConfig config;
+  config.height = 5;
+  anonymizer::BasicAnonymizer anon(config);
+  Rng rng(7);
+  ProfileDistribution dist;
+  ASSERT_TRUE(RegisterSimulatedUsers(sim, 40, dist, &anon, &rng).ok());
+  ASSERT_TRUE(ApplyTick(sim.Tick(), &anon).ok());
+
+  // Ten users leave; the simulator keeps reporting all forty objects.
+  for (anonymizer::UserId uid = 0; uid < 10; ++uid) {
+    ASSERT_TRUE(anon.DeregisterUser(uid).ok());
+  }
+  obs::MetricsRegistry registry;
+  obs::CasperMetrics metrics(&registry);
+  ApplyTickStats stats;
+  ASSERT_TRUE(ApplyTick(sim.Tick(), &anon, &stats, &metrics).ok());
+  EXPECT_EQ(stats.dropped, 10u);
+  EXPECT_EQ(stats.applied, 30u);
+  EXPECT_EQ(metrics.workload_dropped_updates_total->Value(), 10u);
+  EXPECT_TRUE(anon.CheckInvariants());
+
+  // The stats accumulate across calls and re-registration stops drops.
+  anonymizer::PrivacyProfile profile;
+  ASSERT_TRUE(anon.RegisterUser(3, profile,
+                                ClampToRect(sim.PositionOf(3), config.space))
+                  .ok());
+  ASSERT_TRUE(ApplyTick(sim.Tick(), &anon, &stats, &metrics).ok());
+  EXPECT_EQ(stats.dropped, 19u);
+  EXPECT_EQ(stats.applied, 61u);
+  EXPECT_EQ(metrics.workload_dropped_updates_total->Value(), 19u);
+}
+
+// Regression: driving the raw anonymizer under a CasperService left the
+// facade's client-position table frozen at registration time, so local
+// refinement (and any oracle) used stale positions. The facade-routed
+// overload must advance both views together.
+TEST(WorkloadTest, FacadeApplyTickKeepsClientPositionsFresh) {
+  network::NetworkGeneratorOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  auto net = network::NetworkGenerator(opt).Generate(5);
+  ASSERT_TRUE(net.ok());
+  network::SimulatorOptions sopt;
+  sopt.object_count = 25;
+  network::MovingObjectSimulator sim(&*net, sopt, 8);
+
+  CasperOptions options;
+  CasperService service(options);
+  const Rect& space = service.options().pyramid.space;
+  anonymizer::PrivacyProfile profile;
+  profile.k = 2;
+  for (anonymizer::UserId uid = 0; uid < 25; ++uid) {
+    ASSERT_TRUE(service
+                    .RegisterUser(uid, profile,
+                                  ClampToRect(sim.PositionOf(uid), space))
+                    .ok());
+  }
+
+  for (int t = 0; t < 5; ++t) {
+    ApplyTickStats stats;
+    ASSERT_TRUE(ApplyTick(sim.Tick(), &service, &stats).ok());
+    EXPECT_EQ(stats.applied, 25u);
+    EXPECT_EQ(stats.dropped, 0u);
+  }
+  for (anonymizer::UserId uid = 0; uid < 25; ++uid) {
+    const auto pos = service.ClientPosition(uid);
+    ASSERT_TRUE(pos.ok());
+    // Pre-fix this still returned the registration-time position.
+    EXPECT_EQ(*pos, ClampToRect(sim.PositionOf(uid), space));
+  }
+
+  // Deregistering through the facade turns later updates into drops.
+  ASSERT_TRUE(service.DeregisterUser(0).ok());
+  ApplyTickStats stats;
+  ASSERT_TRUE(ApplyTick(sim.Tick(), &service, &stats).ok());
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.applied, 24u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "src/casper/workload.h"
 #include "src/common/rng.h"
 #include "src/obs/exporters.h"
+#include "src/scenarios/scenario.h"
 #include "src/server/query_server.h"
 #include "src/sharding/shard_endpoint.h"
 #include "src/sharding/shard_router.h"
@@ -71,6 +73,13 @@ void PrintUsage(const char* argv0) {
       "          [--chaos-dup=R] [--chaos-delay=R] "
       "[--chaos-delay-micros=N]\n"
       "          [--chaos-seed=N]\n"
+      "       %s scenario <name> [--socket | --shards=N | "
+      "--connect=ADDR]\n"
+      "          [--users=N] [--targets=N] [--ticks=N] "
+      "[--queries-per-tick=N]\n"
+      "          [--threads=N] [--seed=N] [--no-oracles] "
+      "[--oracle-interval=N]\n"
+      "          [--oracle-samples=N] [--out=PATH] [--chaos-*]\n"
       "       %s serve <addr> [--shards=N] [--targets=N "
       "[--targets-seed=S]]\n"
       "          [--idempotency-window=N] [--net-workers=N] "
@@ -86,6 +95,12 @@ void PrintUsage(const char* argv0) {
       "  `%s serve` process over a real socket (`unix:/path` or\n"
       "  `host:port`) instead of the in-process server; chaos flags\n"
       "  compose around the socket channel.\n"
+      "  `scenario <name>` replays a named city-scale workload\n"
+      "  (rush_hour, flash_crowd, continuous_storm, mixed_profiles,\n"
+      "  churn_chaos) with invariant oracles, writing\n"
+      "  BENCH_scenario_<name>.json; sizes honor CASPER_BENCH_SCALE and\n"
+      "  `scenario list` prints the registry. Exit 1 = invariant\n"
+      "  violation.\n"
       "  `serve <addr>` runs the untrusted server tier alone: a\n"
       "  SocketListener bound to <addr>, admission control and DoS\n"
       "  limits per the --net-* flags, SIGINT/SIGTERM drain.\n"
@@ -95,7 +110,7 @@ void PrintUsage(const char* argv0) {
       "  into every shard's channel, so single-shard outages show up as\n"
       "  degraded=true partial answers. The `transport` command shows the\n"
       "  breaker state and what was injected.\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
 }
 
 /// Parse one --chaos-* flag; returns false on an unknown flag or an
@@ -351,6 +366,150 @@ const char* BreakerStateName(transport::BreakerState state) {
       return "half_open";
   }
   return "unknown";
+}
+
+/// Scenario sizes honor CASPER_BENCH_SCALE the way the benches do:
+/// defaults are multiplied by the scale, explicit flags are absolute.
+size_t ScenarioScaled(size_t n) {
+  static const double scale = [] {
+    const char* env = std::getenv("CASPER_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  const auto v = static_cast<size_t>(static_cast<double>(n) * scale);
+  return v > 0 ? v : 1;
+}
+
+/// `casper_cli scenario <name>`: replay one named city-scale scenario
+/// against the chosen stack and write its BENCH_scenario_<name>.json.
+/// Exit 0 = ran clean, 1 = an invariant oracle caught a violation,
+/// 2 = usage error, 3 = setup failure.
+int RunScenarioCommand(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s scenario <name> [flags]\n", argv[0]);
+    return 2;
+  }
+  const std::string name = argv[2];
+  if (name == "list") {
+    for (const std::string& n : scenarios::ScenarioNames()) {
+      auto script = scenarios::ScriptFor(n);
+      std::printf("%-18s %s\n", n.c_str(),
+                  script.ok() ? script->description.c_str() : "");
+    }
+    return 0;
+  }
+
+  scenarios::ScenarioOptions options;
+  options.users = ScenarioScaled(options.users);
+  options.targets = ScenarioScaled(options.targets);
+  options.queries_per_tick = ScenarioScaled(options.queries_per_tick);
+  options.out_path = "BENCH_scenario_" + name + ".json";
+
+  ChaosFlags chaos;
+  unsigned long long value = 0;
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--users=", 8) == 0 &&
+        std::sscanf(arg + 8, "%llu", &value) == 1 && value > 0) {
+      options.users = value;
+    } else if (std::strncmp(arg, "--targets=", 10) == 0 &&
+               std::sscanf(arg + 10, "%llu", &value) == 1 && value > 0) {
+      options.targets = value;
+    } else if (std::strncmp(arg, "--ticks=", 8) == 0 &&
+               std::sscanf(arg + 8, "%llu", &value) == 1 && value > 0) {
+      options.ticks = value;
+    } else if (std::strncmp(arg, "--queries-per-tick=", 19) == 0 &&
+               std::sscanf(arg + 19, "%llu", &value) == 1) {
+      options.queries_per_tick = value;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0 &&
+               std::sscanf(arg + 10, "%llu", &value) == 1 && value > 0) {
+      options.threads = value;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0 &&
+               std::sscanf(arg + 7, "%llu", &value) == 1) {
+      options.seed = value;
+    } else if (std::strncmp(arg, "--oracle-interval=", 18) == 0 &&
+               std::sscanf(arg + 18, "%llu", &value) == 1 && value > 0) {
+      options.oracle_interval = value;
+    } else if (std::strncmp(arg, "--oracle-samples=", 17) == 0 &&
+               std::sscanf(arg + 17, "%llu", &value) == 1) {
+      options.oracle_samples = value;
+    } else if (std::strcmp(arg, "--no-oracles") == 0) {
+      options.oracles = false;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      options.out_path = arg + 6;
+    } else if (std::strcmp(arg, "--socket") == 0) {
+      options.stack.kind = scenarios::StackKind::kSocket;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0 &&
+               std::sscanf(arg + 9, "%llu", &value) == 1 && value >= 1 &&
+               value <= 256) {
+      options.stack.kind = scenarios::StackKind::kShards;
+      options.stack.shards = value;
+    } else if (std::strncmp(arg, "--connect=", 10) == 0 &&
+               arg[10] != '\0') {
+      options.stack.kind = scenarios::StackKind::kConnect;
+      options.stack.connect = arg + 10;
+    } else if (ParseFlag(arg, &chaos)) {
+      // Accumulated below.
+    } else {
+      std::fprintf(stderr, "bad flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (chaos.enabled()) {
+    options.stack.chaos = chaos.ToProfile();
+    options.stack.chaos_seed = chaos.seed;
+  }
+
+  auto script = scenarios::ScriptFor(name);
+  if (!script.ok()) {
+    std::fprintf(stderr, "%s (try `%s scenario list`)\n",
+                 script.status().message().c_str(), argv[0]);
+    return 2;
+  }
+
+  std::printf("scenario %s: %s\n", name.c_str(),
+              script->description.c_str());
+  auto report = scenarios::RunScenario(*script, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 report.status().message().c_str());
+    return 3;
+  }
+  std::printf(
+      "stack=%s users=%zu targets=%zu ticks=%zu\n"
+      "queries: total=%llu ok=%llu errors=%llu degraded=%llu shed=%llu "
+      "(%.0f qps)\n"
+      "latency_micros: p50=%.1f p95=%.1f p99=%.1f\n"
+      "updates: applied=%zu dropped=%zu  zero_progress_fallbacks=%llu\n"
+      "continuous: queries=%zu evaluations=%llu reuses=%llu\n"
+      "oracles: nn=%llu/%llu region=%llu/%llu continuous=%llu/%llu "
+      "skipped=%llu\n"
+      "report: %s\n"
+      "%s\n",
+      report->stack.c_str(), report->users, report->targets, report->ticks,
+      static_cast<unsigned long long>(report->queries_total),
+      static_cast<unsigned long long>(report->queries_ok),
+      static_cast<unsigned long long>(report->queries_error),
+      static_cast<unsigned long long>(report->queries_degraded),
+      static_cast<unsigned long long>(report->queries_shed), report->qps,
+      report->latency_micros.p50, report->latency_micros.p95,
+      report->latency_micros.p99, report->updates.applied,
+      report->updates.dropped,
+      static_cast<unsigned long long>(report->zero_progress_fallbacks),
+      report->continuous_queries,
+      static_cast<unsigned long long>(report->continuous.evaluations),
+      static_cast<unsigned long long>(report->continuous.reuses),
+      static_cast<unsigned long long>(report->oracles.nn_violations),
+      static_cast<unsigned long long>(report->oracles.nn_checks),
+      static_cast<unsigned long long>(report->oracles.region_violations),
+      static_cast<unsigned long long>(report->oracles.region_checks),
+      static_cast<unsigned long long>(report->oracles.continuous_violations),
+      static_cast<unsigned long long>(report->oracles.continuous_checks),
+      static_cast<unsigned long long>(report->oracles.skipped),
+      options.out_path.c_str(),
+      report->Passed() ? "PASSED" : "FAILED: invariant violations");
+  return report->Passed() ? 0 : 1;
 }
 
 int Run(int argc, char** argv) {
@@ -978,6 +1137,9 @@ int Run(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
     return casper::RunServe(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "scenario") == 0) {
+    return casper::RunScenarioCommand(argc, argv);
   }
   return casper::Run(argc, argv);
 }

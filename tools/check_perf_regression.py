@@ -34,6 +34,14 @@ self-contained (current run only); it needs no checked-in baseline.
 before/after table (qps and p99 side by side) and always exits 0 after
 input validation — for PR descriptions and perf triage, not gating.
 
+With --scenarios-baseline / --scenarios-current (lists of
+BENCH_scenario_*.json files from `casper_cli scenario`), --compare
+additionally prints a before/after table per scenario — qps, p95
+latency, total oracle violations, and pass/fail — matched by scenario
+name. Like the storage table it is informational only: scenario runs
+are seeded but their latency is machine-dependent, so the table never
+gates; bad or missing files print a warning and are skipped.
+
 With --baseline-metrics / --current-metrics (metrics-export JSON files,
 the `metrics json` / ExportJson shape), --compare additionally prints a
 before/after table of every `casper_storage_*` sample, matched by
@@ -300,6 +308,88 @@ def print_storage_comparison(baseline_path, current_path):
               f"{fmt_metric_value(cur.get((name, label_key))):>12}")
 
 
+def load_scenario_reports(paths):
+    """Load BENCH_scenario_*.json reports (the `casper_cli scenario`
+    shape) into {scenario_name: report}. Returns None — with a warning —
+    when nothing usable loads; individual bad files are skipped with a
+    warning. The scenario table is triage context, never a gate.
+    """
+    if not paths:
+        return None
+    reports = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"warning: cannot read scenario file {path}: {e}",
+                  file=sys.stderr)
+            continue
+        name = data.get("scenario") if isinstance(data, dict) else None
+        if not isinstance(name, str):
+            print(f"warning: {path}: no 'scenario' key; skipping",
+                  file=sys.stderr)
+            continue
+        if name in reports:
+            print(f"warning: duplicate scenario report for {name!r} "
+                  f"({path}); keeping the first", file=sys.stderr)
+            continue
+        reports[name] = data
+    return reports or None
+
+
+def scenario_cell(report, *keys):
+    """Dig `keys` out of a scenario report; '-' when absent/not a number."""
+    node = report
+    for key in keys:
+        node = node.get(key) if isinstance(node, dict) else None
+    if isinstance(node, bool):
+        return "yes" if node else "NO"
+    if isinstance(node, (int, float)):
+        return f"{node:.1f}" if isinstance(node, float) else str(node)
+    return "-"
+
+
+def scenario_violations(report):
+    oracles = report.get("oracles")
+    if not isinstance(oracles, dict):
+        return "-"
+    total = 0
+    for key in ("nn_violations", "region_violations",
+                "continuous_violations"):
+        value = oracles.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return "-"
+        total += value
+    return str(total)
+
+
+def print_scenario_comparison(baseline_paths, current_paths):
+    """The --compare scenario table; purely informational (scenario
+    runs are seeded but latency is machine-dependent, so this never
+    gates — it feeds the PR's before/after section).
+    """
+    base = load_scenario_reports(baseline_paths)
+    cur = load_scenario_reports(current_paths)
+    if base is None and cur is None:
+        return
+    base = base or {}
+    cur = cur or {}
+    names = sorted(set(base) | set(cur))
+    print(f"\n{'scenario':<20} {'qps b/c':>19} {'p95us b/c':>19} "
+          f"{'viol b/c':>11} {'pass b/c':>9}")
+    for name in names:
+        b = base.get(name, {})
+        c = cur.get(name, {})
+        print(f"{name:<20} "
+              f"{scenario_cell(b, 'qps'):>9}/{scenario_cell(c, 'qps'):>9} "
+              f"{scenario_cell(b, 'latency_micros', 'p95'):>9}/"
+              f"{scenario_cell(c, 'latency_micros', 'p95'):>9} "
+              f"{scenario_violations(b):>5}/{scenario_violations(c):>5} "
+              f"{scenario_cell(b, 'passed'):>4}/{scenario_cell(c, 'passed'):>4}")
+    print("scenario table: report only, never gates")
+
+
 def fmt_p99(row):
     p99 = row.get("p99_us")
     if isinstance(p99, (int, float)) and not isinstance(p99, bool):
@@ -338,6 +428,14 @@ def main():
     parser.add_argument("--current-metrics",
                         help="metrics-export JSON for the current run; "
                              "adds a casper_storage_* table to --compare")
+    parser.add_argument("--scenarios-baseline", nargs="+", default=[],
+                        help="BENCH_scenario_*.json files from the baseline "
+                             "run; adds a non-gating scenario table to "
+                             "--compare")
+    parser.add_argument("--scenarios-current", nargs="+", default=[],
+                        help="BENCH_scenario_*.json files from the current "
+                             "run; adds a non-gating scenario table to "
+                             "--compare")
     args = parser.parse_args()
 
     base_meta, base = load_rows(args.baseline)
@@ -405,6 +503,9 @@ def main():
         if args.baseline_metrics or args.current_metrics:
             print_storage_comparison(args.baseline_metrics,
                                      args.current_metrics)
+        if args.scenarios_baseline or args.scenarios_current:
+            print_scenario_comparison(args.scenarios_baseline,
+                                      args.scenarios_current)
         print("compare mode: report only, no gating")
         return 0
 

@@ -475,5 +475,105 @@ class StorageMetricsCompareTest(GateTest):
         self.assertNotIn("storage metric", proc.stdout)
 
 
+def scenario_report(name, qps=500.0, p95=120.0, violations=0, passed=True):
+    """A minimal BENCH_scenario_<name>.json in the casper_cli shape."""
+    return {
+        "scenario": name, "stack": "facade", "qps": qps,
+        "latency_micros": {"count": 100, "mean": 80.0, "p50": 60.0,
+                           "p95": p95, "p99": 2 * p95, "max": 3 * p95},
+        "oracles": {"enabled": True, "nn_checks": 30, "nn_violations":
+                    violations, "region_checks": 5, "region_violations": 0,
+                    "continuous_checks": 10, "continuous_violations": 0,
+                    "skipped": 0},
+        "passed": passed,
+    }
+
+
+class ScenarioCompareTest(GateTest):
+    """The --compare scenario table fed by --scenarios-baseline /
+    --scenarios-current. Informational only: scenario files never gate,
+    and bad files only warn."""
+
+    def run_compare_with_scenarios(self, base_reports, cur_reports):
+        b = bench([row()])
+        with tempfile.TemporaryDirectory() as tmp:
+            def dump(stem, payload):
+                path = os.path.join(tmp, stem + ".json")
+                with open(path, "w") as f:
+                    if isinstance(payload, str):
+                        f.write(payload)
+                    else:
+                        json.dump(payload, f)
+                return path
+
+            base_paths = [dump(f"base_s{i}", p)
+                          for i, p in enumerate(base_reports)]
+            cur_paths = [dump(f"cur_s{i}", p)
+                         for i, p in enumerate(cur_reports)]
+            base_path = dump("baseline", b)
+            cur_path = dump("current", b)
+            cmd = [sys.executable, GATE, "--baseline", base_path,
+                   "--current", cur_path, "--compare"]
+            if base_paths:
+                cmd += ["--scenarios-baseline", *base_paths]
+            if cur_paths:
+                cmd += ["--scenarios-current", *cur_paths]
+            return subprocess.run(cmd, capture_output=True, text=True)
+
+    def test_scenarios_print_side_by_side(self):
+        base = [scenario_report("rush_hour", qps=400.0),
+                scenario_report("flash_crowd", qps=300.0)]
+        cur = [scenario_report("rush_hour", qps=440.0),
+               scenario_report("flash_crowd", qps=290.0)]
+        proc = self.run_compare_with_scenarios(base, cur)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("rush_hour", proc.stdout)
+        self.assertIn("flash_crowd", proc.stdout)
+        self.assertIn("400.0", proc.stdout)
+        self.assertIn("440.0", proc.stdout)
+        self.assertIn("never gates", proc.stdout)
+
+    def test_scenario_violations_never_gate_compare(self):
+        base = [scenario_report("churn_chaos")]
+        cur = [scenario_report("churn_chaos", violations=7, passed=False)]
+        proc = self.run_compare_with_scenarios(base, cur)
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("7", proc.stdout)
+        self.assertIn("NO", proc.stdout)
+
+    def test_scenario_missing_on_one_side_renders_dash(self):
+        proc = self.run_compare_with_scenarios(
+            [scenario_report("rush_hour")],
+            [scenario_report("rush_hour"),
+             scenario_report("continuous_storm")])
+        self.assert_clean_exit(proc, 0)
+        for line in proc.stdout.splitlines():
+            if "continuous_storm" in line:
+                self.assertIn("-", line)
+                break
+        else:
+            self.fail(f"no continuous_storm row in: {proc.stdout}")
+
+    def test_malformed_scenario_file_warns_but_exits_0(self):
+        proc = self.run_compare_with_scenarios(
+            ['{"scenario": ', scenario_report("rush_hour")],
+            [scenario_report("rush_hour")])
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("cannot read scenario file", proc.stderr)
+        self.assertIn("rush_hour", proc.stdout)
+
+    def test_scenario_file_without_name_is_skipped(self):
+        proc = self.run_compare_with_scenarios(
+            [{"qps": 1.0}], [scenario_report("rush_hour")])
+        self.assert_clean_exit(proc, 0)
+        self.assertIn("no 'scenario' key", proc.stderr)
+
+    def test_compare_without_scenario_flags_prints_no_table(self):
+        b = bench([row()])
+        proc = self.run_gate(b, b, extra_args=("--compare",))
+        self.assert_clean_exit(proc, 0)
+        self.assertNotIn("scenario table", proc.stdout)
+
+
 if __name__ == "__main__":
     unittest.main()
